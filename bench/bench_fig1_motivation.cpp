@@ -1,0 +1,98 @@
+// Figure 1 reproduction (motivational example, Section 3): the thermal
+// profile of face_rec followed by mpeg_enc under (a) Linux's default
+// thread-to-core allocation and (b) a fixed user thread assignment (two
+// cores run two threads each, two cores run one each — the "paired"
+// pattern). Thread allocation visibly changes both the average temperature
+// and the thermal cycling of each application.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "reliability/rainflow.hpp"
+
+namespace {
+
+struct PhaseStats {
+  double avgTemp = 0.0;
+  double peakTemp = 0.0;
+  std::size_t cycles = 0;
+  double stress = 0.0;
+};
+
+PhaseStats analyzePhase(const rltherm::core::RunResult& result, rltherm::Seconds from,
+                        rltherm::Seconds to) {
+  using namespace rltherm;
+  PhaseStats stats;
+  const auto begin = static_cast<std::size_t>(from / result.traceInterval);
+  const auto end = std::min(result.coreTraces[0].size(),
+                            static_cast<std::size_t>(to / result.traceInterval));
+  const auto fatigue = reliability::defaultFatigueParams();
+  for (const auto& trace : result.coreTraces) {
+    const std::vector<Celsius> slice(trace.begin() + static_cast<std::ptrdiff_t>(begin),
+                                     trace.begin() + static_cast<std::ptrdiff_t>(end));
+    const auto cycles = reliability::rainflow(slice, 1.0);
+    stats.avgTemp += mean(slice) / static_cast<double>(result.coreTraces.size());
+    stats.peakTemp = std::max(stats.peakTemp, maxOf(slice));
+    stats.cycles = std::max(stats.cycles, cycles.size());
+    stats.stress = std::max(stats.stress, reliability::thermalStress(cycles, fatigue));
+  }
+  return stats;
+}
+
+void printProfile(const char* label, const rltherm::core::RunResult& result) {
+  std::cout << label << " (core 0 temperature every 20 s):\n  ";
+  const auto& trace = result.coreTraces[0];
+  const auto step = static_cast<std::size_t>(20.0 / result.traceInterval);
+  for (std::size_t i = 0; i < trace.size(); i += step) {
+    std::cout << rltherm::formatFixed(trace[i], 0) << " ";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace rltherm;
+  using namespace rltherm::bench;
+
+  core::PolicyRunner runner(defaultRunnerConfig());
+  const workload::Scenario scenario =
+      workload::Scenario::of({workload::faceRec(1), workload::mpegEnc(1)});
+
+  // (a) Linux's default allocation: free affinity, ondemand governor.
+  const core::RunResult linuxRun = runLinux(runner, scenario);
+
+  // (b) User thread assignment: the paper pins two threads each on two
+  //     cores and one thread each on the other two ("paired" pattern).
+  const auto patterns = workload::standardPatterns(4);
+  core::FixedAffinityPolicy userAssignment(patterns[1],
+                                           {platform::GovernorKind::Ondemand, 0.0});
+  const core::RunResult pinnedRun = runner.run(scenario, userAssignment);
+
+  const Seconds split = linuxRun.completions.at(0).endTime;
+  const Seconds splitPinned = pinnedRun.completions.at(0).endTime;
+
+  TextTable table({"Allocation", "App", "Avg T (C)", "Peak T (C)", "Cycles (worst core)",
+                   "Stress (worst core)"});
+  const auto addRows = [&](const char* name, const core::RunResult& run, Seconds mid) {
+    const PhaseStats faceRec = analyzePhase(run, 30.0, mid);
+    const PhaseStats mpeg = analyzePhase(run, mid + 30.0, run.duration - 5.0);
+    table.row().cell(name).cell("face_rec").cell(faceRec.avgTemp, 1).cell(faceRec.peakTemp, 1)
+        .cell(static_cast<long long>(faceRec.cycles)).cell(formatFixed(faceRec.stress * 1e6, 2) + "e-6");
+    table.row().cell(name).cell("mpeg_enc").cell(mpeg.avgTemp, 1).cell(mpeg.peakTemp, 1)
+        .cell(static_cast<long long>(mpeg.cycles)).cell(formatFixed(mpeg.stress * 1e6, 2) + "e-6");
+  };
+  addRows("linux-default", linuxRun, split);
+  addRows("user-paired", pinnedRun, splitPinned);
+
+  printBanner(std::cout, "Figure 1: thread-to-core affinity influences thermal profile");
+  table.print(std::cout);
+  std::cout << "\n";
+  printProfile("linux-default", linuxRun);
+  printProfile("user-paired  ", pinnedRun);
+  std::cout << "\nThe paper's observation: the same fixed assignment that calms\n"
+               "mpeg (shorter overlapping bursts) aggravates face_rec (long\n"
+               "bursts now aligned), so no static mapping suits both -- the\n"
+               "motivation for learning the mapping per application.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 3 reproduction: inter-application scenarios. Normalized
+// thermal-cycling MTTF (vs Linux ondemand) for the modified Ge & Qiu
+// baseline (explicit application-switch signal) and the proposed approach
+// (autonomous switch detection), across the paper's six scenarios.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rltherm;
+  using namespace rltherm::bench;
+  using workload::makeApp;
+
+  core::PolicyRunner runner(defaultRunnerConfig());
+
+  const std::vector<std::vector<workload::AppSpec>> scenarios = {
+      {makeApp("mpeg_dec", 1), makeApp("tachyon", 1)},
+      {makeApp("tachyon", 1), makeApp("mpeg_dec", 1)},
+      {makeApp("mpeg_enc", 1), makeApp("tachyon", 1)},
+      {makeApp("mpeg_enc", 1), makeApp("mpeg_dec", 1)},
+      {makeApp("mpeg_dec", 1), makeApp("tachyon", 1), makeApp("mpeg_enc", 1)},
+      {makeApp("tachyon", 1), makeApp("mpeg_enc", 1), makeApp("mpeg_dec", 1)},
+  };
+
+  TextTable table({"Scenario", "TC-MTTF Linux", "TC-MTTF mod-Ge", "TC-MTTF Proposed",
+                   "mod-Ge / Linux", "Proposed / Linux", "Proposed / mod-Ge",
+                   "inter-det", "intra-det"});
+
+  double proposedOverLinux = 0.0;
+  double proposedOverGe = 0.0;
+
+  for (const auto& apps : scenarios) {
+    const workload::Scenario eval = workload::Scenario::of(apps);
+    const workload::Scenario train = repeated(apps, 3);
+
+    const core::RunResult linux_ = runLinux(runner, eval);
+    const core::RunResult ge = runGeQiu(runner, eval, train, /*modified=*/true);
+    // The proposed agent trains across the scenario (detecting application
+    // switches autonomously — see the detection columns, accumulated during
+    // training) and is evaluated in its exploitation phase, like Table 2.
+    core::ThermalManager* manager = nullptr;
+    const core::RunResult proposed =
+        runProposedFrozen(runner, eval, train, core::ThermalManagerConfig{}, &manager);
+
+    const double l = linux_.reliability.cyclingMttfYears;
+    const double g = ge.reliability.cyclingMttfYears;
+    const double p = proposed.reliability.cyclingMttfYears;
+    table.row()
+        .cell(eval.name)
+        .cell(l, 2)
+        .cell(g, 2)
+        .cell(p, 2)
+        .cell(g / l, 2)
+        .cell(p / l, 2)
+        .cell(p / g, 2)
+        .cell(static_cast<long long>(manager->interDetections()))
+        .cell(static_cast<long long>(manager->intraDetections()));
+    proposedOverLinux += p / l;
+    proposedOverGe += p / g;
+  }
+
+  printBanner(std::cout,
+              "Figure 3: inter-application thermal-cycling MTTF (normalized to Linux)");
+  table.print(std::cout);
+  std::cout << "\nAverages: proposed/Linux = "
+            << formatFixed(proposedOverLinux / static_cast<double>(scenarios.size()), 2)
+            << "x (paper: ~5x), proposed/modified-Ge = "
+            << formatFixed(proposedOverGe / static_cast<double>(scenarios.size()), 2)
+            << "x (paper: ~3x).\n"
+            << "The proposed agent detects application switches autonomously (see\n"
+            << "the detection columns); the modified Ge baseline is told explicitly.\n";
+  return 0;
+}

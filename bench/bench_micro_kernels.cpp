@@ -1,0 +1,177 @@
+// Google-benchmark microbenchmarks of the library's hot paths: the RC
+// thermal step, rainflow counting, Q-table updates, the scheduler dispatch
+// and a full machine tick. These bound the run-time overhead a deployment
+// of the controller would add (the paper's system runs alongside real
+// workloads, so the monitoring path must be cheap).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "platform/machine.hpp"
+#include "reliability/aging.hpp"
+#include "reliability/rainflow.hpp"
+#include "reliability/fatigue.hpp"
+#include "rl/double_q.hpp"
+#include "rl/qtable.hpp"
+#include "sched/scheduler.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/quadcore.hpp"
+
+namespace {
+
+using namespace rltherm;
+
+void BM_ThermalStep(benchmark::State& state) {
+  thermal::QuadCorePackage pkg = thermal::buildQuadCorePackage({});
+  pkg.network.prepare(0.01);
+  const std::vector<Watts> power = pkg.nodePower(std::vector<Watts>{8.0, 2.0, 5.0, 1.0});
+  for (auto _ : state) {
+    pkg.network.step(power);
+    benchmark::DoNotOptimize(pkg.network.temperatures().data());
+  }
+}
+BENCHMARK(BM_ThermalStep);
+
+void BM_ThermalStepRk4(benchmark::State& state) {
+  thermal::QuadCorePackage pkg = thermal::buildQuadCorePackage({});
+  const std::vector<Watts> power = pkg.nodePower(std::vector<Watts>{8.0, 2.0, 5.0, 1.0});
+  for (auto _ : state) {
+    pkg.network.stepRk4(power, 0.01);
+    benchmark::DoNotOptimize(pkg.network.temperatures().data());
+  }
+}
+BENCHMARK(BM_ThermalStepRk4);
+
+void BM_Expm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-0.1, 0.1);
+    a(i, i) = -1.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expm(a));
+  }
+}
+BENCHMARK(BM_Expm)->Arg(6)->Arg(16)->Arg(34);
+
+void BM_Rainflow(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Celsius> trace;
+  trace.reserve(samples);
+  double t = 45.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    t += rng.gaussian(0.0, 1.5);
+    trace.push_back(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reliability::rainflow(trace, 1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_Rainflow)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EpochMetrics(benchmark::State& state) {
+  // The per-epoch work of the thermal manager: rainflow + stress + aging
+  // over one decision epoch of sensor samples (10 samples x 4 cores).
+  Rng rng(9);
+  std::vector<std::vector<Celsius>> traces(4);
+  for (auto& trace : traces) {
+    double t = 50.0;
+    for (int i = 0; i < 10; ++i) {
+      t += rng.gaussian(0.0, 3.0);
+      trace.push_back(t);
+    }
+  }
+  const auto aging = reliability::calibratedAgingParams();
+  const auto fatigue = reliability::defaultFatigueParams();
+  for (auto _ : state) {
+    double stress = 0.0;
+    double rate = 0.0;
+    for (const auto& trace : traces) {
+      const auto cycles = reliability::rainflow(trace, 2.0);
+      stress = std::max(stress, reliability::thermalStress(cycles, fatigue));
+      rate = std::max(rate, reliability::agingRate(trace, aging));
+    }
+    benchmark::DoNotOptimize(stress);
+    benchmark::DoNotOptimize(rate);
+  }
+}
+BENCHMARK(BM_EpochMetrics);
+
+void BM_QTableUpdate(benchmark::State& state) {
+  rl::QTable table(16, 12);
+  Rng rng(3);
+  std::size_t s = 0;
+  for (auto _ : state) {
+    const std::size_t a = static_cast<std::size_t>(rng.uniformInt(12));
+    const std::size_t next = static_cast<std::size_t>(rng.uniformInt(16));
+    benchmark::DoNotOptimize(table.update(s, a, rng.uniform(-1.0, 1.0), next, 0.1, 0.75));
+    s = next;
+  }
+}
+BENCHMARK(BM_QTableUpdate);
+
+void BM_SchedulerDispatch(benchmark::State& state) {
+  sched::SchedulerConfig config;
+  config.coreCount = 4;
+  sched::Scheduler scheduler(config);
+  for (ThreadId id = 0; id < 6; ++id) {
+    scheduler.addThread(id, sched::AffinityMask::all(4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(0.01));
+  }
+}
+BENCHMARK(BM_SchedulerDispatch);
+
+void BM_MachineTick(benchmark::State& state) {
+  platform::MachineConfig config;
+  platform::Machine machine(config);
+  for (ThreadId id = 0; id < 6; ++id) {
+    machine.scheduler().addThread(id, sched::AffinityMask::all(4));
+  }
+  const auto activity = [](ThreadId) { return 0.8; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.tick(activity));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineTick);
+
+void BM_GridThermalStep(benchmark::State& state) {
+  thermal::GridThermalConfig config;
+  config.cellsPerCoreSide = static_cast<std::size_t>(state.range(0));
+  thermal::GridPackage pkg(config);
+  pkg.network().prepare(0.01);
+  const std::vector<Watts> power =
+      pkg.nodePower(std::vector<Watts>{8.0, 2.0, 5.0, 1.0});
+  for (auto _ : state) {
+    pkg.network().step(power);
+    benchmark::DoNotOptimize(pkg.network().temperatures().data());
+  }
+}
+BENCHMARK(BM_GridThermalStep)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_DoubleQUpdate(benchmark::State& state) {
+  rl::DoubleQLearner learner(16, 12);
+  Rng rng(5);
+  std::size_t s = 0;
+  for (auto _ : state) {
+    const std::size_t a = static_cast<std::size_t>(rng.uniformInt(12));
+    const std::size_t next = static_cast<std::size_t>(rng.uniformInt(16));
+    learner.update(s, a, rng.uniform(-1.0, 1.0), next, 0.1, 0.75, rng);
+    benchmark::DoNotOptimize(learner.value(s, a));
+    s = next;
+  }
+}
+BENCHMARK(BM_DoubleQUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Calibration-sensitivity study: do the headline conclusions survive
+// perturbations of the simulator's physical constants? For a grid of
+// (dynamic-power, heat-sinking) scalings around the calibrated point, the
+// proposed-vs-Linux improvements are recomputed on a hot and a cycling
+// workload. A reproduction whose conclusions only hold at one magic
+// calibration would be worthless; this bench quantifies the margin.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rltherm;
+  using namespace rltherm::bench;
+
+  struct Variant {
+    std::string name;
+    double powerScale;   // multiplies C_eff (hotter/cooler silicon)
+    double sinkScale;    // multiplies sink-to-ambient R (worse/better cooling)
+  };
+  const std::vector<Variant> variants = {
+      {"calibrated", 1.0, 1.0},      {"-20% power", 0.8, 1.0},
+      {"+20% power", 1.2, 1.0},      {"-20% cooling R", 1.0, 0.8},
+      {"+20% cooling R", 1.0, 1.2},  {"hot corner (+20%/+20%)", 1.2, 1.2},
+  };
+
+  TextTable table({"Variant", "App", "Linux avg T", "TC gain (x)", "Aging gain (x)"});
+
+  int holds = 0;
+  int rows = 0;
+  for (const Variant& variant : variants) {
+    core::RunnerConfig runnerConfig = defaultRunnerConfig();
+    runnerConfig.machine.dynamicPower.effectiveCapacitance *= variant.powerScale;
+    runnerConfig.machine.thermal.sinkToAmbient *= variant.sinkScale;
+    core::PolicyRunner runner(runnerConfig);
+
+    for (const workload::AppSpec& app : {workload::tachyon(1), workload::mpegDec(1)}) {
+      const workload::Scenario eval = workload::Scenario::of({app});
+      const workload::Scenario train = repeated({app}, 3);
+      const core::RunResult linux_ = runLinux(runner, eval);
+      const core::RunResult proposed = runProposedFrozen(runner, eval, train);
+      const double tcGain = proposed.reliability.cyclingMttfYears /
+                            linux_.reliability.cyclingMttfYears;
+      const double agingGain = proposed.reliability.agingMttfYears /
+                               linux_.reliability.agingMttfYears;
+      table.row()
+          .cell(variant.name)
+          .cell(app.family)
+          .cell(linux_.reliability.averageTemp, 1)
+          .cell(tcGain, 2)
+          .cell(agingGain, 2);
+      // "Conclusion holds" = the proposed approach does not lose on either
+      // lifetime metric (within 10%) and wins at least one.
+      if (tcGain > 0.9 && agingGain > 0.9 && (tcGain > 1.1 || agingGain > 1.1)) ++holds;
+      ++rows;
+    }
+  }
+
+  printBanner(std::cout, "Calibration sensitivity of the headline result");
+  table.print(std::cout);
+  std::cout << "\nConclusion (proposed does not lose lifetime, wins at least one\n"
+               "metric) holds in " << holds << "/" << rows
+            << " perturbed configurations.\n"
+            << "Reading: the gains persist at the calibrated point and on HOTTER\n"
+               "plants, but shrink or invert when the platform runs cooler than the\n"
+               "agent's fixed state ranges and detection thresholds assume — the\n"
+               "controller's discretization does not transfer across platforms\n"
+               "untuned. This matches the paper's methodology: its thresholds,\n"
+               "ranges and reward weights are all determined EMPIRICALLY for the\n"
+               "platform at hand (Sections 5.2 and 5.4).\n";
+  return 0;
+}

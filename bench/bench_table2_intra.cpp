@@ -1,0 +1,66 @@
+// Table 2 reproduction: intra-application comparison of average temperature,
+// peak temperature, thermal-cycling MTTF and aging MTTF for three
+// applications x three input sets under Linux ondemand, Ge & Qiu [7] and the
+// proposed RL manager.
+//
+// MTTF scaling follows the paper's caption: parameters are calibrated so an
+// idle core has an MTTF of 10 years; MTTF values are capped at the
+// analyzer's 20-year ceiling (a dash would mean "no damaging cycles").
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rltherm;
+  using namespace rltherm::bench;
+
+  core::PolicyRunner runner(defaultRunnerConfig());
+
+  TextTable table({"Application", "Data", "AvgT L", "AvgT Ge", "AvgT P", "PeakT L",
+                   "PeakT Ge", "PeakT P", "TC-MTTF L", "TC-MTTF Ge", "TC-MTTF P",
+                   "Aging-MTTF L", "Aging-MTTF Ge", "Aging-MTTF P"});
+
+  double tcGainVsLinux = 0.0;
+  double agingGainVsGe = 0.0;
+  int rows = 0;
+
+  for (const workload::AppSpec& app : workload::table2Suite()) {
+    const workload::Scenario eval = workload::Scenario::of({app});
+    const workload::Scenario train = repeated({app}, 3);
+
+    const core::RunResult linux_ = runLinux(runner, eval);
+    const core::RunResult ge = runGeQiu(runner, eval, train);
+    const core::RunResult proposed = runProposedFrozen(runner, eval, train);
+
+    const auto slash = app.name.find('/');
+    table.row()
+        .cell(app.family)
+        .cell(app.name.substr(slash + 1))
+        .cell(linux_.reliability.averageTemp, 1)
+        .cell(ge.reliability.averageTemp, 1)
+        .cell(proposed.reliability.averageTemp, 1)
+        .cell(linux_.reliability.peakTemp, 1)
+        .cell(ge.reliability.peakTemp, 1)
+        .cell(proposed.reliability.peakTemp, 1)
+        .cell(linux_.reliability.cyclingMttfYears, 2)
+        .cell(ge.reliability.cyclingMttfYears, 2)
+        .cell(proposed.reliability.cyclingMttfYears, 2)
+        .cell(linux_.reliability.agingMttfYears, 2)
+        .cell(ge.reliability.agingMttfYears, 2)
+        .cell(proposed.reliability.agingMttfYears, 2);
+
+    tcGainVsLinux +=
+        proposed.reliability.cyclingMttfYears / linux_.reliability.cyclingMttfYears;
+    agingGainVsGe +=
+        proposed.reliability.agingMttfYears / ge.reliability.agingMttfYears;
+    ++rows;
+  }
+
+  printBanner(std::cout, "Table 2: intra-application thermal management (MTTF in years)");
+  table.print(std::cout);
+  std::cout << "\nGeometric-free summary: proposed vs Linux thermal-cycling MTTF = "
+            << formatFixed(tcGainVsLinux / rows, 2)
+            << "x (paper: ~2.3x avg); proposed vs Ge aging MTTF = "
+            << formatFixed(agingGainVsGe / rows, 2) << "x (paper: ~1.13x avg).\n"
+            << "MTTF values of " << formatFixed(20.0, 0)
+            << " are at the report ceiling (no damaging cycles measured).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Example: inter-application thermal management.
+//
+// Runs an application sequence (mpeg decode -> ray tracing -> mpeg encode)
+// under the RL thermal manager and shows how the agent detects the switches
+// autonomously from its stress/aging moving averages — no signal from the
+// application layer — and what that buys in thermal-cycling lifetime
+// compared with plain Linux.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/baselines.hpp"
+#include "core/runner.hpp"
+#include "core/thermal_manager.hpp"
+#include "workload/app_spec.hpp"
+
+int main() {
+  using namespace rltherm;
+
+  core::PolicyRunner runner;
+
+  const workload::Scenario scenario = workload::Scenario::of(
+      {workload::mpegDec(1), workload::tachyon(1), workload::mpegEnc(1)});
+
+  // Baseline: Linux ondemand with default scheduling.
+  core::StaticGovernorPolicy linuxPolicy({platform::GovernorKind::Ondemand, 0.0},
+                                         "linux-ondemand");
+  const core::RunResult linuxResult = runner.run(scenario, linuxPolicy);
+
+  // Proposed: train on the sequence (the agent sees the switches and adapts),
+  // then evaluate the trained controller.
+  core::ThermalManager manager(core::ThermalManagerConfig{},
+                               core::ActionSpace::standard(4));
+  std::vector<workload::AppSpec> trainApps;
+  for (int i = 0; i < 3; ++i) {
+    trainApps.insert(trainApps.end(), scenario.apps.begin(), scenario.apps.end());
+  }
+  (void)runner.run(workload::Scenario::of(trainApps), manager);
+  const std::size_t detections = manager.interDetections() + manager.intraDetections();
+  manager.freeze();
+  const core::RunResult rlResult = runner.run(scenario, manager);
+
+  printBanner(std::cout, "inter-application scenario: " + scenario.name);
+  TextTable table({"metric", "linux-ondemand", "proposed-rl"});
+  table.row().cell("execution time (s)").cell(linuxResult.duration, 0).cell(rlResult.duration, 0);
+  table.row().cell("average temperature (C)")
+      .cell(linuxResult.reliability.averageTemp, 1)
+      .cell(rlResult.reliability.averageTemp, 1);
+  table.row().cell("peak temperature (C)")
+      .cell(linuxResult.reliability.peakTemp, 1)
+      .cell(rlResult.reliability.peakTemp, 1);
+  table.row().cell("cycling MTTF (years)")
+      .cell(linuxResult.reliability.cyclingMttfYears, 2)
+      .cell(rlResult.reliability.cyclingMttfYears, 2);
+  table.row().cell("aging MTTF (years)")
+      .cell(linuxResult.reliability.agingMttfYears, 2)
+      .cell(rlResult.reliability.agingMttfYears, 2);
+  table.print(std::cout);
+
+  std::cout << "\nDuring training the agent flagged " << detections
+            << " workload variations (autonomously, from Delta-MA of stress/aging).\n"
+            << "Per-application completion times under the trained controller:\n";
+  for (const auto& completion : rlResult.completions) {
+    std::cout << "  " << completion.name << ": "
+              << formatFixed(completion.executionTime(), 0) << " s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: run the paper's RL thermal manager on one application and
+// compare it against plain Linux ondemand.
+//
+// Builds a simulated quad-core platform, executes the tachyon benchmark
+// (ALPBench-like synthetic workload) under both policies, and prints the
+// temperature / MTTF / energy summary.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/baselines.hpp"
+#include "core/runner.hpp"
+#include "core/thermal_manager.hpp"
+#include "workload/app_spec.hpp"
+
+int main() {
+  using namespace rltherm;
+
+  // 1. A runner with the default quad-core machine model.
+  core::PolicyRunner runner;
+
+  // 2. The workload: tachyon (ray tracing), input set 1 — the paper's
+  //    hottest intra-application case.
+  const workload::Scenario scenario =
+      workload::Scenario::of({workload::tachyon(1)});
+
+  // 3. Baseline: Linux's default ondemand governor, default scheduling.
+  core::StaticGovernorPolicy linux_({platform::GovernorKind::Ondemand, 0.0},
+                                    "linux-ondemand");
+  const core::RunResult linuxResult = runner.run(scenario, linux_);
+
+  // 4. The proposed approach: Q-learning over (stress, aging) states with
+  //    affinity-pattern x governor actions. Train on three back-to-back
+  //    repetitions of the workload, then evaluate the exploitation-phase
+  //    controller (the regime the paper's Table 2 reports).
+  core::ThermalManagerConfig config;
+  core::ThermalManager proposed(config, core::ActionSpace::standard(4));
+  const workload::Scenario training = workload::Scenario::of(
+      {workload::tachyon(1), workload::tachyon(1), workload::tachyon(1)});
+  (void)runner.run(training, proposed);
+  proposed.freeze();
+  const core::RunResult rlResult = runner.run(scenario, proposed);
+
+  // 5. Report.
+  TextTable table({"metric", "linux-ondemand", "proposed-rl"});
+  table.row().cell("execution time (s)").cell(linuxResult.duration, 0).cell(rlResult.duration, 0);
+  table.row().cell("average temperature (C)")
+      .cell(linuxResult.reliability.averageTemp, 1)
+      .cell(rlResult.reliability.averageTemp, 1);
+  table.row().cell("peak temperature (C)")
+      .cell(linuxResult.reliability.peakTemp, 1)
+      .cell(rlResult.reliability.peakTemp, 1);
+  table.row().cell("aging MTTF (years)")
+      .cell(linuxResult.reliability.agingMttfYears, 2)
+      .cell(rlResult.reliability.agingMttfYears, 2);
+  table.row().cell("cycling MTTF (years)")
+      .cell(linuxResult.reliability.cyclingMttfYears, 2)
+      .cell(rlResult.reliability.cyclingMttfYears, 2);
+  table.row().cell("dynamic energy (kJ)")
+      .cell(linuxResult.dynamicEnergy / 1000.0, 2)
+      .cell(rlResult.dynamicEnergy / 1000.0, 2);
+  table.row().cell("static energy (kJ)")
+      .cell(linuxResult.staticEnergy / 1000.0, 2)
+      .cell(rlResult.staticEnergy / 1000.0, 2);
+
+  printBanner(std::cout, "quickstart: tachyon/set1, linux vs proposed");
+  table.print(std::cout);
+
+  std::cout << "\nlearning: " << proposed.epochCount() << " decision epochs, "
+            << proposed.epochsToConvergence() << " to convergence, "
+            << proposed.interDetections() << " inter / "
+            << proposed.intraDetections() << " intra detections\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full reproduction pass: configure, build, run the test suite and every
+# experiment harness, capturing the outputs the repository's EXPERIMENTS.md
+# is based on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  echo "########## $(basename "$bench") ##########" | tee -a bench_output.txt
+  "$bench" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "Done. See test_output.txt and bench_output.txt."

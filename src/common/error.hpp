@@ -1,0 +1,31 @@
+// Lightweight contract-checking helpers (C++ Core Guidelines I.5/I.7 style).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rltherm {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is broken (a library bug, not a caller bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Check a documented precondition; throws PreconditionError on failure.
+inline void expects(bool condition, const std::string& message) {
+  if (!condition) throw PreconditionError(message);
+}
+
+/// Check an internal invariant; throws InvariantError on failure.
+inline void ensures(bool condition, const std::string& message) {
+  if (!condition) throw InvariantError(message);
+}
+
+}  // namespace rltherm

@@ -1,0 +1,102 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rltherm {
+namespace {
+
+std::uint64_t splitMix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& lane : state_) lane = splitMix64(s);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t n) noexcept {
+  // Bitmask rejection sampling: exact (unbiased) and fast for small n.
+  if (n <= 1) return 0;
+  std::uint64_t mask = n - 1;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  for (;;) {
+    const std::uint64_t x = next() & mask;
+    if (x < n) return x;
+  }
+}
+
+double Rng::gaussian() noexcept {
+  if (hasCachedGaussian_) {
+    hasCachedGaussian_ = false;
+    return cachedGaussian_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cachedGaussian_ = radius * std::sin(angle);
+  hasCachedGaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept {
+  return mean + stddev * gaussian();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+                                            0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t lane = 0; lane < state_.size(); ++lane) acc[lane] ^= state_[lane];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+  hasCachedGaussian_ = false;
+}
+
+}  // namespace rltherm

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generator (xoshiro256++) with the
+// distribution helpers the simulator needs.
+//
+// The standard-library engines are avoided for the simulator state because
+// their distributions are implementation-defined; xoshiro plus our own
+// inversion/Box-Muller keeps traces bit-identical across toolchains, which the
+// regression tests rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rltherm {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next raw 64-bit value (xoshiro256++).
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniformInt(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps, for independent streams.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cachedGaussian_ = 0.0;
+  bool hasCachedGaussian_ = false;
+};
+
+}  // namespace rltherm

@@ -1,0 +1,143 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rltherm {
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  expects(window >= 1, "MovingAverage window must be >= 1");
+}
+
+void MovingAverage::push(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  if (samples_.size() > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+}
+
+double MovingAverage::value() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void MovingAverage::reset() noexcept {
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+ExponentialMovingAverage::ExponentialMovingAverage(double alpha) : alpha_(alpha) {
+  expects(alpha > 0.0 && alpha <= 1.0, "EMA alpha must be in (0, 1]");
+}
+
+void ExponentialMovingAverage::push(double value) noexcept {
+  if (empty_) {
+    value_ = value;
+    empty_ = false;
+  } else {
+    value_ = alpha_ * value + (1.0 - alpha_) * value_;
+  }
+}
+
+void ExponentialMovingAverage::reset() noexcept {
+  value_ = 0.0;
+  empty_ = true;
+}
+
+void OnlineStats::push(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const noexcept {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double OnlineStats::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double autocorrelation(std::span<const double> series, std::size_t lag) {
+  if (lag == 0) return 1.0;
+  const std::size_t n = series.size();
+  if (n < lag + 2) return 0.0;
+  const double mu = mean(series);
+  double denom = 0.0;
+  for (const double v : series) denom += (v - mu) * (v - mu);
+  // Guard against an effectively-constant series whose variance is pure
+  // floating-point residue (it would otherwise correlate with itself).
+  const double varianceFloor =
+      static_cast<double>(n) * 1e-24 * (mu * mu + 1.0);
+  if (denom <= varianceFloor) return 0.0;
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) num += (series[i] - mu) * (series[i + lag] - mu);
+  return num / denom;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double maxOf(std::span<const double> values) noexcept {
+  double best = std::numeric_limits<double>::lowest();
+  for (const double v : values) best = std::max(best, v);
+  return best;
+}
+
+double minOf(std::span<const double> values) noexcept {
+  double best = std::numeric_limits<double>::max();
+  for (const double v : values) best = std::min(best, v);
+  return best;
+}
+
+double gaussianBell(double x, double mu, double sigma) noexcept {
+  if (sigma <= 0.0) return x == mu ? 1.0 : 0.0;
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+std::vector<double> blockAverage(std::span<const double> series, std::size_t factor) {
+  expects(factor >= 1, "blockAverage factor must be >= 1");
+  std::vector<double> out;
+  out.reserve(series.size() / factor + 1);
+  std::size_t i = 0;
+  while (i < series.size()) {
+    const std::size_t end = std::min(series.size(), i + factor);
+    double sum = 0.0;
+    for (std::size_t j = i; j < end; ++j) sum += series[j];
+    out.push_back(sum / static_cast<double>(end - i));
+    i = end;
+  }
+  return out;
+}
+
+std::vector<double> decimate(std::span<const double> series, std::size_t factor) {
+  expects(factor >= 1, "decimate factor must be >= 1");
+  std::vector<double> out;
+  out.reserve(series.size() / factor + 1);
+  for (std::size_t i = 0; i < series.size(); i += factor) out.push_back(series[i]);
+  return out;
+}
+
+}  // namespace rltherm

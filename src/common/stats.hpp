@@ -1,0 +1,100 @@
+// Statistics helpers used throughout the controller and the benches:
+// windowed moving averages (Algorithm 1's MA_s / MA_a), online mean/variance,
+// autocorrelation (Fig. 6), and small descriptive-stat utilities.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace rltherm {
+
+/// Fixed-window moving average (simple, not exponential).
+///
+/// Used by the learning agent to track the moving averages of stress and aging
+/// whose deltas classify intra- vs inter-application workload variation.
+class MovingAverage {
+ public:
+  /// @param window  number of most-recent samples averaged; must be >= 1.
+  explicit MovingAverage(std::size_t window);
+
+  void push(double value);
+  /// Average over the (up to) `window()` most recent samples; 0 when empty.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool full() const noexcept { return samples_.size() == window_; }
+  void reset() noexcept;
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Exponential moving average with smoothing factor `alpha` in (0, 1].
+class ExponentialMovingAverage {
+ public:
+  explicit ExponentialMovingAverage(double alpha);
+
+  void push(double value) noexcept;
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool empty() const noexcept { return empty_; }
+  void reset() noexcept;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool empty_ = true;
+};
+
+/// Numerically-stable online mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void push(double value) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;  ///< population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  void reset() noexcept { *this = OnlineStats{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Lag-k sample autocorrelation of a series (biased estimator, as is standard
+/// for correlograms). Returns 1.0 for lag 0; 0 when the series is constant or
+/// shorter than lag + 2.
+[[nodiscard]] double autocorrelation(std::span<const double> series, std::size_t lag);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Maximum; lowest double for an empty span.
+[[nodiscard]] double maxOf(std::span<const double> values) noexcept;
+
+/// Minimum; highest double for an empty span.
+[[nodiscard]] double minOf(std::span<const double> values) noexcept;
+
+/// Unnormalized Gaussian bell: exp(-(x - mu)^2 / (2 sigma^2)).
+/// Used as the learning weight K1/K2 in the reward function (Section 5.2).
+[[nodiscard]] double gaussianBell(double x, double mu, double sigma) noexcept;
+
+/// Downsample a series by averaging consecutive blocks of `factor` samples
+/// (models reading a sensor every `factor` ticks; the trailing partial block
+/// is averaged too). factor must be >= 1.
+[[nodiscard]] std::vector<double> blockAverage(std::span<const double> series,
+                                               std::size_t factor);
+
+/// Keep every `factor`-th sample starting from index 0 (models coarser
+/// sampling of an analog signal). factor must be >= 1.
+[[nodiscard]] std::vector<double> decimate(std::span<const double> series, std::size_t factor);
+
+}  // namespace rltherm

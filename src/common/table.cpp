@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rltherm {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "TextTable requires at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& text) {
+  expects(!rows_.empty(), "TextTable::cell called before row()");
+  expects(rows_.back().size() < header_.size(), "TextTable row has too many cells");
+  rows_.back().push_back(text);
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(formatFixed(value, precision));
+}
+
+TextTable& TextTable::cell(long long value) { return cell(std::to_string(value)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+  const auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << text;
+    }
+    os << '\n';
+  };
+  emitRow(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emitRow(r);
+}
+
+void TextTable::printCsv(std::ostream& os) const {
+  const auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  const auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << quote(cells[c]);
+    }
+    os << '\n';
+  };
+  emitRow(header_);
+  for (const auto& r : rows_) emitRow(r);
+}
+
+std::string formatFixed(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+void printBanner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(title.size() + 8, '=') << '\n'
+     << "==  " << title << "  ==\n"
+     << std::string(title.size() + 8, '=') << '\n';
+}
+
+}  // namespace rltherm

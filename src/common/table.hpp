@@ -1,0 +1,43 @@
+// Console table / CSV emission used by the benchmark harnesses to print
+// paper-style rows (Table 2, Table 3, figure series).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rltherm {
+
+/// A simple aligned-text table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering pads columns to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(const std::string& text);
+  TextTable& cell(double value, int precision = 2);
+  TextTable& cell(long long value);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding, comma-separated, quoted as needed).
+  void printCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columnCount() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string formatFixed(double value, int precision = 2);
+
+/// Print a titled section banner to the stream (used between bench outputs).
+void printBanner(std::ostream& os, const std::string& title);
+
+}  // namespace rltherm

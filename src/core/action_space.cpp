@@ -1,0 +1,111 @@
+#include "core/action_space.hpp"
+
+#include "common/error.hpp"
+
+namespace rltherm::core {
+
+std::string Action::toString() const {
+  if (perCore.empty()) return pattern.name + "/" + governor.toString();
+  std::string s = pattern.name + "/percore[";
+  for (std::size_t c = 0; c < perCore.size(); ++c) {
+    if (c > 0) s += ",";
+    s += perCore[c].toString();
+  }
+  return s + "]";
+}
+
+ActionSpace::ActionSpace(std::vector<workload::AffinityPattern> patterns,
+                         std::vector<platform::GovernorSetting> governors) {
+  expects(!patterns.empty() && !governors.empty(),
+          "ActionSpace requires at least one pattern and one governor");
+  actions_.reserve(patterns.size() * governors.size());
+  for (const auto& pattern : patterns) {
+    for (const auto& governor : governors) {
+      actions_.push_back(Action{.pattern = pattern, .governor = governor, .perCore = {}});
+    }
+  }
+}
+
+ActionSpace ActionSpace::standard(std::size_t coreCount) {
+  const auto catalogue = workload::standardPatterns(coreCount);
+  // free, paired, spread, corner3 (skip packed2, the harshest packing).
+  std::vector<workload::AffinityPattern> patterns = {catalogue[0], catalogue[1],
+                                                     catalogue[2], catalogue[4]};
+  std::vector<platform::GovernorSetting> governors = {
+      {platform::GovernorKind::Ondemand, 0.0},
+      {platform::GovernorKind::Userspace, 2.8e9},
+      {platform::GovernorKind::Userspace, 2.4e9},
+  };
+  return ActionSpace(std::move(patterns), std::move(governors));
+}
+
+ActionSpace ActionSpace::ofSize(std::size_t coreCount, std::size_t actionCount) {
+  expects(actionCount >= 1, "ActionSpace::ofSize requires >= 1 action");
+  const auto catalogue = workload::standardPatterns(coreCount);
+  const std::vector<platform::GovernorSetting> governors = {
+      {platform::GovernorKind::Ondemand, 0.0},
+      {platform::GovernorKind::Userspace, 2.4e9},
+      {platform::GovernorKind::Userspace, 1.6e9},
+      {platform::GovernorKind::Userspace, 3.4e9},
+      {platform::GovernorKind::Conservative, 0.0},
+      {platform::GovernorKind::Powersave, 0.0},
+      {platform::GovernorKind::Performance, 0.0},
+  };
+  expects(actionCount <= catalogue.size() * governors.size(),
+          "ActionSpace::ofSize: requested more actions than the full grid");
+
+  // Quality-first order: iterate governors within patterns so small spaces
+  // still mix mapping and frequency control.
+  std::vector<Action> actions;
+  for (std::size_t g = 0; g < governors.size() && actions.size() < actionCount; ++g) {
+    for (std::size_t p = 0; p < catalogue.size() && actions.size() < actionCount; ++p) {
+      actions.push_back(
+          Action{.pattern = catalogue[p], .governor = governors[g], .perCore = {}});
+    }
+  }
+  ActionSpace space({catalogue[0]}, {governors[0]});  // placeholder, replaced below
+  space.actions_ = std::move(actions);
+  return space;
+}
+
+ActionSpace ActionSpace::extended(std::size_t coreCount) {
+  ActionSpace space = standard(coreCount);
+  const auto catalogue = workload::standardPatterns(coreCount);
+  const auto us = [](Hertz f) {
+    return platform::GovernorSetting{platform::GovernorKind::Userspace, f};
+  };
+  const auto splitAction = [&](const workload::AffinityPattern& pattern, Hertz hotF,
+                               Hertz coolF) {
+    // "Hot" cores 0..coreCount/2-1 get hotF, the rest coolF — combined with
+    // a pinning pattern this is a latency/temperature split placement.
+    Action action{.pattern = pattern, .governor = us(hotF), .perCore = {}};
+    for (std::size_t c = 0; c < coreCount; ++c) {
+      action.perCore.push_back(us(c < coreCount / 2 ? hotF : coolF));
+    }
+    return action;
+  };
+  // paired pattern puts two two-thread groups on cores 0-1: give those cores
+  // the fast half; spread gets the reverse emphasis.
+  space.actions_.push_back(splitAction(catalogue[1], 3.4e9, 1.6e9));
+  space.actions_.push_back(splitAction(catalogue[1], 2.8e9, 2.0e9));
+  space.actions_.push_back(splitAction(catalogue[2], 3.4e9, 2.0e9));
+  space.actions_.push_back(splitAction(catalogue[4], 2.4e9, 1.6e9));
+  return space;
+}
+
+void ActionSpace::apply(std::size_t i, platform::Machine& machine,
+                        workload::WorkloadControl& workload) const {
+  const Action& a = actions_.at(i);
+  if (a.perCore.empty()) {
+    machine.setGovernor(a.governor);
+  } else {
+    expects(a.perCore.size() == machine.coreCount(),
+            "per-core action does not match the machine's core count");
+    for (std::size_t c = 0; c < a.perCore.size(); ++c) {
+      machine.setCoreGovernor(c, a.perCore[c]);
+    }
+  }
+  workload.applyAffinityPattern(a.pattern.masks);
+}
+
+}  // namespace rltherm::core

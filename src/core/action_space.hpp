@@ -1,0 +1,65 @@
+// Action space of the learning agent (Section 5.1): the cross product of a
+// restricted set of thread-affinity mapping patterns M and CPU governor
+// settings G. The number of affinity masks grows exponentially with threads
+// and cores, so — like the paper — only a curated catalogue of alternatives
+// is exposed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/governor.hpp"
+#include "workload/control.hpp"
+#include "workload/driver.hpp"
+
+namespace rltherm::core {
+
+/// One agent action: pin the app's threads with `pattern` and install
+/// `governor` on all cores — or, when `perCore` is non-empty (one entry per
+/// core), install per-core governors instead. Per-core frequency control is
+/// what the paper's action definition ("the frequency of a core") literally
+/// allows; the machine-wide form is the restricted space its evaluation
+/// uses.
+struct Action {
+  workload::AffinityPattern pattern;
+  platform::GovernorSetting governor;
+  std::vector<platform::GovernorSetting> perCore;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+class ActionSpace {
+ public:
+  /// Cross product of the given patterns and governor settings.
+  ActionSpace(std::vector<workload::AffinityPattern> patterns,
+              std::vector<platform::GovernorSetting> governors);
+
+  /// The default 12-action space for a 4-core machine: patterns {free,
+  /// paired, spread, corner3} x governors {ondemand, userspace@2.4GHz,
+  /// userspace@1.6GHz}.
+  [[nodiscard]] static ActionSpace standard(std::size_t coreCount);
+
+  /// A truncated/extended space with exactly `actionCount` actions, used by
+  /// the Fig. 8 design-space sweep. Walks the full pattern x governor grid
+  /// (5 patterns x 7 governors = 35 combinations) in a quality-first order.
+  [[nodiscard]] static ActionSpace ofSize(std::size_t coreCount, std::size_t actionCount);
+
+  /// The standard space plus split-frequency actions that pin hot thread
+  /// groups onto cores running at a different operating point than the rest
+  /// (per-core DVFS). 16 actions on a 4-core machine.
+  [[nodiscard]] static ActionSpace extended(std::size_t coreCount);
+
+  [[nodiscard]] std::size_t size() const noexcept { return actions_.size(); }
+  [[nodiscard]] const Action& action(std::size_t i) const { return actions_.at(i); }
+
+  /// Apply action i: set the governor on the machine and the affinity
+  /// pattern on the workload's managed threads.
+  void apply(std::size_t i, platform::Machine& machine,
+             workload::WorkloadControl& workload) const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+}  // namespace rltherm::core

@@ -1,0 +1,99 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rltherm::core {
+
+StaticGovernorPolicy::StaticGovernorPolicy(platform::GovernorSetting setting,
+                                           std::string name)
+    : setting_(setting),
+      name_(name.empty() ? "linux-" + setting.toString() : std::move(name)) {}
+
+void StaticGovernorPolicy::onStart(PolicyContext& ctx) {
+  ctx.machine.setGovernor(setting_);
+}
+
+FixedAffinityPolicy::FixedAffinityPolicy(workload::AffinityPattern pattern,
+                                         platform::GovernorSetting governor)
+    : pattern_(std::move(pattern)), governor_(governor) {}
+
+std::string FixedAffinityPolicy::name() const {
+  return "fixed-affinity-" + pattern_.name + "-" + governor_.toString();
+}
+
+void FixedAffinityPolicy::onStart(PolicyContext& ctx) {
+  ctx.machine.setGovernor(governor_);
+  ctx.workload.applyAffinityPattern(pattern_.masks);
+}
+
+void FixedAffinityPolicy::onSample(PolicyContext& ctx,
+                                   std::span<const Celsius> /*sensorTemps*/) {
+  // Re-assert the pinning so freshly-started applications inherit it
+  // (setAffinity with an unchanged mask is a no-op, so this is cheap).
+  ctx.workload.applyAffinityPattern(pattern_.masks);
+}
+
+GeQiuPolicy::GeQiuPolicy(GeQiuConfig config, bool explicitSwitchSignal)
+    : config_(config),
+      explicitSwitchSignal_(explicitSwitchSignal),
+      tempBins_(config.tempRangeLo, config.tempRangeHi, config.temperatureBins),
+      frequencies_([] {
+        std::vector<Hertz> f;
+        for (const auto& op : power::VfTable::defaultQuadCore().points()) {
+          f.push_back(op.frequency);
+        }
+        return f;
+      }()),
+      qTable_(config.temperatureBins, frequencies_.size()),
+      schedule_(config.learningRate),
+      rng_(config.seed) {
+  expects(config.interval > 0.0, "GeQiu interval must be > 0");
+}
+
+void GeQiuPolicy::onStart(PolicyContext& ctx) {
+  // The controller owns DVFS outright (userspace governor), starting high.
+  ctx.machine.setGovernor(
+      {platform::GovernorKind::Userspace, frequencies_.back()});
+}
+
+void GeQiuPolicy::onSample(PolicyContext& ctx, std::span<const Celsius> sensorTemps) {
+  // State: the *instantaneous* hottest-core temperature (this is precisely
+  // the behaviour the paper improves on: a point sample cannot capture
+  // average temperature or cycling within the interval).
+  const Celsius hottest = maxOf(sensorTemps);
+  const std::size_t state = tempBins_.bin(hottest);
+
+  if (prevState_) {
+    const double tempNorm = tempBins_.normalize(hottest);
+    const double perf = std::min(performanceRatio(ctx), config_.performanceCap);
+    const double reward = perf - config_.temperatureWeight * tempNorm;
+    qTable_.update(*prevState_, prevAction_, reward, state, schedule_.alpha(),
+                   config_.gamma);
+  }
+
+  const double epsilon = std::max(schedule_.epsilon(), config_.epsilonFloor);
+  const std::size_t action = rl::selectEpsilonGreedy(qTable_, state, epsilon, rng_);
+  ctx.machine.setGovernor(
+      {platform::GovernorKind::Userspace, frequencies_[action]});
+  ctx.machine.injectStall(config_.decisionOverhead);
+  schedule_.advance();
+
+  prevState_ = state;
+  prevAction_ = action;
+}
+
+void GeQiuPolicy::onAppSwitch(PolicyContext& /*ctx*/) {
+  if (!explicitSwitchSignal_) return;
+  qTable_.reset();
+  schedule_.reset();
+  prevState_.reset();
+}
+
+double GeQiuPolicy::performanceRatio(const PolicyContext& ctx) const {
+  return ctx.workload.performanceRatio();
+}
+
+}  // namespace rltherm::core

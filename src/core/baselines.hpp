@@ -1,0 +1,112 @@
+// Baseline policies the paper compares against:
+//  - plain Linux governors (ondemand / powersave / fixed userspace
+//    frequencies) with default scheduling — Table 2/3's "Linux" columns;
+//  - a fixed user thread assignment (the Section 3 motivational example);
+//  - Ge & Qiu, DAC 2011 [7]: Q-learning DVFS from on-board sensors, acting
+//    on the *instantaneous* temperature at every sampling interval with a
+//    frequency-only action space — no thermal-cycling state, no affinity
+//    control; and its "modified" variant that resets learning on an
+//    explicit application-switch signal (Section 6.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/policy.hpp"
+#include "workload/driver.hpp"
+#include "rl/discretizer.hpp"
+#include "rl/learning_rate.hpp"
+#include "rl/qtable.hpp"
+
+namespace rltherm::core {
+
+/// Sets one governor at start and never intervenes again. With the default
+/// ondemand setting this is exactly the paper's "Linux" baseline.
+class StaticGovernorPolicy final : public ThermalPolicy {
+ public:
+  explicit StaticGovernorPolicy(platform::GovernorSetting setting,
+                                std::string name = "");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void onStart(PolicyContext& ctx) override;
+
+ private:
+  platform::GovernorSetting setting_;
+  std::string name_;
+};
+
+/// The motivational example's "user thread assignment": pin threads with a
+/// fixed pattern (re-applied when applications switch) under a given
+/// governor.
+class FixedAffinityPolicy final : public ThermalPolicy {
+ public:
+  FixedAffinityPolicy(workload::AffinityPattern pattern,
+                      platform::GovernorSetting governor);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Seconds samplingInterval() const override { return 1.0; }
+  void onStart(PolicyContext& ctx) override;
+  void onSample(PolicyContext& ctx, std::span<const Celsius> sensorTemps) override;
+
+ private:
+  workload::AffinityPattern pattern_;
+  platform::GovernorSetting governor_;
+};
+
+struct GeQiuConfig {
+  Seconds interval = 3.0;          ///< sampling == decision interval (no separation)
+  std::size_t temperatureBins = 8;
+  Celsius tempRangeLo = 28.0;
+  Celsius tempRangeHi = 85.0;
+  double gamma = 0.6;
+  rl::LearningRateConfig learningRate;
+  double temperatureWeight = 1.5;  ///< reward = min(perf, cap) - w * tempNorm
+  double performanceCap = 1.2;
+  /// Residual exploration: [7] keeps adapting at run time, so a small
+  /// epsilon persists even after the learning rate has decayed.
+  double epsilonFloor = 0.04;
+  /// Control-plane cost of each DVFS decision (cpufreq-set); cheaper than
+  /// the proposed approach's decisions (no thread migrations) but paid at
+  /// every sampling interval rather than every decision epoch.
+  Seconds decisionOverhead = 0.1;
+  std::uint64_t seed = 2011;
+};
+
+/// Ge & Qiu (DAC'11)-style learning DVFS controller.
+class GeQiuPolicy : public ThermalPolicy {
+ public:
+  /// @param explicitSwitchSignal  true builds the "modified Ge" variant that
+  ///        resets its Q-table when told the application switched.
+  explicit GeQiuPolicy(GeQiuConfig config, bool explicitSwitchSignal = false);
+
+  [[nodiscard]] std::string name() const override {
+    return explicitSwitchSignal_ ? "ge-qiu-modified" : "ge-qiu";
+  }
+  [[nodiscard]] Seconds samplingInterval() const override { return config_.interval; }
+  [[nodiscard]] bool wantsAppSwitchSignal() const override {
+    return explicitSwitchSignal_;
+  }
+
+  void onStart(PolicyContext& ctx) override;
+  void onSample(PolicyContext& ctx, std::span<const Celsius> sensorTemps) override;
+  void onAppSwitch(PolicyContext& ctx) override;
+
+  [[nodiscard]] const rl::QTable& qTable() const noexcept { return qTable_; }
+
+ private:
+  [[nodiscard]] double performanceRatio(const PolicyContext& ctx) const;
+
+  GeQiuConfig config_;
+  bool explicitSwitchSignal_;
+  rl::RangeDiscretizer tempBins_;
+  std::vector<Hertz> frequencies_;
+  rl::QTable qTable_;
+  rl::LearningRateSchedule schedule_;
+  Rng rng_;
+  std::optional<std::size_t> prevState_;
+  std::size_t prevAction_ = 0;
+};
+
+}  // namespace rltherm::core

@@ -1,0 +1,76 @@
+#include "core/config_io.hpp"
+
+#include "common/error.hpp"
+
+namespace rltherm::core {
+
+RunnerConfig runnerConfigFrom(const ConfigFile& config) {
+  RunnerConfig runner;
+
+  platform::MachineConfig& machine = runner.machine;
+  machine.coreCount =
+      static_cast<std::size_t>(config.getInt("machine", "cores",
+                                             static_cast<long long>(machine.coreCount)));
+  machine.tick = config.getDouble("machine", "tick", machine.tick);
+  machine.governorPeriod =
+      config.getDouble("machine", "governor_period", machine.governorPeriod);
+  machine.warmStart = config.getBool("machine", "warm_start", machine.warmStart);
+  machine.thermalCellsPerCoreSide = static_cast<std::size_t>(
+      config.getInt("machine", "thermal_cells",
+                    static_cast<long long>(machine.thermalCellsPerCoreSide)));
+  if (config.getBool("machine", "big_little", false)) {
+    machine.coreTypes = platform::bigLittleCoreTypes();
+    expects(machine.coreCount == machine.coreTypes.size(),
+            "big_little requires cores = 4");
+  }
+
+  thermal::QuadCoreThermalConfig& t = machine.thermal;
+  t.ambient = config.getDouble("thermal", "ambient", t.ambient);
+  t.coreCapacitance = config.getDouble("thermal", "core_capacitance", t.coreCapacitance);
+  t.junctionToSpreader =
+      config.getDouble("thermal", "junction_to_spreader", t.junctionToSpreader);
+  t.lateralResistance =
+      config.getDouble("thermal", "lateral_resistance", t.lateralResistance);
+  t.spreaderToSink = config.getDouble("thermal", "spreader_to_sink", t.spreaderToSink);
+  t.sinkToAmbient = config.getDouble("thermal", "sink_to_ambient", t.sinkToAmbient);
+  t.spreaderCapacitance =
+      config.getDouble("thermal", "spreader_capacitance", t.spreaderCapacitance);
+  t.sinkCapacitance = config.getDouble("thermal", "sink_capacitance", t.sinkCapacitance);
+
+  machine.sensor.quantizationStep =
+      config.getDouble("sensor", "quantization", machine.sensor.quantizationStep);
+  machine.sensor.noiseSigma =
+      config.getDouble("sensor", "noise_sigma", machine.sensor.noiseSigma);
+
+  runner.traceInterval = config.getDouble("runner", "trace_interval", runner.traceInterval);
+  runner.maxSimTime = config.getDouble("runner", "max_sim_time", runner.maxSimTime);
+  runner.analysisWarmup = config.getDouble("runner", "warmup", runner.analysisWarmup);
+  runner.analysisCooldown = config.getDouble("runner", "cooldown", runner.analysisCooldown);
+  return runner;
+}
+
+ThermalManagerConfig managerConfigFrom(const ConfigFile& config) {
+  ThermalManagerConfig manager;
+  manager.samplingInterval =
+      config.getDouble("manager", "sampling_interval", manager.samplingInterval);
+  manager.decisionEpoch =
+      config.getDouble("manager", "decision_epoch", manager.decisionEpoch);
+  manager.stressBins = static_cast<std::size_t>(config.getInt(
+      "manager", "stress_bins", static_cast<long long>(manager.stressBins)));
+  manager.agingBins = static_cast<std::size_t>(
+      config.getInt("manager", "aging_bins", static_cast<long long>(manager.agingBins)));
+  manager.gamma = config.getDouble("manager", "gamma", manager.gamma);
+  manager.adaptiveSampling =
+      config.getBool("manager", "adaptive_sampling", manager.adaptiveSampling);
+  manager.decisionOverhead =
+      config.getDouble("manager", "decision_overhead", manager.decisionOverhead);
+  manager.seed = static_cast<std::uint64_t>(
+      config.getInt("manager", "seed", static_cast<long long>(manager.seed)));
+  manager.intraThresholdAging = config.getDouble("manager", "intra_threshold_aging",
+                                                 manager.intraThresholdAging);
+  manager.interThresholdAging = config.getDouble("manager", "inter_threshold_aging",
+                                                 manager.interThresholdAging);
+  return manager;
+}
+
+}  // namespace rltherm::core

@@ -1,0 +1,53 @@
+// Thermal-management policy interface.
+//
+// A policy is the run-time system under evaluation: it observes the machine
+// through the sensor samples the runner feeds it at its own sampling
+// interval, and acts through the machine's control surface (governor,
+// affinity). The PolicyRunner drives any policy over any scenario and
+// produces identical evaluation artefacts, so the paper's comparisons
+// (Linux ondemand vs Ge & Qiu vs Proposed) are apples-to-apples.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "platform/machine.hpp"
+#include "workload/control.hpp"
+
+namespace rltherm::core {
+
+struct PolicyContext {
+  platform::Machine& machine;
+  /// The workload under management (sequential WorkloadDriver or concurrent
+  /// MultiAppDriver); supplies the performance signal and enforces affinity.
+  workload::WorkloadControl& workload;
+};
+
+class ThermalPolicy {
+ public:
+  virtual ~ThermalPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// How often onSample() should be called; <= 0 means never (static
+  /// policies like plain Linux governors).
+  [[nodiscard]] virtual Seconds samplingInterval() const { return 0.0; }
+
+  /// Called once before the scenario starts.
+  virtual void onStart(PolicyContext& /*ctx*/) {}
+
+  /// Called every samplingInterval() with fresh sensor readings.
+  virtual void onSample(PolicyContext& /*ctx*/, std::span<const Celsius> /*sensorTemps*/) {}
+
+  /// Called when the workload switches applications, but ONLY for policies
+  /// that receive an explicit application-layer signal (the "modified Ge"
+  /// baseline). The proposed approach must detect switches autonomously and
+  /// never relies on this hook.
+  virtual void onAppSwitch(PolicyContext& /*ctx*/) {}
+
+  /// Whether the runner should deliver onAppSwitch (explicit signalling).
+  [[nodiscard]] virtual bool wantsAppSwitchSignal() const { return false; }
+};
+
+}  // namespace rltherm::core

@@ -1,0 +1,155 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "workload/multi_app.hpp"
+
+namespace rltherm::core {
+namespace {
+
+/// Shared result finalization: trims warm-up/teardown windows, runs the
+/// reliability analysis and copies the energy/counter accounting.
+void finalizeResult(const RunnerConfig& config, const platform::Machine& machine,
+                    RunResult& result) {
+  const reliability::ReliabilityAnalyzer analyzer(config.analyzer);
+  const auto skipHead =
+      static_cast<std::size_t>(config.analysisWarmup / config.traceInterval);
+  const auto skipTail =
+      static_cast<std::size_t>(config.analysisCooldown / config.traceInterval);
+  std::vector<std::vector<Celsius>> analyzed;
+  analyzed.reserve(result.coreTraces.size());
+  for (const std::vector<Celsius>& trace : result.coreTraces) {
+    if (trace.size() > (skipHead + skipTail) * 2) {
+      analyzed.emplace_back(trace.begin() + static_cast<std::ptrdiff_t>(skipHead),
+                            trace.end() - static_cast<std::ptrdiff_t>(skipTail));
+    } else {
+      analyzed.push_back(trace);
+    }
+  }
+  result.reliability = analyzer.analyzeChip(analyzed, config.traceInterval);
+
+  const power::EnergyMeter& meter = machine.energyMeter();
+  result.dynamicEnergy = meter.dynamicEnergy();
+  result.staticEnergy = meter.staticEnergy();
+  result.averageDynamicPower = meter.averageDynamicPower();
+  result.averageTotalPower = meter.averageTotalPower();
+  result.counters = machine.perfCounters().sample();
+}
+
+}  // namespace
+
+PolicyRunner::PolicyRunner(RunnerConfig config) : config_(std::move(config)) {
+  expects(config_.traceInterval > 0.0, "traceInterval must be > 0");
+  expects(config_.maxSimTime > 0.0, "maxSimTime must be > 0");
+}
+
+RunResult PolicyRunner::run(const workload::Scenario& scenario,
+                            ThermalPolicy& policy) const {
+  platform::Machine machine(config_.machine);
+  workload::WorkloadDriver driver(machine, scenario);
+  PolicyContext ctx{machine, driver};
+
+  RunResult result;
+  result.policyName = policy.name();
+  result.scenarioName = scenario.name;
+  result.traceInterval = config_.traceInterval;
+  result.coreTraces.assign(machine.coreCount(), {});
+
+  policy.onStart(ctx);
+
+  Seconds nextSample = policy.samplingInterval() > 0.0 ? policy.samplingInterval() : -1.0;
+  Seconds nextTrace = config_.traceInterval;
+
+  bool running = true;
+  while (running && machine.now() < config_.maxSimTime) {
+    running = driver.tick();
+
+    if (driver.appJustSwitched() && policy.wantsAppSwitchSignal()) {
+      policy.onAppSwitch(ctx);
+    }
+
+    const Seconds now = machine.now();
+    if (nextSample > 0.0 && now + 1e-9 >= nextSample) {
+      const std::vector<Celsius> readings = machine.readSensors();
+      policy.onSample(ctx, readings);
+      machine.perfCounters().recordMonitoringOverhead(
+          config_.monitorCacheMissesPerSample, config_.monitorPageFaultsPerSample);
+      // Re-read the interval: adaptive-sampling policies change it online.
+      nextSample += std::max(policy.samplingInterval(), machine.tickLength());
+    }
+    if (now + 1e-9 >= nextTrace) {
+      const std::vector<Celsius> truth = machine.trueCoreTemperatures();
+      for (std::size_t c = 0; c < truth.size(); ++c) {
+        result.coreTraces[c].push_back(truth[c]);
+      }
+      nextTrace += config_.traceInterval;
+    }
+  }
+
+  result.timedOut = running;  // loop exited on time, not completion
+  result.duration = machine.now();
+  result.completions = driver.completions();
+  finalizeResult(config_, machine, result);
+  return result;
+}
+
+RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps,
+                                      ThermalPolicy& policy, Seconds duration) const {
+  expects(duration > 0.0, "runConcurrent: duration must be > 0");
+  platform::Machine machine(config_.machine);
+  workload::MultiAppDriver driver(machine, apps, /*restartFinished=*/true);
+  PolicyContext ctx{machine, driver};
+
+  RunResult result;
+  result.policyName = policy.name();
+  result.scenarioName = "concurrent";
+  for (const workload::AppSpec& app : apps) {
+    result.scenarioName += "+" + app.family;
+  }
+  result.traceInterval = config_.traceInterval;
+  result.coreTraces.assign(machine.coreCount(), {});
+
+  policy.onStart(ctx);
+
+  Seconds nextSample = policy.samplingInterval() > 0.0 ? policy.samplingInterval() : -1.0;
+  Seconds nextTrace = config_.traceInterval;
+
+  while (machine.now() < duration) {
+    (void)driver.tick();
+    if (driver.appJustSwitched() && policy.wantsAppSwitchSignal()) {
+      policy.onAppSwitch(ctx);
+    }
+    const Seconds now = machine.now();
+    if (nextSample > 0.0 && now + 1e-9 >= nextSample) {
+      const std::vector<Celsius> readings = machine.readSensors();
+      policy.onSample(ctx, readings);
+      machine.perfCounters().recordMonitoringOverhead(
+          config_.monitorCacheMissesPerSample, config_.monitorPageFaultsPerSample);
+      // Re-read the interval: adaptive-sampling policies change it online.
+      nextSample += std::max(policy.samplingInterval(), machine.tickLength());
+    }
+    if (now + 1e-9 >= nextTrace) {
+      const std::vector<Celsius> truth = machine.trueCoreTemperatures();
+      for (std::size_t c = 0; c < truth.size(); ++c) {
+        result.coreTraces[c].push_back(truth[c]);
+      }
+      nextTrace += config_.traceInterval;
+    }
+  }
+
+  result.duration = machine.now();
+  result.timedOut = false;  // the fixed window is the intended stop
+  for (std::size_t i = 0; i < driver.appCount(); ++i) {
+    result.completions.push_back(workload::AppCompletion{
+        .name = driver.spec(i).name,
+        .startTime = 0.0,
+        .endTime = result.duration,
+        .iterations = driver.totalIterations(i),
+    });
+  }
+  finalizeResult(config_, machine, result);
+  return result;
+}
+
+}  // namespace rltherm::core

@@ -1,0 +1,66 @@
+// Synthetic performance counters, standing in for Linux `perf` on the real
+// platform. The counters the paper's Fig. 6 tracks (cache misses, page
+// faults) are modelled from first-order causes: instructions retired scale
+// with frequency and time; miss/fault rates have a workload-dependent base
+// and spike after migrations (cold caches / remapped pages).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rltherm::platform {
+
+struct PerfCounterConfig {
+  double baseIpc = 1.2;                    ///< instructions per cycle at speed 1
+  double cacheMissPerInstruction = 2.0e-4; ///< steady-state miss rate
+  double migrationMissMultiplier = 8.0;    ///< miss-rate multiplier during cooldown
+  double pageFaultPerInstruction = 4.0e-6; ///< steady-state fault rate
+  double migrationFaultMultiplier = 6.0;   ///< fault-rate multiplier during cooldown
+};
+
+struct PerfCounterSample {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t pageFaults = 0;
+  std::uint64_t contextSwitches = 0;
+  std::uint64_t migrations = 0;
+};
+
+/// Accumulates counters tick by tick.
+class PerfCounters {
+ public:
+  explicit PerfCounters(PerfCounterConfig config = {});
+
+  /// Account one tick of one running thread.
+  /// @param frequency  the core's clock
+  /// @param dt         tick length
+  /// @param speed      thread speed factor (< 1 during migration cooldown)
+  /// @param coolingDown whether the thread is in its post-migration window
+  void recordExecution(Hertz frequency, Seconds dt, double speed, bool coolingDown);
+
+  void recordContextSwitch() noexcept { ++sample_.contextSwitches; }
+  void recordMigration() noexcept { ++sample_.migrations; }
+
+  /// Account the cost of one monitoring pass (sensor read + metric update)
+  /// by the run-time system — the source of Fig. 6's falling cache-miss and
+  /// page-fault counts as the sampling interval grows.
+  void recordMonitoringOverhead(std::uint64_t cacheMisses, std::uint64_t pageFaults) noexcept {
+    sample_.cacheMisses += cacheMisses;
+    sample_.pageFaults += pageFaults;
+  }
+
+  [[nodiscard]] const PerfCounterSample& sample() const noexcept { return sample_; }
+  void reset() noexcept { sample_ = PerfCounterSample{}; }
+
+ private:
+  PerfCounterConfig config_;
+  PerfCounterSample sample_;
+  double missCarry_ = 0.0;   // fractional-count carries so small ticks are not lost
+  double faultCarry_ = 0.0;
+  double instrCarry_ = 0.0;
+  double cycleCarry_ = 0.0;
+};
+
+}  // namespace rltherm::platform

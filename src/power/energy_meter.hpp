@@ -1,0 +1,35 @@
+// Energy accounting, standing in for likwid-powermeter on the real platform.
+//
+// The meter integrates dynamic and static (leakage) power separately so the
+// benches can report the paper's "dynamic energy" and "static energy" rows.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rltherm::power {
+
+class EnergyMeter {
+ public:
+  /// Account one simulator step of duration dt with the given chip-wide
+  /// dynamic and static power.
+  void record(Watts dynamicPower, Watts staticPower, Seconds dt);
+
+  [[nodiscard]] Joules dynamicEnergy() const noexcept { return dynamicEnergy_; }
+  [[nodiscard]] Joules staticEnergy() const noexcept { return staticEnergy_; }
+  [[nodiscard]] Joules totalEnergy() const noexcept { return dynamicEnergy_ + staticEnergy_; }
+  [[nodiscard]] Seconds elapsed() const noexcept { return elapsed_; }
+
+  /// Mean power over the recorded interval (0 before any record()).
+  [[nodiscard]] Watts averageDynamicPower() const noexcept;
+  [[nodiscard]] Watts averageStaticPower() const noexcept;
+  [[nodiscard]] Watts averageTotalPower() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  Joules dynamicEnergy_ = 0.0;
+  Joules staticEnergy_ = 0.0;
+  Seconds elapsed_ = 0.0;
+};
+
+}  // namespace rltherm::power

@@ -1,0 +1,39 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rltherm::power {
+
+DynamicPowerModel::DynamicPowerModel(DynamicPowerConfig config) : config_(config) {
+  expects(config.effectiveCapacitance > 0.0, "Effective capacitance must be > 0");
+  expects(config.idleActivity >= 0.0 && config.idleActivity <= 1.0,
+          "Idle activity must be in [0, 1]");
+}
+
+Watts DynamicPowerModel::power(const OperatingPoint& op, double activity) const {
+  expects(activity >= 0.0 && activity <= 1.0, "Activity must be in [0, 1]");
+  const double effectiveActivity =
+      config_.idleActivity + (1.0 - config_.idleActivity) * activity;
+  return config_.effectiveCapacitance * op.voltage * op.voltage * op.frequency *
+         effectiveActivity;
+}
+
+LeakagePowerModel::LeakagePowerModel(LeakagePowerConfig config) : config_(config) {
+  expects(config.nominalLeakage >= 0.0, "Nominal leakage must be >= 0");
+  expects(config.referenceVoltage > 0.0, "Reference voltage must be > 0");
+  expects(config.tempSensitivity >= 0.0, "Temperature sensitivity must be >= 0");
+}
+
+Watts LeakagePowerModel::power(Volts voltage, Celsius temperature) const {
+  expects(voltage > 0.0, "Voltage must be > 0");
+  const double voltageScale =
+      std::pow(voltage / config_.referenceVoltage, config_.voltageExponent);
+  const double tempScale =
+      std::exp(config_.tempSensitivity * (temperature - config_.referenceTemp));
+  return config_.nominalLeakage * voltageScale * tempScale;
+}
+
+}  // namespace rltherm::power

@@ -1,0 +1,48 @@
+#include "reliability/aging.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rltherm::reliability {
+
+AgingParams calibratedAgingParams(Celsius idleTemp, double idleMttfYears) {
+  expects(idleMttfYears > 0.0, "Idle MTTF must be > 0");
+  AgingParams params;
+  params.referenceTemp = idleTemp;
+  // At constant T_ref: A = 1 / alpha_ref, so MTTF = Gamma(1 + 1/beta) *
+  // alpha_ref. Solve for alpha_ref.
+  const double gamma = std::tgamma(1.0 + 1.0 / params.weibullBeta);
+  params.referenceScaleYears = idleMttfYears / gamma;
+  return params;
+}
+
+double faultDensityScale(Celsius temperature, const AgingParams& params) {
+  expects(params.referenceScaleYears > 0.0,
+          "AgingParams not calibrated (referenceScaleYears == 0)");
+  const Kelvin t = toKelvin(temperature);
+  const Kelvin tRef = toKelvin(params.referenceTemp);
+  const double exponent =
+      params.activationEnergy / kBoltzmannEvPerK * (1.0 / t - 1.0 / tRef);
+  return params.referenceScaleYears * std::exp(exponent);
+}
+
+double agingRate(std::span<const Celsius> temperatures, const AgingParams& params) {
+  if (temperatures.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Celsius t : temperatures) sum += 1.0 / faultDensityScale(t, params);
+  return sum / static_cast<double>(temperatures.size());
+}
+
+double mttfFromAging(double agingRatePerYear, const AgingParams& params) {
+  if (agingRatePerYear <= 0.0) return std::numeric_limits<double>::infinity();
+  const double gamma = std::tgamma(1.0 + 1.0 / params.weibullBeta);
+  return gamma / agingRatePerYear;
+}
+
+double agingMttfYears(std::span<const Celsius> temperatures, const AgingParams& params) {
+  return mttfFromAging(agingRate(temperatures, params), params);
+}
+
+}  // namespace rltherm::reliability

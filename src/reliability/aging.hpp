@@ -1,0 +1,48 @@
+// Temperature-related aging and MTTF (Eq. 1-2).
+//
+// Lifetime reliability of a core is R(t) = exp(-(t A)^beta) with A the
+// thermal aging accumulated as the time-weighted reciprocal of the fault
+// density scale alpha(T) (Eq. 1). alpha follows an Arrhenius law: hotter
+// intervals age the core faster. The closed form of Eq. 2 is
+//   MTTF = integral_0^inf exp(-(t A)^beta) dt = Gamma(1 + 1/beta) / A.
+//
+// Calibration follows the paper's Table 2 caption: parameters are scaled so
+// an unstressed (idle) core has an MTTF of 10 years.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace rltherm::reliability {
+
+struct AgingParams {
+  double activationEnergy = 0.7;   ///< eV; electromigration/NBTI class
+  Celsius referenceTemp = 31.0;    ///< temperature of an idle core
+  double referenceScaleYears = 0.0;///< alpha at referenceTemp, set by calibrate*
+  double weibullBeta = 2.0;        ///< Weibull slope of R(t)
+};
+
+/// Parameters calibrated so that a core pinned at `idleTemp` forever has
+/// MTTF = `idleMttfYears` (the paper's 10-year scaling).
+[[nodiscard]] AgingParams calibratedAgingParams(Celsius idleTemp = 31.0,
+                                                double idleMttfYears = 10.0);
+
+/// Fault-density scale alpha(T) in years (time-to-failure scale at constant
+/// temperature T). Arrhenius-decreasing in T.
+[[nodiscard]] double faultDensityScale(Celsius temperature, const AgingParams& params);
+
+/// Thermal aging A (Eq. 1) for a uniformly-sampled temperature trace:
+///   A = (1/n) sum_i 1 / alpha(T_i)   [1/years]
+/// Every sample carries equal weight dt_i/t_p = 1/n.
+[[nodiscard]] double agingRate(std::span<const Celsius> temperatures,
+                               const AgingParams& params);
+
+/// MTTF in years from an aging rate (Eq. 2 closed form).
+[[nodiscard]] double mttfFromAging(double agingRatePerYear, const AgingParams& params);
+
+/// Convenience: MTTF in years for a temperature trace.
+[[nodiscard]] double agingMttfYears(std::span<const Celsius> temperatures,
+                                    const AgingParams& params);
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,59 @@
+#include "reliability/analyzer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rltherm::reliability {
+
+ReliabilityAnalyzer::ReliabilityAnalyzer(AnalyzerConfig config) : config_(config) {
+  expects(config.minCycleAmplitude >= 0.0, "minCycleAmplitude must be >= 0");
+  expects(config.mttfCapYears > 0.0, "mttfCapYears must be > 0");
+}
+
+CoreReliability ReliabilityAnalyzer::analyzeCore(std::span<const Celsius> trace,
+                                                 Seconds sampleInterval) const {
+  expects(sampleInterval > 0.0, "sampleInterval must be > 0");
+  CoreReliability result;
+  if (trace.empty()) return result;
+
+  result.averageTemp = mean(trace);
+  result.peakTemp = maxOf(trace);
+
+  const std::vector<ThermalCycle> cycles = rainflow(trace, config_.minCycleAmplitude);
+  result.cycleCount = cycles.size();
+  result.stress = thermalStress(cycles, config_.fatigue);
+
+  result.agingRate = agingRate(trace, config_.aging);
+  result.agingMttfYears =
+      std::min(config_.mttfCapYears, mttfFromAging(result.agingRate, config_.aging));
+
+  const Seconds duration = static_cast<double>(trace.size()) * sampleInterval;
+  const Seconds capSeconds = config_.mttfCapYears * kSecondsPerYear;
+  result.cyclingMttfYears =
+      cyclingMttf(cycles, duration, config_.fatigue, capSeconds) / kSecondsPerYear;
+  return result;
+}
+
+ChipReliability ReliabilityAnalyzer::analyzeChip(
+    std::span<const std::vector<Celsius>> coreTraces, Seconds sampleInterval) const {
+  expects(!coreTraces.empty(), "analyzeChip requires at least one core trace");
+  ChipReliability chip;
+  chip.agingMttfYears = config_.mttfCapYears;
+  chip.cyclingMttfYears = config_.mttfCapYears;
+  double tempSum = 0.0;
+  for (const std::vector<Celsius>& trace : coreTraces) {
+    CoreReliability core = analyzeCore(trace, sampleInterval);
+    tempSum += core.averageTemp;
+    chip.peakTemp = std::max(chip.peakTemp, core.peakTemp);
+    chip.agingMttfYears = std::min(chip.agingMttfYears, core.agingMttfYears);
+    chip.cyclingMttfYears = std::min(chip.cyclingMttfYears, core.cyclingMttfYears);
+    chip.stress = std::max(chip.stress, core.stress);
+    chip.cores.push_back(std::move(core));
+  }
+  chip.averageTemp = tempSum / static_cast<double>(coreTraces.size());
+  return chip;
+}
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,68 @@
+// Turns recorded temperature traces into the reliability metrics the paper
+// reports: average/peak temperature, thermal stress, aging, and the two MTTF
+// figures (aging-related and thermal-cycling-related), per core and chip-wide.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "reliability/aging.hpp"
+#include "reliability/fatigue.hpp"
+
+namespace rltherm::reliability {
+
+inline constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+
+/// Reliability metrics of a single core's temperature trace.
+struct CoreReliability {
+  Celsius averageTemp = 0.0;
+  Celsius peakTemp = 0.0;
+  double stress = 0.0;            ///< Eq. 6
+  double agingRate = 0.0;         ///< Eq. 1, 1/years
+  double agingMttfYears = 0.0;    ///< Eq. 2
+  double cyclingMttfYears = 0.0;  ///< Eq. 3-5
+  std::size_t cycleCount = 0;     ///< rainflow cycles (full + half)
+};
+
+/// Chip-wide roll-up: per-core metrics plus worst-core MTTFs (a chip fails
+/// when its first core fails) and chip-average temperatures.
+struct ChipReliability {
+  std::vector<CoreReliability> cores;
+  Celsius averageTemp = 0.0;      ///< mean over cores of per-core average
+  Celsius peakTemp = 0.0;         ///< max over cores
+  double agingMttfYears = 0.0;    ///< min over cores
+  double cyclingMttfYears = 0.0;  ///< min over cores
+  double stress = 0.0;            ///< max over cores
+};
+
+struct AnalyzerConfig {
+  AgingParams aging = calibratedAgingParams();
+  FatigueParams fatigue = defaultFatigueParams();
+  /// Rainflow cycles below this amplitude are discarded as sensor noise.
+  Celsius minCycleAmplitude = 1.0;
+  /// MTTF report ceiling in years (an undamaged trace would otherwise be
+  /// infinite).
+  double mttfCapYears = 20.0;
+};
+
+class ReliabilityAnalyzer {
+ public:
+  explicit ReliabilityAnalyzer(AnalyzerConfig config = {});
+
+  /// Analyze one core's uniformly-sampled temperature trace.
+  /// @param sampleInterval  spacing of the samples (seconds)
+  [[nodiscard]] CoreReliability analyzeCore(std::span<const Celsius> trace,
+                                            Seconds sampleInterval) const;
+
+  /// Analyze all cores (traces[i] = core i's samples, equal lengths).
+  [[nodiscard]] ChipReliability analyzeChip(
+      std::span<const std::vector<Celsius>> coreTraces, Seconds sampleInterval) const;
+
+  [[nodiscard]] const AnalyzerConfig& config() const noexcept { return config_; }
+
+ private:
+  AnalyzerConfig config_;
+};
+
+}  // namespace rltherm::reliability

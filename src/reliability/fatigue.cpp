@@ -1,0 +1,46 @@
+#include "reliability/fatigue.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rltherm::reliability {
+
+FatigueParams defaultFatigueParams() noexcept { return FatigueParams{}; }
+
+double cyclesToFailure(const ThermalCycle& cycle, const FatigueParams& params) {
+  expects(params.coefficient > 0.0 && params.exponent > 0.0,
+          "Fatigue parameters must be positive");
+  const double plastic = cycle.amplitude - params.elasticThreshold;
+  if (plastic <= 0.0) return std::numeric_limits<double>::infinity();
+  const Kelvin tMax = toKelvin(cycle.maxTemp);
+  return params.coefficient * std::pow(plastic, -params.exponent) *
+         std::exp(params.activationEnergy / (kBoltzmannEvPerK * tMax));
+}
+
+double thermalStress(std::span<const ThermalCycle> cycles, const FatigueParams& params) {
+  double stress = 0.0;
+  for (const ThermalCycle& c : cycles) {
+    const double plastic = c.amplitude - params.elasticThreshold;
+    if (plastic <= 0.0) continue;
+    const Kelvin tMax = toKelvin(c.maxTemp);
+    stress += c.weight * std::pow(plastic, params.exponent) *
+              std::exp(-params.activationEnergy / (kBoltzmannEvPerK * tMax));
+  }
+  return stress;
+}
+
+Seconds cyclingMttf(std::span<const ThermalCycle> cycles, Seconds traceDuration,
+                    const FatigueParams& params, Seconds cap) {
+  expects(traceDuration > 0.0, "cyclingMttf: trace duration must be > 0");
+  double damage = 0.0;
+  for (const ThermalCycle& c : cycles) {
+    const double n = cyclesToFailure(c, params);
+    if (std::isfinite(n)) damage += c.weight / n;
+  }
+  if (damage <= 0.0) return cap;
+  return std::min(cap, traceDuration / damage);
+}
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,47 @@
+// Thermal-cycling fatigue: Coffin-Manson cycles-to-failure (Eq. 3), thermal
+// stress (Eq. 6) and Miner's-rule MTTF (Eq. 4-5).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "reliability/rainflow.hpp"
+
+namespace rltherm::reliability {
+
+/// Coffin-Manson / Miner parameters (values in the range used by [2, 17]).
+struct FatigueParams {
+  /// Empirical proportionality constant A_TC of Eq. 3. Calibrated so the
+  /// Table-2 style runs land in single-digit years, mirroring the paper's
+  /// "idle core = 10 years" scaling (see DESIGN.md section 7).
+  double coefficient = 1.0;
+  Celsius elasticThreshold = 2.0;  ///< T_Th: amplitude where plastic deformation begins
+  double exponent = 3.5;           ///< Coffin-Manson exponent b
+  double activationEnergy = 0.5;   ///< Ea in eV (Arrhenius acceleration at high T_max)
+};
+
+[[nodiscard]] FatigueParams defaultFatigueParams() noexcept;
+
+/// Cycles-to-failure for one thermal cycle (Eq. 3):
+///   N_TC(i) = A_TC (dT_i - T_Th)^-b exp(Ea / (K T_max,i)).
+/// Returns +infinity when the amplitude is below the elastic threshold (no
+/// plastic deformation, no fatigue damage).
+[[nodiscard]] double cyclesToFailure(const ThermalCycle& cycle, const FatigueParams& params);
+
+/// Thermal stress (Eq. 6): sum over cycles of
+///   w_i (dT_i - T_Th)^b exp(-Ea / (K T_max,i)).
+/// Monotone in both cycle count and amplitude; the state variable of the
+/// learning agent.
+[[nodiscard]] double thermalStress(std::span<const ThermalCycle> cycles,
+                                   const FatigueParams& params);
+
+/// Thermal-cycling MTTF via Miner's rule (Eq. 4-5), in the same unit as
+/// `traceDuration`. Algebraically, combining Eqs. 3-5:
+///   MTTF = traceDuration / sum_i (w_i / N_TC(i))
+/// i.e. time scaled by accumulated damage. Returns `cap` when no damaging
+/// cycles occurred.
+[[nodiscard]] Seconds cyclingMttf(std::span<const ThermalCycle> cycles,
+                                  Seconds traceDuration, const FatigueParams& params,
+                                  Seconds cap);
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,116 @@
+#include "reliability/mechanisms.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rltherm::reliability {
+
+std::string toString(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::Electromigration: return "EM";
+    case Mechanism::Nbti: return "NBTI";
+    case Mechanism::Tddb: return "TDDB";
+  }
+  return "unknown";
+}
+
+std::vector<MechanismParams> standardMechanisms(double idleMttfYears) {
+  expects(idleMttfYears > 0.0, "idleMttfYears must be > 0");
+  // Equal rate share per mechanism at idle: each alpha_m(idle) = 3 * alpha
+  // where Gamma(1.5) * alpha = idleMttfYears (beta = 2 throughout).
+  const double gamma = std::tgamma(1.5);
+  const double combinedScale = idleMttfYears / gamma;
+  const double perMechanismScale = 3.0 * combinedScale;
+
+  std::vector<MechanismParams> mechanisms;
+  mechanisms.push_back(MechanismParams{
+      .mechanism = Mechanism::Electromigration,
+      .activationEnergy = 0.9,
+      .scaleYears = perMechanismScale,
+      .voltageExponent = 0.0,
+  });
+  mechanisms.push_back(MechanismParams{
+      .mechanism = Mechanism::Nbti,
+      .activationEnergy = 0.5,
+      .scaleYears = perMechanismScale,
+      .voltageExponent = 2.0,  // mild gate-overdrive sensitivity
+  });
+  mechanisms.push_back(MechanismParams{
+      .mechanism = Mechanism::Tddb,
+      .activationEnergy = 0.75,
+      .scaleYears = perMechanismScale,
+      .voltageExponent = 6.0,  // strong field acceleration
+  });
+  return mechanisms;
+}
+
+double mechanismScale(const MechanismParams& params, Celsius temperature, Volts voltage) {
+  expects(params.scaleYears > 0.0, "MechanismParams not calibrated");
+  expects(voltage > 0.0, "voltage must be > 0");
+  const Kelvin t = toKelvin(temperature);
+  const Kelvin tRef = toKelvin(params.referenceTemp);
+  const double thermal =
+      std::exp(params.activationEnergy / kBoltzmannEvPerK * (1.0 / t - 1.0 / tRef));
+  const double electrical =
+      std::pow(params.referenceVoltage / voltage, params.voltageExponent);
+  return params.scaleYears * thermal * electrical;
+}
+
+double mechanismAgingRate(const MechanismParams& params,
+                          std::span<const Celsius> temperatures,
+                          std::span<const Volts> voltages) {
+  expects(temperatures.size() == voltages.size(),
+          "mechanismAgingRate: trace size mismatch");
+  if (temperatures.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < temperatures.size(); ++i) {
+    sum += 1.0 / mechanismScale(params, temperatures[i], voltages[i]);
+  }
+  return sum / static_cast<double>(temperatures.size());
+}
+
+MechanismReport analyzeMechanisms(std::span<const MechanismParams> mechanisms,
+                                  std::span<const Celsius> temperatures,
+                                  std::span<const Volts> voltages) {
+  expects(!mechanisms.empty(), "analyzeMechanisms: no mechanisms given");
+  MechanismReport report;
+  double totalRate = 0.0;
+  double beta = mechanisms.front().weibullBeta;
+  for (const MechanismParams& m : mechanisms) {
+    const double rate = mechanismAgingRate(m, temperatures, voltages);
+    const double gamma = std::tgamma(1.0 + 1.0 / m.weibullBeta);
+    report.perMechanism.push_back(MechanismReport::Entry{
+        .mechanism = m.mechanism,
+        .agingRate = rate,
+        .mttfYears =
+            rate > 0.0 ? gamma / rate : std::numeric_limits<double>::infinity(),
+    });
+    totalRate += rate;
+  }
+  // SOFR: failure rates add; the combined process keeps the Weibull shape of
+  // the constituents (they share beta in the standard set).
+  const double gamma = std::tgamma(1.0 + 1.0 / beta);
+  report.sofrMttfYears =
+      totalRate > 0.0 ? gamma / totalRate : std::numeric_limits<double>::infinity();
+  return report;
+}
+
+double monteCarloMttf(double agingRatePerYear, double weibullBeta, std::size_t samples,
+                      Rng& rng) {
+  expects(agingRatePerYear > 0.0, "monteCarloMttf: rate must be > 0");
+  expects(weibullBeta > 0.0, "monteCarloMttf: beta must be > 0");
+  expects(samples > 0, "monteCarloMttf: need at least one sample");
+  // Inverse-CDF sampling of R(t) = exp(-(tA)^beta):
+  //   t = (-ln U)^(1/beta) / A,  U ~ Uniform(0, 1].
+  double sum = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    sum += std::pow(-std::log(u), 1.0 / weibullBeta) / agingRatePerYear;
+  }
+  return sum / static_cast<double>(samples);
+}
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,84 @@
+#include "reliability/rainflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rltherm::reliability {
+
+std::vector<Celsius> extractExtrema(std::span<const Celsius> series) {
+  std::vector<Celsius> extrema;
+  if (series.empty()) return extrema;
+  extrema.push_back(series.front());
+  int direction = 0;  // +1 rising, -1 falling, 0 unknown (plateau so far)
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const double delta = series[i] - extrema.back();
+    if (delta == 0.0) continue;  // collapse plateaus
+    const int newDirection = delta > 0.0 ? 1 : -1;
+    if (direction == 0 || newDirection == direction) {
+      // Still moving the same way: extend the current run.
+      if (direction == 0) {
+        extrema.push_back(series[i]);
+      } else {
+        extrema.back() = series[i];
+      }
+      direction = newDirection;
+    } else {
+      // Turning point: the previous value was an extremum.
+      extrema.push_back(series[i]);
+      direction = newDirection;
+    }
+  }
+  return extrema;
+}
+
+std::vector<ThermalCycle> rainflow(std::span<const Celsius> series, Celsius minAmplitude) {
+  std::vector<ThermalCycle> cycles;
+  const std::vector<Celsius> extrema = extractExtrema(series);
+  if (extrema.size() < 2) return cycles;
+
+  const auto emit = [&](Celsius a, Celsius b, double weight) {
+    const Celsius amplitude = std::abs(a - b);
+    if (amplitude < minAmplitude) return;
+    cycles.push_back(ThermalCycle{
+        .amplitude = amplitude,
+        .maxTemp = std::max(a, b),
+        .weight = weight,
+    });
+  };
+
+  // Three-point method (ASTM E1049 "rainflow counting"): keep a stack of
+  // turning points. With X = |s[n-1] - s[n-2]| (most recent range) and
+  // Y = |s[n-2] - s[n-3]| (previous range), whenever X >= Y the range Y is
+  // closed: as a FULL cycle when it does not contain the history's start
+  // point (remove its two points), as a HALF cycle when it does (remove the
+  // start point only, so the larger enclosing range keeps building). The
+  // start-point rule matters for thermal traces: an application switch is a
+  // large one-off ramp, and the simplified "always full, slide the stack"
+  // variant silently swallows it in one of the two orderings.
+  std::vector<Celsius> stack;
+  for (const Celsius point : extrema) {
+    stack.push_back(point);
+    while (stack.size() >= 3) {
+      const std::size_t n = stack.size();
+      const double x = std::abs(stack[n - 1] - stack[n - 2]);
+      const double y = std::abs(stack[n - 2] - stack[n - 3]);
+      if (x < y) break;
+      if (n == 3) {
+        // Y contains the start point: half cycle, drop the start point.
+        emit(stack[0], stack[1], 0.5);
+        stack.erase(stack.begin());
+      } else {
+        // Interior full cycle: remove the two points forming Y.
+        emit(stack[n - 2], stack[n - 3], 1.0);
+        stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(n - 3),
+                    stack.begin() + static_cast<std::ptrdiff_t>(n - 1));
+      }
+    }
+  }
+
+  // Residue: remaining ranges count as half cycles.
+  for (std::size_t i = 0; i + 1 < stack.size(); ++i) emit(stack[i], stack[i + 1], 0.5);
+  return cycles;
+}
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,37 @@
+// Downing & Socie simple rainflow counting (International Journal of
+// Fatigue, 1982) — the algorithm the paper cites ([5]) for extracting thermal
+// cycles from a temperature profile.
+//
+// Implementation: the series is reduced to its alternating local extrema
+// (peak/valley sequence); the classic three-point stack rule then closes a
+// full cycle whenever an inner range is bracketed by a larger-or-equal outer
+// range. Ranges left on the stack at the end of the history are counted as
+// half cycles, per the standard residue treatment.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rltherm::reliability {
+
+/// One counted thermal cycle.
+struct ThermalCycle {
+  Celsius amplitude = 0.0;  ///< delta-T of the cycle (range)
+  Celsius maxTemp = 0.0;    ///< maximum temperature within the cycle
+  double weight = 1.0;      ///< 1.0 = full cycle, 0.5 = residue half cycle
+};
+
+/// Reduce a series to alternating local extrema (first and last samples are
+/// always kept). Plateaus are collapsed.
+[[nodiscard]] std::vector<Celsius> extractExtrema(std::span<const Celsius> series);
+
+/// Count rainflow cycles in a temperature series.
+/// @param minAmplitude  cycles smaller than this are discarded as sensor
+///                      noise (the paper samples real sensors; sub-degree
+///                      wiggle is not thermal fatigue).
+[[nodiscard]] std::vector<ThermalCycle> rainflow(std::span<const Celsius> series,
+                                                 Celsius minAmplitude = 0.0);
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,55 @@
+#include "rl/discretizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rltherm::rl {
+
+RangeDiscretizer::RangeDiscretizer(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins) {
+  expects(hi > lo, "RangeDiscretizer requires hi > lo");
+  expects(bins >= 2, "RangeDiscretizer requires at least 2 bins (safe + unsafe)");
+}
+
+std::size_t RangeDiscretizer::bin(double value) const noexcept {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return bins_ - 1;
+  const double fraction = (value - lo_) / (hi_ - lo_);
+  const auto b = static_cast<std::size_t>(fraction * static_cast<double>(bins_));
+  return std::min(b, bins_ - 1);
+}
+
+double RangeDiscretizer::normalizedMidpoint(std::size_t binIndex) const {
+  expects(binIndex < bins_, "normalizedMidpoint: bin out of range");
+  return (static_cast<double>(binIndex) + 0.5) / static_cast<double>(bins_);
+}
+
+double RangeDiscretizer::normalize(double value) const noexcept {
+  return std::clamp((value - lo_) / (hi_ - lo_), 0.0, 1.0);
+}
+
+StateSpace::StateSpace(RangeDiscretizer stress, RangeDiscretizer aging)
+    : stress_(stress), aging_(aging) {}
+
+std::size_t StateSpace::stateOf(double stressValue, double agingValue) const noexcept {
+  return stress_.bin(stressValue) * aging_.binCount() + aging_.bin(agingValue);
+}
+
+std::size_t StateSpace::stateCount() const noexcept {
+  return stress_.binCount() * aging_.binCount();
+}
+
+bool StateSpace::isUnsafe(double stressValue, double agingValue) const noexcept {
+  return stress_.isUnsafe(stressValue) || aging_.isUnsafe(agingValue);
+}
+
+StateSpace::Bins StateSpace::binsOf(std::size_t state) const {
+  expects(state < stateCount(), "binsOf: state out of range");
+  return Bins{
+      .stressBin = state / aging_.binCount(),
+      .agingBin = state % aging_.binCount(),
+  };
+}
+
+}  // namespace rltherm::rl

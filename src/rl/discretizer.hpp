@@ -1,0 +1,64 @@
+// State-space discretization (Section 5.1).
+//
+// The agent's environment is E = (A x S): the working ranges of aging and
+// stress are divided into N_a and N_s disjoint intervals; the last interval
+// of each is the "unsafe zone" that triggers the penalty branch of the
+// reward function.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace rltherm::rl {
+
+/// Uniform binning of a value range [lo, hi] into `bins` intervals with
+/// clamping; values above hi land in the last (unsafe) bin.
+class RangeDiscretizer {
+ public:
+  RangeDiscretizer(double lo, double hi, std::size_t bins);
+
+  [[nodiscard]] std::size_t bin(double value) const noexcept;
+  [[nodiscard]] std::size_t binCount() const noexcept { return bins_; }
+  [[nodiscard]] bool isUnsafe(double value) const noexcept { return bin(value) == bins_ - 1; }
+
+  /// Midpoint of a bin, normalized to [0, 1] over the range.
+  [[nodiscard]] double normalizedMidpoint(std::size_t binIndex) const;
+
+  /// Value normalized (and clamped) to [0, 1] over the range.
+  [[nodiscard]] double normalize(double value) const noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+};
+
+/// Composite (stress, aging) -> flat state index mapping.
+class StateSpace {
+ public:
+  StateSpace(RangeDiscretizer stress, RangeDiscretizer aging);
+
+  [[nodiscard]] std::size_t stateOf(double stress, double aging) const noexcept;
+  [[nodiscard]] std::size_t stateCount() const noexcept;
+  [[nodiscard]] bool isUnsafe(double stress, double aging) const noexcept;
+
+  [[nodiscard]] const RangeDiscretizer& stress() const noexcept { return stress_; }
+  [[nodiscard]] const RangeDiscretizer& aging() const noexcept { return aging_; }
+
+  /// Recover the (stressBin, agingBin) pair from a flat index.
+  struct Bins {
+    std::size_t stressBin;
+    std::size_t agingBin;
+  };
+  [[nodiscard]] Bins binsOf(std::size_t state) const;
+
+ private:
+  RangeDiscretizer stress_;
+  RangeDiscretizer aging_;
+};
+
+}  // namespace rltherm::rl

@@ -1,0 +1,57 @@
+#include "rl/double_q.hpp"
+
+#include "common/error.hpp"
+
+namespace rltherm::rl {
+
+DoubleQLearner::DoubleQLearner(std::size_t stateCount, std::size_t actionCount,
+                               double initialValue)
+    : a_(stateCount, actionCount, initialValue),
+      b_(stateCount, actionCount, initialValue) {}
+
+double DoubleQLearner::value(std::size_t state, std::size_t action) const {
+  return 0.5 * (a_.value(state, action) + b_.value(state, action));
+}
+
+std::size_t DoubleQLearner::bestAction(std::size_t state) const {
+  std::size_t best = 0;
+  double bestValue = value(state, 0);
+  for (std::size_t action = 1; action < actionCount(); ++action) {
+    const double v = value(state, action);
+    if (v > bestValue) {
+      bestValue = v;
+      best = action;
+    }
+  }
+  return best;
+}
+
+void DoubleQLearner::update(std::size_t state, std::size_t action, double reward,
+                            std::size_t nextState, double alpha, double gamma,
+                            Rng& rng) {
+  expects(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+  expects(gamma >= 0.0 && gamma <= 1.0, "gamma must be in [0, 1]");
+  QTable& updating = rng.bernoulli(0.5) ? a_ : b_;
+  QTable& evaluating = (&updating == &a_) ? b_ : a_;
+  // Q_upd(s,a) += alpha (r + gamma Q_eval(s', argmax_a' Q_upd(s', a')) - Q_upd(s,a))
+  const std::size_t greedy = updating.bestAction(nextState);
+  const double target = reward + gamma * evaluating.value(nextState, greedy);
+  const double q = updating.value(state, action);
+  updating.setValue(state, action, q + alpha * (target - q));
+}
+
+std::size_t DoubleQLearner::selectAction(std::size_t state, double epsilon,
+                                         Rng& rng) const {
+  expects(epsilon >= 0.0 && epsilon <= 1.0, "epsilon must be in [0, 1]");
+  if (rng.uniform() < epsilon) {
+    return static_cast<std::size_t>(rng.uniformInt(actionCount()));
+  }
+  return bestAction(state);
+}
+
+void DoubleQLearner::reset(double initialValue) {
+  a_.reset(initialValue);
+  b_.reset(initialValue);
+}
+
+}  // namespace rltherm::rl

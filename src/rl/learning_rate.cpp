@@ -1,0 +1,56 @@
+#include "rl/learning_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rltherm::rl {
+
+LearningRateSchedule::LearningRateSchedule(LearningRateConfig config)
+    : config_(config), alpha_(config.initialAlpha) {
+  expects(config.initialAlpha > 0.0 && config.initialAlpha <= 1.0,
+          "initialAlpha must be in (0, 1]");
+  expects(config.decay > 0.0, "decay must be > 0");
+  expects(config.minAlpha >= 0.0 && config.minAlpha < config.initialAlpha,
+          "minAlpha must be in [0, initialAlpha)");
+  expects(config.exploitationThreshold < config.explorationThreshold,
+          "thresholds must satisfy exploitation < exploration");
+}
+
+LearningPhase LearningRateSchedule::phase() const noexcept {
+  if (alpha_ >= config_.explorationThreshold) return LearningPhase::Exploration;
+  if (alpha_ <= config_.exploitationThreshold) return LearningPhase::Exploitation;
+  return LearningPhase::ExplorationExploitation;
+}
+
+void LearningRateSchedule::advance() noexcept {
+  ++step_;
+  recomputeAlphaFromStep();
+}
+
+void LearningRateSchedule::reset() noexcept {
+  step_ = 0;
+  alpha_ = config_.initialAlpha;
+}
+
+void LearningRateSchedule::restoreToExplorationEnd() noexcept {
+  // Find the first step where alpha drops below the exploration threshold
+  // and resume from there (alpha_exp).
+  const double ratio = config_.explorationThreshold / config_.initialAlpha;
+  const double steps = -std::log(ratio) / config_.decay;
+  step_ = static_cast<std::size_t>(std::ceil(std::max(0.0, steps)));
+  recomputeAlphaFromStep();
+}
+
+double LearningRateSchedule::epsilon() const noexcept {
+  return phase() == LearningPhase::Exploration ? 1.0 : 0.0;
+}
+
+void LearningRateSchedule::recomputeAlphaFromStep() noexcept {
+  alpha_ = std::max(config_.minAlpha,
+                    config_.initialAlpha *
+                        std::exp(-config_.decay * static_cast<double>(step_)));
+}
+
+}  // namespace rltherm::rl

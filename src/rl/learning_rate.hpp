@@ -1,0 +1,69 @@
+// Learning-rate schedule and learning phases (Section 5.3).
+//
+// The algorithm moves through three phases driven by an exponentially
+// decreasing alpha: exploration (alpha near 1, actions chosen arbitrarily),
+// exploration-exploitation (greedy actions, partial updates) and
+// exploitation (greedy actions, negligible updates). The schedule also
+// supports the Section 5.4 adaptation hooks: restore() jumps back to the
+// end-of-exploration alpha on intra-application variation, reset() back to 1
+// on inter-application variation.
+#pragma once
+
+#include <cstddef>
+
+namespace rltherm::rl {
+
+enum class LearningPhase {
+  Exploration,
+  ExplorationExploitation,
+  Exploitation,
+};
+
+struct LearningRateConfig {
+  double initialAlpha = 1.0;
+  double decay = 0.25;               ///< alpha_i = initial * exp(-decay * i)
+  double minAlpha = 0.08;
+  double explorationThreshold = 0.5; ///< alpha above this => Exploration
+  double exploitationThreshold = 0.1;///< alpha below this => Exploitation
+};
+
+class LearningRateSchedule {
+ public:
+  explicit LearningRateSchedule(LearningRateConfig config = {});
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] LearningPhase phase() const noexcept;
+  [[nodiscard]] std::size_t step() const noexcept { return step_; }
+
+  /// The UpdateLearningRate subroutine of Algorithm 1: one epoch elapsed.
+  void advance() noexcept;
+
+  /// Inter-application variation: start learning from scratch (alpha = 1).
+  void reset() noexcept;
+
+  /// Intra-application variation: resume from the end-of-exploration alpha
+  /// (alpha_exp), i.e. re-enter the exploration-exploitation phase.
+  void restoreToExplorationEnd() noexcept;
+
+  /// Alpha at the exploration/exploration-exploitation boundary.
+  [[nodiscard]] double explorationEndAlpha() const noexcept {
+    return config_.explorationThreshold;
+  }
+
+  /// Exploration probability for epsilon-greedy selection. Per Section 5.3,
+  /// actions are "selected arbitrarily" only in the exploration phase
+  /// (epsilon = 1); in both later phases the agent always takes the
+  /// highest-Q action (epsilon = 0).
+  [[nodiscard]] double epsilon() const noexcept;
+
+  [[nodiscard]] const LearningRateConfig& config() const noexcept { return config_; }
+
+ private:
+  void recomputeAlphaFromStep() noexcept;
+
+  LearningRateConfig config_;
+  double alpha_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace rltherm::rl

@@ -1,0 +1,99 @@
+#include "rl/qtable.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rltherm::rl {
+
+QTable::QTable(std::size_t stateCount, std::size_t actionCount, double initialValue,
+               bool firstVisitJump)
+    : states_(stateCount),
+      actions_(actionCount),
+      firstVisitJump_(firstVisitJump),
+      values_(stateCount * actionCount, initialValue),
+      visits_(stateCount, 0),
+      touched_(stateCount * actionCount, false) {
+  expects(stateCount >= 1 && actionCount >= 1, "QTable needs >= 1 state and action");
+}
+
+std::size_t QTable::index(std::size_t state, std::size_t action) const {
+  expects(state < states_ && action < actions_, "QTable index out of range");
+  return state * actions_ + action;
+}
+
+double QTable::value(std::size_t state, std::size_t action) const {
+  return values_[index(state, action)];
+}
+
+void QTable::setValue(std::size_t state, std::size_t action, double q) {
+  values_[index(state, action)] = q;
+}
+
+double QTable::maxValue(std::size_t state) const {
+  expects(state < states_, "QTable state out of range");
+  const auto begin = values_.begin() + static_cast<std::ptrdiff_t>(state * actions_);
+  return *std::max_element(begin, begin + static_cast<std::ptrdiff_t>(actions_));
+}
+
+std::size_t QTable::bestAction(std::size_t state) const {
+  expects(state < states_, "QTable state out of range");
+  std::size_t best = 0;
+  double bestQ = value(state, 0);
+  for (std::size_t a = 1; a < actions_; ++a) {
+    const double q = value(state, a);
+    if (q > bestQ) {
+      bestQ = q;
+      best = a;
+    }
+  }
+  return best;
+}
+
+double QTable::update(std::size_t state, std::size_t action, double reward,
+                      std::size_t nextState, double alpha, double gamma) {
+  expects(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+  expects(gamma >= 0.0 && gamma <= 1.0, "gamma must be in [0, 1]");
+  const std::size_t i = index(state, action);
+  const double target = reward + gamma * maxValue(nextState);
+  const double effectiveAlpha = (firstVisitJump_ && !touched_[i]) ? 1.0 : alpha;
+  values_[i] += effectiveAlpha * (target - values_[i]);
+  ++visits_[state];
+  if (!touched_[i]) {
+    touched_[i] = true;
+    ++touchedCount_;
+  }
+  return values_[i];
+}
+
+std::size_t QTable::visitCount(std::size_t state) const {
+  expects(state < states_, "QTable state out of range");
+  return visits_[state];
+}
+
+double QTable::coverage() const noexcept {
+  return static_cast<double>(touchedCount_) / static_cast<double>(values_.size());
+}
+
+void QTable::reset(double initialValue) {
+  std::fill(values_.begin(), values_.end(), initialValue);
+  std::fill(visits_.begin(), visits_.end(), std::size_t{0});
+  std::fill(touched_.begin(), touched_.end(), false);
+  touchedCount_ = 0;
+}
+
+void QTable::restore(const std::vector<double>& snapshot) {
+  expects(snapshot.size() == values_.size(), "QTable::restore: snapshot size mismatch");
+  values_ = snapshot;
+}
+
+std::size_t selectEpsilonGreedy(const QTable& table, std::size_t state, double epsilon,
+                                Rng& rng) {
+  expects(epsilon >= 0.0 && epsilon <= 1.0, "epsilon must be in [0, 1]");
+  if (rng.uniform() < epsilon) {
+    return static_cast<std::size_t>(rng.uniformInt(table.actionCount()));
+  }
+  return table.bestAction(state);
+}
+
+}  // namespace rltherm::rl

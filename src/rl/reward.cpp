@@ -1,0 +1,44 @@
+#include "rl/reward.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace rltherm::rl {
+
+double computeReward(const RewardInputs& in, const StateSpace& space,
+                     const RewardParams& params) {
+  const RangeDiscretizer& stressD = space.stress();
+  const RangeDiscretizer& agingD = space.aging();
+
+  // Unsafe branch: R = -s_hat * a_hat (interval representatives), scaled.
+  if (space.isUnsafe(in.stress, in.aging)) {
+    const double sHat = stressD.normalizedMidpoint(stressD.bin(in.stress));
+    const double aHat = agingD.normalizedMidpoint(agingD.bin(in.aging));
+    return -params.unsafePenaltyScale * sHat * aHat;
+  }
+
+  const double sNorm = stressD.normalize(in.stress);
+  const double aNorm = agingD.normalize(in.aging);
+
+  const double k1 = params.gaussianWeights
+                        ? gaussianBell(sNorm, params.gaussianMean, params.gaussianSigma)
+                        : 1.0;
+  const double k2 = params.gaussianWeights
+                        ? gaussianBell(aNorm, params.gaussianMean, params.gaussianSigma)
+                        : 1.0;
+
+  const double a = in.stressDominant ? params.importanceHigh : params.importanceLow;
+  const double b = in.stressDominant ? params.importanceLow : params.importanceHigh;
+
+  // Thermal safety of the state: high when stress/aging are low; recentered
+  // so poor-but-safe states read as penalties (see RewardParams).
+  const double f =
+      a * k1 * (1.0 - sNorm) + b * k2 * (1.0 - aNorm) - params.safetyCenter;
+
+  // Pure performance penalty (0 when the constraint is met).
+  const double shortfall = std::min(0.0, in.performance - in.constraint);
+  return f + params.performanceWeight * shortfall;
+}
+
+}  // namespace rltherm::rl

@@ -1,0 +1,74 @@
+// Reward function R(E_i, E_{i+1}) of Section 5.2 (Eq. 8).
+//
+// Two branches:
+//  - Unsafe: if the new state's stress or aging falls in the last (unsafe)
+//    interval, the decision is penalized with a negative reward proportional
+//    to -s_hat * a_hat (the product of the interval representatives), so the
+//    Q update (Eq. 7) steers away from the action.
+//  - Safe: f(a_hat, s_hat) + performance term. f = a*K1*stress_safety +
+//    b*K2*aging_safety, where K1 (K2) is a Gaussian of the normalized stress
+//    (aging), assigning lower learning weight to both thermally unstable AND
+//    fully stable states — this keeps the agent exploring and prevents
+//    Q-table clustering. The (a, b) importance pair is chosen from whether
+//    stress or aging dominates the recent history (a > b for cycling-heavy
+//    apps like mpeg; b > a for hot apps like tachyon).
+//
+// Performance term: the paper's prose says the reward is penalized when the
+// measured performance P misses the constraint Pc. We implement the term as
+// min(0, P - Pc) * performanceWeight — a pure penalty, zero once the
+// constraint is met. (Eq. 8 prints the term as "(Pc - P)"; with the stated
+// semantics the sign only works as P - Pc, so we follow the prose.)
+#pragma once
+
+#include "rl/discretizer.hpp"
+
+namespace rltherm::rl {
+
+struct RewardParams {
+  /// Gaussian learning-weight shape for K1/K2 over the normalized value.
+  /// The mean sits below 0.5 so that, combined with the monotone
+  /// (1 - normalized) safety factor, the overall reward never prefers a
+  /// *more* stressed state — the Gaussian only de-emphasizes the extremes,
+  /// as the paper intends, without inverting the objective.
+  double gaussianMean = 0.35;
+  double gaussianSigma = 0.35;
+
+  /// (a, b) importance pairs: `stressDominant` selects (aHigh, bLow),
+  /// otherwise (aLow, bHigh).
+  double importanceHigh = 0.7;
+  double importanceLow = 0.3;
+
+  /// Scale of the unsafe-state penalty.
+  double unsafePenaltyScale = 2.0;
+
+  /// The thermal-safety term f is recentered by this amount so that
+  /// thermally poor (but not yet unsafe) states yield a NEGATIVE reward.
+  /// Combined with a zero-initialized Q-table this gives optimism-driven
+  /// exploration: a fresh (or freshly reset) agent behaves like the
+  /// baseline, tries each poor action at most once per state, and settles
+  /// on the first thermally-positive one — which is why the early learning
+  /// profile tracks Linux ondemand (the paper's Fig. 4) instead of
+  /// thrashing through the whole action space.
+  double safetyCenter = 0.5;
+
+  /// Weight of the performance-shortfall penalty.
+  double performanceWeight = 1.0;
+
+  /// When true K1/K2 are the Gaussian bells; when false they are constant 1
+  /// (the flat-weight ablation of DESIGN.md section 5.3).
+  bool gaussianWeights = true;
+};
+
+struct RewardInputs {
+  double stress = 0.0;       ///< raw stress over the epoch (Eq. 6)
+  double aging = 0.0;        ///< raw aging rate over the epoch (Eq. 1)
+  double performance = 0.0;  ///< measured P (e.g. frames per second)
+  double constraint = 0.0;   ///< required Pc
+  bool stressDominant = true;///< picks the (a, b) importance pair
+};
+
+/// Compute Eq. 8 for the state the previous action led to.
+[[nodiscard]] double computeReward(const RewardInputs& in, const StateSpace& space,
+                                   const RewardParams& params);
+
+}  // namespace rltherm::rl

@@ -1,0 +1,225 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rltherm::sched {
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(config) {
+  expects(config.coreCount >= 1 && config.coreCount <= 32,
+          "Scheduler supports 1..32 cores");
+  expects(config.balanceInterval > 0.0, "Balance interval must be > 0");
+  expects(config.migrationPenalty >= 0.0, "Migration penalty must be >= 0");
+  expects(config.migrationSpeedFactor > 0.0 && config.migrationSpeedFactor <= 1.0,
+          "Migration speed factor must be in (0, 1]");
+}
+
+void Scheduler::addThread(ThreadId id, AffinityMask affinity) {
+  expects(!threads_.contains(id), "Scheduler::addThread: duplicate thread id");
+  expects(!affinity.empty(), "Scheduler::addThread: empty affinity mask");
+  for (const CoreId c : affinity.cores()) {
+    expects(static_cast<std::size_t>(c) < config_.coreCount,
+            "Affinity mask references a core beyond coreCount");
+  }
+  ThreadInfo t;
+  t.id = id;
+  t.affinity = affinity;
+  t.state = ThreadState::Runnable;
+  t.core = leastLoadedAllowed(affinity);
+  // Start at the max vruntime of its queue so it does not starve incumbents.
+  double maxV = 0.0;
+  for (const auto& [otherId, other] : threads_) {
+    if (other.core == t.core) maxV = std::max(maxV, other.vruntime);
+  }
+  t.vruntime = maxV;
+  threads_.emplace(id, t);
+}
+
+void Scheduler::removeThread(ThreadId id) {
+  expects(threads_.erase(id) == 1, "Scheduler::removeThread: unknown thread id");
+}
+
+void Scheduler::clear() { threads_.clear(); }
+
+void Scheduler::setAffinity(ThreadId id, AffinityMask affinity) {
+  expects(!affinity.empty(), "Scheduler::setAffinity: empty affinity mask");
+  ThreadInfo& t = mutableThread(id);
+  for (const CoreId c : affinity.cores()) {
+    expects(static_cast<std::size_t>(c) < config_.coreCount,
+            "Affinity mask references a core beyond coreCount");
+  }
+  t.affinity = affinity;
+  if (!affinity.allows(t.core)) migrate(t, leastLoadedAllowed(affinity));
+}
+
+void Scheduler::setWeight(ThreadId id, double weight) {
+  expects(weight > 0.0, "Scheduler::setWeight: weight must be > 0");
+  mutableThread(id).weight = weight;
+}
+
+void Scheduler::block(ThreadId id) {
+  ThreadInfo& t = mutableThread(id);
+  expects(t.state != ThreadState::Finished, "Cannot block a finished thread");
+  t.state = ThreadState::Blocked;
+}
+
+void Scheduler::wake(ThreadId id) {
+  ThreadInfo& t = mutableThread(id);
+  expects(t.state != ThreadState::Finished, "Cannot wake a finished thread");
+  if (t.state == ThreadState::Blocked) t.state = ThreadState::Runnable;
+}
+
+void Scheduler::finish(ThreadId id) { mutableThread(id).state = ThreadState::Finished; }
+
+Dispatch Scheduler::schedule(Seconds dt) {
+  expects(dt > 0.0, "Scheduler::schedule: dt must be > 0");
+
+  sinceBalance_ += dt;
+  if (sinceBalance_ >= config_.balanceInterval) {
+    balanceNow();
+    sinceBalance_ = 0.0;
+  }
+
+  Dispatch dispatch;
+  dispatch.running.assign(config_.coreCount, std::nullopt);
+  dispatch.waiting.assign(config_.coreCount, 0);
+
+  // Demote last tick's runners back to runnable before re-picking.
+  for (auto& [id, t] : threads_) {
+    if (t.state == ThreadState::Running) t.state = ThreadState::Runnable;
+  }
+
+  // Pick, per core, the runnable thread with the smallest vruntime.
+  for (auto& [id, t] : threads_) {
+    if (t.state != ThreadState::Runnable) continue;
+    const auto core = static_cast<std::size_t>(t.core);
+    const auto& incumbent = dispatch.running[core];
+    if (!incumbent || threads_.at(*incumbent).vruntime > t.vruntime) {
+      if (incumbent) ++dispatch.waiting[core];
+      dispatch.running[core] = id;
+    } else {
+      ++dispatch.waiting[core];
+    }
+  }
+
+  // Charge the chosen threads and tick down migration cooldowns.
+  for (std::size_t core = 0; core < config_.coreCount; ++core) {
+    if (const auto& chosen = dispatch.running[core]) {
+      ThreadInfo& t = threads_.at(*chosen);
+      t.state = ThreadState::Running;
+      t.vruntime += dt / t.weight;  // heavier threads accrue vruntime slower
+      t.cpuTime += dt;
+    }
+  }
+  for (auto& [id, t] : threads_) {
+    t.migrationCooldown = std::max(0.0, t.migrationCooldown - dt);
+  }
+  return dispatch;
+}
+
+double Scheduler::speedFactor(ThreadId id) const {
+  const ThreadInfo& t = thread(id);
+  return t.migrationCooldown > 0.0 ? config_.migrationSpeedFactor : 1.0;
+}
+
+const ThreadInfo& Scheduler::thread(ThreadId id) const {
+  const auto it = threads_.find(id);
+  expects(it != threads_.end(), "Scheduler: unknown thread id");
+  return it->second;
+}
+
+std::vector<ThreadId> Scheduler::threadsOnCore(CoreId core) const {
+  std::vector<ThreadId> out;
+  for (const auto& [id, t] : threads_) {
+    if (t.core == core && t.state != ThreadState::Finished) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Scheduler::balanceNow() {
+  // Pull-style balancing: repeatedly move one runnable thread from the most
+  // loaded to the least loaded core if the imbalance exceeds one thread and
+  // the move is allowed by the thread's affinity mask.
+  for (std::size_t iteration = 0; iteration < threads_.size(); ++iteration) {
+    CoreId busiest = 0;
+    CoreId idlest = 0;
+    double maxLoad = 0.0;
+    double minLoad = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < config_.coreCount; ++c) {
+      const double load = runnableLoad(static_cast<CoreId>(c));
+      if (load > maxLoad) {
+        maxLoad = load;
+        busiest = static_cast<CoreId>(c);
+      }
+      if (load < minLoad) {
+        minLoad = load;
+        idlest = static_cast<CoreId>(c);
+      }
+    }
+    if (maxLoad <= minLoad + 1.0) return;
+
+    // Move the migratable thread with the largest vruntime (it has had the
+    // most service, so moving it is cheapest in fairness terms).
+    ThreadInfo* candidate = nullptr;
+    for (auto& [id, t] : threads_) {
+      if (t.core != busiest) continue;
+      if (t.state != ThreadState::Runnable && t.state != ThreadState::Running) continue;
+      if (!t.affinity.allows(idlest)) continue;
+      if (candidate == nullptr || t.vruntime > candidate->vruntime) candidate = &t;
+    }
+    if (candidate == nullptr) return;
+    migrate(*candidate, idlest);
+  }
+}
+
+ThreadInfo& Scheduler::mutableThread(ThreadId id) {
+  const auto it = threads_.find(id);
+  expects(it != threads_.end(), "Scheduler: unknown thread id");
+  return it->second;
+}
+
+double Scheduler::runnableLoad(CoreId core) const {
+  double load = 0.0;
+  for (const auto& [id, t] : threads_) {
+    if (t.core == core &&
+        (t.state == ThreadState::Runnable || t.state == ThreadState::Running)) {
+      load += t.weight;
+    }
+  }
+  return load;
+}
+
+CoreId Scheduler::leastLoadedAllowed(const AffinityMask& mask) const {
+  CoreId best = kInvalidCore;
+  double bestLoad = std::numeric_limits<double>::max();
+  for (const CoreId c : mask.cores()) {
+    if (static_cast<std::size_t>(c) >= config_.coreCount) continue;
+    const double load = runnableLoad(c);
+    if (load < bestLoad) {
+      bestLoad = load;
+      best = c;
+    }
+  }
+  ensures(best != kInvalidCore, "No allowed core found for affinity mask");
+  return best;
+}
+
+void Scheduler::migrate(ThreadInfo& t, CoreId target) {
+  if (t.core == target) return;
+  t.core = target;
+  ++t.migrations;
+  ++totalMigrations_;
+  t.migrationCooldown = config_.migrationPenalty;
+  // Align vruntime with the destination queue so the thread neither starves
+  // nor monopolizes its new core.
+  double maxV = 0.0;
+  for (const auto& [otherId, other] : threads_) {
+    if (other.core == target && other.id != t.id) maxV = std::max(maxV, other.vruntime);
+  }
+  t.vruntime = std::max(t.vruntime, maxV);
+}
+
+}  // namespace rltherm::sched

@@ -1,0 +1,31 @@
+// Schedulable thread state, shared between the scheduler and the workload
+// layer (which drives the thread's phase machine and state transitions).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sched/affinity.hpp"
+
+namespace rltherm::sched {
+
+enum class ThreadState : std::uint8_t {
+  Runnable,  ///< ready, waiting in a run queue
+  Running,   ///< currently selected on a core this tick
+  Blocked,   ///< waiting (barrier / dependency / sleep)
+  Finished,  ///< will never run again
+};
+
+struct ThreadInfo {
+  ThreadId id = -1;
+  AffinityMask affinity;
+  ThreadState state = ThreadState::Runnable;
+  CoreId core = kInvalidCore;   ///< run-queue the thread currently sits on
+  double weight = 1.0;          ///< CFS-style share (nice level analogue)
+  double vruntime = 0.0;        ///< fair-share virtual runtime (weighted seconds)
+  Seconds cpuTime = 0.0;        ///< total time actually run
+  std::uint64_t migrations = 0; ///< number of cross-core moves
+  Seconds migrationCooldown = 0.0;  ///< cache-warmth penalty window remaining
+};
+
+}  // namespace rltherm::sched

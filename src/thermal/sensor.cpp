@@ -1,0 +1,68 @@
+#include "thermal/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rltherm::thermal {
+
+SensorBank::SensorBank(SensorConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  expects(config.quantizationStep >= 0.0, "Sensor quantization step must be >= 0");
+  expects(config.noiseSigma >= 0.0, "Sensor noise sigma must be >= 0");
+  expects(config.minReading < config.maxReading, "Sensor clamp range is empty");
+}
+
+Celsius SensorBank::readOne(Celsius trueTemp) {
+  double reading = trueTemp;
+  if (config_.noiseSigma > 0.0) reading += rng_.gaussian(0.0, config_.noiseSigma);
+  if (config_.quantizationStep > 0.0) {
+    reading = std::round(reading / config_.quantizationStep) * config_.quantizationStep;
+  }
+  return std::clamp(reading, config_.minReading, config_.maxReading);
+}
+
+std::vector<Celsius> SensorBank::read(std::span<const Celsius> trueTemps) {
+  if (channels_.size() < trueTemps.size()) channels_.resize(trueTemps.size());
+  std::vector<Celsius> out;
+  out.reserve(trueTemps.size());
+  for (std::size_t i = 0; i < trueTemps.size(); ++i) {
+    ChannelState& channel = channels_[i];
+    const Celsius healthy = readOne(trueTemps[i]);
+    switch (channel.fault) {
+      case SensorFault::None:
+        channel.lastHealthy = healthy;
+        channel.hasLast = true;
+        out.push_back(healthy);
+        break;
+      case SensorFault::StuckAtLast:
+        out.push_back(channel.hasLast ? channel.lastHealthy : healthy);
+        break;
+      case SensorFault::ConstantOffset:
+        out.push_back(std::clamp(healthy + channel.parameter, config_.minReading,
+                                 config_.maxReading));
+        break;
+      case SensorFault::Dead:
+        out.push_back(config_.minReading);
+        break;
+    }
+  }
+  return out;
+}
+
+void SensorBank::injectFault(std::size_t channel, SensorFault fault, Celsius parameter) {
+  if (channels_.size() <= channel) channels_.resize(channel + 1);
+  channels_[channel].fault = fault;
+  channels_[channel].parameter = parameter;
+}
+
+void SensorBank::clearFault(std::size_t channel) {
+  injectFault(channel, SensorFault::None);
+}
+
+SensorFault SensorBank::fault(std::size_t channel) const {
+  return channel < channels_.size() ? channels_[channel].fault : SensorFault::None;
+}
+
+}  // namespace rltherm::thermal

@@ -1,0 +1,73 @@
+// On-board thermal sensor model.
+//
+// The paper's run-time system reads the platform's digital thermal sensors
+// rather than predicting temperature with HotSpot. Real sensors (e.g. Intel
+// coretemp) quantize to a fixed step and carry noise; the controller must be
+// robust to both, so the model exposes exactly that: a Gaussian-noise +
+// uniform-quantization readout of the true junction temperature.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rltherm::thermal {
+
+struct SensorConfig {
+  Celsius quantizationStep = 0.5;  ///< readout resolution; 0 disables quantization
+  Celsius noiseSigma = 0.2;        ///< Gaussian noise added before quantization
+  Celsius minReading = 0.0;        ///< clamp floor
+  Celsius maxReading = 125.0;      ///< clamp ceiling
+};
+
+/// Failure-injection modes for robustness testing. Digital thermal sensors
+/// fail in characteristic ways: a register that stops updating (stuck-at),
+/// a calibration offset that drifts in after aging, or a dead sensor that
+/// reads the clamp floor.
+enum class SensorFault {
+  None,
+  StuckAtLast,     ///< repeats the last healthy reading forever
+  ConstantOffset,  ///< healthy reading + a fixed bias
+  Dead,            ///< reads the clamp floor
+};
+
+/// A bank of per-core sensors sharing one configuration and RNG stream.
+class SensorBank {
+ public:
+  SensorBank(SensorConfig config, std::uint64_t seed);
+
+  /// Sample the sensors: true temperatures in, noisy quantized readings out
+  /// (with any injected faults applied per channel).
+  [[nodiscard]] std::vector<Celsius> read(std::span<const Celsius> trueTemps);
+
+  /// Sample a single (healthy) sensor.
+  [[nodiscard]] Celsius readOne(Celsius trueTemp);
+
+  /// Inject a fault into one channel. `parameter` is the bias for
+  /// ConstantOffset and ignored otherwise. Channels are created lazily on
+  /// first read; faults may be injected for any channel index up front.
+  void injectFault(std::size_t channel, SensorFault fault, Celsius parameter = 0.0);
+
+  /// Heal a channel.
+  void clearFault(std::size_t channel);
+
+  [[nodiscard]] SensorFault fault(std::size_t channel) const;
+
+  [[nodiscard]] const SensorConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ChannelState {
+    SensorFault fault = SensorFault::None;
+    Celsius parameter = 0.0;
+    Celsius lastHealthy = 0.0;
+    bool hasLast = false;
+  };
+
+  SensorConfig config_;
+  Rng rng_;
+  std::vector<ChannelState> channels_;
+};
+
+}  // namespace rltherm::thermal

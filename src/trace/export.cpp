@@ -1,0 +1,87 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <iomanip>
+
+#include "common/table.hpp"
+
+namespace rltherm::trace {
+
+void writeCsv(const Recorder& recorder, std::ostream& os) {
+  os << "time";
+  for (std::size_t c = 0; c < recorder.channelCount(); ++c) {
+    os << ',' << recorder.channelName(c);
+  }
+  os << '\n';
+  os << std::setprecision(10);
+  for (std::size_t i = 0; i < recorder.sampleCount(); ++i) {
+    os << static_cast<double>(i) * recorder.sampleInterval();
+    for (std::size_t c = 0; c < recorder.channelCount(); ++c) {
+      os << ',' << recorder.channel(c)[i];
+    }
+    os << '\n';
+  }
+}
+
+void writeGnuplot(const Recorder& recorder, std::ostream& os) {
+  os << "# time";
+  for (std::size_t c = 0; c < recorder.channelCount(); ++c) {
+    os << ' ' << recorder.channelName(c);
+  }
+  os << '\n';
+  os << std::setprecision(10);
+  for (std::size_t i = 0; i < recorder.sampleCount(); ++i) {
+    os << static_cast<double>(i) * recorder.sampleInterval();
+    for (std::size_t c = 0; c < recorder.channelCount(); ++c) {
+      os << ' ' << recorder.channel(c)[i];
+    }
+    os << '\n';
+  }
+}
+
+std::string sparkline(const Recorder& recorder, std::size_t channelIndex,
+                      std::size_t width) {
+  static constexpr std::array<const char*, 8> kBlocks = {
+      "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  const std::span<const double> data = recorder.channel(channelIndex);
+  if (data.empty() || width == 0) return "(empty)";
+
+  // Bucket by averaging so long traces fit the width.
+  std::vector<double> buckets;
+  const std::size_t perBucket = std::max<std::size_t>(1, data.size() / width);
+  for (std::size_t i = 0; i < data.size(); i += perBucket) {
+    const std::size_t end = std::min(data.size(), i + perBucket);
+    double sum = 0.0;
+    for (std::size_t j = i; j < end; ++j) sum += data[j];
+    buckets.push_back(sum / static_cast<double>(end - i));
+  }
+
+  const auto [minIt, maxIt] = std::minmax_element(buckets.begin(), buckets.end());
+  const double lo = *minIt;
+  const double hi = *maxIt;
+  std::string line;
+  for (const double v : buckets) {
+    const double fraction = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    const auto level = std::min<std::size_t>(7, static_cast<std::size_t>(fraction * 8.0));
+    line += kBlocks[level];
+  }
+  return line + "  [" + formatFixed(lo, 1) + " .. " + formatFixed(hi, 1) + "]";
+}
+
+void writeSummary(const Recorder& recorder, std::ostream& os) {
+  TextTable table({"channel", "mean", "min", "max", "stddev", "samples"});
+  for (std::size_t c = 0; c < recorder.channelCount(); ++c) {
+    const ChannelStats s = recorder.stats(c);
+    table.row()
+        .cell(recorder.channelName(c))
+        .cell(s.mean, 3)
+        .cell(s.min, 3)
+        .cell(s.max, 3)
+        .cell(s.stddev, 3)
+        .cell(static_cast<long long>(s.samples));
+  }
+  table.print(os);
+}
+
+}  // namespace rltherm::trace

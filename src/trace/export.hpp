@@ -1,0 +1,27 @@
+// Rendering of recorded traces: CSV (for spreadsheets / pandas), gnuplot
+// data blocks, and compact ASCII sparklines for terminal inspection.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace rltherm::trace {
+
+/// CSV with a leading "time" column: time,chan1,chan2,...
+void writeCsv(const Recorder& recorder, std::ostream& os);
+
+/// Whitespace-separated columns with a '#' header — directly plottable with
+/// gnuplot's `plot "file" using 1:2 with lines`.
+void writeGnuplot(const Recorder& recorder, std::ostream& os);
+
+/// One-line ASCII sparkline of a channel (8-level block characters), plus
+/// min/max annotation. `width` buckets the series by averaging.
+[[nodiscard]] std::string sparkline(const Recorder& recorder, std::size_t channel,
+                                    std::size_t width = 60);
+
+/// Per-channel summary table (name, mean, min, max, stddev).
+void writeSummary(const Recorder& recorder, std::ostream& os);
+
+}  // namespace rltherm::trace

@@ -1,0 +1,103 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rltherm::trace {
+
+Recorder::Recorder(Seconds sampleInterval) : interval_(sampleInterval) {
+  expects(sampleInterval > 0.0, "Recorder sample interval must be > 0");
+}
+
+std::size_t Recorder::addChannel(std::string name) {
+  expects(sampleCount() == 0, "addChannel: channels must be registered before data");
+  expects(!name.empty(), "addChannel: empty channel name");
+  expects(!channelIndex(name).has_value(), "addChannel: duplicate channel name");
+  names_.push_back(std::move(name));
+  channels_.emplace_back();
+  return names_.size() - 1;
+}
+
+void Recorder::append(std::span<const double> values) {
+  expects(values.size() == names_.size(), "append: value count != channel count");
+  for (std::size_t i = 0; i < values.size(); ++i) channels_[i].push_back(values[i]);
+}
+
+std::size_t Recorder::sampleCount() const noexcept {
+  return channels_.empty() ? 0 : channels_.front().size();
+}
+
+Seconds Recorder::duration() const noexcept {
+  return static_cast<double>(sampleCount()) * interval_;
+}
+
+const std::string& Recorder::channelName(std::size_t channel) const {
+  expects(channel < names_.size(), "channelName: index out of range");
+  return names_[channel];
+}
+
+std::span<const double> Recorder::channel(std::size_t channel) const {
+  expects(channel < channels_.size(), "channel: index out of range");
+  return channels_[channel];
+}
+
+std::optional<std::size_t> Recorder::channelIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+ChannelStats Recorder::stats(std::size_t index) const {
+  const std::span<const double> data = channel(index);
+  ChannelStats s;
+  s.samples = data.size();
+  if (data.empty()) return s;
+  double sum = 0.0;
+  s.min = data.front();
+  s.max = data.front();
+  for (const double v : data) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(data.size());
+  double sq = 0.0;
+  for (const double v : data) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(data.size()));
+  return s;
+}
+
+Recorder Recorder::decimated(std::size_t factor) const {
+  expects(factor >= 1, "decimated: factor must be >= 1");
+  Recorder out(interval_ * static_cast<double>(factor));
+  out.names_ = names_;
+  out.channels_.resize(channels_.size());
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    for (std::size_t i = 0; i < channels_[c].size(); i += factor) {
+      out.channels_[c].push_back(channels_[c][i]);
+    }
+  }
+  return out;
+}
+
+Recorder Recorder::trimmed(std::size_t dropHead, std::size_t dropTail) const {
+  Recorder out(interval_);
+  out.names_ = names_;
+  out.channels_.resize(channels_.size());
+  const std::size_t n = sampleCount();
+  if (dropHead + dropTail >= n) return out;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    out.channels_[c].assign(channels_[c].begin() + static_cast<std::ptrdiff_t>(dropHead),
+                            channels_[c].end() - static_cast<std::ptrdiff_t>(dropTail));
+  }
+  return out;
+}
+
+void Recorder::clear() noexcept {
+  for (auto& channel : channels_) channel.clear();
+}
+
+}  // namespace rltherm::trace

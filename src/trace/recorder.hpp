@@ -1,0 +1,67 @@
+// Multi-channel time-series recorder for simulation runs.
+//
+// Collects named channels sampled on a shared uniform clock (temperatures,
+// frequencies, power, utilization, ...) and computes per-channel summary
+// statistics. The export module renders recorders to CSV / gnuplot-friendly
+// text for offline plotting of the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rltherm::trace {
+
+/// Summary statistics of one channel.
+struct ChannelStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  std::size_t samples = 0;
+};
+
+class Recorder {
+ public:
+  /// @param sampleInterval spacing of the shared clock (seconds, > 0).
+  explicit Recorder(Seconds sampleInterval);
+
+  /// Register a channel before the first append; returns its index.
+  std::size_t addChannel(std::string name);
+
+  /// Append one sample row: values[i] belongs to channel i. The row count
+  /// across channels always stays equal.
+  void append(std::span<const double> values);
+
+  [[nodiscard]] std::size_t channelCount() const noexcept { return names_.size(); }
+  [[nodiscard]] std::size_t sampleCount() const noexcept;
+  [[nodiscard]] Seconds sampleInterval() const noexcept { return interval_; }
+  [[nodiscard]] Seconds duration() const noexcept;
+
+  [[nodiscard]] const std::string& channelName(std::size_t channel) const;
+  [[nodiscard]] std::span<const double> channel(std::size_t channel) const;
+
+  /// Channel lookup by name; empty when absent.
+  [[nodiscard]] std::optional<std::size_t> channelIndex(const std::string& name) const;
+
+  [[nodiscard]] ChannelStats stats(std::size_t channel) const;
+
+  /// A new recorder containing every `factor`-th sample of this one.
+  [[nodiscard]] Recorder decimated(std::size_t factor) const;
+
+  /// Drop leading/trailing samples (returns a trimmed copy).
+  [[nodiscard]] Recorder trimmed(std::size_t dropHead, std::size_t dropTail) const;
+
+  void clear() noexcept;
+
+ private:
+  Seconds interval_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> channels_;
+};
+
+}  // namespace rltherm::trace

@@ -1,0 +1,91 @@
+// Synthetic ALPBench-like multimedia applications.
+//
+// The paper's Section 3 explains each application's thermal signature purely
+// in terms of its phase structure: threads alternate *independent
+// high-activity bursts* with *inter-thread dependent low-activity sections*.
+// We encode exactly that structure: every iteration ("frame"), each of the
+// app's threads executes an independent burst of work, all threads meet at a
+// barrier, one master thread executes a dependent serial section at low
+// activity, and the next iteration begins.
+//
+//  - tachyon / face_rec: long bursts, tiny serial sections -> sustained high
+//    power, high average temperature, low cycling (under default Linux).
+//  - mpeg_dec / mpeg_enc: short bursts, comparatively long serial sections ->
+//    alternating hot/cold, low average temperature, high thermal cycling.
+//
+// Work is measured in seconds-at-maximum-frequency, so a burst of 2.0 takes
+// two seconds of exclusive max-frequency CPU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rltherm::workload {
+
+/// How the app's threads synchronize.
+///  - Barrier: every iteration all threads burst, meet at a barrier, and a
+///    master thread runs a dependent serial section (GOP-style codecs).
+///  - Independent: each thread loops burst -> blocked dependent wait on its
+///    own, with no global barrier (tile-parallel renderers, per-face
+///    matchers). An "iteration" is then one completed burst by any thread.
+enum class SyncStyle { Barrier, Independent };
+
+struct AppSpec {
+  std::string name;       ///< e.g. "tachyon/set1"
+  std::string family;     ///< e.g. "tachyon" (dataset-independent)
+  int threadCount = 6;
+  /// Work items to complete: barrier iterations (GOPs) for Barrier apps,
+  /// total bursts across all threads (images/tiles) for Independent apps.
+  int iterations = 100;
+
+  SyncStyle sync = SyncStyle::Barrier;
+
+  double burstWorkMean = 1.0;    ///< work-seconds per thread per iteration
+  double burstWorkJitter = 0.1;  ///< relative deterministic per-(thread,iter) spread
+  double burstActivity = 0.9;    ///< switching activity during bursts
+
+  double serialWork = 0.1;       ///< Barrier: dependent master section per iteration
+  double serialActivity = 0.25;  ///< low activity: memory/sync bound
+
+  double dependentWait = 0.0;    ///< Independent: blocked time between bursts (s)
+
+  /// Optional burst mixture for irregular workloads (speech recognition,
+  /// scene-dependent rendering): each burst independently draws a class,
+  /// scaling its work and overriding its activity. Empty = homogeneous
+  /// bursts (burstWorkMean / burstActivity apply directly). Weights need
+  /// not be normalized. The draw is deterministic per (seed, thread, burst).
+  struct BurstClass {
+    double workScale = 1.0;  ///< multiplies burstWorkMean
+    double activity = 0.9;   ///< switching activity for bursts of this class
+    double weight = 1.0;     ///< relative frequency
+  };
+  std::vector<BurstClass> burstMix;
+
+  /// Performance constraint Pc, in iterations per second (fps for the video
+  /// codecs, images per second for tachyon).
+  double performanceConstraint = 0.5;
+
+  /// Deterministic seed for the per-iteration work jitter.
+  std::uint64_t seed = 1;
+};
+
+/// Factory functions for the benchmark suite. `dataset` selects the input
+/// (set 1-3 / clip 1-3 / seq 1-3 in the paper's Table 2); it must be 1..3.
+[[nodiscard]] AppSpec tachyon(int dataset);
+[[nodiscard]] AppSpec mpegDec(int clip);
+[[nodiscard]] AppSpec mpegEnc(int seq);
+[[nodiscard]] AppSpec faceRec(int dataset = 1);
+[[nodiscard]] AppSpec sphinx(int dataset = 1);
+
+/// All Table 2 applications in paper order: tachyon x3, mpeg_dec x3,
+/// mpeg_enc x3.
+[[nodiscard]] std::vector<AppSpec> table2Suite();
+
+/// Look up a factory by family name ("tachyon", "mpeg_dec", "mpeg_enc",
+/// "face_rec", "sphinx"). Throws on unknown names.
+[[nodiscard]] AppSpec makeApp(const std::string& family, int dataset);
+
+}  // namespace rltherm::workload

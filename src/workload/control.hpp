@@ -1,0 +1,36 @@
+// Abstraction of the workload layer as seen by a thermal policy.
+//
+// The paper's run-time system needs exactly two things from the application
+// side: a performance signal (measured performance against the constraint,
+// for the reward) and a way to enforce thread-affinity decisions. Both the
+// sequential scenario driver (WorkloadDriver) and the concurrent-application
+// extension (MultiAppDriver) implement this interface, so every policy works
+// unchanged against either.
+#pragma once
+
+#include <span>
+
+#include "sched/affinity.hpp"
+
+namespace rltherm::workload {
+
+class WorkloadControl {
+ public:
+  virtual ~WorkloadControl() = default;
+
+  /// Measured performance normalized by the constraint: >= 1 means the
+  /// constraint is met. Implementations return 1 when no signal is
+  /// available yet (cold throughput window, idle).
+  [[nodiscard]] virtual double performanceRatio() const = 0;
+
+  /// Pin the managed threads with the given per-slot pattern (entries map
+  /// thread slot -> mask, repeating mod the pattern size); an empty span
+  /// restores full affinity.
+  virtual void applyAffinityPattern(std::span<const sched::AffinityMask> pattern) = 0;
+
+  /// True exactly on the tick an application switch occurred (used only by
+  /// baselines that receive an explicit switch signal).
+  [[nodiscard]] virtual bool appJustSwitched() const = 0;
+};
+
+}  // namespace rltherm::workload

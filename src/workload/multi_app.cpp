@@ -1,0 +1,166 @@
+#include "workload/multi_app.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rltherm::workload {
+
+namespace {
+constexpr ThreadId kSlotStride = 1000;
+}
+
+MultiAppDriver::MultiAppDriver(platform::Machine& machine, std::vector<AppSpec> apps,
+                               bool restartFinished)
+    : machine_(machine), restartFinished_(restartFinished) {
+  expects(!apps.empty(), "MultiAppDriver requires at least one application");
+  expects(apps.size() < 1000, "MultiAppDriver: too many concurrent applications");
+  slots_.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    Slot slot;
+    slot.spec = std::move(apps[i]);
+    slot.firstThreadId = static_cast<ThreadId>(i + 1) * kSlotStride + 1;
+    slots_.push_back(std::move(slot));
+  }
+  for (Slot& slot : slots_) start(slot);
+}
+
+void MultiAppDriver::start(Slot& slot) {
+  slot.app = std::make_unique<RunningApp>(slot.spec, machine_.scheduler(),
+                                          slot.firstThreadId);
+  slot.window.clear();
+  // Freshly started threads inherit the currently-applied pattern, exactly
+  // as a thermal manager would re-pin new arrivals at its next epoch; doing
+  // it here keeps concurrent restarts from landing unpinned mid-epoch.
+  if (!currentPattern_.empty()) {
+    const std::vector<ThreadId> ids = slot.app->threadIds();
+    const std::size_t offset = static_cast<std::size_t>(slot.firstThreadId / kSlotStride);
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      machine_.scheduler().setAffinity(
+          ids[j], currentPattern_[(offset + j) % currentPattern_.size()]);
+    }
+  }
+}
+
+bool MultiAppDriver::tick() {
+  switchedFlag_ = false;
+
+  // Restart finished slots (server mode).
+  for (Slot& slot : slots_) {
+    if (slot.app == nullptr && restartFinished_) {
+      start(slot);
+      switchedFlag_ = true;
+    }
+  }
+
+  for (Slot& slot : slots_) {
+    if (slot.app) slot.app->onTick(machine_.now());
+  }
+
+  const platform::TickResult result = machine_.tick([this](ThreadId id) {
+    const Slot& slot = slots_[slotOf(id)];
+    return slot.app->activity(id);
+  });
+
+  for (const platform::ThreadExecution& exec : result.executed) {
+    Slot& slot = slots_[slotOf(exec.thread)];
+    if (slot.app == nullptr || slot.app->finished()) continue;
+    slot.app->onProgress(exec.thread, exec.progress);
+    if (slot.app->finished()) {
+      ++slot.completions;
+      slot.iterationsBase += slot.app->iterationsCompleted();
+      slot.app->teardown();
+      slot.app.reset();
+      switchedFlag_ = true;
+    }
+  }
+  recordWindows();
+  return !done();
+}
+
+bool MultiAppDriver::done() const {
+  if (restartFinished_) return false;
+  return std::all_of(slots_.begin(), slots_.end(),
+                     [](const Slot& s) { return s.app == nullptr && s.completions > 0; });
+}
+
+const RunningApp* MultiAppDriver::app(std::size_t index) const {
+  expects(index < slots_.size(), "MultiAppDriver::app: index out of range");
+  return slots_[index].app.get();
+}
+
+const AppSpec& MultiAppDriver::spec(std::size_t index) const {
+  expects(index < slots_.size(), "MultiAppDriver::spec: index out of range");
+  return slots_[index].spec;
+}
+
+int MultiAppDriver::completions(std::size_t index) const {
+  expects(index < slots_.size(), "MultiAppDriver::completions: index out of range");
+  return slots_[index].completions;
+}
+
+int MultiAppDriver::totalIterations(std::size_t index) const {
+  expects(index < slots_.size(), "MultiAppDriver::totalIterations: index out of range");
+  const Slot& slot = slots_[index];
+  return slot.iterationsBase + (slot.app ? slot.app->iterationsCompleted() : 0);
+}
+
+double MultiAppDriver::throughput(std::size_t index) const {
+  expects(index < slots_.size(), "MultiAppDriver::throughput: index out of range");
+  const Slot& slot = slots_[index];
+  if (slot.window.size() < 2) return 0.0;
+  const auto& [t0, n0] = slot.window.front();
+  const auto& [t1, n1] = slot.window.back();
+  if (t1 <= t0) return 0.0;
+  return static_cast<double>(n1 - n0) / (t1 - t0);
+}
+
+double MultiAppDriver::performanceRatio() const {
+  double worst = 1.0;
+  bool any = false;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.app == nullptr || slot.spec.performanceConstraint <= 0.0) continue;
+    const double tp = throughput(i);
+    if (tp <= 0.0) continue;  // cold window
+    const double ratio = tp / slot.spec.performanceConstraint;
+    worst = any ? std::min(worst, ratio) : ratio;
+    any = true;
+  }
+  return any ? worst : 1.0;
+}
+
+void MultiAppDriver::applyAffinityPattern(std::span<const sched::AffinityMask> pattern) {
+  currentPattern_.assign(pattern.begin(), pattern.end());
+  const auto fullMask = sched::AffinityMask::all(machine_.coreCount());
+  for (std::size_t a = 0; a < slots_.size(); ++a) {
+    if (slots_[a].app == nullptr) continue;
+    const std::vector<ThreadId> ids = slots_[a].app->threadIds();
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const sched::AffinityMask mask =
+          pattern.empty() ? fullMask : pattern[(a + j) % pattern.size()];
+      machine_.scheduler().setAffinity(ids[j], mask);
+    }
+  }
+}
+
+void MultiAppDriver::recordWindows() {
+  const Seconds now = machine_.now();
+  const Seconds cutoff = now - throughputWindow_;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.app == nullptr) continue;
+    slot.window.emplace_back(now, totalIterations(i));
+    while (slot.window.size() > 2 && slot.window.front().first < cutoff) {
+      slot.window.pop_front();
+    }
+  }
+}
+
+std::size_t MultiAppDriver::slotOf(ThreadId id) const {
+  const auto slot = static_cast<std::size_t>(id / kSlotStride) - 1;
+  expects(slot < slots_.size(), "MultiAppDriver: thread id outside any slot");
+  return slot;
+}
+
+}  // namespace rltherm::workload

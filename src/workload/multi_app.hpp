@@ -1,0 +1,91 @@
+// Concurrent-application driver — the paper's stated future-work extension
+// ("the approach can be extended to consider concurrent applications").
+//
+// Runs several applications SIMULTANEOUSLY on the machine: all apps'
+// threads coexist in the scheduler and compete for the cores, the way a
+// loaded interactive system behaves. Applications can optionally restart
+// when they finish (server mode), which gives a statistically stationary
+// workload for steady-state studies.
+//
+// The performance signal exposed to policies is the WORST app's normalized
+// throughput — a thermal action is only performance-safe if every running
+// application still meets its constraint.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/machine.hpp"
+#include "workload/control.hpp"
+#include "workload/running_app.hpp"
+
+namespace rltherm::workload {
+
+class MultiAppDriver final : public WorkloadControl {
+ public:
+  /// Starts every app's threads immediately. The machine must outlive the
+  /// driver.
+  /// @param restartFinished  when true, a finished app is torn down and
+  ///        restarted on the next tick (server mode); when false the driver
+  ///        completes once every app finished.
+  MultiAppDriver(platform::Machine& machine, std::vector<AppSpec> apps,
+                 bool restartFinished = false);
+
+  /// Advance one machine tick. Returns false once all apps completed (never
+  /// false in restart mode).
+  bool tick();
+
+  [[nodiscard]] bool done() const;
+
+  [[nodiscard]] std::size_t appCount() const noexcept { return slots_.size(); }
+  /// Running instance of slot i (nullptr between completion and restart).
+  [[nodiscard]] const RunningApp* app(std::size_t index) const;
+  [[nodiscard]] const AppSpec& spec(std::size_t index) const;
+
+  /// Completed executions of slot i (>= 1 possible in restart mode).
+  [[nodiscard]] int completions(std::size_t index) const;
+  /// Iterations completed by slot i across all (re)starts.
+  [[nodiscard]] int totalIterations(std::size_t index) const;
+
+  /// Sliding-window throughput of slot i, iterations/second.
+  [[nodiscard]] double throughput(std::size_t index) const;
+
+  // --- WorkloadControl ---
+  /// min over running apps of throughput/Pc; 1.0 when nothing is measurable.
+  [[nodiscard]] double performanceRatio() const override;
+  /// Applies the pattern to EVERY app's threads: slot j of app a gets
+  /// pattern[(a + j) % n], staggering apps across the pattern so two apps do
+  /// not all pile onto the same first core.
+  void applyAffinityPattern(std::span<const sched::AffinityMask> pattern) override;
+  /// True on the tick after any app finished (and, in restart mode,
+  /// respawned) — the concurrent analogue of an application switch.
+  [[nodiscard]] bool appJustSwitched() const override { return switchedFlag_; }
+
+  [[nodiscard]] platform::Machine& machine() noexcept { return machine_; }
+
+ private:
+  struct Slot {
+    AppSpec spec;
+    std::unique_ptr<RunningApp> app;
+    ThreadId firstThreadId = 0;
+    int completions = 0;
+    int iterationsBase = 0;  ///< iterations accumulated by finished instances
+    std::deque<std::pair<Seconds, int>> window;  ///< (time, total iterations)
+  };
+
+  void start(Slot& slot);
+  void recordWindows();
+  [[nodiscard]] std::size_t slotOf(ThreadId id) const;
+
+  platform::Machine& machine_;
+  std::vector<Slot> slots_;
+  bool restartFinished_;
+  bool switchedFlag_ = false;
+  std::vector<sched::AffinityMask> currentPattern_;
+  Seconds throughputWindow_ = 20.0;
+};
+
+}  // namespace rltherm::workload

@@ -1,0 +1,217 @@
+#include "workload/running_app.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rltherm::workload {
+namespace {
+
+/// Deterministic 64-bit mix of (seed, thread, iteration, salt).
+std::uint64_t mixHash(std::uint64_t seed, std::size_t thread, int iteration,
+                      std::uint64_t salt) {
+  std::uint64_t x = seed ^ salt ^ (0x9E3779B97F4A7C15ULL * (thread + 1)) ^
+                    (0xBF58476D1CE4E5B9ULL * static_cast<std::uint64_t>(iteration + 1));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Deterministic hash in [-1, 1] for per-(thread, iteration) work jitter.
+double jitterHash(std::uint64_t seed, std::size_t thread, int iteration) {
+  const std::uint64_t x = mixHash(seed, thread, iteration, 0);
+  return 2.0 * (static_cast<double>(x >> 11) * 0x1.0p-53) - 1.0;
+}
+
+/// Deterministic uniform double in [0, 1) for burst-class selection.
+double classHash(std::uint64_t seed, std::size_t thread, int iteration) {
+  const std::uint64_t x = mixHash(seed, thread, iteration, 0xC1A55ULL);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+RunningApp::RunningApp(AppSpec spec, sched::Scheduler& scheduler, ThreadId firstThreadId)
+    : spec_(std::move(spec)), scheduler_(scheduler) {
+  expects(spec_.threadCount >= 1, "AppSpec must have at least one thread");
+  expects(spec_.iterations >= 1, "AppSpec must have at least one iteration");
+  expects(spec_.burstWorkMean > 0.0, "Burst work must be > 0");
+  expects(spec_.burstWorkJitter >= 0.0 && spec_.burstWorkJitter < 1.0,
+          "Burst jitter must be in [0, 1)");
+  expects(spec_.burstActivity > 0.0 && spec_.burstActivity <= 1.0,
+          "Burst activity must be in (0, 1]");
+  expects(spec_.serialWork >= 0.0, "Serial work must be >= 0");
+  for (const AppSpec::BurstClass& cls : spec_.burstMix) {
+    expects(cls.workScale > 0.0 && cls.weight > 0.0 && cls.activity > 0.0 &&
+                cls.activity <= 1.0,
+            "Invalid burst-mix class");
+  }
+
+  const auto fullMask = sched::AffinityMask::all(scheduler_.coreCount());
+  threads_.resize(static_cast<std::size_t>(spec_.threadCount));
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    threads_[i].id = firstThreadId + static_cast<ThreadId>(i);
+    scheduler_.addThread(threads_[i].id, fullMask);
+  }
+  if (spec_.sync == SyncStyle::Barrier) {
+    startIteration();
+  } else {
+    expects(spec_.dependentWait >= 0.0, "dependentWait must be >= 0");
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      startIndependentBurst(threads_[i], i);
+    }
+  }
+}
+
+double RunningApp::activity(ThreadId id) const {
+  const ThreadRt& t = threads_[indexOf(id)];
+  switch (t.phase) {
+    case ThreadPhase::Burst:
+      return t.burstActivity;
+    case ThreadPhase::Serial:
+      return spec_.serialActivity;
+    default:
+      // Blocked/finished threads should not be running; a stale dispatch in
+      // the same tick as a block transition is harmless and contributes the
+      // low serial activity.
+      return spec_.serialActivity;
+  }
+}
+
+void RunningApp::onProgress(ThreadId id, double progress) {
+  expects(progress >= 0.0, "onProgress: negative progress");
+  const std::size_t index = indexOf(id);
+  ThreadRt& t = threads_[index];
+  if (t.phase == ThreadPhase::Done) return;
+
+  if (t.phase == ThreadPhase::Burst) {
+    t.remainingWork -= progress;
+    if (t.remainingWork <= 0.0) {
+      if (spec_.sync == SyncStyle::Barrier) {
+        t.phase = ThreadPhase::AtBarrier;
+        scheduler_.block(t.id);
+        ++barrierArrivals_;
+        if (barrierArrivals_ == threads_.size()) onAllAtBarrier();
+      } else {
+        ++t.burstsDone;
+        ++iterationsDone_;
+        if (iterationsDone_ >= spec_.iterations) {
+          finishAll();
+        } else if (spec_.dependentWait > 0.0) {
+          t.phase = ThreadPhase::Sleeping;
+          t.wakeTime = now_ + spec_.dependentWait;
+          scheduler_.block(t.id);
+        } else {
+          startIndependentBurst(t, index);
+        }
+      }
+    }
+  } else if (t.phase == ThreadPhase::Serial) {
+    t.remainingWork -= progress;
+    if (t.remainingWork <= 0.0) completeIteration();
+  }
+  // AtBarrier / WaitSerial / Sleeping threads are blocked; any residual
+  // progress from the tick they blocked in is dropped, as on real hardware
+  // where a thread sleeps partway through a quantum.
+}
+
+void RunningApp::onTick(Seconds now) {
+  now_ = now;
+  if (spec_.sync != SyncStyle::Independent) return;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    ThreadRt& t = threads_[i];
+    if (t.phase == ThreadPhase::Sleeping && t.wakeTime <= now) {
+      startIndependentBurst(t, i);
+    }
+  }
+}
+
+std::vector<ThreadId> RunningApp::threadIds() const {
+  std::vector<ThreadId> ids;
+  ids.reserve(threads_.size());
+  for (const ThreadRt& t : threads_) ids.push_back(t.id);
+  return ids;
+}
+
+ThreadPhase RunningApp::phase(ThreadId id) const { return threads_[indexOf(id)].phase; }
+
+void RunningApp::teardown() {
+  if (tornDown_) return;
+  for (const ThreadRt& t : threads_) scheduler_.removeThread(t.id);
+  tornDown_ = true;
+}
+
+std::size_t RunningApp::indexOf(ThreadId id) const {
+  const ThreadId first = threads_.front().id;
+  const auto index = static_cast<std::size_t>(id - first);
+  expects(id >= first && index < threads_.size(), "RunningApp: unknown thread id");
+  return index;
+}
+
+void RunningApp::assignBurst(ThreadRt& t, std::size_t threadIndex, int iteration) {
+  const double jitter =
+      spec_.burstWorkJitter * jitterHash(spec_.seed, threadIndex, iteration);
+  double work = spec_.burstWorkMean * (1.0 + jitter);
+  double activity = spec_.burstActivity;
+  if (!spec_.burstMix.empty()) {
+    double totalWeight = 0.0;
+    for (const AppSpec::BurstClass& cls : spec_.burstMix) totalWeight += cls.weight;
+    double draw = classHash(spec_.seed, threadIndex, iteration) * totalWeight;
+    for (const AppSpec::BurstClass& cls : spec_.burstMix) {
+      draw -= cls.weight;
+      if (draw <= 0.0) {
+        work *= cls.workScale;
+        activity = cls.activity;
+        break;
+      }
+    }
+  }
+  t.phase = ThreadPhase::Burst;
+  t.remainingWork = work;
+  t.burstActivity = activity;
+}
+
+void RunningApp::startIteration() {
+  barrierArrivals_ = 0;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    assignBurst(threads_[i], i, iterationsDone_);
+    scheduler_.wake(threads_[i].id);
+  }
+}
+
+void RunningApp::onAllAtBarrier() {
+  if (spec_.serialWork <= 0.0) {
+    completeIteration();
+    return;
+  }
+  // Master thread (index 0) runs the dependent section; the rest stay blocked.
+  ThreadRt& master = threads_.front();
+  master.phase = ThreadPhase::Serial;
+  master.remainingWork = spec_.serialWork;
+  for (std::size_t i = 1; i < threads_.size(); ++i) threads_[i].phase = ThreadPhase::WaitSerial;
+  scheduler_.wake(master.id);
+}
+
+void RunningApp::completeIteration() {
+  ++iterationsDone_;
+  if (iterationsDone_ >= spec_.iterations) {
+    finishAll();
+    return;
+  }
+  startIteration();
+}
+
+void RunningApp::finishAll() {
+  for (ThreadRt& t : threads_) {
+    t.phase = ThreadPhase::Done;
+    scheduler_.finish(t.id);
+  }
+}
+
+void RunningApp::startIndependentBurst(ThreadRt& t, std::size_t index) {
+  assignBurst(t, index, t.burstsDone);
+  scheduler_.wake(t.id);
+}
+
+}  // namespace rltherm::workload

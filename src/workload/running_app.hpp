@@ -1,0 +1,93 @@
+// Run-time instance of an AppSpec: the per-thread phase machine.
+//
+// Lifecycle per iteration (see app_spec.hpp):
+//   Burst (independent, per-thread work) -> AtBarrier (blocked) ->
+//   master thread runs Serial (dependent section) while the rest wait ->
+//   everyone wakes into the next iteration's Burst.
+//
+// The class registers its threads with the machine's scheduler on
+// construction and drives their block/wake/finish transitions as work
+// completes. The machine asks it for per-thread activity each tick.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/app_spec.hpp"
+
+namespace rltherm::workload {
+
+enum class ThreadPhase : std::uint8_t {
+  Burst,       ///< executing the independent high-activity section
+  AtBarrier,   ///< blocked, waiting for siblings to finish their bursts
+  Serial,      ///< master only: executing the dependent low-activity section
+  WaitSerial,  ///< blocked, waiting for the master's serial section
+  Sleeping,    ///< Independent style: blocked in the dependent wait
+  Done,        ///< application finished
+};
+
+class RunningApp {
+ public:
+  /// Registers `spec.threadCount` threads with the scheduler using ids
+  /// [firstThreadId, firstThreadId + threadCount), all with full affinity.
+  RunningApp(AppSpec spec, sched::Scheduler& scheduler, ThreadId firstThreadId);
+
+  RunningApp(const RunningApp&) = delete;
+  RunningApp& operator=(const RunningApp&) = delete;
+
+  /// Switching activity of a thread for the current tick. Only meaningful
+  /// (and only called) for threads the scheduler reports as running.
+  [[nodiscard]] double activity(ThreadId id) const;
+
+  /// Credit `progress` work-seconds to a thread; advances its phase machine,
+  /// releasing barriers / serial sections / iterations as they complete.
+  void onProgress(ThreadId id, double progress);
+
+  /// Advance wall-clock bookkeeping (wakes Independent-style threads whose
+  /// dependent wait elapsed). Call once per simulator tick, before the
+  /// machine tick, with the current simulated time.
+  void onTick(Seconds now);
+
+  [[nodiscard]] bool finished() const noexcept { return iterationsDone_ >= spec_.iterations; }
+  [[nodiscard]] int iterationsCompleted() const noexcept { return iterationsDone_; }
+  [[nodiscard]] const AppSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] std::vector<ThreadId> threadIds() const;
+  [[nodiscard]] ThreadPhase phase(ThreadId id) const;
+
+  /// Unregister all threads from the scheduler (call before destroying when
+  /// the scheduler outlives the app).
+  void teardown();
+
+ private:
+  struct ThreadRt {
+    ThreadId id = -1;
+    ThreadPhase phase = ThreadPhase::Burst;
+    double remainingWork = 0.0;
+    double burstActivity = 0.9;  ///< activity of the current burst (mix-dependent)
+    Seconds wakeTime = 0.0;  ///< Independent style: when the dependent wait ends
+    int burstsDone = 0;      ///< Independent style: per-thread burst counter
+  };
+
+  [[nodiscard]] std::size_t indexOf(ThreadId id) const;
+  /// Assigns the thread's next burst (work + activity), honouring the
+  /// burst-mix if the spec defines one.
+  void assignBurst(ThreadRt& t, std::size_t threadIndex, int iteration);
+  void startIteration();
+  void onAllAtBarrier();
+  void completeIteration();
+  void finishAll();
+  void startIndependentBurst(ThreadRt& t, std::size_t index);
+
+  AppSpec spec_;
+  sched::Scheduler& scheduler_;
+  std::vector<ThreadRt> threads_;
+  int iterationsDone_ = 0;
+  std::size_t barrierArrivals_ = 0;
+  Seconds now_ = 0.0;
+  bool tornDown_ = false;
+};
+
+}  // namespace rltherm::workload

@@ -1,0 +1,227 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rltherm {
+namespace {
+
+TEST(MovingAverageTest, AveragesOverWindow) {
+  MovingAverage ma(3);
+  ma.push(3.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 3.0);
+  ma.push(6.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 4.5);
+  ma.push(9.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 6.0);
+  ma.push(12.0);  // 3.0 falls out of the window
+  EXPECT_DOUBLE_EQ(ma.value(), 9.0);
+}
+
+TEST(MovingAverageTest, EmptyIsZero) {
+  MovingAverage ma(4);
+  EXPECT_DOUBLE_EQ(ma.value(), 0.0);
+  EXPECT_EQ(ma.count(), 0u);
+  EXPECT_FALSE(ma.full());
+}
+
+TEST(MovingAverageTest, FullFlag) {
+  MovingAverage ma(2);
+  ma.push(1.0);
+  EXPECT_FALSE(ma.full());
+  ma.push(2.0);
+  EXPECT_TRUE(ma.full());
+}
+
+TEST(MovingAverageTest, ResetClears) {
+  MovingAverage ma(2);
+  ma.push(5.0);
+  ma.reset();
+  EXPECT_EQ(ma.count(), 0u);
+  EXPECT_DOUBLE_EQ(ma.value(), 0.0);
+}
+
+TEST(MovingAverageTest, WindowOneTracksLastValue) {
+  MovingAverage ma(1);
+  ma.push(1.0);
+  ma.push(7.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 7.0);
+}
+
+TEST(MovingAverageTest, ZeroWindowThrows) {
+  EXPECT_THROW(MovingAverage(0), PreconditionError);
+}
+
+TEST(MovingAverageTest, AlternatingSeriesCancelsWithEvenWindow) {
+  // The thermal manager relies on this: controller-induced hot/cold
+  // alternation leaves an even-window MA constant.
+  MovingAverage ma(2);
+  ma.push(0.2);
+  ma.push(0.8);
+  const double first = ma.value();
+  ma.push(0.2);
+  EXPECT_NEAR(ma.value(), first, 1e-12);
+  ma.push(0.8);
+  EXPECT_NEAR(ma.value(), first, 1e-12);
+}
+
+TEST(ExponentialMovingAverageTest, FirstValueSeeds) {
+  ExponentialMovingAverage ema(0.5);
+  EXPECT_TRUE(ema.empty());
+  ema.push(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(ExponentialMovingAverageTest, Smooths) {
+  ExponentialMovingAverage ema(0.5);
+  ema.push(0.0);
+  ema.push(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+  ema.push(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 7.5);
+}
+
+TEST(ExponentialMovingAverageTest, InvalidAlphaThrows) {
+  EXPECT_THROW(ExponentialMovingAverage(0.0), PreconditionError);
+  EXPECT_THROW(ExponentialMovingAverage(1.5), PreconditionError);
+}
+
+TEST(OnlineStatsTest, MatchesDirectComputation) {
+  const std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats stats;
+  for (const double v : data) stats.push(v);
+  EXPECT_EQ(stats.count(), data.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.push(42.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 42.0);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  const std::vector<double> series = {1.0, 5.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(series, 0), 1.0);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesIsZero) {
+  const std::vector<double> series(50, 3.3);
+  EXPECT_DOUBLE_EQ(autocorrelation(series, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, SlowSineHasHighLagOneCorrelation) {
+  std::vector<double> series;
+  for (int i = 0; i < 400; ++i) {
+    series.push_back(std::sin(2.0 * std::numbers::pi * i / 100.0));
+  }
+  EXPECT_GT(autocorrelation(series, 1), 0.95);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesIsNegativeAtLagOne) {
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(series, 1), -0.9);
+}
+
+TEST(AutocorrelationTest, ShortSeriesReturnsZero) {
+  const std::vector<double> series = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(series, 5), 0.0);
+}
+
+class AutocorrelationBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutocorrelationBounds, MagnitudeNeverExceedsOne) {
+  Rng rng(GetParam());
+  std::vector<double> series;
+  for (int i = 0; i < 500; ++i) series.push_back(rng.gaussian());
+  for (std::size_t lag = 0; lag < 20; ++lag) {
+    const double r = autocorrelation(series, lag);
+    EXPECT_LE(std::abs(r), 1.0 + 1e-12) << "lag " << lag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutocorrelationBounds,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 99ULL));
+
+TEST(SpanStatsTest, MeanMaxMin) {
+  const std::vector<double> v = {3.0, -1.0, 7.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.5);
+  EXPECT_DOUBLE_EQ(maxOf(v), 7.0);
+  EXPECT_DOUBLE_EQ(minOf(v), -1.0);
+}
+
+TEST(SpanStatsTest, EmptyMeanIsZero) {
+  const std::vector<double> v;
+  EXPECT_DOUBLE_EQ(mean(v), 0.0);
+}
+
+TEST(GaussianBellTest, PeakAtMean) {
+  EXPECT_DOUBLE_EQ(gaussianBell(0.5, 0.5, 0.2), 1.0);
+}
+
+TEST(GaussianBellTest, SymmetricAroundMean) {
+  EXPECT_DOUBLE_EQ(gaussianBell(0.3, 0.5, 0.2), gaussianBell(0.7, 0.5, 0.2));
+}
+
+TEST(GaussianBellTest, OneSigmaValue) {
+  EXPECT_NEAR(gaussianBell(0.7, 0.5, 0.2), std::exp(-0.5), 1e-12);
+}
+
+TEST(GaussianBellTest, DegenerateSigma) {
+  EXPECT_DOUBLE_EQ(gaussianBell(0.5, 0.5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(gaussianBell(0.4, 0.5, 0.0), 0.0);
+}
+
+TEST(BlockAverageTest, ExactBlocks) {
+  const std::vector<double> series = {1.0, 3.0, 5.0, 7.0};
+  const std::vector<double> out = blockAverage(series, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(BlockAverageTest, TrailingPartialBlock) {
+  const std::vector<double> series = {1.0, 3.0, 5.0};
+  const std::vector<double> out = blockAverage(series, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(BlockAverageTest, FactorOneIsIdentity) {
+  const std::vector<double> series = {1.0, 2.0, 3.0};
+  EXPECT_EQ(blockAverage(series, 1), series);
+}
+
+TEST(DecimateTest, KeepsEveryKth) {
+  const std::vector<double> series = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<double> out = decimate(series, 3);
+  EXPECT_EQ(out, (std::vector<double>{0.0, 3.0, 6.0}));
+}
+
+TEST(DecimateTest, ZeroFactorThrows) {
+  const std::vector<double> series = {1.0};
+  EXPECT_THROW((void)decimate(series, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rltherm

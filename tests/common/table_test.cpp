@@ -1,0 +1,96 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rltherm {
+namespace {
+
+TEST(TextTableTest, CountsRowsAndColumns) {
+  TextTable t({"a", "b"});
+  EXPECT_EQ(t.columnCount(), 2u);
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.row().cell("x").cell("y");
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTableTest, CellBeforeRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.cell("x"), PreconditionError);
+}
+
+TEST(TextTableTest, TooManyCellsThrows) {
+  TextTable t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), PreconditionError);
+}
+
+TEST(TextTableTest, PrintAlignsColumns) {
+  TextTable t({"name", "v"});
+  t.row().cell("longvalue").cell("1");
+  t.row().cell("x").cell("2");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longvalue"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericCellsFormatted) {
+  TextTable t({"v"});
+  t.row().cell(3.14159, 2);
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TextTableTest, IntegerCells) {
+  TextTable t({"v"});
+  t.row().cell(static_cast<long long>(42));
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvQuotesSpecialCharacters) {
+  TextTable t({"v"});
+  t.row().cell("a,b");
+  t.row().cell("say \"hi\"");
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, CsvPlainValuesUnquoted) {
+  TextTable t({"v"});
+  t.row().cell("plain");
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "v\nplain\n");
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(formatFixed(1.0, 2), "1.00");
+  EXPECT_EQ(formatFixed(1.23456, 3), "1.235");
+  EXPECT_EQ(formatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(BannerTest, ContainsTitle) {
+  std::ostringstream os;
+  printBanner(os, "hello");
+  EXPECT_NE(os.str().find("hello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rltherm

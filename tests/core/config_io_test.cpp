@@ -1,0 +1,106 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rltherm::core {
+namespace {
+
+TEST(ConfigIoTest, EmptyConfigGivesDefaults) {
+  const ConfigFile empty;
+  const RunnerConfig runner = runnerConfigFrom(empty);
+  const RunnerConfig defaults;
+  EXPECT_EQ(runner.machine.coreCount, defaults.machine.coreCount);
+  EXPECT_DOUBLE_EQ(runner.traceInterval, defaults.traceInterval);
+  EXPECT_DOUBLE_EQ(runner.analysisWarmup, defaults.analysisWarmup);
+
+  const ThermalManagerConfig manager = managerConfigFrom(empty);
+  const ThermalManagerConfig managerDefaults;
+  EXPECT_DOUBLE_EQ(manager.samplingInterval, managerDefaults.samplingInterval);
+  EXPECT_EQ(manager.stressBins, managerDefaults.stressBins);
+}
+
+TEST(ConfigIoTest, MachineAndThermalKeysApplied) {
+  const ConfigFile config = ConfigFile::parse(R"(
+[machine]
+cores = 2
+tick = 0.02
+warm_start = false
+[thermal]
+ambient = 30
+sink_to_ambient = 0.5
+[sensor]
+noise_sigma = 0
+quantization = 1.0
+[runner]
+trace_interval = 2.0
+max_sim_time = 123
+warmup = 5
+cooldown = 1
+)");
+  const RunnerConfig runner = runnerConfigFrom(config);
+  EXPECT_EQ(runner.machine.coreCount, 2u);
+  EXPECT_DOUBLE_EQ(runner.machine.tick, 0.02);
+  EXPECT_FALSE(runner.machine.warmStart);
+  EXPECT_DOUBLE_EQ(runner.machine.thermal.ambient, 30.0);
+  EXPECT_DOUBLE_EQ(runner.machine.thermal.sinkToAmbient, 0.5);
+  EXPECT_DOUBLE_EQ(runner.machine.sensor.noiseSigma, 0.0);
+  EXPECT_DOUBLE_EQ(runner.machine.sensor.quantizationStep, 1.0);
+  EXPECT_DOUBLE_EQ(runner.traceInterval, 2.0);
+  EXPECT_DOUBLE_EQ(runner.maxSimTime, 123.0);
+  EXPECT_DOUBLE_EQ(runner.analysisWarmup, 5.0);
+  EXPECT_DOUBLE_EQ(runner.analysisCooldown, 1.0);
+}
+
+TEST(ConfigIoTest, BigLittleFlagInstallsCoreTypes) {
+  const ConfigFile config = ConfigFile::parse("[machine]\nbig_little = yes\n");
+  const RunnerConfig runner = runnerConfigFrom(config);
+  ASSERT_EQ(runner.machine.coreTypes.size(), 4u);
+  EXPECT_EQ(runner.machine.coreTypes[2].name, "little");
+}
+
+TEST(ConfigIoTest, BigLittleRequiresFourCores) {
+  const ConfigFile config =
+      ConfigFile::parse("[machine]\ncores = 2\nbig_little = yes\n");
+  EXPECT_THROW((void)runnerConfigFrom(config), PreconditionError);
+}
+
+TEST(ConfigIoTest, ManagerKeysApplied) {
+  const ConfigFile config = ConfigFile::parse(R"(
+[manager]
+sampling_interval = 1.5
+decision_epoch = 15
+stress_bins = 3
+aging_bins = 5
+gamma = 0.5
+adaptive_sampling = yes
+decision_overhead = 0.1
+seed = 99
+intra_threshold_aging = 0.07
+inter_threshold_aging = 0.2
+)");
+  const ThermalManagerConfig manager = managerConfigFrom(config);
+  EXPECT_DOUBLE_EQ(manager.samplingInterval, 1.5);
+  EXPECT_DOUBLE_EQ(manager.decisionEpoch, 15.0);
+  EXPECT_EQ(manager.stressBins, 3u);
+  EXPECT_EQ(manager.agingBins, 5u);
+  EXPECT_DOUBLE_EQ(manager.gamma, 0.5);
+  EXPECT_TRUE(manager.adaptiveSampling);
+  EXPECT_DOUBLE_EQ(manager.decisionOverhead, 0.1);
+  EXPECT_EQ(manager.seed, 99u);
+  EXPECT_DOUBLE_EQ(manager.intraThresholdAging, 0.07);
+  EXPECT_DOUBLE_EQ(manager.interThresholdAging, 0.2);
+}
+
+TEST(ConfigIoTest, LoadedConfigsConstructWorkingObjects) {
+  const ConfigFile config = ConfigFile::parse(
+      "[machine]\ncores = 2\n[manager]\nsampling_interval = 1\ndecision_epoch = 4\n");
+  const RunnerConfig runnerConfig = runnerConfigFrom(config);
+  PolicyRunner runner(runnerConfig);
+  ThermalManager manager(managerConfigFrom(config), ActionSpace::standard(2));
+  EXPECT_DOUBLE_EQ(manager.samplingInterval(), 1.0);
+}
+
+}  // namespace
+}  // namespace rltherm::core

@@ -1,0 +1,133 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "workload/app_spec.hpp"
+
+namespace rltherm::core {
+namespace {
+
+workload::AppSpec tinyApp(const std::string& name = "tiny", int iterations = 30) {
+  workload::AppSpec spec;
+  spec.name = name;
+  spec.family = name;
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.2;
+  spec.burstWorkJitter = 0.0;
+  spec.burstActivity = 0.8;
+  spec.serialWork = 0.1;
+  spec.serialActivity = 0.2;
+  return spec;
+}
+
+RunnerConfig fastRunner() {
+  RunnerConfig config;
+  config.machine.sensor.noiseSigma = 0.0;
+  config.analysisWarmup = 0.0;
+  config.analysisCooldown = 0.0;
+  config.maxSimTime = 400.0;
+  return config;
+}
+
+TEST(PolicyRunnerTest, CompletesScenarioAndFillsResult) {
+  PolicyRunner runner(fastRunner());
+  StaticGovernorPolicy policy({platform::GovernorKind::Ondemand, 0.0});
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp()}), policy);
+  EXPECT_EQ(result.policyName, "linux-ondemand");
+  EXPECT_EQ(result.scenarioName, "tiny");
+  EXPECT_FALSE(result.timedOut);
+  EXPECT_GT(result.duration, 0.0);
+  ASSERT_EQ(result.completions.size(), 1u);
+  EXPECT_EQ(result.completions[0].iterations, 30);
+  EXPECT_GT(result.dynamicEnergy, 0.0);
+  EXPECT_GT(result.staticEnergy, 0.0);
+  EXPECT_GT(result.averageDynamicPower, 0.0);
+  EXPECT_GT(result.counters.instructions, 0u);
+}
+
+TEST(PolicyRunnerTest, TracesSampledAtTraceInterval) {
+  RunnerConfig config = fastRunner();
+  config.traceInterval = 0.5;
+  PolicyRunner runner(config);
+  StaticGovernorPolicy policy({platform::GovernorKind::Ondemand, 0.0});
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp()}), policy);
+  ASSERT_EQ(result.coreTraces.size(), 4u);
+  const double expectedSamples = result.duration / 0.5;
+  EXPECT_NEAR(static_cast<double>(result.coreTraces[0].size()), expectedSamples, 3.0);
+  EXPECT_DOUBLE_EQ(result.traceInterval, 0.5);
+}
+
+TEST(PolicyRunnerTest, TimeoutSetsFlag) {
+  RunnerConfig config = fastRunner();
+  config.maxSimTime = 2.0;
+  PolicyRunner runner(config);
+  StaticGovernorPolicy policy({platform::GovernorKind::Powersave, 0.0});
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp("slow", 100000)}), policy);
+  EXPECT_TRUE(result.timedOut);
+  EXPECT_TRUE(result.completions.empty());
+  EXPECT_NEAR(result.duration, 2.0, 0.1);
+}
+
+TEST(PolicyRunnerTest, ReliabilityComputedFromTraces) {
+  PolicyRunner runner(fastRunner());
+  StaticGovernorPolicy policy({platform::GovernorKind::Performance, 0.0});
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp("hot", 200)}), policy);
+  EXPECT_GT(result.reliability.averageTemp, 30.0);
+  EXPECT_GE(result.reliability.peakTemp, result.reliability.averageTemp);
+  EXPECT_EQ(result.reliability.cores.size(), 4u);
+  EXPECT_GT(result.reliability.agingMttfYears, 0.0);
+}
+
+TEST(PolicyRunnerTest, WarmupTrimRemovesStartupRamp) {
+  // With a cold-started machine the initial ramp is a large one-off
+  // half-cycle; trimming the warmup window must not make reliability WORSE.
+  RunnerConfig trimmed = fastRunner();
+  trimmed.machine.warmStart = false;
+  trimmed.analysisWarmup = 20.0;
+  RunnerConfig raw = trimmed;
+  raw.analysisWarmup = 0.0;
+
+  StaticGovernorPolicy policyA({platform::GovernorKind::Performance, 0.0});
+  StaticGovernorPolicy policyB({platform::GovernorKind::Performance, 0.0});
+  const RunResult withTrim =
+      PolicyRunner(trimmed).run(workload::Scenario::of({tinyApp("hot", 300)}), policyA);
+  const RunResult noTrim =
+      PolicyRunner(raw).run(workload::Scenario::of({tinyApp("hot", 300)}), policyB);
+  EXPECT_GE(withTrim.reliability.cyclingMttfYears, noTrim.reliability.cyclingMttfYears);
+}
+
+TEST(PolicyRunnerTest, MultiAppScenarioRecordsAllCompletions) {
+  PolicyRunner runner(fastRunner());
+  StaticGovernorPolicy policy({platform::GovernorKind::Ondemand, 0.0});
+  const RunResult result =
+      runner.run(workload::Scenario::of({tinyApp("a", 10), tinyApp("b", 10)}), policy);
+  ASSERT_EQ(result.completions.size(), 2u);
+  EXPECT_EQ(result.scenarioName, "a-b");
+}
+
+TEST(PolicyRunnerTest, InvalidConfigRejected) {
+  RunnerConfig config;
+  config.traceInterval = 0.0;
+  EXPECT_THROW(PolicyRunner{config}, PreconditionError);
+  config = RunnerConfig{};
+  config.maxSimTime = 0.0;
+  EXPECT_THROW(PolicyRunner{config}, PreconditionError);
+}
+
+TEST(PolicyRunnerTest, FreshMachinePerRun) {
+  // Two identical runs with the same (stateless) policy must be identical:
+  // the runner constructs a fresh machine each time.
+  PolicyRunner runner(fastRunner());
+  StaticGovernorPolicy policy({platform::GovernorKind::Ondemand, 0.0});
+  const RunResult a = runner.run(workload::Scenario::of({tinyApp()}), policy);
+  const RunResult b = runner.run(workload::Scenario::of({tinyApp()}), policy);
+  EXPECT_DOUBLE_EQ(a.duration, b.duration);
+  EXPECT_DOUBLE_EQ(a.reliability.averageTemp, b.reliability.averageTemp);
+  EXPECT_DOUBLE_EQ(a.dynamicEnergy, b.dynamicEnergy);
+}
+
+}  // namespace
+}  // namespace rltherm::core

@@ -1,0 +1,195 @@
+#include "core/thermal_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/runner.hpp"
+#include "workload/app_spec.hpp"
+
+namespace rltherm::core {
+namespace {
+
+workload::AppSpec tinyApp(double burstActivity = 0.8, int iterations = 60) {
+  workload::AppSpec spec;
+  spec.name = "tiny";
+  spec.family = "tiny";
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.2;
+  spec.burstWorkJitter = 0.1;
+  spec.burstActivity = burstActivity;
+  spec.serialWork = 0.1;
+  spec.serialActivity = 0.2;
+  spec.performanceConstraint = 0.1;
+  return spec;
+}
+
+ThermalManagerConfig fastConfig() {
+  ThermalManagerConfig config;
+  config.samplingInterval = 0.5;
+  config.decisionEpoch = 2.0;
+  return config;
+}
+
+RunnerConfig fastRunner() {
+  RunnerConfig config;
+  config.machine.sensor.noiseSigma = 0.0;
+  config.machine.sensor.quantizationStep = 0.0;
+  config.analysisWarmup = 0.0;
+  config.analysisCooldown = 0.0;
+  config.maxSimTime = 500.0;
+  return config;
+}
+
+TEST(ThermalManagerTest, EpochCadenceMatchesConfig) {
+  ThermalManager manager(fastConfig(), ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp()}), manager);
+  ASSERT_GT(manager.epochCount(), 2u);
+  const auto& log = manager.epochLog();
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_NEAR(log[i].time - log[i - 1].time, 2.0, 0.011) << "epoch " << i;
+  }
+  EXPECT_FALSE(result.timedOut);
+}
+
+TEST(ThermalManagerTest, SamplingIntervalExposed) {
+  ThermalManager manager(fastConfig(), ActionSpace::standard(4));
+  EXPECT_DOUBLE_EQ(manager.samplingInterval(), 0.5);
+}
+
+TEST(ThermalManagerTest, StatesWithinStateSpace) {
+  ThermalManagerConfig config = fastConfig();
+  config.stressBins = 4;
+  config.agingBins = 4;
+  ThermalManager manager(config, ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  (void)runner.run(workload::Scenario::of({tinyApp()}), manager);
+  for (const EpochRecord& e : manager.epochLog()) {
+    EXPECT_LT(e.state, 16u);
+    EXPECT_LT(e.action, 12u);
+    EXPECT_GE(e.stress, 0.0);
+    EXPECT_GE(e.aging, 0.0);
+  }
+}
+
+TEST(ThermalManagerTest, AlphaDecaysOverEpochs) {
+  ThermalManager manager(fastConfig(), ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  (void)runner.run(workload::Scenario::of({tinyApp(0.8, 150)}), manager);
+  const auto& log = manager.epochLog();
+  ASSERT_GT(log.size(), 10u);
+  EXPECT_LT(log.back().alpha, log.front().alpha);
+}
+
+TEST(ThermalManagerTest, CoverageNonDecreasing) {
+  ThermalManager manager(fastConfig(), ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  (void)runner.run(workload::Scenario::of({tinyApp()}), manager);
+  const auto& log = manager.epochLog();
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_GE(log[i].qCoverage, log[i - 1].qCoverage);
+  }
+}
+
+TEST(ThermalManagerTest, FreezeStopsLearning) {
+  ThermalManager manager(fastConfig(), ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  (void)runner.run(workload::Scenario::of({tinyApp()}), manager);
+  manager.freeze();
+  EXPECT_TRUE(manager.frozen());
+  const std::vector<double> before = manager.qTable().snapshot();
+  const std::size_t epochsBefore = manager.epochCount();
+  (void)runner.run(workload::Scenario::of({tinyApp()}), manager);
+  EXPECT_GT(manager.epochCount(), epochsBefore);  // still logs epochs
+  EXPECT_EQ(manager.qTable().snapshot(), before);  // but never updates Q
+  for (std::size_t i = epochsBefore; i < manager.epochCount(); ++i) {
+    EXPECT_EQ(manager.epochLog()[i].phase, rl::LearningPhase::Exploitation);
+    EXPECT_FALSE(manager.epochLog()[i].interDetected);
+  }
+  manager.unfreeze();
+  EXPECT_FALSE(manager.frozen());
+}
+
+TEST(ThermalManagerTest, EpochsToConvergenceWithinRange) {
+  ThermalManager manager(fastConfig(), ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  (void)runner.run(workload::Scenario::of({tinyApp(0.8, 150)}), manager);
+  const std::size_t conv = manager.epochsToConvergence();
+  EXPECT_GE(conv, 1u);
+  EXPECT_LE(conv, manager.epochCount());
+}
+
+TEST(ThermalManagerTest, AdaptationCanBeDisabled) {
+  ThermalManagerConfig config = fastConfig();
+  config.adaptationEnabled = false;
+  ThermalManager manager(config, ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  // Two very different apps back to back: with adaptation off there must be
+  // no detections at all.
+  (void)runner.run(workload::Scenario::of({tinyApp(0.2, 40), tinyApp(1.0, 40)}), manager);
+  EXPECT_EQ(manager.interDetections(), 0u);
+  EXPECT_EQ(manager.intraDetections(), 0u);
+}
+
+TEST(ThermalManagerTest, DetectsWorkloadVariationAcrossAppSwitch) {
+  // A cold app followed by a hot app: the moving averages of stress/aging
+  // must shift enough to trigger at least one detection (intra or inter),
+  // with NO explicit signal from the workload layer.
+  ThermalManagerConfig config = fastConfig();
+  // Tighten the detection thresholds: the tiny test apps shift the moving
+  // averages less than the full benchmark apps do.
+  config.intraThresholdAging = 0.015;
+  config.interThresholdAging = 0.06;
+  config.seed = 2014;  // fixed: detection timing is trajectory-sensitive
+  ThermalManager manager(config, ActionSpace::standard(4));
+  EXPECT_FALSE(manager.wantsAppSwitchSignal());
+  // Speed up the package thermal response so the app switch lands within a
+  // couple of the (2 s) decision epochs rather than being smeared across
+  // dozens by the sink time constant.
+  RunnerConfig runnerConfig = fastRunner();
+  runnerConfig.machine.thermal.sinkCapacitance = 10.0;
+  runnerConfig.machine.thermal.spreaderCapacitance = 3.0;
+  PolicyRunner runner(runnerConfig);
+  workload::AppSpec cold = tinyApp(0.15, 120);
+  cold.serialWork = 0.3;
+  workload::AppSpec hot = tinyApp(1.0, 400);
+  hot.serialWork = 0.01;
+  (void)runner.run(workload::Scenario::of({cold, hot}), manager);
+  EXPECT_GT(manager.interDetections() + manager.intraDetections(), 0u);
+}
+
+TEST(ThermalManagerTest, InvalidConfigRejected) {
+  ThermalManagerConfig config;
+  config.samplingInterval = 0.0;
+  EXPECT_THROW(ThermalManager(config, ActionSpace::standard(4)), PreconditionError);
+  config = ThermalManagerConfig{};
+  config.decisionEpoch = config.samplingInterval / 2.0;
+  EXPECT_THROW(ThermalManager(config, ActionSpace::standard(4)), PreconditionError);
+  config = ThermalManagerConfig{};
+  config.intraThresholdAging = 0.5;
+  config.interThresholdAging = 0.2;
+  EXPECT_THROW(ThermalManager(config, ActionSpace::standard(4)), PreconditionError);
+}
+
+TEST(ThermalManagerTest, NameIsStable) {
+  ThermalManager manager(fastConfig(), ActionSpace::standard(4));
+  EXPECT_EQ(manager.name(), "proposed-rl");
+}
+
+class EpochLengthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpochLengthSweep, EpochCountScalesWithEpochLength) {
+  ThermalManagerConfig config = fastConfig();
+  config.decisionEpoch = GetParam();
+  ThermalManager manager(config, ActionSpace::standard(4));
+  PolicyRunner runner(fastRunner());
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp()}), manager);
+  const double expected = result.duration / GetParam();
+  EXPECT_NEAR(static_cast<double>(manager.epochCount()), expected, expected * 0.35 + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epochs, EpochLengthSweep, ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace rltherm::core

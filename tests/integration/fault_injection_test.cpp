@@ -1,0 +1,161 @@
+// Failure-injection tests: sensor faults (stuck, biased, dead channels) and
+// pathological workload conditions. The run-time system must degrade
+// gracefully — never crash, keep the machine controlled, and keep its
+// bookkeeping consistent.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/runner.hpp"
+#include "core/thermal_manager.hpp"
+#include "thermal/sensor.hpp"
+#include "workload/app_spec.hpp"
+
+namespace rltherm::core {
+namespace {
+
+workload::AppSpec tinyApp(int iterations = 60) {
+  workload::AppSpec spec;
+  spec.name = "tiny";
+  spec.family = "tiny";
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.2;
+  spec.burstWorkJitter = 0.1;
+  spec.burstActivity = 0.9;
+  spec.serialWork = 0.1;
+  spec.serialActivity = 0.2;
+  spec.performanceConstraint = 0.1;
+  return spec;
+}
+
+RunnerConfig fastRunner() {
+  RunnerConfig config;
+  config.analysisWarmup = 0.0;
+  config.analysisCooldown = 0.0;
+  config.maxSimTime = 500.0;
+  return config;
+}
+
+/// A policy wrapper that injects a fault into the machine at onStart.
+class FaultingManager final : public ThermalPolicy {
+ public:
+  FaultingManager(thermal::SensorFault fault, Celsius parameter)
+      : fault_(fault),
+        parameter_(parameter),
+        manager_(
+            [] {
+              ThermalManagerConfig config;
+              config.samplingInterval = 0.5;
+              config.decisionEpoch = 2.0;
+              return config;
+            }(),
+            ActionSpace::standard(4)) {}
+
+  std::string name() const override { return "faulting-" + manager_.name(); }
+  Seconds samplingInterval() const override { return manager_.samplingInterval(); }
+  void onStart(PolicyContext& ctx) override {
+    ctx.machine.sensors().injectFault(0, fault_, parameter_);
+    manager_.onStart(ctx);
+  }
+  void onSample(PolicyContext& ctx, std::span<const Celsius> sensorTemps) override {
+    manager_.onSample(ctx, sensorTemps);
+  }
+  ThermalManager& manager() noexcept { return manager_; }
+
+ private:
+  thermal::SensorFault fault_;
+  Celsius parameter_;
+  ThermalManager manager_;
+};
+
+TEST(SensorFaultTest, StuckChannelRepeatsLastReading) {
+  thermal::SensorBank bank({.quantizationStep = 0.0, .noiseSigma = 0.0}, 1);
+  const std::vector<Celsius> first = {40.0, 50.0};
+  (void)bank.read(first);
+  bank.injectFault(1, thermal::SensorFault::StuckAtLast);
+  const std::vector<Celsius> second = bank.read(std::vector<Celsius>{41.0, 60.0});
+  EXPECT_DOUBLE_EQ(second[0], 41.0);
+  EXPECT_DOUBLE_EQ(second[1], 50.0);  // stuck at the last healthy value
+  EXPECT_EQ(bank.fault(1), thermal::SensorFault::StuckAtLast);
+}
+
+TEST(SensorFaultTest, OffsetChannelBiasesAndClamps) {
+  thermal::SensorBank bank({.quantizationStep = 0.0, .noiseSigma = 0.0}, 1);
+  bank.injectFault(0, thermal::SensorFault::ConstantOffset, 10.0);
+  const std::vector<Celsius> out = bank.read(std::vector<Celsius>{40.0});
+  EXPECT_DOUBLE_EQ(out[0], 50.0);
+  bank.injectFault(0, thermal::SensorFault::ConstantOffset, 1000.0);
+  EXPECT_DOUBLE_EQ(bank.read(std::vector<Celsius>{40.0})[0], 125.0);  // clamped
+}
+
+TEST(SensorFaultTest, DeadChannelReadsFloor) {
+  thermal::SensorBank bank({.quantizationStep = 0.0, .noiseSigma = 0.0}, 1);
+  bank.injectFault(0, thermal::SensorFault::Dead);
+  EXPECT_DOUBLE_EQ(bank.read(std::vector<Celsius>{70.0})[0], 0.0);
+}
+
+TEST(SensorFaultTest, ClearFaultHeals) {
+  thermal::SensorBank bank({.quantizationStep = 0.0, .noiseSigma = 0.0}, 1);
+  bank.injectFault(0, thermal::SensorFault::Dead);
+  bank.clearFault(0);
+  EXPECT_DOUBLE_EQ(bank.read(std::vector<Celsius>{70.0})[0], 70.0);
+}
+
+class ManagerUnderSensorFault
+    : public ::testing::TestWithParam<thermal::SensorFault> {};
+
+TEST_P(ManagerUnderSensorFault, CompletesWithoutCrashOrRunaway) {
+  PolicyRunner runner(fastRunner());
+  FaultingManager policy(GetParam(), 15.0);
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp(120)}), policy);
+  EXPECT_FALSE(result.timedOut);
+  EXPECT_GT(policy.manager().epochCount(), 5u);
+  // The hardware throttle bounds the damage a blind controller can do.
+  EXPECT_LT(result.reliability.peakTemp, 95.0);
+  for (const auto& completion : result.completions) {
+    EXPECT_EQ(completion.iterations, 120);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, ManagerUnderSensorFault,
+                         ::testing::Values(thermal::SensorFault::StuckAtLast,
+                                           thermal::SensorFault::ConstantOffset,
+                                           thermal::SensorFault::Dead));
+
+TEST(WorkloadStressTest, ZeroConstraintAppRunsFine) {
+  // Pc = 0 disables the performance channel entirely; the reward must not
+  // divide by it.
+  PolicyRunner runner(fastRunner());
+  workload::AppSpec app = tinyApp();
+  app.performanceConstraint = 0.0;
+  ThermalManagerConfig managerConfig;
+  managerConfig.samplingInterval = 0.5;
+  managerConfig.decisionEpoch = 2.0;
+  ThermalManager manager(managerConfig, ActionSpace::standard(4));
+  const RunResult result = runner.run(workload::Scenario::of({app}), manager);
+  EXPECT_FALSE(result.timedOut);
+}
+
+TEST(WorkloadStressTest, SingleThreadSingleIterationApp) {
+  PolicyRunner runner(fastRunner());
+  workload::AppSpec app = tinyApp(1);
+  app.threadCount = 1;
+  StaticGovernorPolicy policy({platform::GovernorKind::Ondemand, 0.0});
+  const RunResult result = runner.run(workload::Scenario::of({app}), policy);
+  EXPECT_FALSE(result.timedOut);
+  ASSERT_EQ(result.completions.size(), 1u);
+  EXPECT_EQ(result.completions[0].iterations, 1);
+}
+
+TEST(WorkloadStressTest, ManyMoreThreadsThanCores) {
+  PolicyRunner runner(fastRunner());
+  workload::AppSpec app = tinyApp(10);
+  app.threadCount = 24;  // 6x oversubscription
+  StaticGovernorPolicy policy({platform::GovernorKind::Ondemand, 0.0});
+  const RunResult result = runner.run(workload::Scenario::of({app}), policy);
+  EXPECT_FALSE(result.timedOut);
+  EXPECT_EQ(result.completions.at(0).iterations, 10);
+}
+
+}  // namespace
+}  // namespace rltherm::core

@@ -1,0 +1,87 @@
+#include "platform/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rltherm::platform {
+namespace {
+
+TEST(PerfCountersTest, InstructionsScaleWithFrequencyAndTime) {
+  PerfCounters counters(PerfCounterConfig{.baseIpc = 1.0});
+  counters.recordExecution(1.0e9, 1.0, 1.0, false);
+  EXPECT_EQ(counters.sample().cycles, 1000000000u);
+  EXPECT_EQ(counters.sample().instructions, 1000000000u);
+}
+
+TEST(PerfCountersTest, SpeedFactorReducesInstructionsNotCycles) {
+  PerfCounters counters(PerfCounterConfig{.baseIpc = 1.0});
+  counters.recordExecution(1.0e9, 1.0, 0.5, false);
+  EXPECT_EQ(counters.sample().cycles, 1000000000u);
+  EXPECT_EQ(counters.sample().instructions, 500000000u);
+}
+
+TEST(PerfCountersTest, MissRatesApplied) {
+  PerfCounterConfig config;
+  config.baseIpc = 1.0;
+  config.cacheMissPerInstruction = 1e-3;
+  config.pageFaultPerInstruction = 1e-6;
+  PerfCounters counters(config);
+  counters.recordExecution(1.0e9, 1.0, 1.0, false);
+  EXPECT_EQ(counters.sample().cacheMisses, 1000000u);
+  EXPECT_EQ(counters.sample().pageFaults, 1000u);
+}
+
+TEST(PerfCountersTest, MigrationCooldownMultipliesRates) {
+  PerfCounterConfig config;
+  config.baseIpc = 1.0;
+  config.cacheMissPerInstruction = 1e-3;
+  config.migrationMissMultiplier = 8.0;
+  PerfCounters warm(config);
+  PerfCounters cold(config);
+  warm.recordExecution(1.0e9, 1.0, 1.0, false);
+  cold.recordExecution(1.0e9, 1.0, 1.0, true);
+  EXPECT_EQ(cold.sample().cacheMisses, warm.sample().cacheMisses * 8);
+}
+
+TEST(PerfCountersTest, FractionalCarriesAccumulate) {
+  // Rates small enough that a single tick yields < 1 event must still
+  // accumulate across ticks instead of being truncated away.
+  PerfCounterConfig config;
+  config.baseIpc = 1.0;
+  config.pageFaultPerInstruction = 1e-10;  // 0.1 faults per 1e9-instr tick
+  PerfCounters counters(config);
+  for (int i = 0; i < 100; ++i) counters.recordExecution(1.0e9, 1.0, 1.0, false);
+  EXPECT_GE(counters.sample().pageFaults, 9u);  // 10 +- one ulp-rounding count
+  EXPECT_LE(counters.sample().pageFaults, 10u);
+}
+
+TEST(PerfCountersTest, EventCountersIncrement) {
+  PerfCounters counters;
+  counters.recordContextSwitch();
+  counters.recordContextSwitch();
+  counters.recordMigration();
+  EXPECT_EQ(counters.sample().contextSwitches, 2u);
+  EXPECT_EQ(counters.sample().migrations, 1u);
+}
+
+TEST(PerfCountersTest, ResetClears) {
+  PerfCounters counters;
+  counters.recordExecution(1.0e9, 1.0, 1.0, false);
+  counters.recordMigration();
+  counters.reset();
+  EXPECT_EQ(counters.sample().instructions, 0u);
+  EXPECT_EQ(counters.sample().migrations, 0u);
+}
+
+TEST(PerfCountersTest, InvalidInputsRejected) {
+  PerfCounters counters;
+  EXPECT_THROW(counters.recordExecution(0.0, 1.0, 1.0, false), PreconditionError);
+  EXPECT_THROW(counters.recordExecution(1e9, 0.0, 1.0, false), PreconditionError);
+  EXPECT_THROW(counters.recordExecution(1e9, 1.0, 0.0, false), PreconditionError);
+  EXPECT_THROW(counters.recordExecution(1e9, 1.0, 1.5, false), PreconditionError);
+  EXPECT_THROW(PerfCounters(PerfCounterConfig{.baseIpc = 0.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rltherm::platform

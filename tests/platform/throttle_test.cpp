@@ -1,0 +1,149 @@
+// Tests of the hardware thermal-protection clamp (PROCHOT) and per-core
+// governor control.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "platform/machine.hpp"
+
+namespace rltherm::platform {
+namespace {
+
+double fullActivity(ThreadId) { return 1.0; }
+
+MachineConfig hotboxMachine() {
+  // A machine that heats quickly into the throttle band: low trip point and
+  // weak heat sinking.
+  MachineConfig config;
+  config.sensor.noiseSigma = 0.0;
+  config.sensor.quantizationStep = 0.0;
+  config.throttleTemp = 55.0;
+  config.throttleHysteresis = 6.0;
+  return config;
+}
+
+TEST(ThrottleTest, EngagesAboveTripTemperature) {
+  MachineConfig config = hotboxMachine();
+  config.initialGovernor = {GovernorKind::Performance, 0.0};
+  Machine machine(config);
+  for (ThreadId id = 0; id < 4; ++id) {
+    machine.scheduler().addThread(id, sched::AffinityMask::single(id));
+  }
+  int safety = 60000;
+  while (machine.throttleEvents() == 0 && --safety > 0) {
+    (void)machine.tick(fullActivity);
+  }
+  ASSERT_GT(safety, 0) << "throttle never engaged";
+  bool anyThrottled = false;
+  for (std::size_t c = 0; c < 4; ++c) anyThrottled = anyThrottled || machine.throttled(c);
+  EXPECT_TRUE(anyThrottled);
+}
+
+TEST(ThrottleTest, ClampsFrequencyToLowest) {
+  MachineConfig config = hotboxMachine();
+  config.initialGovernor = {GovernorKind::Performance, 0.0};
+  Machine machine(config);
+  for (ThreadId id = 0; id < 4; ++id) {
+    machine.scheduler().addThread(id, sched::AffinityMask::single(id));
+  }
+  for (int i = 0; i < 60000 && machine.throttleEvents() == 0; ++i) {
+    (void)machine.tick(fullActivity);
+  }
+  (void)machine.tick(fullActivity);
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (machine.throttled(c)) {
+      EXPECT_DOUBLE_EQ(machine.coreFrequencies()[c], 1.6e9);
+    }
+  }
+}
+
+TEST(ThrottleTest, ReleasesBelowHysteresisBand) {
+  MachineConfig config = hotboxMachine();
+  config.initialGovernor = {GovernorKind::Performance, 0.0};
+  Machine machine(config);
+  for (ThreadId id = 0; id < 4; ++id) {
+    machine.scheduler().addThread(id, sched::AffinityMask::single(id));
+  }
+  // Heat until core 0 throttles...
+  for (int i = 0; i < 60000 && !machine.throttled(0); ++i) {
+    (void)machine.tick(fullActivity);
+  }
+  ASSERT_TRUE(machine.throttled(0));
+  // ... then remove all load and let it cool: the clamp must release.
+  for (ThreadId id = 0; id < 4; ++id) machine.scheduler().finish(id);
+  for (int i = 0; i < 60000 && machine.throttled(0); ++i) {
+    (void)machine.tick(fullActivity);
+  }
+  EXPECT_FALSE(machine.throttled(0));
+}
+
+TEST(ThrottleTest, BoundsPeakTemperatureUnderAnyPolicy) {
+  // The point of the firmware backstop: even a pathological policy pinned at
+  // performance cannot push the junction far past the trip point.
+  MachineConfig config = hotboxMachine();
+  config.initialGovernor = {GovernorKind::Performance, 0.0};
+  Machine machine(config);
+  for (ThreadId id = 0; id < 8; ++id) {
+    machine.scheduler().addThread(id, sched::AffinityMask::all(4));
+  }
+  Celsius peak = 0.0;
+  for (int i = 0; i < 30000; ++i) {  // 300 s
+    (void)machine.tick(fullActivity);
+    for (const Celsius t : machine.trueCoreTemperatures()) peak = std::max(peak, t);
+  }
+  EXPECT_LT(peak, config.throttleTemp + 5.0);
+  EXPECT_GT(machine.throttleEvents(), 1u);  // engaged, cooled, re-engaged
+}
+
+TEST(ThrottleTest, DisabledWhenTripIsZero) {
+  MachineConfig config = hotboxMachine();
+  config.throttleTemp = 0.0;
+  config.initialGovernor = {GovernorKind::Performance, 0.0};
+  Machine machine(config);
+  for (ThreadId id = 0; id < 4; ++id) {
+    machine.scheduler().addThread(id, sched::AffinityMask::single(id));
+  }
+  for (int i = 0; i < 20000; ++i) (void)machine.tick(fullActivity);
+  EXPECT_EQ(machine.throttleEvents(), 0u);
+  EXPECT_FALSE(machine.throttled(0));
+}
+
+TEST(ThrottleTest, InvalidConfigRejected) {
+  MachineConfig config;
+  config.throttleHysteresis = 0.0;
+  EXPECT_THROW(Machine{config}, PreconditionError);
+}
+
+TEST(PerCoreGovernorTest, SetCoreGovernorAffectsOnlyThatCore) {
+  MachineConfig config;
+  config.sensor.noiseSigma = 0.0;
+  config.initialGovernor = {GovernorKind::Performance, 0.0};
+  Machine machine(config);
+  machine.setCoreGovernor(2, {GovernorKind::Powersave, 0.0});
+  const std::vector<Hertz> f = machine.coreFrequencies();
+  EXPECT_DOUBLE_EQ(f[0], 3.4e9);
+  EXPECT_DOUBLE_EQ(f[1], 3.4e9);
+  EXPECT_DOUBLE_EQ(f[2], 1.6e9);
+  EXPECT_DOUBLE_EQ(f[3], 3.4e9);
+  // The machine-wide setting is untouched.
+  EXPECT_EQ(machine.governorSetting().kind, GovernorKind::Performance);
+}
+
+TEST(PerCoreGovernorTest, PerCoreUserspaceHolds) {
+  MachineConfig config;
+  config.sensor.noiseSigma = 0.0;
+  Machine machine(config);
+  machine.setCoreGovernor(1, {GovernorKind::Userspace, 2.4e9});
+  machine.scheduler().addThread(7, sched::AffinityMask::single(1));
+  for (int i = 0; i < 100; ++i) (void)machine.tick(fullActivity);
+  EXPECT_DOUBLE_EQ(machine.coreFrequencies()[1], 2.4e9);
+}
+
+TEST(PerCoreGovernorTest, OutOfRangeCoreRejected) {
+  Machine machine(MachineConfig{});
+  EXPECT_THROW(machine.setCoreGovernor(4, {GovernorKind::Powersave, 0.0}),
+               PreconditionError);
+  EXPECT_THROW((void)machine.throttled(4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rltherm::platform

@@ -1,0 +1,57 @@
+#include "power/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rltherm::power {
+namespace {
+
+TEST(EnergyMeterTest, AccumulatesSeparately) {
+  EnergyMeter meter;
+  meter.record(10.0, 2.0, 1.0);
+  meter.record(20.0, 4.0, 0.5);
+  EXPECT_DOUBLE_EQ(meter.dynamicEnergy(), 20.0);
+  EXPECT_DOUBLE_EQ(meter.staticEnergy(), 4.0);
+  EXPECT_DOUBLE_EQ(meter.totalEnergy(), 24.0);
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 1.5);
+}
+
+TEST(EnergyMeterTest, AveragePowerIsEnergyOverTime) {
+  EnergyMeter meter;
+  meter.record(10.0, 5.0, 2.0);
+  EXPECT_DOUBLE_EQ(meter.averageDynamicPower(), 10.0);
+  EXPECT_DOUBLE_EQ(meter.averageStaticPower(), 5.0);
+  EXPECT_DOUBLE_EQ(meter.averageTotalPower(), 15.0);
+}
+
+TEST(EnergyMeterTest, EmptyMeterAveragesZero) {
+  const EnergyMeter meter;
+  EXPECT_DOUBLE_EQ(meter.averageDynamicPower(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.averageTotalPower(), 0.0);
+}
+
+TEST(EnergyMeterTest, ResetClearsEverything) {
+  EnergyMeter meter;
+  meter.record(10.0, 5.0, 1.0);
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.totalEnergy(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 0.0);
+}
+
+TEST(EnergyMeterTest, NegativeInputsRejected) {
+  EnergyMeter meter;
+  EXPECT_THROW(meter.record(-1.0, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(meter.record(0.0, -1.0, 1.0), PreconditionError);
+  EXPECT_THROW(meter.record(1.0, 1.0, -0.1), PreconditionError);
+}
+
+TEST(EnergyMeterTest, ZeroDurationIsNoOpForTime) {
+  EnergyMeter meter;
+  meter.record(10.0, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(meter.totalEnergy(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 0.0);
+}
+
+}  // namespace
+}  // namespace rltherm::power

@@ -1,0 +1,113 @@
+#include "reliability/aging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::reliability {
+namespace {
+
+TEST(AgingCalibrationTest, IdleCoreHasTargetMttf) {
+  // The paper's Table 2 scaling: an unstressed (idle) core lives 10 years.
+  const AgingParams params = calibratedAgingParams(31.0, 10.0);
+  const std::vector<Celsius> idleTrace(100, 31.0);
+  EXPECT_NEAR(agingMttfYears(idleTrace, params), 10.0, 1e-9);
+}
+
+TEST(AgingCalibrationTest, CustomTarget) {
+  const AgingParams params = calibratedAgingParams(40.0, 7.0);
+  const std::vector<Celsius> trace(10, 40.0);
+  EXPECT_NEAR(agingMttfYears(trace, params), 7.0, 1e-9);
+}
+
+TEST(FaultDensityTest, ArrheniusDecreasesWithTemperature) {
+  const AgingParams params = calibratedAgingParams();
+  double previous = faultDensityScale(20.0, params);
+  for (Celsius t = 30.0; t <= 90.0; t += 10.0) {
+    const double scale = faultDensityScale(t, params);
+    EXPECT_LT(scale, previous);
+    previous = scale;
+  }
+}
+
+TEST(FaultDensityTest, MatchesArrheniusClosedForm) {
+  const AgingParams params = calibratedAgingParams(31.0, 10.0);
+  const double ratio = faultDensityScale(71.0, params) / faultDensityScale(31.0, params);
+  const double expected = std::exp(params.activationEnergy / kBoltzmannEvPerK *
+                                   (1.0 / toKelvin(71.0) - 1.0 / toKelvin(31.0)));
+  EXPECT_NEAR(ratio, expected, 1e-12);
+}
+
+TEST(FaultDensityTest, UncalibratedParamsRejected) {
+  const AgingParams raw;  // referenceScaleYears defaults to 0
+  EXPECT_THROW((void)faultDensityScale(40.0, raw), PreconditionError);
+}
+
+TEST(AgingRateTest, EmptyTraceIsZero) {
+  const AgingParams params = calibratedAgingParams();
+  EXPECT_DOUBLE_EQ(agingRate({}, params), 0.0);
+}
+
+TEST(AgingRateTest, TimeWeightedReciprocalAverage) {
+  const AgingParams params = calibratedAgingParams();
+  const std::vector<Celsius> mixed = {31.0, 71.0};
+  const double expected = 0.5 * (1.0 / faultDensityScale(31.0, params) +
+                                 1.0 / faultDensityScale(71.0, params));
+  EXPECT_NEAR(agingRate(mixed, params), expected, 1e-15);
+}
+
+TEST(AgingRateTest, HotterTraceAgesFaster) {
+  const AgingParams params = calibratedAgingParams();
+  const std::vector<Celsius> cool(50, 35.0);
+  const std::vector<Celsius> hot(50, 65.0);
+  EXPECT_GT(agingRate(hot, params), agingRate(cool, params));
+  EXPECT_LT(agingMttfYears(hot, params), agingMttfYears(cool, params));
+}
+
+TEST(AgingRateTest, HotIntervalsDominateTheAverage) {
+  // Because Eq. 1 averages 1/alpha(T), a brief hot excursion hurts more
+  // than a brief cool excursion helps.
+  const AgingParams params = calibratedAgingParams();
+  const std::vector<Celsius> steady(10, 50.0);
+  std::vector<Celsius> excursion(10, 50.0);
+  excursion[0] = 30.0;
+  excursion[1] = 70.0;  // symmetric +-20 around 50
+  EXPECT_GT(agingRate(excursion, params), agingRate(steady, params));
+}
+
+TEST(MttfFromAgingTest, ClosedFormGamma) {
+  AgingParams params = calibratedAgingParams();
+  params.weibullBeta = 2.0;
+  // MTTF = Gamma(1.5) / A.
+  EXPECT_NEAR(mttfFromAging(2.0, params), std::tgamma(1.5) / 2.0, 1e-12);
+}
+
+TEST(MttfFromAgingTest, ZeroRateIsInfinite) {
+  const AgingParams params = calibratedAgingParams();
+  EXPECT_TRUE(std::isinf(mttfFromAging(0.0, params)));
+}
+
+TEST(MttfFromAgingTest, ExponentialBetaReducesToReciprocal) {
+  AgingParams params = calibratedAgingParams();
+  params.weibullBeta = 1.0;  // Gamma(2) = 1
+  EXPECT_NEAR(mttfFromAging(0.25, params), 4.0, 1e-12);
+}
+
+class AgingMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(AgingMonotonicity, MttfDecreasesWithUniformTemperature) {
+  const AgingParams params = calibratedAgingParams();
+  const Celsius base = GetParam();
+  const std::vector<Celsius> cooler(20, base);
+  const std::vector<Celsius> hotter(20, base + 5.0);
+  EXPECT_GT(agingMttfYears(cooler, params), agingMttfYears(hotter, params));
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, AgingMonotonicity,
+                         ::testing::Values(30.0, 40.0, 50.0, 60.0, 70.0));
+
+}  // namespace
+}  // namespace rltherm::reliability

@@ -1,0 +1,138 @@
+#include "reliability/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::reliability {
+namespace {
+
+std::vector<Celsius> cyclingTrace(Celsius lo, Celsius hi, int cycles) {
+  std::vector<Celsius> trace;
+  for (int i = 0; i < cycles; ++i) {
+    trace.push_back(lo);
+    trace.push_back(hi);
+  }
+  trace.push_back(lo);
+  return trace;
+}
+
+TEST(AnalyzerTest, FlatTraceBasics) {
+  const ReliabilityAnalyzer analyzer;
+  const std::vector<Celsius> flat(100, 45.0);
+  const CoreReliability r = analyzer.analyzeCore(flat, 1.0);
+  EXPECT_DOUBLE_EQ(r.averageTemp, 45.0);
+  EXPECT_DOUBLE_EQ(r.peakTemp, 45.0);
+  EXPECT_DOUBLE_EQ(r.stress, 0.0);
+  EXPECT_EQ(r.cycleCount, 0u);
+  EXPECT_DOUBLE_EQ(r.cyclingMttfYears, analyzer.config().mttfCapYears);
+  EXPECT_GT(r.agingMttfYears, 0.0);
+}
+
+TEST(AnalyzerTest, EmptyTraceIsZeroed) {
+  const ReliabilityAnalyzer analyzer;
+  const CoreReliability r = analyzer.analyzeCore({}, 1.0);
+  EXPECT_DOUBLE_EQ(r.averageTemp, 0.0);
+  EXPECT_EQ(r.cycleCount, 0u);
+}
+
+TEST(AnalyzerTest, CyclingTraceAccumulatesStress) {
+  const ReliabilityAnalyzer analyzer;
+  const CoreReliability r = analyzer.analyzeCore(cyclingTrace(35.0, 55.0, 50), 1.0);
+  EXPECT_GT(r.stress, 0.0);
+  EXPECT_GT(r.cycleCount, 40u);
+  EXPECT_LT(r.cyclingMttfYears, analyzer.config().mttfCapYears);
+}
+
+TEST(AnalyzerTest, MoreCyclesLowerCyclingMttf) {
+  const ReliabilityAnalyzer analyzer;
+  const CoreReliability few = analyzer.analyzeCore(cyclingTrace(35.0, 55.0, 20), 1.0);
+  // Same wall-clock duration but twice the cycles (sampled twice as fast).
+  const CoreReliability many = analyzer.analyzeCore(cyclingTrace(35.0, 55.0, 40), 0.5);
+  EXPECT_LT(many.cyclingMttfYears, few.cyclingMttfYears);
+}
+
+TEST(AnalyzerTest, HotterTraceLowerAgingMttf) {
+  const ReliabilityAnalyzer analyzer;
+  const std::vector<Celsius> cool(100, 36.0);
+  const std::vector<Celsius> hot(100, 66.0);
+  EXPECT_GT(analyzer.analyzeCore(cool, 1.0).agingMttfYears,
+            analyzer.analyzeCore(hot, 1.0).agingMttfYears);
+}
+
+TEST(AnalyzerTest, SmallWiggleFilteredAsNoise) {
+  AnalyzerConfig config;
+  config.minCycleAmplitude = 1.0;
+  const ReliabilityAnalyzer analyzer(config);
+  const CoreReliability r = analyzer.analyzeCore(cyclingTrace(45.0, 45.4, 100), 1.0);
+  EXPECT_EQ(r.cycleCount, 0u);
+  EXPECT_DOUBLE_EQ(r.cyclingMttfYears, config.mttfCapYears);
+}
+
+TEST(AnalyzerTest, MttfCappedAtConfiguredCeiling) {
+  AnalyzerConfig config;
+  config.mttfCapYears = 5.0;
+  const ReliabilityAnalyzer analyzer(config);
+  const std::vector<Celsius> gentle(100, 30.0);
+  const CoreReliability r = analyzer.analyzeCore(gentle, 1.0);
+  EXPECT_LE(r.agingMttfYears, 5.0);
+  EXPECT_LE(r.cyclingMttfYears, 5.0);
+}
+
+TEST(AnalyzerTest, ChipRollupTakesWorstCore) {
+  const ReliabilityAnalyzer analyzer;
+  const std::vector<std::vector<Celsius>> traces = {
+      std::vector<Celsius>(101, 40.0),       // cool, flat
+      cyclingTrace(40.0, 62.0, 50),          // hot, cycling (101 samples)
+  };
+  const ChipReliability chip = analyzer.analyzeChip(traces, 1.0);
+  ASSERT_EQ(chip.cores.size(), 2u);
+  EXPECT_DOUBLE_EQ(chip.agingMttfYears,
+                   std::min(chip.cores[0].agingMttfYears, chip.cores[1].agingMttfYears));
+  EXPECT_DOUBLE_EQ(chip.cyclingMttfYears, chip.cores[1].cyclingMttfYears);
+  EXPECT_DOUBLE_EQ(chip.peakTemp, 62.0);
+  EXPECT_NEAR(chip.averageTemp,
+              (chip.cores[0].averageTemp + chip.cores[1].averageTemp) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(chip.stress, chip.cores[1].stress);
+}
+
+TEST(AnalyzerTest, ChipRequiresAtLeastOneCore) {
+  const ReliabilityAnalyzer analyzer;
+  const std::vector<std::vector<Celsius>> empty;
+  EXPECT_THROW((void)analyzer.analyzeChip(empty, 1.0), PreconditionError);
+}
+
+TEST(AnalyzerTest, InvalidConfigRejected) {
+  AnalyzerConfig config;
+  config.mttfCapYears = 0.0;
+  EXPECT_THROW(ReliabilityAnalyzer{config}, PreconditionError);
+  config = AnalyzerConfig{};
+  config.minCycleAmplitude = -1.0;
+  EXPECT_THROW(ReliabilityAnalyzer{config}, PreconditionError);
+}
+
+TEST(AnalyzerTest, ZeroSampleIntervalRejected) {
+  const ReliabilityAnalyzer analyzer;
+  const std::vector<Celsius> trace(10, 40.0);
+  EXPECT_THROW((void)analyzer.analyzeCore(trace, 0.0), PreconditionError);
+}
+
+class AmplitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AmplitudeSweep, CyclingMttfFallsWithAmplitude) {
+  const ReliabilityAnalyzer analyzer;
+  const double amp = GetParam();
+  const CoreReliability smaller =
+      analyzer.analyzeCore(cyclingTrace(40.0, 40.0 + amp, 50), 1.0);
+  const CoreReliability larger =
+      analyzer.analyzeCore(cyclingTrace(40.0, 40.0 + amp + 5.0, 50), 1.0);
+  EXPECT_LE(larger.cyclingMttfYears, smaller.cyclingMttfYears);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amps, AmplitudeSweep, ::testing::Values(5.0, 10.0, 15.0, 20.0));
+
+}  // namespace
+}  // namespace rltherm::reliability

@@ -1,0 +1,145 @@
+#include "reliability/fatigue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::reliability {
+namespace {
+
+FatigueParams simpleParams() {
+  FatigueParams p;
+  p.coefficient = 100.0;
+  p.elasticThreshold = 2.0;
+  p.exponent = 3.5;
+  p.activationEnergy = 0.5;
+  return p;
+}
+
+TEST(CoffinMansonTest, MatchesClosedForm) {
+  const FatigueParams p = simpleParams();
+  const ThermalCycle cycle{.amplitude = 12.0, .maxTemp = 60.0, .weight = 1.0};
+  const double expected = p.coefficient * std::pow(10.0, -3.5) *
+                          std::exp(0.5 / (kBoltzmannEvPerK * toKelvin(60.0)));
+  EXPECT_NEAR(cyclesToFailure(cycle, p), expected, expected * 1e-12);
+}
+
+TEST(CoffinMansonTest, ElasticCyclesAreDamageless) {
+  const FatigueParams p = simpleParams();
+  const ThermalCycle small{.amplitude = 1.5, .maxTemp = 60.0, .weight = 1.0};
+  EXPECT_TRUE(std::isinf(cyclesToFailure(small, p)));
+  const ThermalCycle boundary{.amplitude = 2.0, .maxTemp = 60.0, .weight = 1.0};
+  EXPECT_TRUE(std::isinf(cyclesToFailure(boundary, p)));
+}
+
+TEST(CoffinMansonTest, LargerAmplitudeFailsSooner) {
+  const FatigueParams p = simpleParams();
+  const ThermalCycle small{.amplitude = 8.0, .maxTemp = 60.0, .weight = 1.0};
+  const ThermalCycle large{.amplitude = 16.0, .maxTemp = 60.0, .weight = 1.0};
+  EXPECT_GT(cyclesToFailure(small, p), cyclesToFailure(large, p));
+}
+
+TEST(CoffinMansonTest, HotterCyclesFailSooner) {
+  const FatigueParams p = simpleParams();
+  const ThermalCycle cool{.amplitude = 10.0, .maxTemp = 40.0, .weight = 1.0};
+  const ThermalCycle hot{.amplitude = 10.0, .maxTemp = 80.0, .weight = 1.0};
+  EXPECT_GT(cyclesToFailure(cool, p), cyclesToFailure(hot, p));
+}
+
+TEST(ThermalStressTest, SumsWeightedDamageTerms) {
+  const FatigueParams p = simpleParams();
+  const std::vector<ThermalCycle> cycles = {
+      {.amplitude = 10.0, .maxTemp = 50.0, .weight = 1.0},
+      {.amplitude = 10.0, .maxTemp = 50.0, .weight = 0.5},
+  };
+  const double one = thermalStress(std::vector<ThermalCycle>{cycles[0]}, p);
+  EXPECT_NEAR(thermalStress(cycles, p), 1.5 * one, 1e-15);
+}
+
+TEST(ThermalStressTest, ElasticCyclesContributeNothing) {
+  const FatigueParams p = simpleParams();
+  const std::vector<ThermalCycle> cycles = {
+      {.amplitude = 1.0, .maxTemp = 90.0, .weight = 1.0}};
+  EXPECT_DOUBLE_EQ(thermalStress(cycles, p), 0.0);
+}
+
+TEST(ThermalStressTest, MonotoneInAmplitude) {
+  const FatigueParams p = simpleParams();
+  double previous = 0.0;
+  for (double amp = 3.0; amp <= 30.0; amp += 3.0) {
+    const std::vector<ThermalCycle> cycles = {
+        {.amplitude = amp, .maxTemp = 60.0, .weight = 1.0}};
+    const double s = thermalStress(cycles, p);
+    EXPECT_GT(s, previous);
+    previous = s;
+  }
+}
+
+TEST(MinerTest, MttfIsDurationOverDamage) {
+  const FatigueParams p = simpleParams();
+  const ThermalCycle cycle{.amplitude = 12.0, .maxTemp = 60.0, .weight = 1.0};
+  const double n = cyclesToFailure(cycle, p);
+  const std::vector<ThermalCycle> cycles(10, cycle);
+  // 10 cycles in 100 s -> damage = 10/n -> MTTF = 100 * n / 10 = 10 n.
+  const Seconds mttf = cyclingMttf(cycles, 100.0, p, 1e18);
+  EXPECT_NEAR(mttf, 10.0 * n, 10.0 * n * 1e-12);
+}
+
+TEST(MinerTest, HalfCyclesCountHalf) {
+  const FatigueParams p = simpleParams();
+  const ThermalCycle full{.amplitude = 12.0, .maxTemp = 60.0, .weight = 1.0};
+  const ThermalCycle half{.amplitude = 12.0, .maxTemp = 60.0, .weight = 0.5};
+  const Seconds mttfFull = cyclingMttf(std::vector<ThermalCycle>{full}, 10.0, p, 1e18);
+  const Seconds mttfHalf = cyclingMttf(std::vector<ThermalCycle>{half}, 10.0, p, 1e18);
+  EXPECT_NEAR(mttfHalf, 2.0 * mttfFull, mttfFull * 1e-9);
+}
+
+TEST(MinerTest, NoDamageHitsCap) {
+  const FatigueParams p = simpleParams();
+  const std::vector<ThermalCycle> cycles;
+  EXPECT_DOUBLE_EQ(cyclingMttf(cycles, 100.0, p, 123.0), 123.0);
+  const std::vector<ThermalCycle> elastic = {
+      {.amplitude = 1.0, .maxTemp = 90.0, .weight = 1.0}};
+  EXPECT_DOUBLE_EQ(cyclingMttf(elastic, 100.0, p, 123.0), 123.0);
+}
+
+TEST(MinerTest, CapBoundsResult) {
+  const FatigueParams p = simpleParams();
+  const std::vector<ThermalCycle> cycles = {
+      {.amplitude = 3.0, .maxTemp = 30.0, .weight = 1.0}};
+  EXPECT_LE(cyclingMttf(cycles, 100.0, p, 50.0), 50.0);
+}
+
+TEST(MinerTest, InvalidInputsRejected) {
+  const FatigueParams p = simpleParams();
+  const std::vector<ThermalCycle> cycles;
+  EXPECT_THROW((void)cyclingMttf(cycles, 0.0, p, 1.0), PreconditionError);
+  FatigueParams bad = p;
+  bad.coefficient = 0.0;
+  const ThermalCycle cycle{.amplitude = 12.0, .maxTemp = 60.0, .weight = 1.0};
+  EXPECT_THROW((void)cyclesToFailure(cycle, bad), PreconditionError);
+}
+
+class DamageScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DamageScalingSweep, MttfInverselyProportionalToCycleRate) {
+  // Property: k times as many identical cycles in the same duration ->
+  // MTTF / k.
+  const FatigueParams p = simpleParams();
+  const int k = GetParam();
+  const ThermalCycle cycle{.amplitude = 15.0, .maxTemp = 55.0, .weight = 1.0};
+  const std::vector<ThermalCycle> one(1, cycle);
+  const std::vector<ThermalCycle> many(static_cast<std::size_t>(k), cycle);
+  const Seconds mttfOne = cyclingMttf(one, 60.0, p, 1e18);
+  const Seconds mttfMany = cyclingMttf(many, 60.0, p, 1e18);
+  EXPECT_NEAR(mttfMany, mttfOne / k, mttfOne * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DamageScalingSweep, ::testing::Values(2, 5, 10, 100));
+
+}  // namespace
+}  // namespace rltherm::reliability

@@ -1,0 +1,140 @@
+#include "reliability/mechanisms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::reliability {
+namespace {
+
+std::vector<Celsius> constantTrace(Celsius t, std::size_t n = 50) {
+  return std::vector<Celsius>(n, t);
+}
+std::vector<Volts> constantVolts(Volts v, std::size_t n = 50) {
+  return std::vector<Volts>(n, v);
+}
+
+TEST(MechanismsTest, StandardSetShape) {
+  const std::vector<MechanismParams> mechanisms = standardMechanisms();
+  ASSERT_EQ(mechanisms.size(), 3u);
+  EXPECT_EQ(mechanisms[0].mechanism, Mechanism::Electromigration);
+  EXPECT_EQ(mechanisms[1].mechanism, Mechanism::Nbti);
+  EXPECT_EQ(mechanisms[2].mechanism, Mechanism::Tddb);
+  // TDDB is the most voltage-accelerated.
+  EXPECT_GT(mechanisms[2].voltageExponent, mechanisms[1].voltageExponent);
+}
+
+TEST(MechanismsTest, SofrCalibratedToIdleTarget) {
+  const std::vector<MechanismParams> mechanisms = standardMechanisms(10.0);
+  const MechanismReport report = analyzeMechanisms(
+      mechanisms, constantTrace(31.0), constantVolts(1.25));
+  EXPECT_NEAR(report.sofrMttfYears, 10.0, 1e-9);
+  // Equal contribution: each mechanism alone would give 30 years.
+  for (const auto& entry : report.perMechanism) {
+    EXPECT_NEAR(entry.mttfYears, 30.0, 1e-9);
+  }
+}
+
+TEST(MechanismsTest, HeatAcceleratesEveryMechanism) {
+  const std::vector<MechanismParams> mechanisms = standardMechanisms();
+  const MechanismReport cool = analyzeMechanisms(
+      mechanisms, constantTrace(35.0), constantVolts(1.0));
+  const MechanismReport hot = analyzeMechanisms(
+      mechanisms, constantTrace(70.0), constantVolts(1.0));
+  EXPECT_LT(hot.sofrMttfYears, cool.sofrMttfYears);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(hot.perMechanism[i].mttfYears, cool.perMechanism[i].mttfYears);
+  }
+}
+
+TEST(MechanismsTest, VoltageAcceleratesTddbMost) {
+  const std::vector<MechanismParams> mechanisms = standardMechanisms();
+  const MechanismReport low = analyzeMechanisms(
+      mechanisms, constantTrace(50.0), constantVolts(0.9));
+  const MechanismReport high = analyzeMechanisms(
+      mechanisms, constantTrace(50.0), constantVolts(1.25));
+  const auto ratio = [&](std::size_t i) {
+    return low.perMechanism[i].mttfYears / high.perMechanism[i].mttfYears;
+  };
+  EXPECT_NEAR(ratio(0), 1.0, 1e-9);  // EM: no voltage term here
+  EXPECT_GT(ratio(2), ratio(1));     // TDDB >> NBTI sensitivity
+  EXPECT_GT(ratio(2), 5.0);
+}
+
+TEST(MechanismsTest, ScaleMatchesArrheniusClosedForm) {
+  MechanismParams params = standardMechanisms()[0];
+  const double ratio = mechanismScale(params, 71.0, 1.25) /
+                       mechanismScale(params, 31.0, 1.25);
+  const double expected = std::exp(params.activationEnergy / kBoltzmannEvPerK *
+                                   (1.0 / toKelvin(71.0) - 1.0 / toKelvin(31.0)));
+  EXPECT_NEAR(ratio, expected, 1e-12);
+}
+
+TEST(MechanismsTest, SofrIsHarmonicCombination) {
+  // SOFR rate = sum of rates, so the combined MTTF is below each
+  // individual's and equals Gamma(1.5) / sum(rate_i).
+  const std::vector<MechanismParams> mechanisms = standardMechanisms();
+  const MechanismReport report = analyzeMechanisms(
+      mechanisms, constantTrace(55.0), constantVolts(1.1));
+  double totalRate = 0.0;
+  for (const auto& entry : report.perMechanism) {
+    EXPECT_LT(report.sofrMttfYears, entry.mttfYears);
+    totalRate += entry.agingRate;
+  }
+  EXPECT_NEAR(report.sofrMttfYears, std::tgamma(1.5) / totalRate, 1e-12);
+}
+
+TEST(MechanismsTest, TraceSizeMismatchRejected) {
+  const MechanismParams params = standardMechanisms()[0];
+  const std::vector<Celsius> temps(10, 40.0);
+  const std::vector<Volts> volts(9, 1.0);
+  EXPECT_THROW((void)mechanismAgingRate(params, temps, volts), PreconditionError);
+}
+
+TEST(MechanismsTest, ToStringNames) {
+  EXPECT_EQ(toString(Mechanism::Electromigration), "EM");
+  EXPECT_EQ(toString(Mechanism::Nbti), "NBTI");
+  EXPECT_EQ(toString(Mechanism::Tddb), "TDDB");
+}
+
+TEST(MonteCarloMttfTest, MatchesClosedFormGamma) {
+  Rng rng(123);
+  const double rate = 0.5;
+  const double beta = 2.0;
+  const double estimate = monteCarloMttf(rate, beta, 200000, rng);
+  const double closedForm = std::tgamma(1.0 + 1.0 / beta) / rate;
+  EXPECT_NEAR(estimate, closedForm, closedForm * 0.01);
+}
+
+TEST(MonteCarloMttfTest, ExponentialCase) {
+  Rng rng(7);
+  // beta = 1: MTTF = 1/rate exactly.
+  const double estimate = monteCarloMttf(2.0, 1.0, 200000, rng);
+  EXPECT_NEAR(estimate, 0.5, 0.01);
+}
+
+TEST(MonteCarloMttfTest, InvalidInputsRejected) {
+  Rng rng(1);
+  EXPECT_THROW((void)monteCarloMttf(0.0, 2.0, 10, rng), PreconditionError);
+  EXPECT_THROW((void)monteCarloMttf(1.0, 0.0, 10, rng), PreconditionError);
+  EXPECT_THROW((void)monteCarloMttf(1.0, 2.0, 0, rng), PreconditionError);
+}
+
+class MonteCarloBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonteCarloBetaSweep, AgreesWithGammaFormula) {
+  Rng rng(42);
+  const double beta = GetParam();
+  const double estimate = monteCarloMttf(1.0, beta, 150000, rng);
+  const double closedForm = std::tgamma(1.0 + 1.0 / beta);
+  EXPECT_NEAR(estimate, closedForm, closedForm * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, MonteCarloBetaSweep,
+                         ::testing::Values(0.8, 1.0, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace rltherm::reliability

@@ -1,0 +1,177 @@
+#include "reliability/rainflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace rltherm::reliability {
+namespace {
+
+double totalWeight(const std::vector<ThermalCycle>& cycles) {
+  double w = 0.0;
+  for (const ThermalCycle& c : cycles) w += c.weight;
+  return w;
+}
+
+TEST(ExtremaTest, CollapsesMonotoneRuns) {
+  const std::vector<Celsius> series = {1.0, 2.0, 3.0, 2.0, 1.0, 4.0};
+  const std::vector<Celsius> extrema = extractExtrema(series);
+  EXPECT_EQ(extrema, (std::vector<Celsius>{1.0, 3.0, 1.0, 4.0}));
+}
+
+TEST(ExtremaTest, CollapsesPlateaus) {
+  const std::vector<Celsius> series = {1.0, 3.0, 3.0, 3.0, 2.0};
+  const std::vector<Celsius> extrema = extractExtrema(series);
+  EXPECT_EQ(extrema, (std::vector<Celsius>{1.0, 3.0, 2.0}));
+}
+
+TEST(ExtremaTest, ConstantSeriesIsSinglePoint) {
+  const std::vector<Celsius> series = {5.0, 5.0, 5.0};
+  EXPECT_EQ(extractExtrema(series).size(), 1u);
+}
+
+TEST(ExtremaTest, EmptyAndSingle) {
+  EXPECT_TRUE(extractExtrema({}).empty());
+  const std::vector<Celsius> one = {3.0};
+  EXPECT_EQ(extractExtrema(one).size(), 1u);
+}
+
+TEST(RainflowTest, AstmE1049ReferenceHistory) {
+  // The classic ASTM E1049 example: peaks/valleys -2,1,-3,5,-1,3,-4,4,-2
+  // counts as one full cycle of range 4 and half cycles of ranges
+  // 3, 4, 8, 9, 8, 6.
+  const std::vector<Celsius> series = {-2.0, 1.0, -3.0, 5.0, -1.0, 3.0, -4.0, 4.0, -2.0};
+  std::vector<ThermalCycle> cycles = rainflow(series);
+  ASSERT_EQ(cycles.size(), 7u);
+
+  std::vector<std::pair<double, double>> rangeWeight;  // (amplitude, weight)
+  for (const ThermalCycle& c : cycles) rangeWeight.emplace_back(c.amplitude, c.weight);
+  std::sort(rangeWeight.begin(), rangeWeight.end());
+
+  const std::vector<std::pair<double, double>> expected = {
+      {3.0, 0.5}, {4.0, 0.5}, {4.0, 1.0}, {6.0, 0.5}, {8.0, 0.5}, {8.0, 0.5}, {9.0, 0.5}};
+  ASSERT_EQ(rangeWeight.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rangeWeight[i].first, expected[i].first) << i;
+    EXPECT_DOUBLE_EQ(rangeWeight[i].second, expected[i].second) << i;
+  }
+}
+
+TEST(RainflowTest, AstmMaxTempTracked) {
+  const std::vector<Celsius> series = {-2.0, 1.0, -3.0, 5.0, -1.0, 3.0, -4.0, 4.0, -2.0};
+  const std::vector<ThermalCycle> cycles = rainflow(series);
+  // The single full cycle is (-1, 3): its max temperature is 3.
+  const auto full = std::find_if(cycles.begin(), cycles.end(),
+                                 [](const ThermalCycle& c) { return c.weight == 1.0; });
+  ASSERT_NE(full, cycles.end());
+  EXPECT_DOUBLE_EQ(full->maxTemp, 3.0);
+  EXPECT_DOUBLE_EQ(full->amplitude, 4.0);
+}
+
+TEST(RainflowTest, ConstantSeriesHasNoCycles) {
+  const std::vector<Celsius> series(100, 42.0);
+  EXPECT_TRUE(rainflow(series).empty());
+}
+
+TEST(RainflowTest, MonotoneRampIsOneHalfCycle) {
+  std::vector<Celsius> series;
+  for (int i = 0; i <= 30; ++i) series.push_back(30.0 + i);
+  const std::vector<ThermalCycle> cycles = rainflow(series);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_DOUBLE_EQ(cycles[0].amplitude, 30.0);
+  EXPECT_DOUBLE_EQ(cycles[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(cycles[0].maxTemp, 60.0);
+}
+
+TEST(RainflowTest, SingleTriangleWaveCycleCount) {
+  // N identical triangles -> about N cycles of the full amplitude (each
+  // alternation pairs into one cycle; residue contributes halves).
+  std::vector<Celsius> series;
+  for (int rep = 0; rep < 20; ++rep) {
+    series.push_back(30.0);
+    series.push_back(50.0);
+  }
+  series.push_back(30.0);
+  const std::vector<ThermalCycle> cycles = rainflow(series);
+  EXPECT_NEAR(totalWeight(cycles), 20.0, 1.0);
+  for (const ThermalCycle& c : cycles) EXPECT_DOUBLE_EQ(c.amplitude, 20.0);
+}
+
+TEST(RainflowTest, MinAmplitudeFiltersSmallCycles) {
+  std::vector<Celsius> series;
+  for (int rep = 0; rep < 10; ++rep) {
+    series.push_back(40.0);
+    series.push_back(40.4);  // sub-degree noise wiggle
+    series.push_back(40.0);
+    series.push_back(50.0);  // real cycle
+  }
+  const std::vector<ThermalCycle> all = rainflow(series, 0.0);
+  const std::vector<ThermalCycle> filtered = rainflow(series, 1.0);
+  EXPECT_GT(all.size(), filtered.size());
+  for (const ThermalCycle& c : filtered) EXPECT_GE(c.amplitude, 1.0);
+}
+
+TEST(RainflowTest, OrderingSymmetryOfBigTransition) {
+  // A hot plateau before cold cycling and after cold cycling must count the
+  // large transition ramp comparably (this was a real bug: the simplified
+  // stack rule swallowed the ramp in one ordering).
+  std::vector<Celsius> coldPhase;
+  for (int i = 0; i < 50; ++i) {
+    coldPhase.push_back(35.0);
+    coldPhase.push_back(40.0);
+  }
+  std::vector<Celsius> hotFirst = {68.0, 68.0};
+  hotFirst.insert(hotFirst.end(), coldPhase.begin(), coldPhase.end());
+  std::vector<Celsius> hotLast = coldPhase;
+  hotLast.push_back(68.0);
+  hotLast.push_back(68.0);
+
+  const auto bigIn = [](const std::vector<ThermalCycle>& cycles) {
+    double w = 0.0;
+    for (const ThermalCycle& c : cycles) {
+      if (c.amplitude > 20.0) w += c.weight;
+    }
+    return w;
+  };
+  EXPECT_NEAR(bigIn(rainflow(hotFirst)), bigIn(rainflow(hotLast)), 0.51);
+  EXPECT_GT(bigIn(rainflow(hotFirst)), 0.0);
+  EXPECT_GT(bigIn(rainflow(hotLast)), 0.0);
+}
+
+TEST(RainflowTest, TotalWeightMatchesAlternationCount) {
+  // Property: for any series, total cycle weight is half the number of
+  // alternations (each alternation is half a cycle).
+  std::vector<Celsius> series;
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(40.0 + 10.0 * std::sin(0.7 * i) + 3.0 * std::sin(2.3 * i));
+  }
+  const std::vector<Celsius> extrema = extractExtrema(series);
+  const std::vector<ThermalCycle> cycles = rainflow(series);
+  EXPECT_NEAR(totalWeight(cycles), static_cast<double>(extrema.size() - 1) / 2.0, 1e-9);
+}
+
+class SineAmplitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SineAmplitudeSweep, SinusoidCountsItsPeriods) {
+  const double amplitude = GetParam();
+  std::vector<Celsius> series;
+  constexpr int kPeriods = 15;
+  constexpr int kSamplesPerPeriod = 40;
+  for (int i = 0; i <= kPeriods * kSamplesPerPeriod; ++i) {
+    series.push_back(50.0 + amplitude *
+                                std::sin(2.0 * std::numbers::pi * i / kSamplesPerPeriod));
+  }
+  const std::vector<ThermalCycle> cycles = rainflow(series);
+  EXPECT_NEAR(totalWeight(cycles), kPeriods, 1.0);
+  double maxAmp = 0.0;
+  for (const ThermalCycle& c : cycles) maxAmp = std::max(maxAmp, c.amplitude);
+  EXPECT_NEAR(maxAmp, 2.0 * amplitude, 0.1 * amplitude);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, SineAmplitudeSweep, ::testing::Values(2.0, 5.0, 10.0, 20.0));
+
+}  // namespace
+}  // namespace rltherm::reliability

@@ -1,0 +1,106 @@
+#include "rl/discretizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rltherm::rl {
+namespace {
+
+TEST(RangeDiscretizerTest, UniformBins) {
+  const RangeDiscretizer d(0.0, 10.0, 4);
+  EXPECT_EQ(d.bin(0.0), 0u);
+  EXPECT_EQ(d.bin(2.4), 0u);
+  EXPECT_EQ(d.bin(2.6), 1u);
+  EXPECT_EQ(d.bin(5.1), 2u);
+  EXPECT_EQ(d.bin(7.6), 3u);
+  EXPECT_EQ(d.bin(9.99), 3u);
+}
+
+TEST(RangeDiscretizerTest, ClampsOutOfRange) {
+  const RangeDiscretizer d(0.0, 10.0, 4);
+  EXPECT_EQ(d.bin(-5.0), 0u);
+  EXPECT_EQ(d.bin(10.0), 3u);
+  EXPECT_EQ(d.bin(1e9), 3u);
+}
+
+TEST(RangeDiscretizerTest, LastBinIsUnsafe) {
+  const RangeDiscretizer d(0.0, 10.0, 4);
+  EXPECT_FALSE(d.isUnsafe(7.0));
+  EXPECT_TRUE(d.isUnsafe(8.0));
+  EXPECT_TRUE(d.isUnsafe(100.0));
+}
+
+TEST(RangeDiscretizerTest, NegativeRange) {
+  const RangeDiscretizer d(-8.0, -3.0, 5);
+  EXPECT_EQ(d.bin(-8.0), 0u);
+  EXPECT_EQ(d.bin(-5.5), 2u);
+  EXPECT_EQ(d.bin(-3.0), 4u);
+}
+
+TEST(RangeDiscretizerTest, NormalizedMidpoint) {
+  const RangeDiscretizer d(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(d.normalizedMidpoint(0), 0.125);
+  EXPECT_DOUBLE_EQ(d.normalizedMidpoint(3), 0.875);
+  EXPECT_THROW((void)d.normalizedMidpoint(4), PreconditionError);
+}
+
+TEST(RangeDiscretizerTest, NormalizeClamps) {
+  const RangeDiscretizer d(10.0, 20.0, 2);
+  EXPECT_DOUBLE_EQ(d.normalize(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.normalize(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.normalize(25.0), 1.0);
+}
+
+TEST(RangeDiscretizerTest, InvalidConstructionThrows) {
+  EXPECT_THROW(RangeDiscretizer(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(RangeDiscretizer(2.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(RangeDiscretizer(0.0, 1.0, 1), PreconditionError);
+}
+
+TEST(StateSpaceTest, FlattensRowMajor) {
+  const StateSpace space(RangeDiscretizer(0.0, 1.0, 3), RangeDiscretizer(0.0, 1.0, 4));
+  EXPECT_EQ(space.stateCount(), 12u);
+  // state = stressBin * Na + agingBin
+  EXPECT_EQ(space.stateOf(0.0, 0.0), 0u);
+  EXPECT_EQ(space.stateOf(0.0, 0.99), 3u);
+  EXPECT_EQ(space.stateOf(0.99, 0.0), 8u);
+  EXPECT_EQ(space.stateOf(0.99, 0.99), 11u);
+}
+
+TEST(StateSpaceTest, BinsOfRoundTrip) {
+  const StateSpace space(RangeDiscretizer(0.0, 1.0, 3), RangeDiscretizer(0.0, 1.0, 4));
+  for (std::size_t s = 0; s < space.stateCount(); ++s) {
+    const StateSpace::Bins bins = space.binsOf(s);
+    EXPECT_EQ(bins.stressBin * 4 + bins.agingBin, s);
+  }
+  EXPECT_THROW((void)space.binsOf(12), PreconditionError);
+}
+
+TEST(StateSpaceTest, UnsafeWhenEitherChannelUnsafe) {
+  const StateSpace space(RangeDiscretizer(0.0, 1.0, 4), RangeDiscretizer(0.0, 1.0, 4));
+  EXPECT_FALSE(space.isUnsafe(0.1, 0.1));
+  EXPECT_TRUE(space.isUnsafe(0.9, 0.1));
+  EXPECT_TRUE(space.isUnsafe(0.1, 0.9));
+  EXPECT_TRUE(space.isUnsafe(0.9, 0.9));
+}
+
+class BinCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinCountSweep, EveryValueLandsInExactlyItsBin) {
+  const std::size_t bins = GetParam();
+  const RangeDiscretizer d(0.0, 1.0, bins);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(i) / 1000.0;
+    const std::size_t b = d.bin(v);
+    EXPECT_LT(b, bins);
+    // Value lies within the half-open interval of its bin (last bin closed).
+    const double lo = static_cast<double>(b) / static_cast<double>(bins);
+    EXPECT_GE(v, lo - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BinCountSweep, ::testing::Values(2, 3, 4, 8, 12, 16));
+
+}  // namespace
+}  // namespace rltherm::rl

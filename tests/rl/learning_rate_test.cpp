@@ -1,0 +1,112 @@
+#include "rl/learning_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rltherm::rl {
+namespace {
+
+TEST(LearningRateTest, StartsAtInitialAlpha) {
+  const LearningRateSchedule schedule;
+  EXPECT_DOUBLE_EQ(schedule.alpha(), 1.0);
+  EXPECT_EQ(schedule.phase(), LearningPhase::Exploration);
+  EXPECT_EQ(schedule.step(), 0u);
+}
+
+TEST(LearningRateTest, ExponentialDecay) {
+  LearningRateConfig config;
+  config.decay = 0.1;
+  config.minAlpha = 0.0001;
+  LearningRateSchedule schedule(config);
+  for (int i = 0; i < 10; ++i) schedule.advance();
+  EXPECT_NEAR(schedule.alpha(), std::exp(-1.0), 1e-12);
+}
+
+TEST(LearningRateTest, FloorsAtMinAlpha) {
+  LearningRateConfig config;
+  config.decay = 1.0;
+  config.minAlpha = 0.05;
+  LearningRateSchedule schedule(config);
+  for (int i = 0; i < 100; ++i) schedule.advance();
+  EXPECT_DOUBLE_EQ(schedule.alpha(), 0.05);
+}
+
+TEST(LearningRateTest, PhaseTransitions) {
+  LearningRateConfig config;
+  config.decay = 0.25;
+  config.explorationThreshold = 0.5;
+  config.exploitationThreshold = 0.1;
+  config.minAlpha = 0.01;
+  LearningRateSchedule schedule(config);
+  EXPECT_EQ(schedule.phase(), LearningPhase::Exploration);
+  while (schedule.alpha() >= 0.5) schedule.advance();
+  EXPECT_EQ(schedule.phase(), LearningPhase::ExplorationExploitation);
+  while (schedule.alpha() > 0.1) schedule.advance();
+  EXPECT_EQ(schedule.phase(), LearningPhase::Exploitation);
+}
+
+TEST(LearningRateTest, EpsilonIsOneOnlyDuringExploration) {
+  LearningRateSchedule schedule;
+  EXPECT_DOUBLE_EQ(schedule.epsilon(), 1.0);
+  while (schedule.phase() == LearningPhase::Exploration) schedule.advance();
+  EXPECT_DOUBLE_EQ(schedule.epsilon(), 0.0);
+  for (int i = 0; i < 100; ++i) schedule.advance();
+  EXPECT_DOUBLE_EQ(schedule.epsilon(), 0.0);
+}
+
+TEST(LearningRateTest, ResetRestartsFromScratch) {
+  LearningRateSchedule schedule;
+  for (int i = 0; i < 50; ++i) schedule.advance();
+  schedule.reset();
+  EXPECT_DOUBLE_EQ(schedule.alpha(), 1.0);
+  EXPECT_EQ(schedule.step(), 0u);
+  EXPECT_EQ(schedule.phase(), LearningPhase::Exploration);
+}
+
+TEST(LearningRateTest, RestoreToExplorationEnd) {
+  LearningRateSchedule schedule;
+  for (int i = 0; i < 200; ++i) schedule.advance();
+  schedule.restoreToExplorationEnd();
+  // Alpha is just below the exploration threshold: the agent resumes in the
+  // exploration-exploitation phase with alpha ~= alpha_exp.
+  EXPECT_LT(schedule.alpha(), schedule.config().explorationThreshold);
+  EXPECT_GT(schedule.alpha(),
+            schedule.config().explorationThreshold * std::exp(-schedule.config().decay));
+  EXPECT_EQ(schedule.phase(), LearningPhase::ExplorationExploitation);
+}
+
+TEST(LearningRateTest, RestoreThenDecayContinues) {
+  LearningRateSchedule schedule;
+  schedule.restoreToExplorationEnd();
+  const double restored = schedule.alpha();
+  schedule.advance();
+  EXPECT_LT(schedule.alpha(), restored);
+}
+
+TEST(LearningRateTest, InvalidConfigRejected) {
+  LearningRateConfig config;
+  config.initialAlpha = 0.0;
+  EXPECT_THROW(LearningRateSchedule{config}, PreconditionError);
+  config = LearningRateConfig{};
+  config.decay = 0.0;
+  EXPECT_THROW(LearningRateSchedule{config}, PreconditionError);
+  config = LearningRateConfig{};
+  config.minAlpha = 2.0;
+  EXPECT_THROW(LearningRateSchedule{config}, PreconditionError);
+  config = LearningRateConfig{};
+  config.explorationThreshold = 0.1;
+  config.exploitationThreshold = 0.5;
+  EXPECT_THROW(LearningRateSchedule{config}, PreconditionError);
+}
+
+TEST(LearningRateTest, ExplorationEndAlphaReported) {
+  const LearningRateSchedule schedule;
+  EXPECT_DOUBLE_EQ(schedule.explorationEndAlpha(),
+                   schedule.config().explorationThreshold);
+}
+
+}  // namespace
+}  // namespace rltherm::rl

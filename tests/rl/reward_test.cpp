@@ -1,0 +1,147 @@
+#include "rl/reward.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rltherm::rl {
+namespace {
+
+StateSpace unitSpace(std::size_t bins = 4) {
+  return StateSpace(RangeDiscretizer(0.0, 1.0, bins), RangeDiscretizer(0.0, 1.0, bins));
+}
+
+RewardInputs safeInputs(double stress, double aging) {
+  return RewardInputs{
+      .stress = stress,
+      .aging = aging,
+      .performance = 1.0,
+      .constraint = 1.0,
+      .stressDominant = true,
+  };
+}
+
+TEST(RewardTest, UnsafeStressIsPenalized) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  const double r = computeReward(safeInputs(0.9, 0.1), space, params);
+  EXPECT_LT(r, 0.0);
+}
+
+TEST(RewardTest, UnsafeAgingIsPenalized) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  EXPECT_LT(computeReward(safeInputs(0.1, 0.95), space, params), 0.0);
+}
+
+TEST(RewardTest, UnsafePenaltyIsProductOfIntervalRepresentatives) {
+  const StateSpace space = unitSpace();
+  RewardParams params;
+  params.unsafePenaltyScale = 2.0;
+  // stress bin 3 of 4 (midpoint 0.875), aging bin 0 (midpoint 0.125).
+  const double r = computeReward(safeInputs(0.9, 0.05), space, params);
+  EXPECT_NEAR(r, -2.0 * 0.875 * 0.125, 1e-12);
+}
+
+TEST(RewardTest, CoolSafePerformingStateIsRewarded) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  EXPECT_GT(computeReward(safeInputs(0.05, 0.05), space, params), 0.0);
+}
+
+TEST(RewardTest, HotButNotUnsafeStateIsMildlyPenalized) {
+  // The recentered safety term makes thermally-poor states negative, which
+  // drives the optimism sweep (see RewardParams::safetyCenter).
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  const double r = computeReward(safeInputs(0.65, 0.65), space, params);
+  EXPECT_LT(r, 0.0);
+  // ... but less negative than the unsafe branch.
+  EXPECT_GT(r, computeReward(safeInputs(0.9, 0.9), space, params));
+}
+
+TEST(RewardTest, CoolerBeatsHotter) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  const double cool = computeReward(safeInputs(0.1, 0.1), space, params);
+  const double warm = computeReward(safeInputs(0.5, 0.5), space, params);
+  const double hot = computeReward(safeInputs(0.7, 0.7), space, params);
+  EXPECT_GT(cool, warm);
+  EXPECT_GT(warm, hot);
+}
+
+TEST(RewardTest, PerformanceShortfallSubtracts) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  RewardInputs meeting = safeInputs(0.1, 0.1);
+  RewardInputs missing = safeInputs(0.1, 0.1);
+  missing.performance = 0.6;
+  EXPECT_NEAR(computeReward(meeting, space, params) -
+                  computeReward(missing, space, params),
+              params.performanceWeight * 0.4, 1e-12);
+}
+
+TEST(RewardTest, ExceedingConstraintEarnsNoBonus) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  RewardInputs exact = safeInputs(0.1, 0.1);
+  RewardInputs overachieving = safeInputs(0.1, 0.1);
+  overachieving.performance = 2.0;
+  EXPECT_DOUBLE_EQ(computeReward(exact, space, params),
+                   computeReward(overachieving, space, params));
+}
+
+TEST(RewardTest, ImportancePairSelection) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  // Asymmetric state: very low stress, moderate aging. With stress dominant
+  // (a > b) the good stress channel carries more weight -> higher reward.
+  RewardInputs stressFirst = safeInputs(0.05, 0.55);
+  stressFirst.stressDominant = true;
+  RewardInputs agingFirst = stressFirst;
+  agingFirst.stressDominant = false;
+  EXPECT_GT(computeReward(stressFirst, space, params),
+            computeReward(agingFirst, space, params));
+}
+
+TEST(RewardTest, FlatWeightAblationDiffers) {
+  const StateSpace space = unitSpace();
+  RewardParams gaussian;
+  RewardParams flat;
+  flat.gaussianWeights = false;
+  const RewardInputs in = safeInputs(0.05, 0.05);
+  // With flat weights K1 = K2 = 1, the extreme-stable state earns more than
+  // under the Gaussian weighting that de-emphasizes extremes.
+  EXPECT_GT(computeReward(in, space, flat), computeReward(in, space, gaussian));
+}
+
+TEST(RewardTest, UnsafeBranchIgnoresPerformance) {
+  const StateSpace space = unitSpace();
+  const RewardParams params;
+  RewardInputs slowUnsafe = safeInputs(0.9, 0.9);
+  slowUnsafe.performance = 0.1;
+  RewardInputs fastUnsafe = safeInputs(0.9, 0.9);
+  fastUnsafe.performance = 5.0;
+  EXPECT_DOUBLE_EQ(computeReward(slowUnsafe, space, params),
+                   computeReward(fastUnsafe, space, params));
+}
+
+class RewardBinSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RewardBinSweep, SafeBranchBoundedAndUnsafeNegative) {
+  const StateSpace space = unitSpace(GetParam());
+  const RewardParams params;
+  for (double s = 0.0; s < 1.0; s += 0.05) {
+    for (double a = 0.0; a < 1.0; a += 0.05) {
+      const double r = computeReward(safeInputs(s, a), space, params);
+      EXPECT_LT(r, 2.0);
+      EXPECT_GT(r, -3.0);
+      if (space.isUnsafe(s, a)) {
+        EXPECT_LT(r, 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, RewardBinSweep, ::testing::Values(2, 4, 8, 12));
+
+}  // namespace
+}  // namespace rltherm::rl

@@ -1,0 +1,89 @@
+// Tests of the fair-share weight (nice-level analogue) extension.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rltherm::sched {
+namespace {
+
+TEST(WeightTest, DefaultWeightIsOne) {
+  SchedulerConfig config;
+  config.coreCount = 1;
+  Scheduler sched(config);
+  sched.addThread(1, AffinityMask::single(0));
+  EXPECT_DOUBLE_EQ(sched.thread(1).weight, 1.0);
+}
+
+TEST(WeightTest, HeavierThreadGetsProportionalShare) {
+  SchedulerConfig config;
+  config.coreCount = 1;
+  Scheduler sched(config);
+  sched.addThread(1, AffinityMask::single(0));
+  sched.addThread(2, AffinityMask::single(0));
+  sched.setWeight(2, 3.0);
+  for (int i = 0; i < 4000; ++i) (void)sched.schedule(0.01);
+  const double share1 = sched.thread(1).cpuTime;
+  const double share2 = sched.thread(2).cpuTime;
+  EXPECT_NEAR(share2 / share1, 3.0, 0.1);
+  EXPECT_NEAR(share1 + share2, 40.0, 1e-9);
+}
+
+TEST(WeightTest, EqualWeightsStayFair) {
+  SchedulerConfig config;
+  config.coreCount = 1;
+  Scheduler sched(config);
+  sched.addThread(1, AffinityMask::single(0));
+  sched.addThread(2, AffinityMask::single(0));
+  sched.setWeight(1, 2.5);
+  sched.setWeight(2, 2.5);
+  for (int i = 0; i < 2000; ++i) (void)sched.schedule(0.01);
+  EXPECT_NEAR(sched.thread(1).cpuTime, sched.thread(2).cpuTime, 0.1);
+}
+
+TEST(WeightTest, BalancerCountsWeightedLoad) {
+  SchedulerConfig config;
+  config.coreCount = 2;
+  Scheduler sched(config);
+  // One heavy (weight 3) thread and three light ones. Weighted balancing
+  // should NOT pile all three light threads opposite the heavy one and then
+  // keep shuffling: a 3-vs-3 weighted split is balanced.
+  sched.addThread(1, AffinityMask::single(0));
+  sched.setWeight(1, 3.0);
+  sched.addThread(2, AffinityMask::single(1));
+  sched.addThread(3, AffinityMask::single(1));
+  sched.addThread(4, AffinityMask::single(1));
+  for (ThreadId id = 1; id <= 4; ++id) sched.setAffinity(id, AffinityMask::all(2));
+  const std::uint64_t migrationsBefore = sched.totalMigrations();
+  sched.balanceNow();
+  EXPECT_EQ(sched.totalMigrations(), migrationsBefore);  // already balanced
+}
+
+TEST(WeightTest, InvalidWeightRejected) {
+  SchedulerConfig config;
+  config.coreCount = 1;
+  Scheduler sched(config);
+  sched.addThread(1, AffinityMask::single(0));
+  EXPECT_THROW(sched.setWeight(1, 0.0), PreconditionError);
+  EXPECT_THROW(sched.setWeight(1, -1.0), PreconditionError);
+  EXPECT_THROW(sched.setWeight(9, 1.0), PreconditionError);
+}
+
+class WeightRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightRatioSweep, CpuShareTracksWeightRatio) {
+  const double ratio = GetParam();
+  SchedulerConfig config;
+  config.coreCount = 1;
+  Scheduler sched(config);
+  sched.addThread(1, AffinityMask::single(0));
+  sched.addThread(2, AffinityMask::single(0));
+  sched.setWeight(2, ratio);
+  for (int i = 0; i < 8000; ++i) (void)sched.schedule(0.01);
+  EXPECT_NEAR(sched.thread(2).cpuTime / sched.thread(1).cpuTime, ratio, ratio * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, WeightRatioSweep, ::testing::Values(1.5, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace rltherm::sched

@@ -1,0 +1,111 @@
+#include "thermal/quadcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::thermal {
+namespace {
+
+TEST(QuadCoreTest, DefaultStructure) {
+  const QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  EXPECT_EQ(pkg.coreNodes.size(), 4u);
+  EXPECT_EQ(pkg.network.nodeCount(), 6u);  // 4 cores + spreader + sink
+  EXPECT_EQ(pkg.network.nodesOfKind(NodeKind::Core).size(), 4u);
+  EXPECT_EQ(pkg.network.node(pkg.spreaderNode).kind, NodeKind::Spreader);
+  EXPECT_EQ(pkg.network.node(pkg.sinkNode).kind, NodeKind::Sink);
+}
+
+TEST(QuadCoreTest, UniformPowerGivesSymmetricCoreTemperatures) {
+  QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  const std::vector<Watts> corePower(4, 5.0);
+  const std::vector<Celsius> ss = pkg.network.steadyState(pkg.nodePower(corePower));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(ss[pkg.coreNodes[0]], ss[pkg.coreNodes[i]], 1e-9);
+  }
+}
+
+TEST(QuadCoreTest, LoadedCoreIsHottest) {
+  QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  const std::vector<Watts> corePower = {8.0, 1.0, 1.0, 1.0};
+  const std::vector<Celsius> ss = pkg.network.steadyState(pkg.nodePower(corePower));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(ss[pkg.coreNodes[0]], ss[pkg.coreNodes[i]]);
+  }
+  // Lateral coupling: the adjacent idle cores still sit above the spreader.
+  EXPECT_GT(ss[pkg.coreNodes[1]], ss[pkg.spreaderNode]);
+}
+
+TEST(QuadCoreTest, FullLoadSteadyStateInCalibratedRange) {
+  // All four cores at max-frequency power (~8.3 W dynamic + ~2.5 W leakage)
+  // should land near the calibrated ~70 C the paper's platform exhibits.
+  QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  const std::vector<Watts> corePower(4, 10.8);
+  const std::vector<Celsius> ss = pkg.network.steadyState(pkg.nodePower(corePower));
+  EXPECT_GT(ss[pkg.coreNodes[0]], 60.0);
+  EXPECT_LT(ss[pkg.coreNodes[0]], 80.0);
+}
+
+TEST(QuadCoreTest, IdleSteadyStateIsWarm) {
+  QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  const std::vector<Watts> corePower(4, 1.3);
+  const std::vector<Celsius> ss = pkg.network.steadyState(pkg.nodePower(corePower));
+  EXPECT_GT(ss[pkg.coreNodes[0]], 28.0);
+  EXPECT_LT(ss[pkg.coreNodes[0]], 36.0);
+}
+
+TEST(QuadCoreTest, NodePowerMapsCoresOnly) {
+  const QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  const std::vector<Watts> corePower = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<Watts> nodePower = pkg.nodePower(corePower);
+  EXPECT_DOUBLE_EQ(nodePower[pkg.coreNodes[2]], 3.0);
+  EXPECT_DOUBLE_EQ(nodePower[pkg.spreaderNode], 0.0);
+  EXPECT_DOUBLE_EQ(nodePower[pkg.sinkNode], 0.0);
+}
+
+TEST(QuadCoreTest, NodePowerSizeMismatchThrows) {
+  const QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  const std::vector<Watts> wrong(3, 1.0);
+  EXPECT_THROW(pkg.nodePower(wrong), PreconditionError);
+}
+
+TEST(QuadCoreTest, CoreTemperaturesTracksNetwork) {
+  QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  pkg.network.setUniformTemperature(55.0);
+  for (const Celsius t : pkg.coreTemperatures()) EXPECT_DOUBLE_EQ(t, 55.0);
+}
+
+TEST(QuadCoreTest, NonDefaultCoreCount) {
+  QuadCoreThermalConfig config;
+  config.coreCount = 2;
+  const QuadCorePackage pkg = buildQuadCorePackage(config);
+  EXPECT_EQ(pkg.coreNodes.size(), 2u);
+  EXPECT_EQ(pkg.network.nodeCount(), 4u);
+}
+
+TEST(QuadCoreTest, ZeroCoresRejected) {
+  QuadCoreThermalConfig config;
+  config.coreCount = 0;
+  EXPECT_THROW(buildQuadCorePackage(config), PreconditionError);
+}
+
+TEST(QuadCoreTest, TransientCoreTimeConstantIsFast) {
+  // A power step on one core should move its junction temperature most of
+  // the way to the local steady state within a few seconds (the calibrated
+  // tau ~ R_jc * C_core ~ 1.3 s), while the sink barely moves.
+  QuadCorePackage pkg = buildQuadCorePackage(QuadCoreThermalConfig{});
+  pkg.network.prepare(0.01);
+  const std::vector<Watts> corePower = {9.0, 1.0, 1.0, 1.0};
+  const std::vector<Watts> nodePower = pkg.nodePower(corePower);
+  const Celsius sinkBefore = pkg.network.temperature(pkg.sinkNode);
+  for (int i = 0; i < 300; ++i) pkg.network.step(nodePower);  // 3 seconds
+  const Celsius coreRise = pkg.network.temperature(pkg.coreNodes[0]) - 25.0;
+  const Celsius sinkRise = pkg.network.temperature(pkg.sinkNode) - sinkBefore;
+  EXPECT_GT(coreRise, 8.0);
+  EXPECT_LT(sinkRise, coreRise * 0.3);
+}
+
+}  // namespace
+}  // namespace rltherm::thermal

@@ -1,0 +1,193 @@
+#include "thermal/rc_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::thermal {
+namespace {
+
+/// Single node with capacitance C and resistance R to ambient — the textbook
+/// first-order RC with closed-form solution.
+RcNetwork singleNode(double capacitance, double resistance, Celsius ambient) {
+  RcNetwork::Builder builder;
+  builder.ambient(ambient);
+  builder.addNode(NodeSpec{.name = "n",
+                           .kind = NodeKind::Core,
+                           .capacitance = capacitance,
+                           .resistanceToAmbient = resistance});
+  return builder.build();
+}
+
+TEST(RcNetworkBuilderTest, FloatingNodeRejected) {
+  RcNetwork::Builder builder;
+  builder.addNode(NodeSpec{.name = "ok", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = 1.0});
+  builder.addNode(NodeSpec{.name = "floating", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = std::nullopt});
+  EXPECT_THROW(builder.build(), PreconditionError);
+}
+
+TEST(RcNetworkBuilderTest, NodeConnectedThroughGraphIsAccepted) {
+  RcNetwork::Builder builder;
+  const std::size_t a =
+      builder.addNode(NodeSpec{.name = "a", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = 1.0});
+  const std::size_t b = builder.addNode(NodeSpec{.name = "b", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = std::nullopt});
+  builder.connect(a, b, 2.0);
+  EXPECT_NO_THROW(builder.build());
+}
+
+TEST(RcNetworkBuilderTest, InvalidParametersRejected) {
+  RcNetwork::Builder builder;
+  EXPECT_THROW(builder.addNode(NodeSpec{.name = "bad", .kind = NodeKind::Other, .capacitance = 0.0, .resistanceToAmbient = std::nullopt}),
+               PreconditionError);
+  EXPECT_THROW(
+      builder.addNode(NodeSpec{.name = "bad", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = 0.0}),
+      PreconditionError);
+  const std::size_t a =
+      builder.addNode(NodeSpec{.name = "a", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = 1.0});
+  EXPECT_THROW(builder.connect(a, a, 1.0), PreconditionError);
+  EXPECT_THROW(builder.connect(a, 99, 1.0), PreconditionError);
+}
+
+TEST(RcNetworkBuilderTest, EmptyNetworkRejected) {
+  RcNetwork::Builder builder;
+  EXPECT_THROW(builder.build(), PreconditionError);
+}
+
+TEST(RcNetworkTest, StartsAtAmbient) {
+  const RcNetwork net = singleNode(1.0, 2.0, 30.0);
+  EXPECT_DOUBLE_EQ(net.temperature(0), 30.0);
+}
+
+TEST(RcNetworkTest, SteadyStateMatchesOhmsLawAnalogue) {
+  // T_ss = T_amb + P * R for a single node.
+  const RcNetwork net = singleNode(1.0, 2.5, 25.0);
+  const std::vector<Watts> power = {4.0};
+  const std::vector<Celsius> ss = net.steadyState(power);
+  EXPECT_NEAR(ss[0], 25.0 + 4.0 * 2.5, 1e-10);
+}
+
+TEST(RcNetworkTest, ExactStepMatchesClosedFormExponential) {
+  // T(t) = T_ss + (T0 - T_ss) e^{-t/RC} for constant power.
+  RcNetwork net = singleNode(2.0, 3.0, 25.0);
+  net.prepare(0.1);
+  const std::vector<Watts> power = {5.0};
+  const double tss = 25.0 + 5.0 * 3.0;
+  const double tau = 2.0 * 3.0;
+  for (int i = 1; i <= 50; ++i) {
+    net.step(power);
+    const double t = 0.1 * i;
+    const double expected = tss + (25.0 - tss) * std::exp(-t / tau);
+    EXPECT_NEAR(net.temperature(0), expected, 1e-9) << "at step " << i;
+  }
+}
+
+TEST(RcNetworkTest, ConvergesToSteadyState) {
+  RcNetwork net = singleNode(1.0, 1.0, 25.0);
+  net.prepare(0.5);
+  const std::vector<Watts> power = {10.0};
+  for (int i = 0; i < 100; ++i) net.step(power);
+  EXPECT_NEAR(net.temperature(0), 35.0, 1e-6);
+}
+
+TEST(RcNetworkTest, StepBeforePrepareThrows) {
+  RcNetwork net = singleNode(1.0, 1.0, 25.0);
+  const std::vector<Watts> power = {1.0};
+  EXPECT_THROW(net.step(power), PreconditionError);
+}
+
+TEST(RcNetworkTest, NegativePowerRejected) {
+  RcNetwork net = singleNode(1.0, 1.0, 25.0);
+  net.prepare(0.1);
+  const std::vector<Watts> power = {-1.0};
+  EXPECT_THROW(net.step(power), PreconditionError);
+}
+
+TEST(RcNetworkTest, Rk4AgreesWithExactStep) {
+  // Two coupled nodes; RK4 at a fine step must track the exact operator.
+  RcNetwork::Builder builder;
+  builder.ambient(25.0);
+  const std::size_t a = builder.addNode(
+      NodeSpec{.name = "a", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = 2.0});
+  const std::size_t b = builder.addNode(
+      NodeSpec{.name = "b", .kind = NodeKind::Other, .capacitance = 3.0, .resistanceToAmbient = std::nullopt});
+  builder.connect(a, b, 1.5);
+  RcNetwork exact = builder.build();
+  RcNetwork rk4 = builder.build();
+  exact.prepare(0.01);
+  const std::vector<Watts> power = {4.0, 1.0};
+  for (int i = 0; i < 500; ++i) {
+    exact.step(power);
+    rk4.stepRk4(power, 0.01);
+  }
+  EXPECT_NEAR(exact.temperature(a), rk4.temperature(a), 1e-6);
+  EXPECT_NEAR(exact.temperature(b), rk4.temperature(b), 1e-6);
+}
+
+TEST(RcNetworkTest, HeatFlowsFromHotToCold) {
+  RcNetwork::Builder builder;
+  builder.ambient(25.0);
+  const std::size_t hot = builder.addNode(
+      NodeSpec{.name = "hot", .kind = NodeKind::Core, .capacitance = 1.0, .resistanceToAmbient = std::nullopt});
+  const std::size_t cold = builder.addNode(
+      NodeSpec{.name = "cold", .kind = NodeKind::Other, .capacitance = 1.0, .resistanceToAmbient = 1.0});
+  builder.connect(hot, cold, 1.0);
+  RcNetwork net = builder.build();
+  net.prepare(0.05);
+  const std::vector<Watts> power = {8.0, 0.0};
+  for (int i = 0; i < 400; ++i) net.step(power);
+  EXPECT_GT(net.temperature(hot), net.temperature(cold));
+  EXPECT_GT(net.temperature(cold), 25.0);
+}
+
+TEST(RcNetworkTest, SetTemperaturesRoundTrip) {
+  RcNetwork net = singleNode(1.0, 1.0, 25.0);
+  const std::vector<Celsius> temps = {60.0};
+  net.setTemperatures(temps);
+  EXPECT_DOUBLE_EQ(net.temperature(0), 60.0);
+  net.setUniformTemperature(40.0);
+  EXPECT_DOUBLE_EQ(net.temperature(0), 40.0);
+}
+
+TEST(RcNetworkTest, NodesOfKindFilters) {
+  RcNetwork::Builder builder;
+  builder.addNode(NodeSpec{.name = "c0", .kind = NodeKind::Core, .capacitance = 1.0,
+                           .resistanceToAmbient = 1.0});
+  builder.addNode(NodeSpec{.name = "s", .kind = NodeKind::Sink, .capacitance = 1.0,
+                           .resistanceToAmbient = 1.0});
+  const RcNetwork net = builder.build();
+  EXPECT_EQ(net.nodesOfKind(NodeKind::Core).size(), 1u);
+  EXPECT_EQ(net.nodesOfKind(NodeKind::Sink).size(), 1u);
+  EXPECT_TRUE(net.nodesOfKind(NodeKind::Spreader).empty());
+}
+
+TEST(RcNetworkTest, RepreparingChangesStepSize) {
+  RcNetwork net = singleNode(1.0, 1.0, 25.0);
+  net.prepare(0.1);
+  EXPECT_DOUBLE_EQ(net.preparedStep().value(), 0.1);
+  net.prepare(1.0);
+  EXPECT_DOUBLE_EQ(net.preparedStep().value(), 1.0);
+}
+
+class StepSizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StepSizeSweep, ExactStepIsStepSizeInvariantAtFixedHorizon) {
+  // Property of the matrix-exponential update: integrating to t = 2 s in N
+  // steps gives the same temperature for any N (constant power).
+  const double dt = GetParam();
+  RcNetwork net = singleNode(1.5, 2.0, 25.0);
+  net.prepare(dt);
+  const std::vector<Watts> power = {6.0};
+  const int steps = static_cast<int>(std::round(2.0 / dt));
+  for (int i = 0; i < steps; ++i) net.step(power);
+  const double tss = 25.0 + 12.0;
+  const double expected = tss + (25.0 - tss) * std::exp(-2.0 / 3.0);
+  EXPECT_NEAR(net.temperature(0), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, StepSizeSweep, ::testing::Values(0.01, 0.02, 0.1, 0.5, 2.0));
+
+}  // namespace
+}  // namespace rltherm::thermal

@@ -1,0 +1,85 @@
+#include "thermal/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::thermal {
+namespace {
+
+TEST(SensorTest, NoiselessUnquantizedIsExact) {
+  SensorBank bank(SensorConfig{.quantizationStep = 0.0, .noiseSigma = 0.0}, 1);
+  EXPECT_DOUBLE_EQ(bank.readOne(53.37), 53.37);
+}
+
+TEST(SensorTest, QuantizationSnapsToGrid) {
+  SensorBank bank(SensorConfig{.quantizationStep = 0.5, .noiseSigma = 0.0}, 1);
+  EXPECT_DOUBLE_EQ(bank.readOne(53.30), 53.5);
+  EXPECT_DOUBLE_EQ(bank.readOne(53.20), 53.0);
+  EXPECT_DOUBLE_EQ(bank.readOne(53.75), 54.0);  // round-half-up on the grid
+}
+
+TEST(SensorTest, ClampsToRange) {
+  SensorBank bank(
+      SensorConfig{.quantizationStep = 0.0, .noiseSigma = 0.0, .minReading = 0.0, .maxReading = 100.0},
+      1);
+  EXPECT_DOUBLE_EQ(bank.readOne(150.0), 100.0);
+  EXPECT_DOUBLE_EQ(bank.readOne(-20.0), 0.0);
+}
+
+TEST(SensorTest, NoiseHasConfiguredSpread) {
+  SensorBank bank(SensorConfig{.quantizationStep = 0.0, .noiseSigma = 0.5}, 99);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double r = bank.readOne(50.0) - 50.0;
+    sum += r;
+    sumSq += r * r;
+  }
+  const double mean = sum / kSamples;
+  const double sigma = std::sqrt(sumSq / kSamples - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sigma, 0.5, 0.02);
+}
+
+TEST(SensorTest, BankReadsAllChannels) {
+  SensorBank bank(SensorConfig{.quantizationStep = 0.0, .noiseSigma = 0.0}, 1);
+  const std::vector<Celsius> truth = {40.0, 45.0, 50.0, 55.0};
+  EXPECT_EQ(bank.read(truth), truth);
+}
+
+TEST(SensorTest, SameSeedIsDeterministic) {
+  SensorBank a(SensorConfig{}, 7);
+  SensorBank b(SensorConfig{}, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.readOne(60.0), b.readOne(60.0));
+  }
+}
+
+TEST(SensorTest, InvalidConfigRejected) {
+  EXPECT_THROW(SensorBank(SensorConfig{.quantizationStep = -1.0}, 1), PreconditionError);
+  EXPECT_THROW(SensorBank(SensorConfig{.noiseSigma = -0.1}, 1), PreconditionError);
+  EXPECT_THROW(SensorBank(SensorConfig{.minReading = 50.0, .maxReading = 40.0}, 1),
+               PreconditionError);
+}
+
+class QuantizationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizationSweep, ReadingsLieOnTheGrid) {
+  const double step = GetParam();
+  SensorBank bank(SensorConfig{.quantizationStep = step, .noiseSigma = 0.3}, 5);
+  for (int i = 0; i < 500; ++i) {
+    const double reading = bank.readOne(47.3);
+    const double quotient = reading / step;
+    EXPECT_NEAR(quotient, std::round(quotient), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, QuantizationSweep, ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace rltherm::thermal

@@ -1,0 +1,66 @@
+#include "trace/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rltherm::trace {
+namespace {
+
+Recorder sample() {
+  Recorder r(1.0);
+  r.addChannel("t");
+  r.addChannel("p");
+  r.append(std::vector<double>{40.0, 5.0});
+  r.append(std::vector<double>{50.0, 6.0});
+  return r;
+}
+
+TEST(ExportTest, CsvLayout) {
+  std::ostringstream os;
+  writeCsv(sample(), os);
+  EXPECT_EQ(os.str(), "time,t,p\n0,40,5\n1,50,6\n");
+}
+
+TEST(ExportTest, GnuplotLayout) {
+  std::ostringstream os;
+  writeGnuplot(sample(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.substr(0, 9), "# time t ");
+  EXPECT_NE(out.find("\n0 40 5\n"), std::string::npos);
+  EXPECT_NE(out.find("\n1 50 6\n"), std::string::npos);
+}
+
+TEST(ExportTest, SparklineAnnotatesRange) {
+  const std::string line = sparkline(sample(), 0);
+  EXPECT_NE(line.find("[40.0 .. 50.0]"), std::string::npos);
+}
+
+TEST(ExportTest, SparklineOfEmptyRecorder) {
+  Recorder r(1.0);
+  r.addChannel("t");
+  EXPECT_EQ(sparkline(r, 0), "(empty)");
+}
+
+TEST(ExportTest, SparklineBucketsLongTraces) {
+  Recorder r(1.0);
+  r.addChannel("t");
+  for (int i = 0; i < 1000; ++i) r.append(std::vector<double>{static_cast<double>(i)});
+  const std::string line = sparkline(r, 0, 40);
+  // Unicode block characters are multi-byte; just check it is bounded and
+  // carries a range annotation (bucket averaging shifts the endpoints).
+  EXPECT_NE(line.find(" .. "), std::string::npos);
+  EXPECT_LT(line.size(), 40u * 4u + 32u);
+}
+
+TEST(ExportTest, SummaryListsAllChannels) {
+  std::ostringstream os;
+  writeSummary(sample(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("t"), std::string::npos);
+  EXPECT_NE(out.find("p"), std::string::npos);
+  EXPECT_NE(out.find("45.000"), std::string::npos);  // mean of channel t
+}
+
+}  // namespace
+}  // namespace rltherm::trace

@@ -1,0 +1,86 @@
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rltherm::trace {
+namespace {
+
+Recorder twoChannel() {
+  Recorder r(0.5);
+  r.addChannel("temp");
+  r.addChannel("power");
+  r.append(std::vector<double>{40.0, 10.0});
+  r.append(std::vector<double>{42.0, 12.0});
+  r.append(std::vector<double>{44.0, 14.0});
+  r.append(std::vector<double>{46.0, 16.0});
+  return r;
+}
+
+TEST(RecorderTest, ChannelsAndSamples) {
+  const Recorder r = twoChannel();
+  EXPECT_EQ(r.channelCount(), 2u);
+  EXPECT_EQ(r.sampleCount(), 4u);
+  EXPECT_DOUBLE_EQ(r.duration(), 2.0);
+  EXPECT_EQ(r.channelName(0), "temp");
+  EXPECT_DOUBLE_EQ(r.channel(1)[2], 14.0);
+}
+
+TEST(RecorderTest, ChannelIndexLookup) {
+  const Recorder r = twoChannel();
+  EXPECT_EQ(r.channelIndex("power").value(), 1u);
+  EXPECT_FALSE(r.channelIndex("missing").has_value());
+}
+
+TEST(RecorderTest, StatsMatchDirectComputation) {
+  const Recorder r = twoChannel();
+  const ChannelStats s = r.stats(0);
+  EXPECT_DOUBLE_EQ(s.mean, 43.0);
+  EXPECT_DOUBLE_EQ(s.min, 40.0);
+  EXPECT_DOUBLE_EQ(s.max, 46.0);
+  EXPECT_EQ(s.samples, 4u);
+  EXPECT_NEAR(s.stddev, 2.2360679, 1e-6);
+}
+
+TEST(RecorderTest, DecimatedKeepsEveryKth) {
+  const Recorder d = twoChannel().decimated(2);
+  EXPECT_EQ(d.sampleCount(), 2u);
+  EXPECT_DOUBLE_EQ(d.sampleInterval(), 1.0);
+  EXPECT_DOUBLE_EQ(d.channel(0)[1], 44.0);
+}
+
+TEST(RecorderTest, TrimmedDropsEnds) {
+  const Recorder t = twoChannel().trimmed(1, 1);
+  EXPECT_EQ(t.sampleCount(), 2u);
+  EXPECT_DOUBLE_EQ(t.channel(0)[0], 42.0);
+  EXPECT_DOUBLE_EQ(t.channel(0)[1], 44.0);
+}
+
+TEST(RecorderTest, TrimEverythingIsEmpty) {
+  const Recorder t = twoChannel().trimmed(3, 3);
+  EXPECT_EQ(t.sampleCount(), 0u);
+  EXPECT_EQ(t.channelCount(), 2u);
+}
+
+TEST(RecorderTest, ContractViolations) {
+  Recorder r(1.0);
+  EXPECT_THROW(Recorder(0.0), PreconditionError);
+  r.addChannel("a");
+  EXPECT_THROW(r.addChannel("a"), PreconditionError);  // duplicate
+  EXPECT_THROW(r.addChannel(""), PreconditionError);
+  EXPECT_THROW(r.append(std::vector<double>{1.0, 2.0}), PreconditionError);
+  r.append(std::vector<double>{1.0});
+  EXPECT_THROW(r.addChannel("late"), PreconditionError);  // after data
+  EXPECT_THROW((void)r.channel(5), PreconditionError);
+}
+
+TEST(RecorderTest, ClearKeepsChannels) {
+  Recorder r = twoChannel();
+  r.clear();
+  EXPECT_EQ(r.sampleCount(), 0u);
+  EXPECT_EQ(r.channelCount(), 2u);
+}
+
+}  // namespace
+}  // namespace rltherm::trace

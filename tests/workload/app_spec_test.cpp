@@ -1,0 +1,85 @@
+#include "workload/app_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace rltherm::workload {
+namespace {
+
+TEST(AppSpecTest, FactoriesProduceValidSpecs) {
+  for (const char* family : {"tachyon", "mpeg_dec", "mpeg_enc", "face_rec", "sphinx"}) {
+    for (int d = 1; d <= 3; ++d) {
+      const AppSpec spec = makeApp(family, d);
+      EXPECT_EQ(spec.family, family);
+      EXPECT_EQ(spec.threadCount, 6);
+      EXPECT_GT(spec.iterations, 0);
+      EXPECT_GT(spec.burstWorkMean, 0.0);
+      EXPECT_GE(spec.burstWorkJitter, 0.0);
+      EXPECT_LT(spec.burstWorkJitter, 1.0);
+      EXPECT_GT(spec.burstActivity, 0.0);
+      EXPECT_LE(spec.burstActivity, 1.0);
+      EXPECT_GT(spec.performanceConstraint, 0.0);
+    }
+  }
+}
+
+TEST(AppSpecTest, DatasetOutOfRangeThrows) {
+  EXPECT_THROW(tachyon(0), PreconditionError);
+  EXPECT_THROW(tachyon(4), PreconditionError);
+  EXPECT_THROW(mpegDec(-1), PreconditionError);
+}
+
+TEST(AppSpecTest, UnknownFamilyThrows) {
+  EXPECT_THROW(makeApp("doom", 1), PreconditionError);
+}
+
+TEST(AppSpecTest, DatasetsAreDistinct) {
+  std::set<std::string> names;
+  for (int d = 1; d <= 3; ++d) {
+    names.insert(tachyon(d).name);
+    names.insert(mpegDec(d).name);
+    names.insert(mpegEnc(d).name);
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(AppSpecTest, SyncStylesMatchApplicationStructure) {
+  // Renderers/matchers are tile-parallel (no barrier); codecs are
+  // GOP-barriered — the structural difference behind their thermal
+  // signatures (Section 3 of the paper).
+  EXPECT_EQ(tachyon(1).sync, SyncStyle::Independent);
+  EXPECT_EQ(faceRec(1).sync, SyncStyle::Independent);
+  EXPECT_EQ(mpegDec(1).sync, SyncStyle::Barrier);
+  EXPECT_EQ(mpegEnc(1).sync, SyncStyle::Barrier);
+  EXPECT_EQ(sphinx(1).sync, SyncStyle::Barrier);
+}
+
+TEST(AppSpecTest, ThermalSignatureParameters) {
+  // tachyon set1 is the hot, flat case: near-continuous full activity.
+  const AppSpec hot = tachyon(1);
+  EXPECT_GE(hot.burstActivity, 0.95);
+  EXPECT_LE(hot.dependentWait, 0.1);
+  // mpeg_dec alternates multi-second bursts and dependent sections.
+  const AppSpec cycling = mpegDec(1);
+  EXPECT_GE(cycling.serialWork, 0.5);
+  EXPECT_LE(cycling.burstActivity, 0.7);
+}
+
+TEST(AppSpecTest, Table2SuiteOrderMatchesPaper) {
+  const std::vector<AppSpec> suite = table2Suite();
+  ASSERT_EQ(suite.size(), 9u);
+  EXPECT_EQ(suite[0].name, "tachyon/set1");
+  EXPECT_EQ(suite[3].name, "mpeg_dec/clip1");
+  EXPECT_EQ(suite[8].name, "mpeg_enc/seq3");
+}
+
+TEST(AppSpecTest, SeedsDifferAcrossDatasets) {
+  EXPECT_NE(tachyon(1).seed, tachyon(2).seed);
+  EXPECT_NE(mpegDec(1).seed, mpegEnc(1).seed);
+}
+
+}  // namespace
+}  // namespace rltherm::workload

@@ -1,0 +1,127 @@
+// Tests of the burst-mixture (irregular workload) extension.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/app_spec.hpp"
+#include "workload/running_app.hpp"
+
+namespace rltherm::workload {
+namespace {
+
+sched::Scheduler makeScheduler() {
+  sched::SchedulerConfig config;
+  config.coreCount = 4;
+  return sched::Scheduler(config);
+}
+
+AppSpec mixedApp() {
+  AppSpec spec;
+  spec.name = "mixed";
+  spec.family = "mixed";
+  spec.threadCount = 1;
+  spec.iterations = 400;
+  spec.sync = SyncStyle::Independent;
+  spec.burstWorkMean = 1.0;
+  spec.burstWorkJitter = 0.0;
+  spec.burstActivity = 0.5;  // overridden by the mix
+  spec.dependentWait = 0.0;
+  spec.seed = 77;
+  spec.burstMix = {
+      {.workScale = 0.5, .activity = 0.3, .weight = 1.0},
+      {.workScale = 2.0, .activity = 0.9, .weight = 1.0},
+  };
+  return spec;
+}
+
+TEST(BurstMixTest, ActivityComesFromTheDrawnClass) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(mixedApp(), sched, 1);
+  const double activity = app.activity(1);
+  EXPECT_TRUE(activity == 0.3 || activity == 0.9);
+}
+
+TEST(BurstMixTest, BothClassesAppearOverManyBursts) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(mixedApp(), sched, 1);
+  std::set<double> seenActivities;
+  int shortBursts = 0;
+  int longBursts = 0;
+  for (int burst = 0; burst < 200; ++burst) {
+    seenActivities.insert(app.activity(1));
+    // Complete the current burst whatever its length.
+    if (app.activity(1) == 0.3) {
+      ++shortBursts;
+      app.onProgress(1, 0.5);
+    } else {
+      ++longBursts;
+      app.onProgress(1, 2.0);
+    }
+  }
+  EXPECT_EQ(seenActivities.size(), 2u);
+  // Equal weights: both classes occur with meaningful frequency.
+  EXPECT_GT(shortBursts, 50);
+  EXPECT_GT(longBursts, 50);
+}
+
+TEST(BurstMixTest, DrawIsDeterministicAcrossInstances) {
+  sched::Scheduler schedA = makeScheduler();
+  sched::Scheduler schedB = makeScheduler();
+  RunningApp a(mixedApp(), schedA, 1);
+  RunningApp b(mixedApp(), schedB, 1);
+  for (int burst = 0; burst < 50; ++burst) {
+    EXPECT_DOUBLE_EQ(a.activity(1), b.activity(1)) << "burst " << burst;
+    const double progress = a.activity(1) == 0.3 ? 0.5 : 2.0;
+    a.onProgress(1, progress);
+    b.onProgress(1, progress);
+  }
+}
+
+TEST(BurstMixTest, EmptyMixUsesSpecActivity) {
+  AppSpec spec = mixedApp();
+  spec.burstMix.clear();
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(spec, sched, 1);
+  EXPECT_DOUBLE_EQ(app.activity(1), 0.5);
+}
+
+TEST(BurstMixTest, WorkScaleChangesBurstLength) {
+  // A short-class burst (workScale 0.5) completes on 0.5 progress; a
+  // long-class one (workScale 2.0) does not.
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(mixedApp(), sched, 1);
+  for (int burst = 0; burst < 20; ++burst) {
+    const bool isShort = app.activity(1) == 0.3;
+    const int before = app.iterationsCompleted();
+    app.onProgress(1, 0.6);  // enough for short, not for long
+    if (isShort) {
+      EXPECT_EQ(app.iterationsCompleted(), before + 1);
+    } else {
+      EXPECT_EQ(app.iterationsCompleted(), before);
+      app.onProgress(1, 2.0);  // finish the long burst
+    }
+  }
+}
+
+TEST(BurstMixTest, InvalidClassesRejected) {
+  sched::Scheduler sched = makeScheduler();
+  AppSpec spec = mixedApp();
+  spec.burstMix[0].workScale = 0.0;
+  EXPECT_THROW(RunningApp(spec, sched, 1), PreconditionError);
+  spec = mixedApp();
+  spec.burstMix[0].weight = -1.0;
+  EXPECT_THROW(RunningApp(spec, sched, 1), PreconditionError);
+  spec = mixedApp();
+  spec.burstMix[0].activity = 1.5;
+  EXPECT_THROW(RunningApp(spec, sched, 1), PreconditionError);
+}
+
+TEST(BurstMixTest, SphinxUsesAMixture) {
+  const AppSpec spec = sphinx(1);
+  EXPECT_GE(spec.burstMix.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rltherm::workload

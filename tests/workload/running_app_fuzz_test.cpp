@@ -1,0 +1,121 @@
+// Randomized (fuzz) testing of the RunningApp phase machine: arbitrary
+// interleavings of progress credits and wall-clock ticks must preserve the
+// structural invariants, for both synchronization styles and with and
+// without burst mixtures.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/app_spec.hpp"
+#include "workload/running_app.hpp"
+
+namespace rltherm::workload {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  SyncStyle sync;
+  bool withMix;
+};
+
+class RunningAppFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RunningAppFuzz, InvariantsHoldUnderRandomDriving) {
+  const FuzzCase param = GetParam();
+  Rng rng(param.seed);
+
+  AppSpec spec;
+  spec.name = "fuzz";
+  spec.family = "fuzz";
+  spec.threadCount = 1 + static_cast<int>(rng.uniformInt(6));
+  spec.iterations = 5 + static_cast<int>(rng.uniformInt(40));
+  spec.sync = param.sync;
+  spec.burstWorkMean = 0.1 + rng.uniform() * 2.0;
+  spec.burstWorkJitter = rng.uniform() * 0.5;
+  spec.burstActivity = 0.2 + rng.uniform() * 0.8;
+  spec.serialWork = rng.uniform() * 0.5;
+  spec.serialActivity = 0.1 + rng.uniform() * 0.5;
+  spec.dependentWait = rng.uniform() * 0.3;
+  spec.seed = param.seed;
+  if (param.withMix) {
+    spec.burstMix = {
+        {.workScale = 0.5, .activity = 0.3, .weight = rng.uniform() + 0.1},
+        {.workScale = 1.5, .activity = 0.9, .weight = rng.uniform() + 0.1},
+    };
+  }
+
+  sched::SchedulerConfig schedConfig;
+  schedConfig.coreCount = 4;
+  sched::Scheduler scheduler(schedConfig);
+  RunningApp app(spec, scheduler, 100);
+
+  const std::vector<ThreadId> ids = app.threadIds();
+  ASSERT_EQ(ids.size(), static_cast<std::size_t>(spec.threadCount));
+
+  Seconds now = 0.0;
+  int lastIterations = 0;
+  for (int step = 0; step < 20000 && !app.finished(); ++step) {
+    now += 0.01;
+    app.onTick(now);
+
+    // Credit random progress to a random thread, but only if the scheduler
+    // would actually run it (Runnable/Running) — mirroring the driver.
+    const ThreadId victim = ids[rng.uniformInt(ids.size())];
+    const sched::ThreadState state = scheduler.thread(victim).state;
+    if (state == sched::ThreadState::Runnable || state == sched::ThreadState::Running) {
+      app.onProgress(victim, rng.uniform() * 0.2);
+    }
+
+    // --- invariants ---
+    const int iterations = app.iterationsCompleted();
+    ASSERT_GE(iterations, lastIterations) << "iterations went backwards";
+    ASSERT_LE(iterations, spec.iterations) << "iterations overshot the budget";
+    lastIterations = iterations;
+
+    for (const ThreadId id : ids) {
+      const ThreadPhase phase = app.phase(id);
+      const sched::ThreadState schedState = scheduler.thread(id).state;
+      // Phase/scheduler-state consistency.
+      switch (phase) {
+        case ThreadPhase::AtBarrier:
+        case ThreadPhase::WaitSerial:
+        case ThreadPhase::Sleeping:
+          ASSERT_EQ(schedState, sched::ThreadState::Blocked)
+              << "blocked phase with runnable scheduler state";
+          break;
+        case ThreadPhase::Done:
+          ASSERT_EQ(schedState, sched::ThreadState::Finished);
+          break;
+        case ThreadPhase::Burst:
+        case ThreadPhase::Serial:
+          ASSERT_NE(schedState, sched::ThreadState::Finished);
+          break;
+      }
+      // Activity always well-formed.
+      const double activity = app.activity(id);
+      ASSERT_GT(activity, 0.0);
+      ASSERT_LE(activity, 1.0);
+    }
+  }
+
+  EXPECT_TRUE(app.finished()) << "fuzz case did not complete in bounded steps";
+  EXPECT_EQ(app.iterationsCompleted(), spec.iterations);
+  app.teardown();
+  EXPECT_EQ(scheduler.threadCount(), 0u);
+}
+
+std::vector<FuzzCase> makeCases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    cases.push_back({seed, SyncStyle::Barrier, false});
+    cases.push_back({seed, SyncStyle::Independent, false});
+    cases.push_back({seed, SyncStyle::Barrier, true});
+    cases.push_back({seed, SyncStyle::Independent, true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RunningAppFuzz, ::testing::ValuesIn(makeCases()));
+
+}  // namespace
+}  // namespace rltherm::workload

@@ -1,0 +1,212 @@
+#include "workload/running_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace rltherm::workload {
+namespace {
+
+sched::Scheduler makeScheduler() {
+  sched::SchedulerConfig config;
+  config.coreCount = 4;
+  return sched::Scheduler(config);
+}
+
+AppSpec tinyBarrierApp(int threads = 3, int iterations = 2) {
+  AppSpec spec;
+  spec.name = "tiny";
+  spec.family = "tiny";
+  spec.threadCount = threads;
+  spec.iterations = iterations;
+  spec.sync = SyncStyle::Barrier;
+  spec.burstWorkMean = 1.0;
+  spec.burstWorkJitter = 0.0;
+  spec.burstActivity = 0.9;
+  spec.serialWork = 0.5;
+  spec.serialActivity = 0.2;
+  return spec;
+}
+
+AppSpec tinyIndependentApp(int threads = 2, int totalBursts = 4) {
+  AppSpec spec;
+  spec.name = "indy";
+  spec.family = "indy";
+  spec.threadCount = threads;
+  spec.iterations = totalBursts;
+  spec.sync = SyncStyle::Independent;
+  spec.burstWorkMean = 1.0;
+  spec.burstWorkJitter = 0.0;
+  spec.burstActivity = 0.8;
+  spec.dependentWait = 0.5;
+  return spec;
+}
+
+TEST(RunningAppBarrierTest, RegistersThreadsRunnable) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  EXPECT_EQ(sched.threadCount(), 3u);
+  for (const ThreadId id : app.threadIds()) {
+    EXPECT_EQ(app.phase(id), ThreadPhase::Burst);
+    EXPECT_EQ(sched.thread(id).state, sched::ThreadState::Runnable);
+  }
+}
+
+TEST(RunningAppBarrierTest, BurstActivityReported) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  EXPECT_DOUBLE_EQ(app.activity(10), 0.9);
+}
+
+TEST(RunningAppBarrierTest, ThreadsBlockAtBarrier) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  app.onProgress(10, 1.0);  // thread 10 finishes its burst
+  EXPECT_EQ(app.phase(10), ThreadPhase::AtBarrier);
+  EXPECT_EQ(sched.thread(10).state, sched::ThreadState::Blocked);
+  EXPECT_EQ(app.iterationsCompleted(), 0);
+}
+
+TEST(RunningAppBarrierTest, MasterRunsSerialSectionAlone) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  app.onProgress(10, 1.0);
+  app.onProgress(11, 1.0);
+  app.onProgress(12, 1.0);  // last arrival releases the serial section
+  EXPECT_EQ(app.phase(10), ThreadPhase::Serial);
+  EXPECT_EQ(sched.thread(10).state, sched::ThreadState::Runnable);
+  EXPECT_EQ(app.phase(11), ThreadPhase::WaitSerial);
+  EXPECT_EQ(sched.thread(11).state, sched::ThreadState::Blocked);
+  EXPECT_DOUBLE_EQ(app.activity(10), 0.2);  // serial activity
+}
+
+TEST(RunningAppBarrierTest, SerialCompletionStartsNextIteration) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  for (const ThreadId id : app.threadIds()) app.onProgress(id, 1.0);
+  app.onProgress(10, 0.5);  // serial section done
+  EXPECT_EQ(app.iterationsCompleted(), 1);
+  for (const ThreadId id : app.threadIds()) {
+    EXPECT_EQ(app.phase(id), ThreadPhase::Burst);
+    EXPECT_EQ(sched.thread(id).state, sched::ThreadState::Runnable);
+  }
+}
+
+TEST(RunningAppBarrierTest, FinishesAfterAllIterations) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(3, 2), sched, 10);
+  for (int iter = 0; iter < 2; ++iter) {
+    for (const ThreadId id : app.threadIds()) app.onProgress(id, 1.0);
+    app.onProgress(10, 0.5);
+  }
+  EXPECT_TRUE(app.finished());
+  for (const ThreadId id : app.threadIds()) {
+    EXPECT_EQ(app.phase(id), ThreadPhase::Done);
+    EXPECT_EQ(sched.thread(id).state, sched::ThreadState::Finished);
+  }
+}
+
+TEST(RunningAppBarrierTest, PartialProgressDoesNotAdvance) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  app.onProgress(10, 0.4);
+  EXPECT_EQ(app.phase(10), ThreadPhase::Burst);
+  app.onProgress(10, 0.7);  // crosses the burst boundary
+  EXPECT_EQ(app.phase(10), ThreadPhase::AtBarrier);
+}
+
+TEST(RunningAppBarrierTest, ZeroSerialWorkSkipsSerialPhase) {
+  AppSpec spec = tinyBarrierApp();
+  spec.serialWork = 0.0;
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(spec, sched, 10);
+  for (const ThreadId id : app.threadIds()) app.onProgress(id, 1.0);
+  EXPECT_EQ(app.iterationsCompleted(), 1);
+  EXPECT_EQ(app.phase(10), ThreadPhase::Burst);
+}
+
+TEST(RunningAppIndependentTest, EachBurstCountsAsIteration) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyIndependentApp(2, 4), sched, 20);
+  app.onProgress(20, 1.0);
+  EXPECT_EQ(app.iterationsCompleted(), 1);
+  EXPECT_EQ(app.phase(20), ThreadPhase::Sleeping);
+  EXPECT_EQ(sched.thread(20).state, sched::ThreadState::Blocked);
+}
+
+TEST(RunningAppIndependentTest, WakesAfterDependentWait) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyIndependentApp(2, 4), sched, 20);
+  app.onTick(1.0);
+  app.onProgress(20, 1.0);  // sleeps until t = 1.5
+  app.onTick(1.2);
+  EXPECT_EQ(app.phase(20), ThreadPhase::Sleeping);
+  app.onTick(1.5);
+  EXPECT_EQ(app.phase(20), ThreadPhase::Burst);
+  EXPECT_EQ(sched.thread(20).state, sched::ThreadState::Runnable);
+}
+
+TEST(RunningAppIndependentTest, ZeroWaitRestartsImmediately) {
+  AppSpec spec = tinyIndependentApp(1, 3);
+  spec.dependentWait = 0.0;
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(spec, sched, 20);
+  app.onProgress(20, 1.0);
+  EXPECT_EQ(app.phase(20), ThreadPhase::Burst);
+  EXPECT_EQ(app.iterationsCompleted(), 1);
+}
+
+TEST(RunningAppIndependentTest, FinishesAtTotalBurstBudget) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyIndependentApp(2, 2), sched, 20);
+  app.onProgress(20, 1.0);
+  app.onProgress(21, 1.0);
+  EXPECT_TRUE(app.finished());
+  EXPECT_EQ(app.phase(20), ThreadPhase::Done);
+  EXPECT_EQ(app.phase(21), ThreadPhase::Done);
+}
+
+TEST(RunningAppTest, TeardownRemovesThreads) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  app.teardown();
+  EXPECT_EQ(sched.threadCount(), 0u);
+  app.teardown();  // idempotent
+}
+
+TEST(RunningAppTest, UnknownThreadIdThrows) {
+  sched::Scheduler sched = makeScheduler();
+  RunningApp app(tinyBarrierApp(), sched, 10);
+  EXPECT_THROW((void)app.activity(99), PreconditionError);
+  EXPECT_THROW(app.onProgress(9, 1.0), PreconditionError);
+}
+
+TEST(RunningAppTest, JitterVariesBurstLengthsDeterministically) {
+  AppSpec spec = tinyBarrierApp();
+  spec.burstWorkJitter = 0.5;
+  sched::Scheduler schedA = makeScheduler();
+  sched::Scheduler schedB = makeScheduler();
+  RunningApp a(spec, schedA, 10);
+  RunningApp b(spec, schedB, 10);
+  // Identical specs and seeds: thread 10 blocks after the same progress.
+  a.onProgress(10, 0.6);
+  b.onProgress(10, 0.6);
+  EXPECT_EQ(a.phase(10), b.phase(10));
+}
+
+TEST(RunningAppTest, InvalidSpecRejected) {
+  sched::Scheduler sched = makeScheduler();
+  AppSpec spec = tinyBarrierApp();
+  spec.burstWorkMean = 0.0;
+  EXPECT_THROW(RunningApp(spec, sched, 1), PreconditionError);
+  spec = tinyBarrierApp();
+  spec.iterations = 0;
+  EXPECT_THROW(RunningApp(spec, sched, 1), PreconditionError);
+  spec = tinyBarrierApp();
+  spec.burstActivity = 1.5;
+  EXPECT_THROW(RunningApp(spec, sched, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rltherm::workload

@@ -1,0 +1,309 @@
+// rltherm_cli — command-line front end for the library.
+//
+//   rltherm_cli list-apps
+//   rltherm_cli run        --app tachyon --dataset 1 --policy proposed
+//                          [--train 3] [--live] [--config file.ini]
+//                          [--csv trace.csv] [--big-little]
+//   rltherm_cli inter      --apps mpeg_dec,tachyon --policy proposed [...]
+//   rltherm_cli concurrent --apps tachyon,mpeg_dec --window 2000 --policy ge [...]
+//   rltherm_cli compare    --app tachyon --policies linux-ondemand,ge,proposed
+//
+// Policies: linux-ondemand | linux-powersave | linux-performance |
+//           userspace-<GHz> (e.g. userspace-2.4) | ge | ge-modified | proposed
+//
+// `--config` overlays an INI file (see core/config_io.hpp) on the default
+// machine/runner/manager parameters; `--csv` writes the per-core temperature
+// trace of the (final) evaluation run.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/baselines.hpp"
+#include "core/config_io.hpp"
+#include "core/runner.hpp"
+#include "core/thermal_manager.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
+#include "workload/app_spec.hpp"
+
+namespace {
+
+using namespace rltherm;
+
+struct Options {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& name) const { return flags.contains(name); }
+};
+
+Options parseArgs(int argc, char** argv) {
+  Options options;
+  if (argc >= 2) options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    expects(arg.rfind("--", 0) == 0, "unexpected argument '" + arg + "' (flags are --name [value])");
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options.flags[arg] = argv[++i];
+    } else {
+      options.flags[arg] = "true";  // boolean flag
+    }
+  }
+  return options;
+}
+
+std::vector<std::string> splitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void usage() {
+  std::cout <<
+      "usage:\n"
+      "  rltherm_cli list-apps\n"
+      "  rltherm_cli run        --app FAMILY [--dataset N] --policy P [--train N]\n"
+      "                         [--live] [--config FILE] [--csv FILE] [--big-little]\n"
+      "  rltherm_cli inter      --apps a,b[,c] --policy P [same options]\n"
+      "  rltherm_cli concurrent --apps a,b --window SECONDS --policy P [same options]\n"
+      "  rltherm_cli compare    --app FAMILY [--dataset N] --policies p1,p2,...\n"
+      "policies: linux-ondemand linux-powersave linux-performance\n"
+      "          userspace-<GHz> ge ge-modified proposed\n";
+}
+
+/// Owns whichever policy the --policy flag selected.
+struct PolicyBundle {
+  std::unique_ptr<core::ThermalPolicy> policy;
+  core::ThermalManager* manager = nullptr;  // set when policy == proposed
+};
+
+PolicyBundle makePolicy(const std::string& name, const ConfigFile& config) {
+  PolicyBundle bundle;
+  if (name == "linux-ondemand") {
+    bundle.policy = std::make_unique<core::StaticGovernorPolicy>(
+        platform::GovernorSetting{platform::GovernorKind::Ondemand, 0.0});
+  } else if (name == "linux-powersave") {
+    bundle.policy = std::make_unique<core::StaticGovernorPolicy>(
+        platform::GovernorSetting{platform::GovernorKind::Powersave, 0.0});
+  } else if (name == "linux-performance") {
+    bundle.policy = std::make_unique<core::StaticGovernorPolicy>(
+        platform::GovernorSetting{platform::GovernorKind::Performance, 0.0});
+  } else if (name.rfind("userspace-", 0) == 0) {
+    const double ghz = std::stod(name.substr(10));
+    bundle.policy = std::make_unique<core::StaticGovernorPolicy>(
+        platform::GovernorSetting{platform::GovernorKind::Userspace, ghz * 1e9});
+  } else if (name == "ge" || name == "ge-modified") {
+    bundle.policy =
+        std::make_unique<core::GeQiuPolicy>(core::GeQiuConfig{}, name == "ge-modified");
+  } else if (name == "proposed") {
+    auto manager = std::make_unique<core::ThermalManager>(
+        core::managerConfigFrom(config), core::ActionSpace::standard(4));
+    bundle.manager = manager.get();
+    bundle.policy = std::move(manager);
+  } else {
+    throw PreconditionError("unknown policy '" + name + "'");
+  }
+  return bundle;
+}
+
+void writeTraceCsv(const core::RunResult& result, const std::string& path) {
+  trace::Recorder recorder(result.traceInterval);
+  for (std::size_t c = 0; c < result.coreTraces.size(); ++c) {
+    recorder.addChannel("core" + std::to_string(c) + "_temp");
+  }
+  for (std::size_t i = 0; i < result.coreTraces[0].size(); ++i) {
+    std::vector<double> row;
+    for (const auto& coreTrace : result.coreTraces) row.push_back(coreTrace[i]);
+    recorder.append(row);
+  }
+  std::ofstream out(path);
+  expects(out.good(), "cannot write '" + path + "'");
+  trace::writeCsv(recorder, out);
+  std::cout << "wrote " << path << " (" << result.coreTraces[0].size() << " samples)\n";
+}
+
+void printResult(const core::RunResult& result) {
+  TextTable table({"metric", "value"});
+  table.row().cell("policy").cell(result.policyName);
+  table.row().cell("scenario").cell(result.scenarioName);
+  table.row().cell("execution time (s)").cell(result.duration, 1);
+  table.row().cell("timed out").cell(result.timedOut ? "yes" : "no");
+  table.row().cell("average temperature (C)").cell(result.reliability.averageTemp, 2);
+  table.row().cell("peak temperature (C)").cell(result.reliability.peakTemp, 2);
+  table.row().cell("cycling MTTF (years)").cell(result.reliability.cyclingMttfYears, 2);
+  table.row().cell("aging MTTF (years)").cell(result.reliability.agingMttfYears, 2);
+  table.row().cell("dynamic energy (kJ)").cell(result.dynamicEnergy / 1000.0, 2);
+  table.row().cell("static energy (kJ)").cell(result.staticEnergy / 1000.0, 2);
+  table.row().cell("avg dynamic power (W)").cell(result.averageDynamicPower, 2);
+  table.print(std::cout);
+  if (!result.completions.empty()) {
+    std::cout << "completions:\n";
+    for (const auto& completion : result.completions) {
+      std::cout << "  " << completion.name << ": " << completion.iterations
+                << " iterations in " << formatFixed(completion.executionTime(), 1)
+                << " s\n";
+    }
+  }
+}
+
+int commandListApps() {
+  TextTable table({"family", "datasets", "sync", "threads", "Pc (iter/s)"});
+  for (const char* family : {"tachyon", "mpeg_dec", "mpeg_enc", "face_rec", "sphinx"}) {
+    const workload::AppSpec spec = workload::makeApp(family, 1);
+    table.row()
+        .cell(family)
+        .cell("1-3")
+        .cell(spec.sync == workload::SyncStyle::Barrier ? "barrier" : "independent")
+        .cell(static_cast<long long>(spec.threadCount))
+        .cell(spec.performanceConstraint, 2);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+bool isLearningPolicy(const std::string& name) {
+  return name == "proposed" || name == "ge" || name == "ge-modified";
+}
+
+int compareCommand(const Options& options) {
+  ConfigFile config;
+  if (options.has("config")) {
+    std::ifstream in(options.get("config", ""));
+    expects(in.good(), "cannot read config file");
+    config = ConfigFile::parse(in);
+  }
+  core::RunnerConfig runnerConfig = core::runnerConfigFrom(config);
+  if (options.has("big-little")) {
+    runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
+  }
+  core::PolicyRunner runner(runnerConfig);
+
+  const workload::AppSpec app = workload::makeApp(
+      options.get("app", "tachyon"), std::stoi(options.get("dataset", "1")));
+  const workload::Scenario eval = workload::Scenario::of({app});
+  const int trainPasses = std::stoi(options.get("train", "3"));
+  std::vector<workload::AppSpec> trainApps(static_cast<std::size_t>(trainPasses), app);
+  const workload::Scenario train = workload::Scenario::of(trainApps);
+
+  TextTable table({"policy", "exec (s)", "avg T (C)", "peak T (C)", "TC-MTTF (y)",
+                   "aging MTTF (y)", "dyn energy (kJ)"});
+  for (const std::string& name :
+       splitList(options.get("policies", "linux-ondemand,ge,proposed"))) {
+    PolicyBundle bundle = makePolicy(name, config);
+    if (isLearningPolicy(name)) {
+      (void)runner.run(train, *bundle.policy);
+      if (bundle.manager && !options.has("live")) bundle.manager->freeze();
+    }
+    const core::RunResult result = runner.run(eval, *bundle.policy);
+    table.row()
+        .cell(result.policyName)
+        .cell(result.duration, 0)
+        .cell(result.reliability.averageTemp, 1)
+        .cell(result.reliability.peakTemp, 1)
+        .cell(result.reliability.cyclingMttfYears, 2)
+        .cell(result.reliability.agingMttfYears, 2)
+        .cell(result.dynamicEnergy / 1000.0, 2);
+  }
+  printBanner(std::cout, "policy comparison on " + app.name);
+  table.print(std::cout);
+  return 0;
+}
+
+int runCommand(const Options& options) {
+  ConfigFile config;
+  if (options.has("config")) {
+    std::ifstream in(options.get("config", ""));
+    expects(in.good(), "cannot read config file");
+    config = ConfigFile::parse(in);
+  }
+  core::RunnerConfig runnerConfig = core::runnerConfigFrom(config);
+  if (options.has("big-little")) {
+    runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
+  }
+  core::PolicyRunner runner(runnerConfig);
+
+  PolicyBundle bundle = makePolicy(options.get("policy", "linux-ondemand"), config);
+  const int trainPasses = std::stoi(options.get("train", "3"));
+
+  core::RunResult result;
+  if (options.command == "concurrent") {
+    std::vector<workload::AppSpec> apps;
+    for (const std::string& family : splitList(options.get("apps", ""))) {
+      apps.push_back(workload::makeApp(family, std::stoi(options.get("dataset", "1"))));
+    }
+    expects(!apps.empty(), "concurrent: --apps required");
+    const double window = std::stod(options.get("window", "2000"));
+    if (isLearningPolicy(options.get("policy", ""))) {
+      (void)runner.runConcurrent(apps, *bundle.policy, window);  // learn
+      if (bundle.manager && !options.has("live")) bundle.manager->freeze();
+    }
+    result = runner.runConcurrent(apps, *bundle.policy, window);
+  } else {
+    std::vector<workload::AppSpec> apps;
+    if (options.command == "inter") {
+      for (const std::string& family : splitList(options.get("apps", ""))) {
+        apps.push_back(workload::makeApp(family, std::stoi(options.get("dataset", "1"))));
+      }
+      expects(!apps.empty(), "inter: --apps required");
+    } else {
+      apps.push_back(workload::makeApp(options.get("app", "tachyon"),
+                                       std::stoi(options.get("dataset", "1"))));
+    }
+    const workload::Scenario eval = workload::Scenario::of(apps);
+    if (isLearningPolicy(options.get("policy", ""))) {
+      std::vector<workload::AppSpec> trainApps;
+      for (int pass = 0; pass < trainPasses; ++pass) {
+        trainApps.insert(trainApps.end(), apps.begin(), apps.end());
+      }
+      (void)runner.run(workload::Scenario::of(trainApps), *bundle.policy);
+      if (bundle.manager && !options.has("live")) bundle.manager->freeze();
+    }
+    result = runner.run(eval, *bundle.policy);
+  }
+
+  printResult(result);
+  if (bundle.manager != nullptr) {
+    std::cout << "learning: " << bundle.manager->epochCount() << " epochs, "
+              << bundle.manager->epochsToConvergence() << " to convergence, "
+              << bundle.manager->interDetections() << " inter / "
+              << bundle.manager->intraDetections() << " intra detections\n";
+  }
+  if (options.has("csv")) writeTraceCsv(result, options.get("csv", "trace.csv"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options options = parseArgs(argc, argv);
+    if (options.command == "list-apps") return commandListApps();
+    if (options.command == "compare") return compareCommand(options);
+    if (options.command == "run" || options.command == "inter" ||
+        options.command == "concurrent") {
+      return runCommand(options);
+    }
+    usage();
+    return options.command.empty() ? 1 : (options.command == "help" ? 0 : 1);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
