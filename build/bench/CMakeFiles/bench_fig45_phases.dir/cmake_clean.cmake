@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45_phases.dir/bench_fig45_phases.cpp.o"
+  "CMakeFiles/bench_fig45_phases.dir/bench_fig45_phases.cpp.o.d"
+  "bench_fig45_phases"
+  "bench_fig45_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_epoch.dir/bench_fig7_epoch.cpp.o"
+  "CMakeFiles/bench_fig7_epoch.dir/bench_fig7_epoch.cpp.o.d"
+  "bench_fig7_epoch"
+  "bench_fig7_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sensitivity.cpp" "bench/CMakeFiles/bench_sensitivity.dir/bench_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/bench_sensitivity.dir/bench_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rltherm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rltherm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rltherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rltherm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rltherm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rltherm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rltherm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/rltherm_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rltherm_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite_overview.dir/bench_suite_overview.cpp.o"
+  "CMakeFiles/bench_suite_overview.dir/bench_suite_overview.cpp.o.d"
+  "bench_suite_overview"
+  "bench_suite_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_intra.dir/bench_table2_intra.cpp.o"
+  "CMakeFiles/bench_table2_intra.dir/bench_table2_intra.cpp.o.d"
+  "bench_table2_intra"
+  "bench_table2_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inter_application.dir/inter_application.cpp.o"
+  "CMakeFiles/inter_application.dir/inter_application.cpp.o.d"
+  "inter_application"
+  "inter_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inter_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_common.dir/config.cpp.o"
+  "CMakeFiles/rltherm_common.dir/config.cpp.o.d"
+  "CMakeFiles/rltherm_common.dir/matrix.cpp.o"
+  "CMakeFiles/rltherm_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/rltherm_common.dir/rng.cpp.o"
+  "CMakeFiles/rltherm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rltherm_common.dir/stats.cpp.o"
+  "CMakeFiles/rltherm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rltherm_common.dir/table.cpp.o"
+  "CMakeFiles/rltherm_common.dir/table.cpp.o.d"
+  "librltherm_common.a"
+  "librltherm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

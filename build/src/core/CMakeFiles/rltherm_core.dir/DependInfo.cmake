@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action_space.cpp" "src/core/CMakeFiles/rltherm_core.dir/action_space.cpp.o" "gcc" "src/core/CMakeFiles/rltherm_core.dir/action_space.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/rltherm_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/rltherm_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/rltherm_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/rltherm_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/rltherm_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/rltherm_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/thermal_manager.cpp" "src/core/CMakeFiles/rltherm_core.dir/thermal_manager.cpp.o" "gcc" "src/core/CMakeFiles/rltherm_core.dir/thermal_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rltherm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rltherm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/rltherm_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rltherm_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rltherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rltherm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rltherm_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

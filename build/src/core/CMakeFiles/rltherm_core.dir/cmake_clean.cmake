@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_core.dir/action_space.cpp.o"
+  "CMakeFiles/rltherm_core.dir/action_space.cpp.o.d"
+  "CMakeFiles/rltherm_core.dir/baselines.cpp.o"
+  "CMakeFiles/rltherm_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/rltherm_core.dir/config_io.cpp.o"
+  "CMakeFiles/rltherm_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/rltherm_core.dir/runner.cpp.o"
+  "CMakeFiles/rltherm_core.dir/runner.cpp.o.d"
+  "CMakeFiles/rltherm_core.dir/thermal_manager.cpp.o"
+  "CMakeFiles/rltherm_core.dir/thermal_manager.cpp.o.d"
+  "librltherm_core.a"
+  "librltherm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

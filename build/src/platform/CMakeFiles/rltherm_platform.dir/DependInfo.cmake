@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/governor.cpp" "src/platform/CMakeFiles/rltherm_platform.dir/governor.cpp.o" "gcc" "src/platform/CMakeFiles/rltherm_platform.dir/governor.cpp.o.d"
+  "/root/repo/src/platform/machine.cpp" "src/platform/CMakeFiles/rltherm_platform.dir/machine.cpp.o" "gcc" "src/platform/CMakeFiles/rltherm_platform.dir/machine.cpp.o.d"
+  "/root/repo/src/platform/perf_counters.cpp" "src/platform/CMakeFiles/rltherm_platform.dir/perf_counters.cpp.o" "gcc" "src/platform/CMakeFiles/rltherm_platform.dir/perf_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rltherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rltherm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rltherm_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_platform.dir/governor.cpp.o"
+  "CMakeFiles/rltherm_platform.dir/governor.cpp.o.d"
+  "CMakeFiles/rltherm_platform.dir/machine.cpp.o"
+  "CMakeFiles/rltherm_platform.dir/machine.cpp.o.d"
+  "CMakeFiles/rltherm_platform.dir/perf_counters.cpp.o"
+  "CMakeFiles/rltherm_platform.dir/perf_counters.cpp.o.d"
+  "librltherm_platform.a"
+  "librltherm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

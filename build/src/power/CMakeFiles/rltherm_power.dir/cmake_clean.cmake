@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_power.dir/energy_meter.cpp.o"
+  "CMakeFiles/rltherm_power.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/rltherm_power.dir/power_model.cpp.o"
+  "CMakeFiles/rltherm_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/rltherm_power.dir/vf_table.cpp.o"
+  "CMakeFiles/rltherm_power.dir/vf_table.cpp.o.d"
+  "librltherm_power.a"
+  "librltherm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

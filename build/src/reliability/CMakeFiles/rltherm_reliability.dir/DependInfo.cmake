@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/aging.cpp" "src/reliability/CMakeFiles/rltherm_reliability.dir/aging.cpp.o" "gcc" "src/reliability/CMakeFiles/rltherm_reliability.dir/aging.cpp.o.d"
+  "/root/repo/src/reliability/analyzer.cpp" "src/reliability/CMakeFiles/rltherm_reliability.dir/analyzer.cpp.o" "gcc" "src/reliability/CMakeFiles/rltherm_reliability.dir/analyzer.cpp.o.d"
+  "/root/repo/src/reliability/fatigue.cpp" "src/reliability/CMakeFiles/rltherm_reliability.dir/fatigue.cpp.o" "gcc" "src/reliability/CMakeFiles/rltherm_reliability.dir/fatigue.cpp.o.d"
+  "/root/repo/src/reliability/mechanisms.cpp" "src/reliability/CMakeFiles/rltherm_reliability.dir/mechanisms.cpp.o" "gcc" "src/reliability/CMakeFiles/rltherm_reliability.dir/mechanisms.cpp.o.d"
+  "/root/repo/src/reliability/rainflow.cpp" "src/reliability/CMakeFiles/rltherm_reliability.dir/rainflow.cpp.o" "gcc" "src/reliability/CMakeFiles/rltherm_reliability.dir/rainflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

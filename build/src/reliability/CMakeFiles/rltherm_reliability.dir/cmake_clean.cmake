@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_reliability.dir/aging.cpp.o"
+  "CMakeFiles/rltherm_reliability.dir/aging.cpp.o.d"
+  "CMakeFiles/rltherm_reliability.dir/analyzer.cpp.o"
+  "CMakeFiles/rltherm_reliability.dir/analyzer.cpp.o.d"
+  "CMakeFiles/rltherm_reliability.dir/fatigue.cpp.o"
+  "CMakeFiles/rltherm_reliability.dir/fatigue.cpp.o.d"
+  "CMakeFiles/rltherm_reliability.dir/mechanisms.cpp.o"
+  "CMakeFiles/rltherm_reliability.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/rltherm_reliability.dir/rainflow.cpp.o"
+  "CMakeFiles/rltherm_reliability.dir/rainflow.cpp.o.d"
+  "librltherm_reliability.a"
+  "librltherm_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

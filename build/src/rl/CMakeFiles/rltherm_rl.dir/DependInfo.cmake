@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/discretizer.cpp" "src/rl/CMakeFiles/rltherm_rl.dir/discretizer.cpp.o" "gcc" "src/rl/CMakeFiles/rltherm_rl.dir/discretizer.cpp.o.d"
+  "/root/repo/src/rl/double_q.cpp" "src/rl/CMakeFiles/rltherm_rl.dir/double_q.cpp.o" "gcc" "src/rl/CMakeFiles/rltherm_rl.dir/double_q.cpp.o.d"
+  "/root/repo/src/rl/learning_rate.cpp" "src/rl/CMakeFiles/rltherm_rl.dir/learning_rate.cpp.o" "gcc" "src/rl/CMakeFiles/rltherm_rl.dir/learning_rate.cpp.o.d"
+  "/root/repo/src/rl/qtable.cpp" "src/rl/CMakeFiles/rltherm_rl.dir/qtable.cpp.o" "gcc" "src/rl/CMakeFiles/rltherm_rl.dir/qtable.cpp.o.d"
+  "/root/repo/src/rl/reward.cpp" "src/rl/CMakeFiles/rltherm_rl.dir/reward.cpp.o" "gcc" "src/rl/CMakeFiles/rltherm_rl.dir/reward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_rl.dir/discretizer.cpp.o"
+  "CMakeFiles/rltherm_rl.dir/discretizer.cpp.o.d"
+  "CMakeFiles/rltherm_rl.dir/double_q.cpp.o"
+  "CMakeFiles/rltherm_rl.dir/double_q.cpp.o.d"
+  "CMakeFiles/rltherm_rl.dir/learning_rate.cpp.o"
+  "CMakeFiles/rltherm_rl.dir/learning_rate.cpp.o.d"
+  "CMakeFiles/rltherm_rl.dir/qtable.cpp.o"
+  "CMakeFiles/rltherm_rl.dir/qtable.cpp.o.d"
+  "CMakeFiles/rltherm_rl.dir/reward.cpp.o"
+  "CMakeFiles/rltherm_rl.dir/reward.cpp.o.d"
+  "librltherm_rl.a"
+  "librltherm_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

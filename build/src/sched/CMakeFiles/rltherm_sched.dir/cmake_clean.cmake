@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/rltherm_sched.dir/scheduler.cpp.o.d"
+  "librltherm_sched.a"
+  "librltherm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

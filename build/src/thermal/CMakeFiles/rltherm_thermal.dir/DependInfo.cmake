@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/grid_model.cpp" "src/thermal/CMakeFiles/rltherm_thermal.dir/grid_model.cpp.o" "gcc" "src/thermal/CMakeFiles/rltherm_thermal.dir/grid_model.cpp.o.d"
+  "/root/repo/src/thermal/quadcore.cpp" "src/thermal/CMakeFiles/rltherm_thermal.dir/quadcore.cpp.o" "gcc" "src/thermal/CMakeFiles/rltherm_thermal.dir/quadcore.cpp.o.d"
+  "/root/repo/src/thermal/rc_network.cpp" "src/thermal/CMakeFiles/rltherm_thermal.dir/rc_network.cpp.o" "gcc" "src/thermal/CMakeFiles/rltherm_thermal.dir/rc_network.cpp.o.d"
+  "/root/repo/src/thermal/sensor.cpp" "src/thermal/CMakeFiles/rltherm_thermal.dir/sensor.cpp.o" "gcc" "src/thermal/CMakeFiles/rltherm_thermal.dir/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_thermal.dir/grid_model.cpp.o"
+  "CMakeFiles/rltherm_thermal.dir/grid_model.cpp.o.d"
+  "CMakeFiles/rltherm_thermal.dir/quadcore.cpp.o"
+  "CMakeFiles/rltherm_thermal.dir/quadcore.cpp.o.d"
+  "CMakeFiles/rltherm_thermal.dir/rc_network.cpp.o"
+  "CMakeFiles/rltherm_thermal.dir/rc_network.cpp.o.d"
+  "CMakeFiles/rltherm_thermal.dir/sensor.cpp.o"
+  "CMakeFiles/rltherm_thermal.dir/sensor.cpp.o.d"
+  "librltherm_thermal.a"
+  "librltherm_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

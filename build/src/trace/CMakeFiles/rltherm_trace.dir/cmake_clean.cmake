@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_trace.dir/export.cpp.o"
+  "CMakeFiles/rltherm_trace.dir/export.cpp.o.d"
+  "CMakeFiles/rltherm_trace.dir/recorder.cpp.o"
+  "CMakeFiles/rltherm_trace.dir/recorder.cpp.o.d"
+  "librltherm_trace.a"
+  "librltherm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_spec.cpp" "src/workload/CMakeFiles/rltherm_workload.dir/app_spec.cpp.o" "gcc" "src/workload/CMakeFiles/rltherm_workload.dir/app_spec.cpp.o.d"
+  "/root/repo/src/workload/driver.cpp" "src/workload/CMakeFiles/rltherm_workload.dir/driver.cpp.o" "gcc" "src/workload/CMakeFiles/rltherm_workload.dir/driver.cpp.o.d"
+  "/root/repo/src/workload/multi_app.cpp" "src/workload/CMakeFiles/rltherm_workload.dir/multi_app.cpp.o" "gcc" "src/workload/CMakeFiles/rltherm_workload.dir/multi_app.cpp.o.d"
+  "/root/repo/src/workload/running_app.cpp" "src/workload/CMakeFiles/rltherm_workload.dir/running_app.cpp.o" "gcc" "src/workload/CMakeFiles/rltherm_workload.dir/running_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rltherm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rltherm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rltherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rltherm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

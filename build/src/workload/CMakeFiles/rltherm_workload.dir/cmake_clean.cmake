@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_workload.dir/app_spec.cpp.o"
+  "CMakeFiles/rltherm_workload.dir/app_spec.cpp.o.d"
+  "CMakeFiles/rltherm_workload.dir/driver.cpp.o"
+  "CMakeFiles/rltherm_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/rltherm_workload.dir/multi_app.cpp.o"
+  "CMakeFiles/rltherm_workload.dir/multi_app.cpp.o.d"
+  "CMakeFiles/rltherm_workload.dir/running_app.cpp.o"
+  "CMakeFiles/rltherm_workload.dir/running_app.cpp.o.d"
+  "librltherm_workload.a"
+  "librltherm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

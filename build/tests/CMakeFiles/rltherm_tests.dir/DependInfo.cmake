@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/matrix_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/common/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/common/matrix_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/core/action_space_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/core/action_space_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/core/action_space_test.cpp.o.d"
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/config_io_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/core/config_io_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/core/config_io_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/runner_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/core/runner_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/core/runner_test.cpp.o.d"
+  "/root/repo/tests/core/thermal_manager_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/core/thermal_manager_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/core/thermal_manager_test.cpp.o.d"
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fault_injection_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/integration/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/integration/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/platform/governor_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/platform/governor_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/platform/governor_test.cpp.o.d"
+  "/root/repo/tests/platform/hetero_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/platform/hetero_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/platform/hetero_test.cpp.o.d"
+  "/root/repo/tests/platform/machine_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/platform/machine_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/platform/machine_test.cpp.o.d"
+  "/root/repo/tests/platform/perf_counters_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/platform/perf_counters_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/platform/perf_counters_test.cpp.o.d"
+  "/root/repo/tests/platform/throttle_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/platform/throttle_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/platform/throttle_test.cpp.o.d"
+  "/root/repo/tests/power/energy_meter_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/power/energy_meter_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/power/energy_meter_test.cpp.o.d"
+  "/root/repo/tests/power/power_model_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/power/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/power/power_model_test.cpp.o.d"
+  "/root/repo/tests/power/vf_table_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/power/vf_table_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/power/vf_table_test.cpp.o.d"
+  "/root/repo/tests/reliability/aging_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/reliability/aging_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/reliability/aging_test.cpp.o.d"
+  "/root/repo/tests/reliability/analyzer_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/reliability/analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/reliability/analyzer_test.cpp.o.d"
+  "/root/repo/tests/reliability/fatigue_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/reliability/fatigue_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/reliability/fatigue_test.cpp.o.d"
+  "/root/repo/tests/reliability/mechanisms_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/reliability/mechanisms_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/reliability/mechanisms_test.cpp.o.d"
+  "/root/repo/tests/reliability/rainflow_reference_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/reliability/rainflow_reference_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/reliability/rainflow_reference_test.cpp.o.d"
+  "/root/repo/tests/reliability/rainflow_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/reliability/rainflow_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/reliability/rainflow_test.cpp.o.d"
+  "/root/repo/tests/rl/discretizer_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/rl/discretizer_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/rl/discretizer_test.cpp.o.d"
+  "/root/repo/tests/rl/double_q_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/rl/double_q_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/rl/double_q_test.cpp.o.d"
+  "/root/repo/tests/rl/learning_rate_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/rl/learning_rate_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/rl/learning_rate_test.cpp.o.d"
+  "/root/repo/tests/rl/qtable_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/rl/qtable_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/rl/qtable_test.cpp.o.d"
+  "/root/repo/tests/rl/reward_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/rl/reward_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/rl/reward_test.cpp.o.d"
+  "/root/repo/tests/sched/affinity_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/sched/affinity_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/sched/affinity_test.cpp.o.d"
+  "/root/repo/tests/sched/scheduler_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/sched/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/sched/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sched/weight_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/sched/weight_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/sched/weight_test.cpp.o.d"
+  "/root/repo/tests/thermal/grid_model_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/thermal/grid_model_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/thermal/grid_model_test.cpp.o.d"
+  "/root/repo/tests/thermal/quadcore_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/thermal/quadcore_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/thermal/quadcore_test.cpp.o.d"
+  "/root/repo/tests/thermal/rc_network_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/thermal/rc_network_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/thermal/rc_network_test.cpp.o.d"
+  "/root/repo/tests/thermal/sensor_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/thermal/sensor_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/thermal/sensor_test.cpp.o.d"
+  "/root/repo/tests/trace/export_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/trace/export_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/trace/export_test.cpp.o.d"
+  "/root/repo/tests/trace/recorder_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/trace/recorder_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/trace/recorder_test.cpp.o.d"
+  "/root/repo/tests/workload/app_spec_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/workload/app_spec_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/workload/app_spec_test.cpp.o.d"
+  "/root/repo/tests/workload/burst_mix_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/workload/burst_mix_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/workload/burst_mix_test.cpp.o.d"
+  "/root/repo/tests/workload/driver_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/workload/driver_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/workload/driver_test.cpp.o.d"
+  "/root/repo/tests/workload/multi_app_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/workload/multi_app_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/workload/multi_app_test.cpp.o.d"
+  "/root/repo/tests/workload/running_app_fuzz_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/workload/running_app_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/workload/running_app_fuzz_test.cpp.o.d"
+  "/root/repo/tests/workload/running_app_test.cpp" "tests/CMakeFiles/rltherm_tests.dir/workload/running_app_test.cpp.o" "gcc" "tests/CMakeFiles/rltherm_tests.dir/workload/running_app_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rltherm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rltherm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rltherm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rltherm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rltherm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rltherm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rltherm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rltherm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/rltherm_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rltherm_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rltherm_cli.dir/rltherm_cli.cpp.o"
+  "CMakeFiles/rltherm_cli.dir/rltherm_cli.cpp.o.d"
+  "rltherm_cli"
+  "rltherm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rltherm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
