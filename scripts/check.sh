@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI correctness driver: build + test under ASan/UBSan with runtime contracts
+# enabled, then run the project lint and (when available) clang-tidy.
+# Any finding fails the script. See docs/ANALYSIS.md.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== [1/4] configure (preset: asan-ubsan) =="
+cmake --preset asan-ubsan
+
+echo "== [2/4] build =="
+cmake --build --preset asan-ubsan -j "${JOBS}"
+
+echo "== [3/4] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+ctest --preset asan-ubsan -j "${JOBS}"
+
+echo "== [4/4] static analysis =="
+./build-asan-ubsan/tools/rltherm_lint .
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p build-asan-ubsan "^$(pwd)/(src|tools)/"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  # Fall back to serial clang-tidy over the library sources.
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -n 1 clang-tidy -quiet -p build-asan-ubsan --warnings-as-errors='*'
+else
+  echo "clang-tidy not found on PATH; skipping (rltherm_lint still ran)."
+fi
+
+echo "check.sh: all gates passed."

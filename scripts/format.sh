@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# clang-format wrapper. Default is check mode (exit 1 on drift, no edits);
+# pass --fix to rewrite files in place. Style lives in .clang-format.
+#
+# The repo predates the .clang-format file and has NOT been mass-reformatted,
+# so check mode is advisory for old files; run `scripts/format.sh --fix <file>`
+# on files you touch.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="--dry-run --Werror"
+if [[ "${1:-}" == "--fix" ]]; then
+  MODE="-i"
+  shift
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format.sh: clang-format not found on PATH; skipping." >&2
+  exit 0
+fi
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(git ls-files '*.cpp' '*.hpp')
+fi
+
+# shellcheck disable=SC2086
+clang-format ${MODE} "${FILES[@]}"

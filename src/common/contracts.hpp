@@ -1,0 +1,59 @@
+// Runtime contract macros for the numerically delicate hot paths.
+//
+// Three flavors, matching C++ Core Guidelines I.5-I.8 vocabulary:
+//
+//   RLTHERM_EXPECT(cond, msg)    — precondition on inputs at a boundary
+//   RLTHERM_ENSURE(cond, msg)    — postcondition on produced values
+//   RLTHERM_INVARIANT(cond, msg) — internal consistency mid-algorithm
+//
+// All three compile to nothing unless the build defines RLTHERM_CHECKED=1
+// (CMake option -DRLTHERM_CHECKED=ON; default in the asan-ubsan and tsan
+// presets). When enabled, a violated contract prints the expression, message
+// and source location to stderr and calls std::abort() — contracts flag
+// library bugs and corrupted numerics, which must never be swallowed by an
+// exception handler on their way to an MTTF figure.
+//
+// These deliberately differ from common/error.hpp: expects()/ensures() there
+// validate *caller* input in all build modes and throw recoverable
+// exceptions; the macros here guard *our own* numerics and are free in
+// release builds. Use expects() for API misuse, RLTHERM_* for physics.
+//
+// Checks too expensive for an expression (O(n) scans, matrix property
+// verification) go behind `if constexpr (kContractsEnabled)` so the
+// checking code still type-checks in unchecked builds but costs nothing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rltherm {
+
+namespace detail {
+[[noreturn]] inline void contractFailure(const char* kind, const char* expr,
+                                         const char* msg, const char* file,
+                                         int line) noexcept {
+  std::fprintf(stderr, "rltherm: %s violated: %s — %s [%s:%d]\n", kind, expr, msg,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace detail
+
+#if defined(RLTHERM_CHECKED) && RLTHERM_CHECKED
+inline constexpr bool kContractsEnabled = true;
+#define RLTHERM_CONTRACT_IMPL_(kind, cond, msg)                        \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::rltherm::detail::contractFailure(kind, #cond, msg, __FILE__, __LINE__))
+#else
+inline constexpr bool kContractsEnabled = false;
+// The unevaluated sizeof keeps the condition syntactically and semantically
+// checked (and its operands "used" for warning purposes) at zero runtime cost.
+#define RLTHERM_CONTRACT_IMPL_(kind, cond, msg) \
+  static_cast<void>(sizeof(static_cast<void>(cond), 0))
+#endif
+
+#define RLTHERM_EXPECT(cond, msg) RLTHERM_CONTRACT_IMPL_("precondition", cond, msg)
+#define RLTHERM_ENSURE(cond, msg) RLTHERM_CONTRACT_IMPL_("postcondition", cond, msg)
+#define RLTHERM_INVARIANT(cond, msg) RLTHERM_CONTRACT_IMPL_("invariant", cond, msg)
+
+}  // namespace rltherm

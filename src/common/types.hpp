@@ -1,12 +1,14 @@
 // Basic unit aliases and physical constants shared across the library.
 //
 // All quantities are SI doubles with the unit stated in the alias name; the
-// aliases exist to make interfaces self-documenting (temperatures are the one
-// exception: the simulator works in degrees Celsius throughout, converting to
-// Kelvin only inside Arrhenius-style expressions).
+// aliases exist to make interfaces self-documenting. Temperatures (`Celsius`,
+// `Kelvin`, the conversions between them, and the physicality predicate) live
+// in common/units.hpp, which this header re-exports for convenience.
 #pragma once
 
 #include <cstdint>
+
+#include "common/units.hpp"
 
 namespace rltherm {
 
@@ -15,15 +17,6 @@ using Hertz = double;
 using Volts = double;
 using Watts = double;
 using Joules = double;
-using Celsius = double;
-using Kelvin = double;
-
-/// Boltzmann constant in eV/K, used by Arrhenius terms (Eq. 3 and Eq. 1).
-inline constexpr double kBoltzmannEvPerK = 8.617333262e-5;
-
-/// Celsius <-> Kelvin conversions.
-inline constexpr Kelvin toKelvin(Celsius c) noexcept { return c + 273.15; }
-inline constexpr Celsius toCelsius(Kelvin k) noexcept { return k - 273.15; }
 
 /// Identifier types. Plain integers are deliberate: these index dense arrays.
 using CoreId = std::int32_t;

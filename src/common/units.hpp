@@ -1,0 +1,48 @@
+// Temperature unit vocabulary: the single home of the `Celsius` / `Kelvin`
+// typed wrappers and of the conversion between them.
+//
+// The simulator works in degrees Celsius throughout and converts to Kelvin
+// only inside Arrhenius-style expressions (Eq. 1 and Eq. 3 of the paper).
+// `Celsius` and `Kelvin` are vocabulary aliases over `double` rather than
+// wrapper classes: the hot paths exchange temperature vectors with the
+// `span<const double>` linear-algebra kernels in common/matrix.hpp, and a
+// distinct class type would force a copy at every boundary. Correct use is
+// instead machine-enforced by `tools/rltherm_lint.cpp`:
+//
+//   * public headers under src/ must not declare temperature-named
+//     parameters as naked `double` — they must use `Celsius` or `Kelvin`;
+//   * the 273.15 offset must not be open-coded anywhere outside this file —
+//     all conversions go through toKelvin()/toCelsius().
+//
+// See docs/ANALYSIS.md for the full rule list and how to extend it.
+#pragma once
+
+#include <cmath>
+
+namespace rltherm {
+
+/// Temperature in degrees Celsius (the simulator-wide working unit).
+using Celsius = double;
+/// Absolute temperature in Kelvin (Arrhenius terms only).
+using Kelvin = double;
+
+/// Boltzmann constant in eV/K, used by Arrhenius terms (Eq. 3 and Eq. 1).
+inline constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+
+/// Absolute zero expressed in the Celsius working unit. The only place the
+/// 273.15 offset may appear in the codebase (enforced by rltherm_lint).
+inline constexpr Celsius kAbsoluteZeroC = -273.15;
+
+/// Celsius <-> Kelvin conversions; the only sanctioned conversion sites.
+inline constexpr Kelvin toKelvin(Celsius c) noexcept { return c - kAbsoluteZeroC; }
+inline constexpr Celsius toCelsius(Kelvin k) noexcept { return k + kAbsoluteZeroC; }
+
+/// True when `c` is a finite temperature strictly above absolute zero.
+/// Contract guards use this to reject NaN/Inf sensor readings and unit bugs
+/// (a Kelvin value accidentally treated as Celsius stays physical, but a
+/// Celsius value pushed through toKelvin twice does not).
+[[nodiscard]] inline bool isPhysicalTemperature(Celsius c) noexcept {
+  return std::isfinite(c) && c > kAbsoluteZeroC;
+}
+
+}  // namespace rltherm

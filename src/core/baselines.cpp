@@ -41,10 +41,12 @@ GeQiuPolicy::GeQiuPolicy(GeQiuConfig config, bool explicitSwitchSignal)
       explicitSwitchSignal_(explicitSwitchSignal),
       tempBins_(config.tempRangeLo, config.tempRangeHi, config.temperatureBins),
       frequencies_([] {
+        // Bind the table to a local: iterating defaultQuadCore().points()
+        // directly spans into a temporary that range-for does not keep alive
+        // (heap-use-after-free, caught by the asan-ubsan preset).
+        const power::VfTable table = power::VfTable::defaultQuadCore();
         std::vector<Hertz> f;
-        for (const auto& op : power::VfTable::defaultQuadCore().points()) {
-          f.push_back(op.frequency);
-        }
+        for (const auto& op : table.points()) f.push_back(op.frequency);
         return f;
       }()),
       qTable_(config.temperatureBins, frequencies_.size()),

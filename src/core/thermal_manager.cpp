@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "reliability/rainflow.hpp"
 
@@ -76,6 +77,10 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
     stress = std::max(stress, reliability::thermalStress(cycles, fatigueParams_));
     aging = std::max(aging, reliability::agingRate(trace, agingParams_));
   }
+  RLTHERM_ENSURE(std::isfinite(stress) && stress >= 0.0,
+                 "onEpoch: epoch stress must be finite and >= 0");
+  RLTHERM_ENSURE(std::isfinite(aging) && aging >= 0.0,
+                 "onEpoch: epoch aging rate must be finite and >= 0");
   if (config_.adaptiveSampling) adaptSamplingInterval();
   for (std::vector<Celsius>& trace : epochSamples_) trace.clear();
 

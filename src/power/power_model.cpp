@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::power {
@@ -17,8 +18,11 @@ Watts DynamicPowerModel::power(const OperatingPoint& op, double activity) const 
   expects(activity >= 0.0 && activity <= 1.0, "Activity must be in [0, 1]");
   const double effectiveActivity =
       config_.idleActivity + (1.0 - config_.idleActivity) * activity;
-  return config_.effectiveCapacitance * op.voltage * op.voltage * op.frequency *
-         effectiveActivity;
+  const Watts p = config_.effectiveCapacitance * op.voltage * op.voltage *
+                  op.frequency * effectiveActivity;
+  RLTHERM_ENSURE(p >= 0.0 && std::isfinite(p),
+                 "DynamicPowerModel: power must be finite and >= 0");
+  return p;
 }
 
 LeakagePowerModel::LeakagePowerModel(LeakagePowerConfig config) : config_(config) {
@@ -33,7 +37,10 @@ Watts LeakagePowerModel::power(Volts voltage, Celsius temperature) const {
       std::pow(voltage / config_.referenceVoltage, config_.voltageExponent);
   const double tempScale =
       std::exp(config_.tempSensitivity * (temperature - config_.referenceTemp));
-  return config_.nominalLeakage * voltageScale * tempScale;
+  const Watts p = config_.nominalLeakage * voltageScale * tempScale;
+  RLTHERM_ENSURE(p >= 0.0 && std::isfinite(p),
+                 "LeakagePowerModel: power must be finite and >= 0");
+  return p;
 }
 
 }  // namespace rltherm::power

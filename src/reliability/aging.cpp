@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::reliability {
@@ -21,11 +22,16 @@ AgingParams calibratedAgingParams(Celsius idleTemp, double idleMttfYears) {
 double faultDensityScale(Celsius temperature, const AgingParams& params) {
   expects(params.referenceScaleYears > 0.0,
           "AgingParams not calibrated (referenceScaleYears == 0)");
+  RLTHERM_EXPECT(isPhysicalTemperature(temperature),
+                 "faultDensityScale: temperature must be physical");
   const Kelvin t = toKelvin(temperature);
   const Kelvin tRef = toKelvin(params.referenceTemp);
   const double exponent =
       params.activationEnergy / kBoltzmannEvPerK * (1.0 / t - 1.0 / tRef);
-  return params.referenceScaleYears * std::exp(exponent);
+  const double scale = params.referenceScaleYears * std::exp(exponent);
+  RLTHERM_ENSURE(scale > 0.0 && !std::isnan(scale),
+                 "faultDensityScale: Weibull scale must be positive");
+  return scale;
 }
 
 double agingRate(std::span<const Celsius> temperatures, const AgingParams& params) {

@@ -1,7 +1,9 @@
 #include "reliability/analyzer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -33,6 +35,10 @@ CoreReliability ReliabilityAnalyzer::analyzeCore(std::span<const Celsius> trace,
   const Seconds capSeconds = config_.mttfCapYears * kSecondsPerYear;
   result.cyclingMttfYears =
       cyclingMttf(cycles, duration, config_.fatigue, capSeconds) / kSecondsPerYear;
+  RLTHERM_ENSURE(result.stress >= 0.0 && std::isfinite(result.stress),
+                 "analyzeCore: stress must be finite and >= 0");
+  RLTHERM_ENSURE(result.agingMttfYears > 0.0 && result.cyclingMttfYears > 0.0,
+                 "analyzeCore: MTTF figures must be positive");
   return result;
 }
 

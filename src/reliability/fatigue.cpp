@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::reliability {
@@ -15,8 +16,13 @@ double cyclesToFailure(const ThermalCycle& cycle, const FatigueParams& params) {
   const double plastic = cycle.amplitude - params.elasticThreshold;
   if (plastic <= 0.0) return std::numeric_limits<double>::infinity();
   const Kelvin tMax = toKelvin(cycle.maxTemp);
-  return params.coefficient * std::pow(plastic, -params.exponent) *
-         std::exp(params.activationEnergy / (kBoltzmannEvPerK * tMax));
+  RLTHERM_EXPECT(isPhysicalTemperature(cycle.maxTemp),
+                 "cyclesToFailure: cycle max temperature must be physical");
+  const double n = params.coefficient * std::pow(plastic, -params.exponent) *
+                   std::exp(params.activationEnergy / (kBoltzmannEvPerK * tMax));
+  RLTHERM_ENSURE(n > 0.0 && !std::isnan(n),
+                 "cyclesToFailure: cycles-to-failure must be positive");
+  return n;
 }
 
 double thermalStress(std::span<const ThermalCycle> cycles, const FatigueParams& params) {
@@ -28,6 +34,8 @@ double thermalStress(std::span<const ThermalCycle> cycles, const FatigueParams& 
     stress += c.weight * std::pow(plastic, params.exponent) *
               std::exp(-params.activationEnergy / (kBoltzmannEvPerK * tMax));
   }
+  RLTHERM_ENSURE(stress >= 0.0 && std::isfinite(stress),
+                 "thermalStress: accumulated stress must be finite and >= 0");
   return stress;
 }
 
@@ -38,6 +46,8 @@ Seconds cyclingMttf(std::span<const ThermalCycle> cycles, Seconds traceDuration,
   for (const ThermalCycle& c : cycles) {
     const double n = cyclesToFailure(c, params);
     if (std::isfinite(n)) damage += c.weight / n;
+    RLTHERM_INVARIANT(damage >= 0.0 && !std::isnan(damage),
+                      "cyclingMttf: Miner damage sum must stay non-negative");
   }
   if (damage <= 0.0) return cap;
   return std::min(cap, traceDuration / damage);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::reliability {
@@ -55,7 +56,10 @@ double mechanismScale(const MechanismParams& params, Celsius temperature, Volts 
       std::exp(params.activationEnergy / kBoltzmannEvPerK * (1.0 / t - 1.0 / tRef));
   const double electrical =
       std::pow(params.referenceVoltage / voltage, params.voltageExponent);
-  return params.scaleYears * thermal * electrical;
+  const double scale = params.scaleYears * thermal * electrical;
+  RLTHERM_ENSURE(scale > 0.0 && !std::isnan(scale),
+                 "mechanismScale: Weibull scale must be positive");
+  return scale;
 }
 
 double mechanismAgingRate(const MechanismParams& params,

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
+
 namespace rltherm::reliability {
+
+namespace {
+
+/// Checked-build verification of the three-point-method stack invariant:
+/// after the pop loop the retained ranges |s[i+1]-s[i]| strictly decrease
+/// from the bottom of the stack to the top (each newer range is nested
+/// inside the older one it failed to close). A violation means cycles are
+/// being dropped or double-counted, which corrupts the Miner damage sum.
+void verifyStackInvariant(const std::vector<Celsius>& stack) {
+  if constexpr (kContractsEnabled) {
+    for (std::size_t i = 0; i + 2 < stack.size(); ++i) {
+      const double older = std::abs(stack[i + 1] - stack[i]);
+      const double newer = std::abs(stack[i + 2] - stack[i + 1]);
+      RLTHERM_INVARIANT(newer < older,
+                        "rainflow stack ranges must strictly decrease upward");
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<Celsius> extractExtrema(std::span<const Celsius> series) {
   std::vector<Celsius> extrema;
@@ -38,6 +60,7 @@ std::vector<ThermalCycle> rainflow(std::span<const Celsius> series, Celsius minA
 
   const auto emit = [&](Celsius a, Celsius b, double weight) {
     const Celsius amplitude = std::abs(a - b);
+    RLTHERM_ENSURE(std::isfinite(amplitude), "rainflow: non-finite cycle amplitude");
     if (amplitude < minAmplitude) return;
     cycles.push_back(ThermalCycle{
         .amplitude = amplitude,
@@ -74,6 +97,7 @@ std::vector<ThermalCycle> rainflow(std::span<const Celsius> series, Celsius minA
                     stack.begin() + static_cast<std::ptrdiff_t>(n - 1));
       }
     }
+    verifyStackInvariant(stack);
   }
 
   // Residue: remaining ranges count as half cycles.

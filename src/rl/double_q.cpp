@@ -1,5 +1,8 @@
 #include "rl/double_q.hpp"
 
+#include <cmath>
+
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::rl {
@@ -31,13 +34,17 @@ void DoubleQLearner::update(std::size_t state, std::size_t action, double reward
                             Rng& rng) {
   expects(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
   expects(gamma >= 0.0 && gamma <= 1.0, "gamma must be in [0, 1]");
+  RLTHERM_EXPECT(std::isfinite(reward), "DoubleQLearner::update: reward must be finite");
   QTable& updating = rng.bernoulli(0.5) ? a_ : b_;
   QTable& evaluating = (&updating == &a_) ? b_ : a_;
   // Q_upd(s,a) += alpha (r + gamma Q_eval(s', argmax_a' Q_upd(s', a')) - Q_upd(s,a))
   const std::size_t greedy = updating.bestAction(nextState);
   const double target = reward + gamma * evaluating.value(nextState, greedy);
   const double q = updating.value(state, action);
-  updating.setValue(state, action, q + alpha * (target - q));
+  const double updated = q + alpha * (target - q);
+  RLTHERM_ENSURE(std::isfinite(updated),
+                 "DoubleQLearner::update produced a non-finite Q value");
+  updating.setValue(state, action, updated);
 }
 
 std::size_t DoubleQLearner::selectAction(std::size_t state, double epsilon,

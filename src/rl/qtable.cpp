@@ -1,7 +1,9 @@
 #include "rl/qtable.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::rl {
@@ -54,10 +56,13 @@ double QTable::update(std::size_t state, std::size_t action, double reward,
                       std::size_t nextState, double alpha, double gamma) {
   expects(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
   expects(gamma >= 0.0 && gamma <= 1.0, "gamma must be in [0, 1]");
+  RLTHERM_EXPECT(std::isfinite(reward), "QTable::update: reward must be finite");
   const std::size_t i = index(state, action);
   const double target = reward + gamma * maxValue(nextState);
   const double effectiveAlpha = (firstVisitJump_ && !touched_[i]) ? 1.0 : alpha;
   values_[i] += effectiveAlpha * (target - values_[i]);
+  RLTHERM_ENSURE(std::isfinite(values_[i]),
+                 "QTable::update produced a non-finite Q value");
   ++visits_[state];
   if (!touched_[i]) {
     touched_[i] = true;

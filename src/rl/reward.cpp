@@ -1,13 +1,19 @@
 #include "rl/reward.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/stats.hpp"
 
 namespace rltherm::rl {
 
 double computeReward(const RewardInputs& in, const StateSpace& space,
                      const RewardParams& params) {
+  RLTHERM_EXPECT(std::isfinite(in.stress) && std::isfinite(in.aging),
+                 "computeReward: stress/aging inputs must be finite");
+  RLTHERM_EXPECT(std::isfinite(in.performance) && std::isfinite(in.constraint),
+                 "computeReward: performance inputs must be finite");
   const RangeDiscretizer& stressD = space.stress();
   const RangeDiscretizer& agingD = space.aging();
 
@@ -15,7 +21,9 @@ double computeReward(const RewardInputs& in, const StateSpace& space,
   if (space.isUnsafe(in.stress, in.aging)) {
     const double sHat = stressD.normalizedMidpoint(stressD.bin(in.stress));
     const double aHat = agingD.normalizedMidpoint(agingD.bin(in.aging));
-    return -params.unsafePenaltyScale * sHat * aHat;
+    const double penalty = -params.unsafePenaltyScale * sHat * aHat;
+    RLTHERM_ENSURE(std::isfinite(penalty), "computeReward: non-finite unsafe penalty");
+    return penalty;
   }
 
   const double sNorm = stressD.normalize(in.stress);
@@ -38,7 +46,9 @@ double computeReward(const RewardInputs& in, const StateSpace& space,
 
   // Pure performance penalty (0 when the constraint is met).
   const double shortfall = std::min(0.0, in.performance - in.constraint);
-  return f + params.performanceWeight * shortfall;
+  const double reward = f + params.performanceWeight * shortfall;
+  RLTHERM_ENSURE(std::isfinite(reward), "computeReward: non-finite reward");
+  return reward;
 }
 
 }  // namespace rltherm::rl

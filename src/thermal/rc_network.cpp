@@ -1,11 +1,40 @@
 #include "thermal/rc_network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::thermal {
+
+namespace {
+
+/// Checked-build verification that G is a valid conductance matrix: symmetric
+/// and weakly diagonally dominant with a positive diagonal, which (by
+/// Gershgorin) makes it positive semi-definite. A violated check means the
+/// Laplacian assembly is broken and every temperature downstream is garbage.
+void verifyConductanceMatrix(const Matrix& g) {
+  if constexpr (kContractsEnabled) {
+    const std::size_t n = g.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      RLTHERM_INVARIANT(g(i, i) > 0.0, "conductance diagonal must be positive");
+      double offDiagSum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        RLTHERM_INVARIANT(std::isfinite(g(i, j)), "conductance entry must be finite");
+        if (i == j) continue;
+        RLTHERM_INVARIANT(g(i, j) == g(j, i), "conductance matrix must be symmetric");
+        RLTHERM_INVARIANT(g(i, j) <= 0.0, "off-diagonal conductance must be <= 0");
+        offDiagSum += -g(i, j);
+      }
+      RLTHERM_INVARIANT(g(i, i) >= offDiagSum - 1e-9 * g(i, i),
+                        "conductance matrix must be diagonally dominant (PSD)");
+    }
+  }
+}
+
+}  // namespace
 
 std::size_t RcNetwork::Builder::addNode(NodeSpec spec) {
   expects(spec.capacitance > 0.0, "Thermal node capacitance must be > 0");
@@ -84,6 +113,7 @@ RcNetwork RcNetwork::Builder::build() const {
   }
   net.temps_.assign(n, ambient_);
   net.scratch_.resize(n);
+  verifyConductanceMatrix(net.conductance_);
   return net;
 }
 
@@ -136,7 +166,11 @@ void RcNetwork::step(std::span<const Watts> power) {
   }
   const std::vector<double> homogeneous = expOp_ * std::span<const double>(temps_);
   const std::vector<double> forced = phiOp_ * std::span<const double>(scratch_);
-  for (std::size_t i = 0; i < n; ++i) temps_[i] = homogeneous[i] + forced[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    temps_[i] = homogeneous[i] + forced[i];
+    RLTHERM_ENSURE(isPhysicalTemperature(temps_[i]),
+                   "RcNetwork::step produced a non-physical temperature");
+  }
 }
 
 std::vector<double> RcNetwork::derivative(std::span<const double> temps,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::thermal {
@@ -15,7 +16,9 @@ SensorBank::SensorBank(SensorConfig config, std::uint64_t seed)
 }
 
 Celsius SensorBank::readOne(Celsius trueTemp) {
-  double reading = trueTemp;
+  RLTHERM_EXPECT(isPhysicalTemperature(trueTemp),
+                 "SensorBank::readOne: true temperature must be physical");
+  Celsius reading = trueTemp;
   if (config_.noiseSigma > 0.0) reading += rng_.gaussian(0.0, config_.noiseSigma);
   if (config_.quantizationStep > 0.0) {
     reading = std::round(reading / config_.quantizationStep) * config_.quantizationStep;

@@ -1,0 +1,85 @@
+// Coverage for the contract layer itself (common/contracts.hpp): violated
+// contracts must abort with a diagnostic when RLTHERM_CHECKED=ON and must be
+// complete no-ops — the condition not even evaluated — when OFF. One binary
+// only ever sees one of the two configurations; both suites run in CI because
+// scripts/check.sh builds the asan-ubsan preset (checked) while the default
+// tier-1 build is unchecked.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace rltherm {
+namespace {
+
+double guardedSqrt(double x) {
+  RLTHERM_EXPECT(x >= 0.0, "input must be non-negative");
+  const double root = std::sqrt(x);
+  RLTHERM_ENSURE(!(x >= 0.0) || root >= 0.0, "root must be non-negative");
+  return root;
+}
+
+double guardedKelvin(Celsius c) {
+  RLTHERM_INVARIANT(isPhysicalTemperature(c), "temperature must be physical");
+  return toKelvin(c);
+}
+
+TEST(ContractsTest, SatisfiedContractsAreSilent) {
+  EXPECT_DOUBLE_EQ(guardedSqrt(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(guardedKelvin(25.0), 298.15);
+}
+
+TEST(ContractsTest, EnabledFlagMatchesBuildDefinition) {
+#if defined(RLTHERM_CHECKED) && RLTHERM_CHECKED
+  EXPECT_TRUE(kContractsEnabled);
+#else
+  EXPECT_FALSE(kContractsEnabled);
+#endif
+}
+
+#if defined(RLTHERM_CHECKED) && RLTHERM_CHECKED
+
+TEST(ContractsDeathTest, ViolatedPreconditionAborts) {
+  EXPECT_DEATH(guardedSqrt(-1.0), "precondition violated");
+}
+
+TEST(ContractsDeathTest, ViolatedInvariantAborts) {
+  EXPECT_DEATH(guardedKelvin(-400.0), "invariant violated");
+}
+
+TEST(ContractsDeathTest, ViolatedPostconditionAborts) {
+  const auto badEnsure = [] {
+    RLTHERM_ENSURE(1 + 1 == 3, "arithmetic is broken");
+  };
+  EXPECT_DEATH(badEnsure(), "postcondition violated");
+}
+
+TEST(ContractsDeathTest, DiagnosticNamesExpressionAndLocation) {
+  const auto fail = [] { RLTHERM_EXPECT(false, "unique-message-4242"); };
+  EXPECT_DEATH(fail(), "unique-message-4242.*contracts_test");
+}
+
+#else  // contracts compiled out
+
+TEST(ContractsTest, ViolatedContractsAreNoOpsWhenUnchecked) {
+  // A violated precondition must neither abort nor throw...
+  EXPECT_TRUE(std::isnan(guardedSqrt(-1.0)));
+  EXPECT_DOUBLE_EQ(guardedKelvin(-400.0), toKelvin(-400.0));
+}
+
+TEST(ContractsTest, UncheckedConditionsAreNotEvaluated) {
+  // ...and the condition expression must not even run: contract checks may
+  // be arbitrarily expensive, so unchecked builds must pay zero cost.
+  int evaluations = 0;
+  RLTHERM_EXPECT((++evaluations, true), "side effect");
+  RLTHERM_ENSURE((++evaluations, true), "side effect");
+  RLTHERM_INVARIANT((++evaluations, true), "side effect");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif
+
+}  // namespace
+}  // namespace rltherm

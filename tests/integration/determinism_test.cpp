@@ -65,6 +65,50 @@ TEST(DeterminismTest, RlRunsAreBitIdenticalWithSameSeed) {
   }
 }
 
+// The race/UB canary guarding future parallelism work: the ENTIRE closed-loop
+// artifact set — ground-truth traces, per-epoch RL records (state, action,
+// reward, alpha bits), energy bookkeeping and reliability figures — must be
+// bit-identical across two runs with one seed. EXPECT_EQ on doubles is
+// deliberate: any nondeterministic reduction order, uninitialized read or
+// data race shows up here as a last-bit difference long before it is large
+// enough to move an MTTF plot.
+TEST(DeterminismTest, FullClosedLoopArtifactsAreBitIdentical) {
+  PolicyRunner runner(fastRunner());
+  ThermalManagerConfig config;
+  config.samplingInterval = 0.5;
+  config.decisionEpoch = 2.0;
+  ThermalManager a(config, ActionSpace::standard(4));
+  ThermalManager b(config, ActionSpace::standard(4));
+  const RunResult first = runner.run(workload::Scenario::of({tinyApp(120)}), a);
+  const RunResult second = runner.run(workload::Scenario::of({tinyApp(120)}), b);
+
+  EXPECT_EQ(first.coreTraces, second.coreTraces);
+  EXPECT_EQ(first.duration, second.duration);
+  EXPECT_EQ(first.dynamicEnergy, second.dynamicEnergy);
+  EXPECT_EQ(first.staticEnergy, second.staticEnergy);
+  EXPECT_EQ(first.counters.instructions, second.counters.instructions);
+  EXPECT_EQ(first.counters.cycles, second.counters.cycles);
+  EXPECT_EQ(first.counters.cacheMisses, second.counters.cacheMisses);
+
+  EXPECT_EQ(first.reliability.agingMttfYears, second.reliability.agingMttfYears);
+  EXPECT_EQ(first.reliability.cyclingMttfYears, second.reliability.cyclingMttfYears);
+  EXPECT_EQ(first.reliability.stress, second.reliability.stress);
+  EXPECT_EQ(first.reliability.peakTemp, second.reliability.peakTemp);
+
+  ASSERT_EQ(a.epochCount(), b.epochCount());
+  for (std::size_t i = 0; i < a.epochCount(); ++i) {
+    const auto& ra = a.epochLog()[i];
+    const auto& rb = b.epochLog()[i];
+    EXPECT_EQ(ra.time, rb.time) << "epoch " << i;
+    EXPECT_EQ(ra.state, rb.state) << "epoch " << i;
+    EXPECT_EQ(ra.action, rb.action) << "epoch " << i;
+    EXPECT_EQ(ra.stress, rb.stress) << "epoch " << i;
+    EXPECT_EQ(ra.aging, rb.aging) << "epoch " << i;
+    EXPECT_EQ(ra.reward, rb.reward) << "epoch " << i;
+    EXPECT_EQ(ra.alpha, rb.alpha) << "epoch " << i;
+  }
+}
+
 TEST(DeterminismTest, RlSeedChangesExplorationTrajectory) {
   PolicyRunner runner(fastRunner());
   ThermalManagerConfig configA;

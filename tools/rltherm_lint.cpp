@@ -1,0 +1,311 @@
+// rltherm_lint — project-specific static analysis for invariants that
+// clang-tidy cannot express.
+//
+// Usage:  rltherm_lint [repo-root]     (default: current directory)
+//         rltherm_lint --list-rules
+//
+// The tool walks `src/` under the repo root and checks every source file
+// against the rule set below, printing findings as `path:line: [rule] message`
+// and exiting non-zero if anything fired. scripts/check.sh runs it in CI.
+//
+// Rules (see docs/ANALYSIS.md for rationale and how to add one):
+//
+//   naked-double-temperature  Public headers must declare temperature-named
+//                             parameters/members as Celsius or Kelvin (the
+//                             typed wrappers in common/units.hpp), never as
+//                             naked `double`.
+//   raw-kelvin-offset         The 273.15 Celsius<->Kelvin offset may appear
+//                             only in common/units.hpp; all conversions go
+//                             through toKelvin()/toCelsius().
+//   global-rng                Only src/common/rng.* may touch a global or
+//                             standard-library RNG; all simulator randomness
+//                             flows through rltherm::Rng so traces stay
+//                             deterministic and bit-identical across
+//                             toolchains.
+//   unregistered-source       Every *.cpp under src/<module>/ must be listed
+//                             in that module's CMakeLists.txt (an orphan file
+//                             compiles in nobody's build and silently rots).
+//
+// Matching is purely lexical, but comments and string literals are stripped
+// first so documentation never triggers a finding.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  fs::path file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Replaces comments and string/character literals with spaces, preserving
+/// newlines so line numbers survive. A small hand-rolled scanner: regexes
+/// cannot handle nesting of `//` inside strings and vice versa.
+std::string stripCommentsAndStrings(const std::string& text) {
+  std::string out(text.size(), ' ');
+  enum class State { Code, Slash, LineComment, BlockComment, BlockStar, Str, Chr };
+  State state = State::Code;
+  char quoteEscape = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      out[i] = '\n';
+      if (state == State::LineComment || state == State::Slash) state = State::Code;
+      continue;
+    }
+    switch (state) {
+      case State::Code:
+        if (c == '/') {
+          state = State::Slash;
+        } else if (c == '"') {
+          state = State::Str;
+          quoteEscape = 0;
+        } else if (c == '\'') {
+          state = State::Chr;
+          quoteEscape = 0;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case State::Slash:
+        if (c == '/') {
+          state = State::LineComment;
+        } else if (c == '*') {
+          state = State::BlockComment;
+        } else {
+          // The previous '/' was real code (division); restore it.
+          out[i - 1] = '/';
+          out[i] = c;
+          state = State::Code;
+        }
+        break;
+      case State::LineComment:
+        break;
+      case State::BlockComment:
+        if (c == '*') state = State::BlockStar;
+        break;
+      case State::BlockStar:
+        state = (c == '/') ? State::Code : (c == '*' ? State::BlockStar
+                                                     : State::BlockComment);
+        break;
+      case State::Str:
+      case State::Chr: {
+        const char quote = state == State::Str ? '"' : '\'';
+        if (quoteEscape) {
+          quoteEscape = 0;
+        } else if (c == '\\') {
+          quoteEscape = 1;
+        } else if (c == quote) {
+          state = State::Code;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t lineOfOffset(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(offset, text.size())),
+                            '\n'));
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Heuristic: does this identifier name a temperature quantity? Tuned so
+/// sensitivity/weight/scale factors (`tempSensitivity`, `temperatureWeight`)
+/// do not fire — those are 1/K coefficients, not temperatures.
+bool isTemperatureName(const std::string& raw) {
+  const std::string name = lowercase(raw);
+  static const char* kExact[] = {"temp",    "temperature", "ambient", "hottest",
+                                 "coolest", "tmax",        "tmin",    "tamb",
+                                 "tjunction"};
+  for (const char* e : kExact) {
+    if (name == e || name == std::string(e) + "_") return true;
+  }
+  for (const char* suffix : {"temp", "temperature", "celsius", "kelvin",
+                             "temp_", "temperature_", "celsius_", "kelvin_"}) {
+    if (endsWith(name, suffix)) return true;
+  }
+  return false;
+}
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- rule: naked-double-temperature -----------------------------------------
+
+void checkNakedDoubleTemperature(const fs::path& file, const std::string& code,
+                                 std::vector<Finding>& findings) {
+  static const std::regex decl(R"(\bdouble\s+([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (!isTemperatureName(name)) continue;
+    findings.push_back(
+        {file, lineOfOffset(code, static_cast<std::size_t>(it->position())),
+         "naked-double-temperature",
+         "'" + name + "' looks like a temperature but is declared as naked double; "
+         "use Celsius or Kelvin from common/units.hpp"});
+  }
+}
+
+// --- rule: raw-kelvin-offset ------------------------------------------------
+
+void checkRawKelvinOffset(const fs::path& file, const std::string& code,
+                          std::vector<Finding>& findings) {
+  static const std::regex offset(R"(\b273\.15\b)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), offset);
+       it != std::sregex_iterator(); ++it) {
+    findings.push_back(
+        {file, lineOfOffset(code, static_cast<std::size_t>(it->position())),
+         "raw-kelvin-offset",
+         "open-coded Celsius<->Kelvin offset; use toKelvin()/toCelsius() from "
+         "common/units.hpp"});
+  }
+}
+
+// --- rule: global-rng -------------------------------------------------------
+
+void checkGlobalRng(const fs::path& file, const std::string& code,
+                    std::vector<Finding>& findings) {
+  static const std::regex rng(
+      R"(\b(std\s*::\s*)?(rand|srand|rand_r|drand48|lrand48|random_device|mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+|knuth_b)\b)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), rng);
+       it != std::sregex_iterator(); ++it) {
+    findings.push_back(
+        {file, lineOfOffset(code, static_cast<std::size_t>(it->position())),
+         "global-rng",
+         "'" + (*it)[2].str() +
+             "' bypasses rltherm::Rng; all simulator randomness must flow through "
+             "src/common/rng for deterministic traces"});
+  }
+}
+
+// --- rule: unregistered-source ----------------------------------------------
+
+void checkUnregisteredSources(const fs::path& srcRoot, std::vector<Finding>& findings) {
+  // Collect per-directory CMakeLists contents once.
+  std::map<fs::path, std::string> cmakeByDir;
+  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
+    if (entry.is_regular_file() && entry.path().filename() == "CMakeLists.txt") {
+      cmakeByDir[entry.path().parent_path()] = readFile(entry.path());
+    }
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cpp") continue;
+    const fs::path dir = entry.path().parent_path();
+    const std::string name = entry.path().filename().string();
+    const auto cm = cmakeByDir.find(dir);
+    if (cm == cmakeByDir.end()) {
+      findings.push_back({entry.path(), 1, "unregistered-source",
+                          "no CMakeLists.txt in " + dir.string() +
+                              " to register this source file"});
+      continue;
+    }
+    if (cm->second.find(name) == std::string::npos) {
+      findings.push_back({entry.path(), 1, "unregistered-source",
+                          name + " is not listed in " +
+                              (dir / "CMakeLists.txt").string()});
+    }
+  }
+}
+
+// ----------------------------------------------------------------------------
+
+bool isExemptFromRngRule(const fs::path& rel) {
+  const std::string s = rel.generic_string();
+  return s == "common/rng.hpp" || s == "common/rng.cpp";
+}
+
+bool isExemptFromOffsetRule(const fs::path& rel) {
+  return rel.generic_string() == "common/units.hpp";
+}
+
+void listRules() {
+  std::cout <<
+      "naked-double-temperature  temperature-named declarations in public headers must\n"
+      "                          use the Celsius/Kelvin wrappers (common/units.hpp)\n"
+      "raw-kelvin-offset         273.15 may appear only in common/units.hpp\n"
+      "global-rng                std/libc RNGs forbidden outside src/common/rng\n"
+      "unregistered-source       every src/**.cpp must be listed in its CMakeLists.txt\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      listRules();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rltherm_lint [repo-root]\n       rltherm_lint --list-rules\n";
+      return 0;
+    }
+    root = fs::path(arg);
+  }
+
+  const fs::path srcRoot = fs::exists(root / "src") ? root / "src" : root;
+  if (!fs::is_directory(srcRoot)) {
+    std::cerr << "rltherm_lint: no src/ directory under " << root << "\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path ext = entry.path().extension();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    const fs::path rel = fs::relative(entry.path(), srcRoot);
+    const std::string code = stripCommentsAndStrings(readFile(entry.path()));
+    if (ext == ".hpp") checkNakedDoubleTemperature(entry.path(), code, findings);
+    if (!isExemptFromOffsetRule(rel)) checkRawKelvinOffset(entry.path(), code, findings);
+    if (!isExemptFromRngRule(rel)) checkGlobalRng(entry.path(), code, findings);
+  }
+  checkUnregisteredSources(srcRoot, findings);
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+  });
+  for (const Finding& f : findings) {
+    std::cout << f.file.generic_string() << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "rltherm_lint: clean (" << srcRoot.generic_string() << ")\n";
+    return 0;
+  }
+  std::cout << "rltherm_lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
