@@ -5,7 +5,7 @@
 // and no static policy suits all of them.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rltherm;
   using namespace rltherm::bench;
 
@@ -52,6 +52,8 @@ int main() {
   printBanner(std::cout,
               "Workload suite under Linux ondemand (the Section 3 characterization)");
   table.print(std::cout);
+  const std::string jsonPath = jsonOutputPath(argc, argv, "BENCH_suite.json");
+  if (!jsonPath.empty()) writeJsonReport(table, "suite_overview", jsonPath);
   std::cout << "\nThe renderers (tachyon, face_rec) are hot with modest cycling; the\n"
                "GOP codecs are cool with pronounced cycling; sphinx's burst mixture\n"
                "sits in between. One static policy cannot serve all of them — the\n"

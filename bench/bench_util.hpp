@@ -12,14 +12,17 @@
 //    mechanism under test.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/baselines.hpp"
 #include "core/runner.hpp"
 #include "core/thermal_manager.hpp"
+#include "obs/json.hpp"
 #include "workload/app_spec.hpp"
 
 namespace rltherm::bench {
@@ -87,6 +90,49 @@ inline core::RunResult runProposedLive(core::PolicyRunner& runner,
   (void)runner.run(train, manager);
   if (managerOut != nullptr) *managerOut = &manager;
   return runner.run(eval, manager);
+}
+
+/// `--json [PATH]` support for the bench binaries: returns the output path
+/// when the flag is present (PATH if given, `fallback` otherwise), empty
+/// string when absent.
+inline std::string jsonOutputPath(int argc, char** argv, const std::string& fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") continue;
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      return argv[i + 1];
+    }
+    return fallback;
+  }
+  return {};
+}
+
+/// Writes a bench result table as a JSON report:
+///   {"suite": NAME, "columns": [...], "rows": [{col: value, ...}, ...]}
+/// Numeric-looking cells become JSON numbers (see JsonWriter::valueAuto), so
+/// downstream scripts get typed data without the table layer changing.
+inline void writeJsonReport(const TextTable& table, const std::string& suite,
+                            const std::string& path) {
+  std::ofstream out(path);
+  expects(out.good(), "cannot write '" + path + "'");
+  obs::JsonWriter json(out);
+  json.beginObject();
+  json.key("suite").value(suite);
+  json.key("columns").beginArray();
+  for (const std::string& column : table.header()) json.value(column);
+  json.endArray();
+  json.key("rows").beginArray();
+  for (const std::vector<std::string>& row : table.rows()) {
+    json.beginObject();
+    for (std::size_t c = 0; c < row.size() && c < table.header().size(); ++c) {
+      json.key(table.header()[c]).valueAuto(row[c]);
+    }
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  out << "\n";
+  ensures(json.complete(), "bench JSON report left unbalanced");
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace rltherm::bench

@@ -7,16 +7,42 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/4] configure (preset: asan-ubsan) =="
+echo "== [1/5] configure (preset: asan-ubsan) =="
 cmake --preset asan-ubsan
 
-echo "== [2/4] build =="
+echo "== [2/5] build =="
 cmake --build --preset asan-ubsan -j "${JOBS}"
 
-echo "== [3/4] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+echo "== [3/5] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
 ctest --preset asan-ubsan -j "${JOBS}"
 
-echo "== [4/4] static analysis =="
+echo "== [4/5] events-JSONL smoke (rltherm_cli --events) =="
+EVENTS_TMP="$(mktemp /tmp/rltherm_events.XXXXXX.jsonl)"
+trap 'rm -f "${EVENTS_TMP}"' EXIT
+./build-asan-ubsan/tools/rltherm_cli run --app mpeg_dec --policy linux-ondemand \
+  --events "${EVENTS_TMP}" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${EVENTS_TMP}" <<'PY'
+import json, sys
+path = sys.argv[1]
+count = 0
+with open(path) as fh:
+    for lineno, line in enumerate(fh, 1):
+        try:
+            json.loads(line)
+        except ValueError as err:
+            sys.exit(f"{path}:{lineno}: invalid JSONL: {err}")
+        count += 1
+if count == 0:
+    sys.exit(f"{path}: event log is empty")
+print(f"events-JSONL smoke: {count} valid lines")
+PY
+else
+  test -s "${EVENTS_TMP}" || { echo "event log is empty"; exit 1; }
+  echo "python3 not found on PATH; checked the event log is non-empty only."
+fi
+
+echo "== [5/5] static analysis =="
 ./build-asan-ubsan/tools/rltherm_lint .
 
 if command -v run-clang-tidy >/dev/null 2>&1; then

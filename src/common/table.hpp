@@ -28,6 +28,12 @@ class TextTable {
 
   [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t columnCount() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

@@ -1,12 +1,27 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/error.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
 #include "workload/multi_app.hpp"
 
 namespace rltherm::core {
 namespace {
+
+void emitRunStart(const RunResult& result) {
+  if (obs::events() != nullptr) {
+    obs::emit(obs::Event{.name = "runner.run.start",
+                         .simTime = 0.0,
+                         .fields = {
+                             obs::field("policy", result.policyName),
+                             obs::field("scenario", result.scenarioName),
+                         }});
+  }
+}
 
 /// Shared result finalization: trims warm-up/teardown windows, runs the
 /// reliability analysis and copies the energy/counter accounting.
@@ -35,6 +50,31 @@ void finalizeResult(const RunnerConfig& config, const platform::Machine& machine
   result.averageDynamicPower = meter.averageDynamicPower();
   result.averageTotalPower = meter.averageTotalPower();
   result.counters = machine.perfCounters().sample();
+
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("runner.runs.complete").add();
+    metrics->gauge("runner.duration.last").set(result.duration);
+    metrics->gauge("runner.energy.dynamic").set(result.dynamicEnergy);
+  }
+  if (obs::events() != nullptr) {
+    obs::emit(obs::Event{
+        .name = "runner.run.finish",
+        .simTime = result.duration,
+        .fields = {
+            obs::field("policy", result.policyName),
+            obs::field("scenario", result.scenarioName),
+            obs::field("duration_s", result.duration),
+            obs::field("timed_out", result.timedOut),
+            obs::field("completions", static_cast<std::int64_t>(result.completions.size())),
+            obs::field("avg_temp_c", static_cast<double>(result.reliability.averageTemp)),
+            obs::field("peak_temp_c", static_cast<double>(result.reliability.peakTemp)),
+            obs::field("cycling_mttf_y", result.reliability.cyclingMttfYears),
+            obs::field("aging_mttf_y", result.reliability.agingMttfYears),
+            obs::field("dynamic_energy_j", result.dynamicEnergy),
+            obs::field("static_energy_j", result.staticEnergy),
+            obs::field("avg_total_power_w", result.averageTotalPower),
+        }});
+  }
 }
 
 }  // namespace
@@ -55,6 +95,7 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
   result.scenarioName = scenario.name;
   result.traceInterval = config_.traceInterval;
   result.coreTraces.assign(machine.coreCount(), {});
+  emitRunStart(result);
 
   policy.onStart(ctx);
 
@@ -73,6 +114,9 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
     if (nextSample > 0.0 && now + 1e-9 >= nextSample) {
       const std::vector<Celsius> readings = machine.readSensors();
       policy.onSample(ctx, readings);
+      if (obs::MetricsRegistry* metrics = obs::metrics()) {
+        metrics->counter("runner.samples.deliver").add();
+      }
       machine.perfCounters().recordMonitoringOverhead(
           config_.monitorCacheMissesPerSample, config_.monitorPageFaultsPerSample);
       // Re-read the interval: adaptive-sampling policies change it online.
@@ -109,6 +153,7 @@ RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps
   }
   result.traceInterval = config_.traceInterval;
   result.coreTraces.assign(machine.coreCount(), {});
+  emitRunStart(result);
 
   policy.onStart(ctx);
 
@@ -124,6 +169,9 @@ RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps
     if (nextSample > 0.0 && now + 1e-9 >= nextSample) {
       const std::vector<Celsius> readings = machine.readSensors();
       policy.onSample(ctx, readings);
+      if (obs::MetricsRegistry* metrics = obs::metrics()) {
+        metrics->counter("runner.samples.deliver").add();
+      }
       machine.perfCounters().recordMonitoringOverhead(
           config_.monitorCacheMissesPerSample, config_.monitorPageFaultsPerSample);
       // Re-read the interval: adaptive-sampling policies change it online.

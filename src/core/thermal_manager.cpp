@@ -5,6 +5,10 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/timeline.hpp"
 #include "reliability/rainflow.hpp"
 
 namespace rltherm::core {
@@ -69,6 +73,7 @@ void ThermalManager::onSample(PolicyContext& ctx, std::span<const Celsius> senso
 }
 
 void ThermalManager::onEpoch(PolicyContext& ctx) {
+  RLTHERM_TIMED_SCOPE("manager.epoch.aggregate");
   // --- compute the epoch's stress and aging (chip = worst core) ---
   double stress = 0.0;
   double aging = 0.0;
@@ -97,19 +102,20 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
     const std::size_t action = qTable_.bestAction(state);
     actions_.apply(action, ctx.machine, ctx.workload);
     ctx.machine.injectStall(config_.decisionOverhead);
-    epochLog_.push_back(EpochRecord{
-        .time = ctx.machine.now(),
-        .state = state,
-        .action = action,
-        .stress = stress,
-        .aging = aging,
-        .reward = 0.0,
-        .alpha = 0.0,
-        .phase = rl::LearningPhase::Exploitation,
-        .qCoverage = qTable_.coverage(),
-        .intraDetected = false,
-        .interDetected = false,
-    });
+    logEpoch(EpochRecord{
+                 .time = ctx.machine.now(),
+                 .state = state,
+                 .action = action,
+                 .stress = stress,
+                 .aging = aging,
+                 .reward = 0.0,
+                 .alpha = 0.0,
+                 .phase = rl::LearningPhase::Exploitation,
+                 .qCoverage = qTable_.coverage(),
+                 .intraDetected = false,
+                 .interDetected = false,
+             },
+             rl::RewardBreakdown{}, /*epsilon=*/0.0, "none");
     prevState_ = state;
     prevAction_ = action;
     return;
@@ -163,7 +169,7 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
 
   // --- state identification, reward, Q update (Eqs. 7 and 8) ---
   const std::size_t state = stateSpace_.stateOf(stressCoord, aging);
-  double reward = 0.0;
+  rl::RewardBreakdown breakdown;
   if (prevState_) {
     const rl::RewardInputs inputs{
         .stress = stressCoord,
@@ -172,14 +178,15 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
         .constraint = 1.0,
         .stressDominant = stressHistory_.mean() >= agingHistory_.mean(),
     };
-    reward = rl::computeReward(inputs, stateSpace_, rewardParams_);
-    qTable_.update(*prevState_, prevAction_, reward, state, schedule_.alpha(),
-                   config_.gamma);
+    breakdown = rl::computeRewardDetailed(inputs, stateSpace_, rewardParams_);
+    qTable_.update(*prevState_, prevAction_, breakdown.total, state,
+                   schedule_.alpha(), config_.gamma);
   }
+  const double reward = breakdown.total;
 
   // --- action selection and decode ---
-  const std::size_t action =
-      rl::selectEpsilonGreedy(qTable_, state, schedule_.epsilon(), rng_);
+  const double epsilon = schedule_.epsilon();
+  const std::size_t action = rl::selectEpsilonGreedy(qTable_, state, epsilon, rng_);
   actions_.apply(action, ctx.machine, ctx.workload);
   ctx.machine.injectStall(config_.decisionOverhead);
 
@@ -197,22 +204,67 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
     qExp_ = qTable_.snapshot();
   }
 
-  epochLog_.push_back(EpochRecord{
-      .time = ctx.machine.now(),
-      .state = state,
-      .action = action,
-      .stress = stress,
-      .aging = aging,
-      .reward = reward,
-      .alpha = schedule_.alpha(),
-      .phase = schedule_.phase(),
-      .qCoverage = qTable_.coverage(),
-      .intraDetected = intra,
-      .interDetected = inter,
-  });
+  logEpoch(EpochRecord{
+               .time = ctx.machine.now(),
+               .state = state,
+               .action = action,
+               .stress = stress,
+               .aging = aging,
+               .reward = reward,
+               .alpha = schedule_.alpha(),
+               .phase = schedule_.phase(),
+               .qCoverage = qTable_.coverage(),
+               .intraDetected = intra,
+               .interDetected = inter,
+           },
+           breakdown, epsilon, inter ? "inter" : (intra ? "intra" : "none"));
 
   prevState_ = state;
   prevAction_ = action;
+}
+
+void ThermalManager::logEpoch(const EpochRecord& record,
+                              const rl::RewardBreakdown& breakdown, double epsilon,
+                              const char* detect) {
+  epochLog_.push_back(record);
+  // Both branches below are skipped entirely — no allocations, no events —
+  // unless the corresponding backend is attached to the ambient session.
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("manager.epochs.decide").add();
+    metrics->gauge("manager.qtable.coverage").set(record.qCoverage);
+    metrics->gauge("manager.alpha.current").set(record.alpha);
+    metrics->histogram("manager.reward.observe", -3.0, 2.0, 25).observe(record.reward);
+    if (record.interDetected) metrics->counter("manager.variation.inter").add();
+    if (record.intraDetected) metrics->counter("manager.variation.intra").add();
+  }
+  if (obs::events() != nullptr) {
+    const rl::StateSpace::Bins bins = stateSpace_.binsOf(record.state);
+    const Action& act = actions_.action(record.action);
+    obs::emit(obs::Event{
+        .name = "manager.epoch.decide",
+        .simTime = record.time,
+        .fields = {
+            obs::field("epoch", static_cast<std::int64_t>(epochLog_.size() - 1)),
+            obs::field("state", static_cast<std::int64_t>(record.state)),
+            obs::field("stress_bin", static_cast<std::int64_t>(bins.stressBin)),
+            obs::field("aging_bin", static_cast<std::int64_t>(bins.agingBin)),
+            obs::field("stress", record.stress),
+            obs::field("aging", record.aging),
+            obs::field("action", static_cast<std::int64_t>(record.action)),
+            obs::field("mapping", act.pattern.name),
+            obs::field("governor", act.governor.toString()),
+            obs::field("reward", record.reward),
+            obs::field("reward_safety", breakdown.safety),
+            obs::field("reward_perf_penalty", breakdown.performancePenalty),
+            obs::field("reward_unsafe", breakdown.unsafe),
+            obs::field("alpha", record.alpha),
+            obs::field("epsilon", epsilon),
+            obs::field("phase", rl::toString(record.phase)),
+            obs::field("q_coverage", record.qCoverage),
+            obs::field("detect", detect),
+            obs::field("frozen", frozen_),
+        }});
+  }
 }
 
 double ThermalManager::stressCoordinate(double stress) const {

@@ -181,6 +181,11 @@ class ThermalManager final : public ThermalPolicy {
 
  private:
   void onEpoch(PolicyContext& ctx);
+  /// Appends `record` to the epoch log and mirrors it to the ambient
+  /// observability session (decision event + metrics), when one is attached.
+  /// `detect` is the Section 5.4 verdict: "none", "intra" or "inter".
+  void logEpoch(const EpochRecord& record, const rl::RewardBreakdown& breakdown,
+                double epsilon, const char* detect);
   [[nodiscard]] double measurePerformanceRatio(const PolicyContext& ctx) const;
   /// Stress mapped into the (log-scale) discretizer domain.
   [[nodiscard]] double stressCoordinate(double stress) const;

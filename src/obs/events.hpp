@@ -1,0 +1,104 @@
+// Structured decision-event log.
+//
+// An Event is one named record stamped with SIMULATED time plus a flat list
+// of typed fields — the unit of the run-time telemetry the paper's analysis
+// needs (one event per decision epoch, plus workload lifecycle and run
+// summaries). Sinks decide the representation:
+//
+//   JsonlEventSink        one JSON object per line (JSONL), the interchange
+//                         format for pandas / jq / the scripts in scripts/.
+//   CollectingEventSink   in-memory, for tests and programmatic inspection.
+//
+// The JSONL schema is part of the public surface and covered by a golden
+// test (tests/obs/events_test.cpp): an object with "event" and "t" first,
+// then the fields in emission order:
+//
+//   {"event":"manager.epoch.decide","t":330,"state":7,...}
+//
+// Event names follow the same `subsystem.noun.verb` convention as metrics.
+// Emission is single-threaded like the rest of the simulator; call sites
+// guard on obs::events() != nullptr so a detached run performs no work and
+// no allocations (see obs/session.hpp).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rltherm::obs {
+
+using FieldValue = std::variant<bool, std::int64_t, double, std::string>;
+
+struct EventField {
+  std::string key;
+  FieldValue value;
+};
+
+/// Overload set so call sites read field("state", ...) without spelling the
+/// variant alternative. Integral arguments must be std::int64_t (cast at the
+/// call site) — a bare size_t would be ambiguous between int/double/bool.
+[[nodiscard]] inline EventField field(std::string key, bool v) {
+  return {std::move(key), FieldValue(v)};
+}
+[[nodiscard]] inline EventField field(std::string key, std::int64_t v) {
+  return {std::move(key), FieldValue(v)};
+}
+[[nodiscard]] inline EventField field(std::string key, double v) {
+  return {std::move(key), FieldValue(v)};
+}
+[[nodiscard]] inline EventField field(std::string key, std::string v) {
+  return {std::move(key), FieldValue(std::move(v))};
+}
+[[nodiscard]] inline EventField field(std::string key, const char* v) {
+  return {std::move(key), FieldValue(std::string(v))};
+}
+
+struct Event {
+  std::string name;
+  Seconds simTime = 0.0;
+  std::vector<EventField> fields;
+
+  /// First field with the given key, or nullptr.
+  [[nodiscard]] const EventField* find(const std::string& key) const;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void record(const Event& event) = 0;
+};
+
+/// Streams events as JSON Lines. Also self-accounts (event count and the
+/// wall-clock nanoseconds spent serializing) so the CLI can report the
+/// instrumentation overhead of an observed run.
+class JsonlEventSink final : public EventSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit JsonlEventSink(std::ostream& out);
+
+  void record(const Event& event) override;
+
+  [[nodiscard]] std::uint64_t eventCount() const noexcept { return eventCount_; }
+  [[nodiscard]] std::uint64_t serializeNs() const noexcept { return serializeNs_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t eventCount_ = 0;
+  std::uint64_t serializeNs_ = 0;
+};
+
+/// Appends every event to a vector (test/analysis sink).
+class CollectingEventSink final : public EventSink {
+ public:
+  void record(const Event& event) override { events.push_back(event); }
+
+  [[nodiscard]] std::size_t countOf(const std::string& name) const;
+
+  std::vector<Event> events;
+};
+
+}  // namespace rltherm::obs

@@ -1,0 +1,162 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace rltherm::obs {
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(out) {}
+
+void JsonWriter::beforeValue() {
+  expects(!rootWritten_ || !stack_.empty(),
+          "JsonWriter: only one root value is allowed");
+  if (!stack_.empty() && stack_.back() == '{') {
+    expects(keyPending_, "JsonWriter: object members need a key() first");
+  }
+  if (needComma_ && !keyPending_) out_ << ',';
+  keyPending_ = false;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ << '{';
+  stack_.push_back('{');
+  needComma_ = false;
+  rootWritten_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ << '[';
+  stack_.push_back('[');
+  needComma_ = false;
+  rootWritten_ = true;
+  return *this;
+}
+
+void JsonWriter::beforeContainerEnd(char expectedOpen) {
+  expects(!stack_.empty() && stack_.back() == expectedOpen,
+          "JsonWriter: unbalanced container close");
+  expects(!keyPending_, "JsonWriter: key() without a value");
+  stack_.pop_back();
+  needComma_ = true;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  beforeContainerEnd('{');
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  beforeContainerEnd('[');
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  expects(!stack_.empty() && stack_.back() == '{',
+          "JsonWriter: key() outside an object");
+  expects(!keyPending_, "JsonWriter: two keys in a row");
+  if (needComma_) out_ << ',';
+  out_ << '"' << escape(name) << "\":";
+  keyPending_ = true;
+  needComma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ << (v ? "true" : "false");
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  out_ << v;
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  out_ << v;
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.12g", v);
+    out_ << buffer;
+  }
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  out_ << '"' << escape(v) << '"';
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string_view(v)); }
+
+JsonWriter& JsonWriter::valueNull() {
+  beforeValue();
+  out_ << "null";
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::valueAuto(std::string_view text) {
+  if (!text.empty()) {
+    const std::string owned(text);
+    char* end = nullptr;
+    const double parsed = std::strtod(owned.c_str(), &end);
+    if (end == owned.c_str() + owned.size() && std::isfinite(parsed)) {
+      return value(parsed);
+    }
+  }
+  return value(text);
+}
+
+bool JsonWriter::complete() const noexcept {
+  return rootWritten_ && stack_.empty() && !keyPending_;
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace rltherm::obs

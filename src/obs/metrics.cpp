@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace rltherm::obs {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi) {
+  expects(std::isfinite(lo) && std::isfinite(hi) && lo < hi,
+          "Histogram: range must be finite with lo < hi");
+  expects(buckets >= 1, "Histogram: needs at least one bucket");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::observe(double value) {
+  expects(std::isfinite(value), "Histogram::observe: value must be finite");
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (value < lo_) {
+    ++underflow_;
+  } else if (value >= hi_) {
+    ++overflow_;
+  } else {
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto bucket = static_cast<std::size_t>((value - lo_) / width);
+    bucket = std::min(bucket, counts_.size() - 1);  // float-edge safety
+    ++counts_[bucket];
+  }
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::bucketValue(std::size_t bucket) const {
+  expects(bucket < counts_.size(), "Histogram::bucketValue: index out of range");
+  return counts_[bucket];
+}
+
+double Histogram::lowerEdge(std::size_t bucket) const {
+  expects(bucket < counts_.size(), "Histogram::lowerEdge: index out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+bool MetricsRegistry::validName(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  std::size_t segments = 1;
+  char prev = '\0';
+  for (const char c : name) {
+    if (c == '.') {
+      if (prev == '.') return false;  // empty segment
+      ++segments;
+    } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+    prev = c;
+  }
+  return segments >= 2;
+}
+
+void MetricsRegistry::requireFreshOrKind(const std::string& name,
+                                         const char* kind) const {
+  expects(validName(name),
+          "metric name '" + name +
+              "' violates the naming convention (lowercase dot-joined segments, "
+              "see docs/ARCHITECTURE.md)");
+  const bool isCounter = counters_.contains(name);
+  const bool isGauge = gauges_.contains(name);
+  const bool isHistogram = histograms_.contains(name);
+  const std::string_view want(kind);
+  expects((!isCounter || want == "counter") && (!isGauge || want == "gauge") &&
+              (!isHistogram || want == "histogram"),
+          "metric '" + name + "' is already registered as a different kind");
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  requireFreshOrKind(name, "counter");
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  requireFreshOrKind(name, "gauge");
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                      std::size_t buckets) {
+  requireFreshOrKind(name, "histogram");
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    expects(it->second.lo() == lo && it->second.hi() == hi &&
+                it->second.bucketCount() == buckets,
+            "histogram '" + name + "' re-registered with a different bucket spec");
+    return it->second;
+  }
+  return histograms_.emplace(name, Histogram(lo, hi, buckets)).first->second;
+}
+
+}  // namespace rltherm::obs

@@ -1,0 +1,11 @@
+#include "obs/session.hpp"
+
+#include "obs/events.hpp"
+
+namespace rltherm::obs {
+
+void emit(const Event& event) {
+  if (EventSink* sink = events()) sink->record(event);
+}
+
+}  // namespace rltherm::obs

@@ -1,0 +1,75 @@
+// Ambient observability session.
+//
+// A Session bundles the (all optional) observability backends — metrics
+// registry, event sink, trace collector — and is installed for the duration
+// of a run with the RAII ScopedSession. Library code never owns any of
+// them; it asks the ambient accessors and SKIPS ALL WORK when nothing is
+// attached:
+//
+//   if (obs::EventSink* sink = obs::events()) { ... build + record event ... }
+//   RLTHERM_TIMED_SCOPE("thermal.rc.step");   // no-ops without a collector
+//
+// With no session installed (the default), the hot-path cost is one inline
+// null-pointer test — no clock reads, no allocations, no events. This is
+// what lets the simulator keep instrumentation compiled in unconditionally.
+//
+// The ambient pointer is deliberately a plain single-threaded global, like
+// the simulator itself. Nested installation is supported (the previous
+// session is restored on scope exit), which the tests use.
+#pragma once
+
+namespace rltherm::obs {
+
+class MetricsRegistry;
+class EventSink;
+class TraceCollector;
+struct Event;
+
+struct Session {
+  MetricsRegistry* metrics = nullptr;
+  EventSink* events = nullptr;
+  TraceCollector* trace = nullptr;
+};
+
+namespace detail {
+inline Session* g_session = nullptr;
+}  // namespace detail
+
+[[nodiscard]] inline Session* current() noexcept { return detail::g_session; }
+
+[[nodiscard]] inline MetricsRegistry* metrics() noexcept {
+  Session* s = detail::g_session;
+  return s != nullptr ? s->metrics : nullptr;
+}
+
+[[nodiscard]] inline EventSink* events() noexcept {
+  Session* s = detail::g_session;
+  return s != nullptr ? s->events : nullptr;
+}
+
+[[nodiscard]] inline TraceCollector* tracing() noexcept {
+  Session* s = detail::g_session;
+  return s != nullptr ? s->trace : nullptr;
+}
+
+/// Record `event` on the ambient sink, if any. Call sites that build fields
+/// should guard on obs::events() themselves so the field vector is never
+/// allocated for a detached run.
+void emit(const Event& event);
+
+class ScopedSession {
+ public:
+  explicit ScopedSession(Session& session) noexcept
+      : previous_(detail::g_session) {
+    detail::g_session = &session;
+  }
+  ~ScopedSession() { detail::g_session = previous_; }
+
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+ private:
+  Session* previous_;
+};
+
+}  // namespace rltherm::obs

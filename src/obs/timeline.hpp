@@ -1,0 +1,120 @@
+// Scoped wall-clock timers and Chrome trace export.
+//
+//   {
+//     RLTHERM_TIMED_SCOPE("thermal.rc.step");
+//     ...hot path...
+//   }
+//
+// When a TraceCollector is attached to the ambient session the scope's
+// wall-clock duration is recorded twice over:
+//  - ALWAYS into per-scope aggregate stats (call count, total/max ns) — the
+//    numbers behind the CLI's --metrics timer table; and
+//  - into a bounded raw event buffer rendered by writeChromeTrace() in the
+//    Chrome trace_event JSON format, loadable in chrome://tracing and
+//    https://ui.perfetto.dev. Once the buffer cap is hit, raw events are
+//    dropped (counted in droppedEvents()) while aggregates keep accruing, so
+//    long simulations stay bounded in memory but never lose totals.
+//
+// Without a collector the timer reads NO clock — construction is a single
+// null check (see obs/session.hpp). Scope names are expected to be string
+// literals (`subsystem.noun.verb`); aggregation keys on the pointer, which
+// is per-site exact and avoids hashing the string on the hot path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/session.hpp"
+
+namespace rltherm::obs {
+
+[[nodiscard]] inline std::uint64_t wallClockNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class TraceCollector {
+ public:
+  struct TimedEvent {
+    const char* name;
+    std::uint64_t startNs;  ///< relative to collector construction
+    std::uint64_t durationNs;
+  };
+
+  struct ScopeStats {
+    std::uint64_t calls = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t maxNs = 0;
+  };
+
+  /// @param maxEvents cap on RAW trace events kept for Chrome export
+  ///        (aggregates are unbounded); 0 keeps aggregates only.
+  explicit TraceCollector(std::size_t maxEvents = 200000);
+
+  void record(const char* name, std::uint64_t startAbsNs, std::uint64_t durationNs);
+
+  [[nodiscard]] const std::vector<TimedEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t droppedEvents() const noexcept { return dropped_; }
+
+  /// Aggregates merged by scope NAME (several sites may share one), sorted.
+  [[nodiscard]] std::vector<std::pair<std::string, ScopeStats>> sortedStats() const;
+
+  [[nodiscard]] std::uint64_t totalCalls() const noexcept { return totalCalls_; }
+
+  /// Mean wall-clock cost of one enabled timed scope on this machine,
+  /// measured on a throwaway collector. Used to estimate instrumentation
+  /// overhead (calls x cost) without timing the timers themselves in situ.
+  [[nodiscard]] static std::uint64_t measuredScopeCostNs();
+
+ private:
+  std::size_t maxEvents_;
+  std::uint64_t baseNs_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t totalCalls_ = 0;
+  std::vector<TimedEvent> events_;
+  std::unordered_map<const char*, ScopeStats> statsBySite_;
+};
+
+/// Renders the collector as Chrome trace_event JSON ("X" complete events,
+/// microsecond timestamps) — one process, one thread, category "rltherm".
+void writeChromeTrace(const TraceCollector& collector, std::ostream& out);
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) noexcept
+      : collector_(tracing()),
+        name_(name),
+        startNs_(collector_ != nullptr ? wallClockNs() : 0) {}
+
+  ~ScopedTimer() {
+    if (collector_ != nullptr) {
+      collector_->record(name_, startNs_, wallClockNs() - startNs_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  const char* name_;
+  std::uint64_t startNs_;
+};
+
+}  // namespace rltherm::obs
+
+#define RLTHERM_OBS_CONCAT2(a, b) a##b
+#define RLTHERM_OBS_CONCAT(a, b) RLTHERM_OBS_CONCAT2(a, b)
+/// Times the enclosing scope under `name` (a string literal) when a trace
+/// collector is attached; a single null check otherwise.
+#define RLTHERM_TIMED_SCOPE(name) \
+  ::rltherm::obs::ScopedTimer RLTHERM_OBS_CONCAT(rlthermTimedScope_, __COUNTER__)(name)

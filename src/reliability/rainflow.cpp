@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "obs/timeline.hpp"
 
 namespace rltherm::reliability {
 
@@ -54,6 +55,7 @@ std::vector<Celsius> extractExtrema(std::span<const Celsius> series) {
 }
 
 std::vector<ThermalCycle> rainflow(std::span<const Celsius> series, Celsius minAmplitude) {
+  RLTHERM_TIMED_SCOPE("reliability.rainflow.pass");
   std::vector<ThermalCycle> cycles;
   const std::vector<Celsius> extrema = extractExtrema(series);
   if (extrema.size() < 2) return cycles;

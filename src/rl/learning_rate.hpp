@@ -19,6 +19,16 @@ enum class LearningPhase {
   Exploitation,
 };
 
+/// Stable lowercase name (used by the obs event log and summary tables).
+[[nodiscard]] constexpr const char* toString(LearningPhase phase) noexcept {
+  switch (phase) {
+    case LearningPhase::Exploration: return "exploration";
+    case LearningPhase::ExplorationExploitation: return "exploration-exploitation";
+    case LearningPhase::Exploitation: return "exploitation";
+  }
+  return "unknown";
+}
+
 struct LearningRateConfig {
   double initialAlpha = 1.0;
   double decay = 0.25;               ///< alpha_i = initial * exp(-decay * i)

@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 
 namespace rltherm::rl {
 
@@ -54,6 +55,7 @@ std::size_t QTable::bestAction(std::size_t state) const {
 
 double QTable::update(std::size_t state, std::size_t action, double reward,
                       std::size_t nextState, double alpha, double gamma) {
+  RLTHERM_TIMED_SCOPE("rl.q.update");
   expects(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
   expects(gamma >= 0.0 && gamma <= 1.0, "gamma must be in [0, 1]");
   RLTHERM_EXPECT(std::isfinite(reward), "QTable::update: reward must be finite");

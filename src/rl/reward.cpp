@@ -10,6 +10,11 @@ namespace rltherm::rl {
 
 double computeReward(const RewardInputs& in, const StateSpace& space,
                      const RewardParams& params) {
+  return computeRewardDetailed(in, space, params).total;
+}
+
+RewardBreakdown computeRewardDetailed(const RewardInputs& in, const StateSpace& space,
+                                      const RewardParams& params) {
   RLTHERM_EXPECT(std::isfinite(in.stress) && std::isfinite(in.aging),
                  "computeReward: stress/aging inputs must be finite");
   RLTHERM_EXPECT(std::isfinite(in.performance) && std::isfinite(in.constraint),
@@ -23,7 +28,8 @@ double computeReward(const RewardInputs& in, const StateSpace& space,
     const double aHat = agingD.normalizedMidpoint(agingD.bin(in.aging));
     const double penalty = -params.unsafePenaltyScale * sHat * aHat;
     RLTHERM_ENSURE(std::isfinite(penalty), "computeReward: non-finite unsafe penalty");
-    return penalty;
+    return RewardBreakdown{.total = penalty, .safety = 0.0,
+                           .performancePenalty = 0.0, .unsafe = true};
   }
 
   const double sNorm = stressD.normalize(in.stress);
@@ -46,9 +52,11 @@ double computeReward(const RewardInputs& in, const StateSpace& space,
 
   // Pure performance penalty (0 when the constraint is met).
   const double shortfall = std::min(0.0, in.performance - in.constraint);
-  const double reward = f + params.performanceWeight * shortfall;
+  const double penalty = params.performanceWeight * shortfall;
+  const double reward = f + penalty;
   RLTHERM_ENSURE(std::isfinite(reward), "computeReward: non-finite reward");
-  return reward;
+  return RewardBreakdown{.total = reward, .safety = f,
+                         .performancePenalty = penalty, .unsafe = false};
 }
 
 }  // namespace rltherm::rl

@@ -67,8 +67,24 @@ struct RewardInputs {
   bool stressDominant = true;///< picks the (a, b) importance pair
 };
 
+/// Eq. 8 split into its terms, so instrumentation (the obs decision-event
+/// log) can report WHY a reward was what it was. total = safety +
+/// performancePenalty on the safe branch; on the unsafe branch total is the
+/// (negative) unsafe penalty and the component terms are zero.
+struct RewardBreakdown {
+  double total = 0.0;
+  double safety = 0.0;              ///< recentered f(a_hat, s_hat) term
+  double performancePenalty = 0.0;  ///< weighted min(0, P - Pc), always <= 0
+  bool unsafe = false;              ///< the unsafe branch fired
+};
+
 /// Compute Eq. 8 for the state the previous action led to.
 [[nodiscard]] double computeReward(const RewardInputs& in, const StateSpace& space,
                                    const RewardParams& params);
+
+/// As computeReward, with the per-term breakdown.
+[[nodiscard]] RewardBreakdown computeRewardDetailed(const RewardInputs& in,
+                                                    const StateSpace& space,
+                                                    const RewardParams& params);
 
 }  // namespace rltherm::rl

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 
 namespace rltherm::thermal {
 
@@ -157,6 +158,7 @@ void RcNetwork::prepare(Seconds stepSize) {
 }
 
 void RcNetwork::step(std::span<const Watts> power) {
+  RLTHERM_TIMED_SCOPE("thermal.rc.step");
   expects(preparedStep_.has_value(), "RcNetwork::step called before prepare()");
   expects(power.size() == nodes_.size(), "step: power vector size mismatch");
   const std::size_t n = nodes_.size();

@@ -17,6 +17,17 @@
 namespace rltherm::trace {
 
 /// Summary statistics of one channel.
+///
+/// `stddev` is the POPULATION standard deviation (divisor N, not the sample
+/// estimator's N-1): a recorded trace is the complete deterministic output
+/// of one simulation run, not a sample drawn from a wider distribution, so
+/// there is no degree of freedom to give back. For the trace lengths the
+/// harnesses record (thousands of samples) the two differ well below the
+/// precision anything downstream prints.
+///
+/// An empty channel yields the zero-initialized struct (samples == 0 and
+/// mean/min/max/stddev all 0.0) rather than NaN from a 0/0 — callers can
+/// branch on `samples` without special-casing.
 struct ChannelStats {
   double mean = 0.0;
   double min = 0.0;

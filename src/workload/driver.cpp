@@ -1,10 +1,43 @@
 #include "workload/driver.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/error.hpp"
+#include "obs/events.hpp"
+#include "obs/session.hpp"
 
 namespace rltherm::workload {
+
+namespace {
+
+/// Scenario lifecycle events, recorded only when an event sink is attached.
+void emitAppStart(Seconds now, const AppSpec& spec) {
+  if (obs::events() != nullptr) {
+    obs::emit(obs::Event{.name = "workload.app.start",
+                         .simTime = now,
+                         .fields = {
+                             obs::field("app", spec.name),
+                             obs::field("family", spec.family),
+                             obs::field("threads", static_cast<std::int64_t>(spec.threadCount)),
+                             obs::field("constraint", spec.performanceConstraint),
+                         }});
+  }
+}
+
+void emitAppFinish(const AppCompletion& completion) {
+  if (obs::events() != nullptr) {
+    obs::emit(obs::Event{.name = "workload.app.finish",
+                         .simTime = completion.endTime,
+                         .fields = {
+                             obs::field("app", completion.name),
+                             obs::field("iterations", static_cast<std::int64_t>(completion.iterations)),
+                             obs::field("exec_s", completion.executionTime()),
+                         }});
+  }
+}
+
+}  // namespace
 
 Scenario Scenario::of(std::vector<AppSpec> apps) {
   expects(!apps.empty(), "Scenario requires at least one application");
@@ -35,6 +68,11 @@ bool WorkloadDriver::tick() {
     }
     startNextApp();
     switchedFlag_ = true;
+    if (obs::events() != nullptr) {
+      obs::emit(obs::Event{.name = "workload.app.switch",
+                           .simTime = machine_.now(),
+                           .fields = {obs::field("to", current_->spec().name)}});
+    }
   }
 
   RunningApp& app = *current_;
@@ -54,6 +92,7 @@ bool WorkloadDriver::tick() {
         .endTime = machine_.now(),
         .iterations = app.iterationsCompleted(),
     });
+    emitAppFinish(completions_.back());
     app.teardown();
     current_.reset();
     throughputSamples_.clear();
@@ -104,6 +143,7 @@ void WorkloadDriver::startNextApp() {
   currentStart_ = machine_.now();
   ++nextApp_;
   throughputSamples_.clear();
+  emitAppStart(currentStart_, spec);
 }
 
 void WorkloadDriver::recordIterationSamples() {

@@ -1,14 +1,30 @@
 #include "workload/multi_app.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/error.hpp"
+#include "obs/events.hpp"
+#include "obs/session.hpp"
 
 namespace rltherm::workload {
 
 namespace {
 constexpr ThreadId kSlotStride = 1000;
+
+void emitSlotEvent(const char* name, Seconds now, const AppSpec& spec,
+                   std::int64_t completions) {
+  if (obs::events() != nullptr) {
+    obs::emit(obs::Event{.name = name,
+                         .simTime = now,
+                         .fields = {
+                             obs::field("app", spec.name),
+                             obs::field("family", spec.family),
+                             obs::field("completions", completions),
+                         }});
+  }
 }
+}  // namespace
 
 MultiAppDriver::MultiAppDriver(platform::Machine& machine, std::vector<AppSpec> apps,
                                bool restartFinished)
@@ -29,6 +45,7 @@ void MultiAppDriver::start(Slot& slot) {
   slot.app = std::make_unique<RunningApp>(slot.spec, machine_.scheduler(),
                                           slot.firstThreadId);
   slot.window.clear();
+  emitSlotEvent("workload.app.start", machine_.now(), slot.spec, slot.completions);
   // Freshly started threads inherit the currently-applied pattern, exactly
   // as a thermal manager would re-pin new arrivals at its next epoch; doing
   // it here keeps concurrent restarts from landing unpinned mid-epoch.
@@ -72,6 +89,8 @@ bool MultiAppDriver::tick() {
       slot.app->teardown();
       slot.app.reset();
       switchedFlag_ = true;
+      emitSlotEvent("workload.app.finish", machine_.now(), slot.spec,
+                    slot.completions);
     }
   }
   recordWindows();

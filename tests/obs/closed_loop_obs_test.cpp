@@ -1,0 +1,198 @@
+// Closed-loop observability: attach the obs session to a full
+// runner + thermal-manager simulation and check the telemetry contract —
+// exactly one decision event per epoch, finite RL fields, lifecycle and
+// run-summary events present — and that attaching observability does not
+// perturb the (deterministic) simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <variant>
+
+#include "core/runner.hpp"
+#include "core/thermal_manager.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/timeline.hpp"
+#include "workload/app_spec.hpp"
+
+namespace rltherm::core {
+namespace {
+
+workload::AppSpec tinyApp(const std::string& name = "tiny", int iterations = 40) {
+  workload::AppSpec spec;
+  spec.name = name;
+  spec.family = name;
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.2;
+  spec.burstWorkJitter = 0.0;
+  spec.burstActivity = 0.8;
+  spec.serialWork = 0.1;
+  spec.serialActivity = 0.2;
+  return spec;
+}
+
+RunnerConfig fastRunner() {
+  RunnerConfig config;
+  config.machine.sensor.noiseSigma = 0.0;
+  config.analysisWarmup = 0.0;
+  config.analysisCooldown = 0.0;
+  config.maxSimTime = 400.0;
+  return config;
+}
+
+ThermalManagerConfig fastManager() {
+  ThermalManagerConfig config;
+  config.samplingInterval = 2.0;
+  config.decisionEpoch = 10.0;
+  return config;
+}
+
+double doubleField(const obs::Event& event, const std::string& key) {
+  const obs::EventField* f = event.find(key);
+  EXPECT_NE(f, nullptr) << "missing field " << key;
+  if (f == nullptr) return 0.0;
+  return std::get<double>(f->value);
+}
+
+std::int64_t intField(const obs::Event& event, const std::string& key) {
+  const obs::EventField* f = event.find(key);
+  EXPECT_NE(f, nullptr) << "missing field " << key;
+  if (f == nullptr) return 0;
+  return std::get<std::int64_t>(f->value);
+}
+
+TEST(ClosedLoopObsTest, OneDecisionEventPerEpochWithFiniteFields) {
+  obs::CollectingEventSink sink;
+  obs::MetricsRegistry metrics;
+  obs::Session session;
+  session.events = &sink;
+  session.metrics = &metrics;
+
+  PolicyRunner runner(fastRunner());
+  ThermalManager manager(fastManager(), ActionSpace::standard(4));
+  {
+    obs::ScopedSession guard(session);
+    (void)runner.run(workload::Scenario::of({tinyApp()}), manager);
+  }
+
+  ASSERT_GT(manager.epochCount(), 0u);
+  EXPECT_EQ(sink.countOf("manager.epoch.decide"), manager.epochCount());
+  EXPECT_EQ(metrics.counter("manager.epochs.decide").value(), manager.epochCount());
+
+  std::int64_t expectedEpoch = 0;
+  for (const obs::Event& event : sink.events) {
+    if (event.name != "manager.epoch.decide") continue;
+    EXPECT_EQ(intField(event, "epoch"), expectedEpoch++);
+    EXPECT_GE(intField(event, "state"), 0);
+    EXPECT_GE(intField(event, "action"), 0);
+    for (const char* key : {"stress", "aging", "reward", "reward_safety",
+                            "reward_perf_penalty", "alpha", "epsilon", "q_coverage"}) {
+      EXPECT_TRUE(std::isfinite(doubleField(event, key)))
+          << key << " is not finite";
+    }
+    const double coverage = doubleField(event, "q_coverage");
+    EXPECT_GE(coverage, 0.0);
+    EXPECT_LE(coverage, 1.0);
+    EXPECT_NE(event.find("mapping"), nullptr);
+    EXPECT_NE(event.find("governor"), nullptr);
+    EXPECT_NE(event.find("detect"), nullptr);
+  }
+}
+
+TEST(ClosedLoopObsTest, LifecycleAndRunSummaryEventsPresent) {
+  obs::CollectingEventSink sink;
+  obs::Session session;
+  session.events = &sink;
+
+  PolicyRunner runner(fastRunner());
+  ThermalManager manager(fastManager(), ActionSpace::standard(4));
+  {
+    obs::ScopedSession guard(session);
+    (void)runner.run(workload::Scenario::of({tinyApp("a", 20), tinyApp("b", 20)}),
+                     manager);
+  }
+
+  EXPECT_EQ(sink.countOf("runner.run.start"), 1u);
+  EXPECT_EQ(sink.countOf("runner.run.finish"), 1u);
+  EXPECT_EQ(sink.countOf("workload.app.start"), 2u);
+  EXPECT_EQ(sink.countOf("workload.app.finish"), 2u);
+  // The second app's start is an inter-application switch.
+  EXPECT_EQ(sink.countOf("workload.app.switch"), 1u);
+
+  for (const obs::Event& event : sink.events) {
+    if (event.name != "runner.run.finish") continue;
+    EXPECT_GT(doubleField(event, "duration_s"), 0.0);
+    EXPECT_GT(doubleField(event, "avg_temp_c"), 0.0);
+    EXPECT_GE(doubleField(event, "peak_temp_c"), doubleField(event, "avg_temp_c"));
+    EXPECT_EQ(intField(event, "completions"), 2);
+  }
+}
+
+TEST(ClosedLoopObsTest, FrozenManagerStillEmitsDecisionEvents) {
+  PolicyRunner runner(fastRunner());
+  ThermalManager manager(fastManager(), ActionSpace::standard(4));
+  (void)runner.run(workload::Scenario::of({tinyApp()}), manager);  // train
+  const std::size_t trainedEpochs = manager.epochCount();
+  manager.freeze();
+
+  obs::CollectingEventSink sink;
+  obs::Session session;
+  session.events = &sink;
+  {
+    obs::ScopedSession guard(session);
+    (void)runner.run(workload::Scenario::of({tinyApp()}), manager);
+  }
+  const std::size_t evalEpochs = manager.epochCount() - trainedEpochs;
+  ASSERT_GT(evalEpochs, 0u);
+  EXPECT_EQ(sink.countOf("manager.epoch.decide"), evalEpochs);
+  for (const obs::Event& event : sink.events) {
+    if (event.name != "manager.epoch.decide") continue;
+    const obs::EventField* frozen = event.find("frozen");
+    ASSERT_NE(frozen, nullptr);
+    EXPECT_TRUE(std::get<bool>(frozen->value));
+  }
+}
+
+TEST(ClosedLoopObsTest, AttachingObservabilityDoesNotPerturbTheSimulation) {
+  PolicyRunner runner(fastRunner());
+
+  ThermalManager plain(fastManager(), ActionSpace::standard(4));
+  const RunResult detached =
+      runner.run(workload::Scenario::of({tinyApp()}), plain);
+
+  obs::CollectingEventSink sink;
+  obs::MetricsRegistry metrics;
+  obs::TraceCollector collector;
+  obs::Session session;
+  session.events = &sink;
+  session.metrics = &metrics;
+  session.trace = &collector;
+  ThermalManager observed(fastManager(), ActionSpace::standard(4));
+  RunResult attached;
+  {
+    obs::ScopedSession guard(session);
+    attached = runner.run(workload::Scenario::of({tinyApp()}), observed);
+  }
+
+  // Timers read the wall clock but feed nothing back into the simulation:
+  // the observed run must be bit-identical to the detached one.
+  EXPECT_DOUBLE_EQ(attached.duration, detached.duration);
+  EXPECT_DOUBLE_EQ(attached.dynamicEnergy, detached.dynamicEnergy);
+  EXPECT_DOUBLE_EQ(static_cast<double>(attached.reliability.averageTemp),
+                   static_cast<double>(detached.reliability.averageTemp));
+  EXPECT_EQ(plain.epochCount(), observed.epochCount());
+
+  // And the hot-path timers actually fired during the observed run.
+  EXPECT_GT(collector.totalCalls(), 0u);
+  bool sawRcStep = false;
+  for (const auto& [name, stats] : collector.sortedStats()) {
+    if (name == "thermal.rc.step") sawRcStep = true;
+  }
+  EXPECT_TRUE(sawRcStep);
+}
+
+}  // namespace
+}  // namespace rltherm::core

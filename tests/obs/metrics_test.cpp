@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterFindOrCreateAndAccumulate) {
+  MetricsRegistry registry;
+  registry.counter("runner.samples.deliver").add();
+  registry.counter("runner.samples.deliver").add(4);
+  EXPECT_EQ(registry.counter("runner.samples.deliver").value(), 5u);
+  EXPECT_EQ(registry.counterCount(), 1u);
+}
+
+TEST(MetricsRegistryTest, ReferencesStayStableAcrossInsertions) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("manager.epochs.decide");
+  // Insert many more entries; node-based storage must not move `first`.
+  for (int i = 0; i < 50; ++i) {
+    registry.counter("manager.epochs.other" + std::to_string(i)).add();
+  }
+  first.add(7);
+  EXPECT_EQ(registry.counter("manager.epochs.decide").value(), 7u);
+}
+
+TEST(MetricsRegistryTest, GaugeHoldsLastValue) {
+  MetricsRegistry registry;
+  registry.gauge("manager.qtable.coverage").set(0.25);
+  registry.gauge("manager.qtable.coverage").set(0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("manager.qtable.coverage").value(), 0.75);
+}
+
+TEST(MetricsRegistryTest, KindConflictRejected) {
+  MetricsRegistry registry;
+  registry.counter("manager.epochs.decide");
+  EXPECT_THROW(registry.gauge("manager.epochs.decide"), PreconditionError);
+  EXPECT_THROW(registry.histogram("manager.epochs.decide", 0.0, 1.0, 4),
+               PreconditionError);
+}
+
+TEST(MetricsRegistryTest, NamingConventionEnforced) {
+  EXPECT_TRUE(MetricsRegistry::validName("manager.epoch.decide"));
+  EXPECT_TRUE(MetricsRegistry::validName("a.b"));
+  EXPECT_TRUE(MetricsRegistry::validName("sub_sys.noun_2.verb"));
+  EXPECT_FALSE(MetricsRegistry::validName(""));
+  EXPECT_FALSE(MetricsRegistry::validName("singlesegment"));
+  EXPECT_FALSE(MetricsRegistry::validName("Upper.case"));
+  EXPECT_FALSE(MetricsRegistry::validName("a..b"));
+  EXPECT_FALSE(MetricsRegistry::validName(".a.b"));
+  EXPECT_FALSE(MetricsRegistry::validName("a.b."));
+  EXPECT_FALSE(MetricsRegistry::validName("a.b c"));
+
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("NotValid"), PreconditionError);
+}
+
+TEST(HistogramTest, BucketsUnderflowOverflow) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("manager.reward.observe", 0.0, 1.0, 4);
+  h.observe(-0.5);  // underflow
+  h.observe(0.1);   // bucket 0
+  h.observe(0.3);   // bucket 1
+  h.observe(0.80);  // bucket 3
+  h.observe(1.0);   // at hi => overflow, not clamped
+  h.observe(2.0);   // overflow
+
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucketValue(0), 1u);
+  EXPECT_EQ(h.bucketValue(1), 1u);
+  EXPECT_EQ(h.bucketValue(2), 0u);
+  EXPECT_EQ(h.bucketValue(3), 1u);
+  EXPECT_DOUBLE_EQ(h.minSeen(), -0.5);
+  EXPECT_DOUBLE_EQ(h.maxSeen(), 2.0);
+  EXPECT_NEAR(h.mean(), (-0.5 + 0.1 + 0.3 + 0.8 + 1.0 + 2.0) / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.lowerEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.lowerEdge(3), 0.75);
+}
+
+TEST(HistogramTest, RespecMustMatch) {
+  MetricsRegistry registry;
+  registry.histogram("manager.reward.observe", 0.0, 1.0, 4);
+  // Same spec: fine, same object.
+  Histogram& again = registry.histogram("manager.reward.observe", 0.0, 1.0, 4);
+  again.observe(0.5);
+  EXPECT_EQ(registry.histogram("manager.reward.observe", 0.0, 1.0, 4).count(), 1u);
+  EXPECT_THROW(registry.histogram("manager.reward.observe", 0.0, 2.0, 4),
+               PreconditionError);
+  EXPECT_THROW(registry.histogram("manager.reward.observe", 0.0, 1.0, 8),
+               PreconditionError);
+}
+
+TEST(HistogramTest, InvalidSpecsRejected) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("a.bad", 1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(registry.histogram("a.bad", 2.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(registry.histogram("a.bad", 0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(MetricsRegistryTest, VisitationIsNameOrdered) {
+  MetricsRegistry registry;
+  registry.counter("c.two").add(2);
+  registry.counter("a.one").add(1);
+  registry.counter("b.three").add(3);
+  std::vector<std::string> names;
+  registry.forEachCounter(
+      [&](const std::string& name, const Counter&) { names.push_back(name); });
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.one");
+  EXPECT_EQ(names[1], "b.three");
+  EXPECT_EQ(names[2], "c.two");
+}
+
+}  // namespace
+}  // namespace rltherm::obs

@@ -1,0 +1,134 @@
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/session.hpp"
+
+namespace rltherm::obs {
+namespace {
+
+std::size_t countChar(const std::string& text, char c) {
+  std::size_t n = 0;
+  for (const char ch : text) {
+    if (ch == c) ++n;
+  }
+  return n;
+}
+
+TEST(TraceCollectorTest, RecordAccumulatesEventsAndStats) {
+  TraceCollector collector;
+  collector.record("a.scope.run", wallClockNs(), 100);
+  collector.record("a.scope.run", wallClockNs(), 300);
+  collector.record("b.scope.run", wallClockNs(), 50);
+
+  EXPECT_EQ(collector.events().size(), 3u);
+  EXPECT_EQ(collector.totalCalls(), 3u);
+  EXPECT_EQ(collector.droppedEvents(), 0u);
+
+  const auto stats = collector.sortedStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "a.scope.run");
+  EXPECT_EQ(stats[0].second.calls, 2u);
+  EXPECT_EQ(stats[0].second.totalNs, 400u);
+  EXPECT_EQ(stats[0].second.maxNs, 300u);
+  EXPECT_EQ(stats[1].first, "b.scope.run");
+}
+
+TEST(TraceCollectorTest, RawBufferIsCappedButAggregatesKeepAccruing) {
+  TraceCollector collector(/*maxEvents=*/2);
+  for (int i = 0; i < 5; ++i) {
+    collector.record("a.scope.run", wallClockNs(), 10);
+  }
+  EXPECT_EQ(collector.events().size(), 2u);
+  EXPECT_EQ(collector.droppedEvents(), 3u);
+  const auto stats = collector.sortedStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].second.calls, 5u);
+  EXPECT_EQ(stats[0].second.totalNs, 50u);
+}
+
+TEST(TraceCollectorTest, SameNameFromDifferentSitesMergesInStats) {
+  TraceCollector collector;
+  // Two distinct string objects with equal contents simulate two macro sites
+  // sharing one scope name; sortedStats must merge them by NAME.
+  const std::string nameA = "shared.scope.run";
+  const std::string nameB = "shared.scope." + std::string("run");
+  ASSERT_NE(nameA.c_str(), nameB.c_str());
+  collector.record(nameA.c_str(), wallClockNs(), 10);
+  collector.record(nameB.c_str(), wallClockNs(), 20);
+  const auto stats = collector.sortedStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].second.calls, 2u);
+  EXPECT_EQ(stats[0].second.totalNs, 30u);
+}
+
+TEST(ScopedTimerTest, RecordsOnlyWhenACollectorIsAttached) {
+  {
+    // Detached: must be a no-op (and not crash).
+    RLTHERM_TIMED_SCOPE("obs.test.detached");
+  }
+
+  TraceCollector collector;
+  Session session;
+  session.trace = &collector;
+  {
+    ScopedSession guard(session);
+    RLTHERM_TIMED_SCOPE("obs.test.attached");
+  }
+  EXPECT_EQ(collector.totalCalls(), 1u);
+  ASSERT_EQ(collector.events().size(), 1u);
+  EXPECT_STREQ(collector.events()[0].name, "obs.test.attached");
+}
+
+TEST(ChromeTraceTest, OutputIsWellFormed) {
+  TraceCollector collector(/*maxEvents=*/2);
+  collector.record("a.scope.run", wallClockNs(), 1500);
+  collector.record("b.scope.run", wallClockNs(), 2500);
+  collector.record("c.scope.run", wallClockNs(), 500);  // dropped
+
+  std::ostringstream out;
+  writeChromeTrace(collector, out);
+  const std::string text = out.str();
+
+  // Structural well-formedness: one root object, balanced nesting, newline
+  // terminated. Scope names contain no braces/brackets, so counting is exact.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.substr(text.size() - 2), "}\n");
+  EXPECT_EQ(countChar(text, '{'), countChar(text, '}'));
+  EXPECT_EQ(countChar(text, '['), countChar(text, ']'));
+
+  // The trace_event essentials Perfetto/chrome://tracing needs.
+  EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"a.scope.run\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":1.5"), std::string::npos);  // 1500 ns = 1.5 us
+  EXPECT_NE(text.find("\"droppedEvents\":1"), std::string::npos);
+  // The dropped third event must not appear as a slice.
+  EXPECT_EQ(text.find("c.scope.run"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyCollectorStillWritesAValidEnvelope) {
+  TraceCollector collector;
+  std::ostringstream out;
+  writeChromeTrace(collector, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(countChar(text, '{'), countChar(text, '}'));
+  EXPECT_NE(text.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, MeasuredScopeCostIsSmall) {
+  const std::uint64_t cost = TraceCollector::measuredScopeCostNs();
+  // Sanity bounds: a timed scope is two clock reads plus a hash-map update;
+  // anything above 100 us per scope would mean the calibration is broken.
+  EXPECT_LT(cost, 100000u);
+}
+
+}  // namespace
+}  // namespace rltherm::obs

@@ -4,6 +4,8 @@
 //   rltherm_cli run        --app tachyon --dataset 1 --policy proposed
 //                          [--train 3] [--live] [--config file.ini]
 //                          [--csv trace.csv] [--big-little]
+//                          [--events out.jsonl] [--chrome-trace out.json]
+//                          [--metrics]
 //   rltherm_cli inter      --apps mpeg_dec,tachyon --policy proposed [...]
 //   rltherm_cli concurrent --apps tachyon,mpeg_dec --window 2000 --policy ge [...]
 //   rltherm_cli compare    --app tachyon --policies linux-ondemand,ge,proposed
@@ -14,11 +16,25 @@
 // `--config` overlays an INI file (see core/config_io.hpp) on the default
 // machine/runner/manager parameters; `--csv` writes the per-core temperature
 // trace of the (final) evaluation run.
+//
+// Observability (see docs/ARCHITECTURE.md "Observability"):
+//   --events FILE        structured JSONL event log (one decision event per
+//                        epoch, workload lifecycle, run summaries)
+//   --chrome-trace FILE  Chrome trace_event JSON of the simulator hot paths
+//                        (load in chrome://tracing or ui.perfetto.dev)
+//   --metrics            print the metrics registry + timer summary tables
+//                        and an instrumentation-overhead estimate
+//
+// Unknown flags are rejected with a nonzero exit; every command validates
+// its flag set.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +46,10 @@
 #include "core/config_io.hpp"
 #include "core/runner.hpp"
 #include "core/thermal_manager.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/timeline.hpp"
 #include "trace/export.hpp"
 #include "trace/recorder.hpp"
 #include "workload/app_spec.hpp"
@@ -65,6 +85,31 @@ Options parseArgs(int argc, char** argv) {
   return options;
 }
 
+/// Flags shared by every simulating command (run/inter/concurrent/compare).
+const std::vector<std::string>& commonFlags() {
+  static const std::vector<std::string> flags = {
+      "config", "big-little", "events", "chrome-trace", "metrics",
+  };
+  return flags;
+}
+
+/// Rejects misspelled / unsupported flags per command: `--polcy` must fail
+/// loudly, not silently fall back to the default policy.
+void validateFlags(const Options& options, std::vector<std::string> known,
+                   bool withCommon = true) {
+  if (withCommon) {
+    known.insert(known.end(), commonFlags().begin(), commonFlags().end());
+  }
+  for (const auto& [name, value] : options.flags) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    std::sort(known.begin(), known.end());
+    std::string valid;
+    for (const std::string& k : known) valid += " --" + k;
+    throw PreconditionError("unknown flag '--" + name + "' for command '" +
+                            options.command + "' (valid flags:" + valid + ")");
+  }
+}
+
 std::vector<std::string> splitList(const std::string& csv) {
   std::vector<std::string> out;
   std::stringstream ss(csv);
@@ -81,12 +126,144 @@ void usage() {
       "  rltherm_cli list-apps\n"
       "  rltherm_cli run        --app FAMILY [--dataset N] --policy P [--train N]\n"
       "                         [--live] [--config FILE] [--csv FILE] [--big-little]\n"
+      "                         [--events FILE] [--chrome-trace FILE] [--metrics]\n"
       "  rltherm_cli inter      --apps a,b[,c] --policy P [same options]\n"
       "  rltherm_cli concurrent --apps a,b --window SECONDS --policy P [same options]\n"
       "  rltherm_cli compare    --app FAMILY [--dataset N] --policies p1,p2,...\n"
       "policies: linux-ondemand linux-powersave linux-performance\n"
-      "          userspace-<GHz> ge ge-modified proposed\n";
+      "          userspace-<GHz> ge ge-modified proposed\n"
+      "observability:\n"
+      "  --events FILE        JSONL event log (decision epochs, app lifecycle,\n"
+      "                       run summaries)\n"
+      "  --chrome-trace FILE  hot-path timings as Chrome trace_event JSON\n"
+      "  --metrics            print metrics/timer summaries + overhead estimate\n";
 }
+
+/// Owns the observability backends selected by --events / --chrome-trace /
+/// --metrics and keeps them installed on the ambient session for the
+/// command's lifetime. With none of the three flags the session is not
+/// installed at all and the library's instrumentation stays at its
+/// null-check fast path.
+class ObsSetup {
+ public:
+  explicit ObsSetup(const Options& options) {
+    if (options.has("events")) {
+      eventsPath_ = options.get("events", "events.jsonl");
+      eventsOut_.open(eventsPath_);
+      expects(eventsOut_.good(), "cannot write '" + eventsPath_ + "'");
+      eventSink_.emplace(eventsOut_);
+      session_.events = &*eventSink_;
+    }
+    if (options.has("chrome-trace")) {
+      tracePath_ = options.get("chrome-trace", "trace.json");
+      collector_.emplace();
+      session_.trace = &*collector_;
+    }
+    if (options.has("metrics")) {
+      metrics_.emplace();
+      session_.metrics = &*metrics_;
+      // The timer table is part of --metrics; share one collector.
+      if (!collector_.has_value()) collector_.emplace();
+      session_.trace = &*collector_;
+      wantSummary_ = true;
+    }
+    if (session_.events != nullptr || session_.trace != nullptr ||
+        session_.metrics != nullptr) {
+      scoped_.emplace(session_);
+      startedNs_ = obs::wallClockNs();
+    }
+  }
+
+  /// Uninstalls the session, flushes the sinks and prints the summaries.
+  /// Call after the command's runs are complete.
+  void finish() {
+    if (!scoped_.has_value()) return;
+    const std::uint64_t elapsedNs = obs::wallClockNs() - startedNs_;
+    scoped_.reset();  // detach before reporting
+
+    if (!eventsPath_.empty()) {
+      eventsOut_.flush();
+      expects(eventsOut_.good(), "error writing '" + eventsPath_ + "'");
+      std::cout << "wrote " << eventsPath_ << " (" << eventSink_->eventCount()
+                << " events)\n";
+    }
+    if (!tracePath_.empty()) {
+      std::ofstream out(tracePath_);
+      expects(out.good(), "cannot write '" + tracePath_ + "'");
+      obs::writeChromeTrace(*collector_, out);
+      std::cout << "wrote " << tracePath_ << " (" << collector_->events().size()
+                << " trace events";
+      if (collector_->droppedEvents() > 0) {
+        std::cout << ", " << collector_->droppedEvents() << " dropped";
+      }
+      std::cout << ")\n";
+    }
+    if (wantSummary_) printSummary(elapsedNs);
+  }
+
+ private:
+  void printSummary(std::uint64_t elapsedNs) const {
+    printBanner(std::cout, "metrics");
+    TextTable table({"metric", "kind", "value"});
+    metrics_->forEachCounter([&](const std::string& name, const obs::Counter& c) {
+      table.row().cell(name).cell("counter").cell(static_cast<long long>(c.value()));
+    });
+    metrics_->forEachGauge([&](const std::string& name, const obs::Gauge& g) {
+      table.row().cell(name).cell("gauge").cell(g.value(), 4);
+    });
+    metrics_->forEachHistogram([&](const std::string& name, const obs::Histogram& h) {
+      std::string summary = std::to_string(h.count()) + " obs, mean " +
+                            formatFixed(h.mean(), 4) + " [" +
+                            formatFixed(h.minSeen(), 4) + ", " +
+                            formatFixed(h.maxSeen(), 4) + "]";
+      table.row().cell(name).cell("histogram").cell(summary);
+    });
+    if (table.rowCount() > 0) table.print(std::cout);
+
+    const auto stats = collector_->sortedStats();
+    if (!stats.empty()) {
+      printBanner(std::cout, "timed scopes");
+      TextTable timers({"scope", "calls", "total (ms)", "mean (us)", "max (us)"});
+      for (const auto& [name, stat] : stats) {
+        timers.row()
+            .cell(name)
+            .cell(static_cast<long long>(stat.calls))
+            .cell(static_cast<double>(stat.totalNs) / 1e6, 2)
+            .cell(static_cast<double>(stat.totalNs) /
+                      static_cast<double>(std::max<std::uint64_t>(stat.calls, 1)) / 1e3,
+                  2)
+            .cell(static_cast<double>(stat.maxNs) / 1e3, 2);
+      }
+      timers.print(std::cout);
+    }
+
+    // Instrumentation overhead estimate: the time spent serializing events
+    // (self-timed by the sink) plus the calibrated per-scope timer cost
+    // times the number of timed scopes entered, against command wall time.
+    std::uint64_t overheadNs = 0;
+    if (eventSink_.has_value()) overheadNs += eventSink_->serializeNs();
+    overheadNs += obs::TraceCollector::measuredScopeCostNs() * collector_->totalCalls();
+    const double pct = elapsedNs > 0
+                           ? 100.0 * static_cast<double>(overheadNs) /
+                                 static_cast<double>(elapsedNs)
+                           : 0.0;
+    std::cout << "instrumentation overhead: ~" << formatFixed(pct, 2) << "% ("
+              << formatFixed(static_cast<double>(overheadNs) / 1e6, 2) << " ms of "
+              << formatFixed(static_cast<double>(elapsedNs) / 1e6, 2)
+              << " ms wall time)\n";
+  }
+
+  obs::Session session_;
+  std::string eventsPath_;
+  std::string tracePath_;
+  std::ofstream eventsOut_;
+  std::optional<obs::JsonlEventSink> eventSink_;
+  std::optional<obs::TraceCollector> collector_;
+  std::optional<obs::MetricsRegistry> metrics_;
+  std::optional<obs::ScopedSession> scoped_;
+  std::uint64_t startedNs_ = 0;
+  bool wantSummary_ = false;
+};
 
 /// Owns whichever policy the --policy flag selected.
 struct PolicyBundle {
@@ -183,6 +360,7 @@ bool isLearningPolicy(const std::string& name) {
 }
 
 int compareCommand(const Options& options) {
+  validateFlags(options, {"app", "dataset", "policies", "train", "live"});
   ConfigFile config;
   if (options.has("config")) {
     std::ifstream in(options.get("config", ""));
@@ -194,6 +372,7 @@ int compareCommand(const Options& options) {
     runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
   }
   core::PolicyRunner runner(runnerConfig);
+  ObsSetup obsSetup(options);
 
   const workload::AppSpec app = workload::makeApp(
       options.get("app", "tachyon"), std::stoi(options.get("dataset", "1")));
@@ -223,10 +402,20 @@ int compareCommand(const Options& options) {
   }
   printBanner(std::cout, "policy comparison on " + app.name);
   table.print(std::cout);
+  obsSetup.finish();
   return 0;
 }
 
 int runCommand(const Options& options) {
+  std::vector<std::string> known = {"policy", "dataset", "train", "live", "csv"};
+  if (options.command == "run") {
+    known.push_back("app");
+  } else {
+    known.push_back("apps");
+    if (options.command == "concurrent") known.push_back("window");
+  }
+  validateFlags(options, std::move(known));
+
   ConfigFile config;
   if (options.has("config")) {
     std::ifstream in(options.get("config", ""));
@@ -242,6 +431,7 @@ int runCommand(const Options& options) {
   PolicyBundle bundle = makePolicy(options.get("policy", "linux-ondemand"), config);
   const int trainPasses = std::stoi(options.get("train", "3"));
 
+  ObsSetup obsSetup(options);
   core::RunResult result;
   if (options.command == "concurrent") {
     std::vector<workload::AppSpec> apps;
@@ -286,6 +476,7 @@ int runCommand(const Options& options) {
               << bundle.manager->intraDetections() << " intra detections\n";
   }
   if (options.has("csv")) writeTraceCsv(result, options.get("csv", "trace.csv"));
+  obsSetup.finish();
   return 0;
 }
 
@@ -294,7 +485,10 @@ int runCommand(const Options& options) {
 int main(int argc, char** argv) {
   try {
     const Options options = parseArgs(argc, argv);
-    if (options.command == "list-apps") return commandListApps();
+    if (options.command == "list-apps") {
+      validateFlags(options, {}, /*withCommon=*/false);
+      return commandListApps();
+    }
     if (options.command == "compare") return compareCommand(options);
     if (options.command == "run" || options.command == "inter" ||
         options.command == "concurrent") {

@@ -23,8 +23,12 @@
 //                             deterministic and bit-identical across
 //                             toolchains.
 //   unregistered-source       Every *.cpp under src/<module>/ must be listed
-//                             in that module's CMakeLists.txt (an orphan file
-//                             compiles in nobody's build and silently rots).
+//                             in that module's CMakeLists.txt, and every
+//                             src/<module>/ directory carrying a
+//                             CMakeLists.txt must be pulled in via
+//                             add_subdirectory() from src/CMakeLists.txt (an
+//                             orphan file or module compiles in nobody's
+//                             build and silently rots).
 //
 // Matching is purely lexical, but comments and string literals are stripped
 // first so documentation never triggers a finding.
@@ -237,6 +241,28 @@ void checkUnregisteredSources(const fs::path& srcRoot, std::vector<Finding>& fin
                               (dir / "CMakeLists.txt").string()});
     }
   }
+
+  // A module directory with its own CMakeLists.txt must itself be reachable:
+  // src/CMakeLists.txt needs an add_subdirectory(<module>) for it, otherwise
+  // every file in the module is registered yet still built by nobody.
+  const auto topCm = cmakeByDir.find(srcRoot);
+  if (topCm == cmakeByDir.end()) return;  // layout without a src aggregator
+  static const std::regex addSub(R"(add_subdirectory\s*\(\s*([\w./-]+))");
+  std::vector<std::string> registered;
+  for (auto it = std::sregex_iterator(topCm->second.begin(), topCm->second.end(), addSub);
+       it != std::sregex_iterator(); ++it) {
+    registered.push_back((*it)[1].str());
+  }
+  for (const auto& [dir, contents] : cmakeByDir) {
+    if (dir == srcRoot || dir.parent_path() != srcRoot) continue;
+    const std::string module = dir.filename().string();
+    if (std::find(registered.begin(), registered.end(), module) == registered.end()) {
+      findings.push_back({dir / "CMakeLists.txt", 1, "unregistered-source",
+                          "module directory src/" + module +
+                              " is not added via add_subdirectory() in " +
+                              (srcRoot / "CMakeLists.txt").string()});
+    }
+  }
 }
 
 // ----------------------------------------------------------------------------
@@ -256,7 +282,8 @@ void listRules() {
       "                          use the Celsius/Kelvin wrappers (common/units.hpp)\n"
       "raw-kelvin-offset         273.15 may appear only in common/units.hpp\n"
       "global-rng                std/libc RNGs forbidden outside src/common/rng\n"
-      "unregistered-source       every src/**.cpp must be listed in its CMakeLists.txt\n";
+      "unregistered-source       every src/**.cpp must be listed in its CMakeLists.txt\n"
+      "                          and every src/<module>/ added from src/CMakeLists.txt\n";
 }
 
 }  // namespace
