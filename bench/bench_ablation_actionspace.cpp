@@ -3,35 +3,46 @@
 // control is what the paper's definition of an action ("thread affinity and
 // voltage and frequency of operation" of a core) literally permits; this
 // bench quantifies what the restriction costs.
+//
+// The (app x action-space) runs are independent and fan out over the sweep
+// engine (`--jobs N`; bit-identical output at any lane count).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rltherm;
   using namespace rltherm::bench;
 
-  core::PolicyRunner runner(defaultRunnerConfig());
+  const std::vector<workload::AppSpec> apps = {
+      workload::tachyon(1), workload::mpegDec(1), workload::mpegEnc(1)};
+
+  struct Variant {
+    std::string name;
+    core::ActionSpace space;
+  };
+  const std::vector<Variant> variants = {
+      {"standard (paper)", core::ActionSpace::standard(4)},
+      {"extended (+split DVFS)", core::ActionSpace::extended(4)},
+  };
+
+  std::vector<exec::RunSpec> specs;
+  for (const workload::AppSpec& app : apps) {
+    const workload::Scenario eval = workload::Scenario::of({app});
+    const workload::Scenario train = repeated({app}, 3);
+    for (const Variant& v : variants) {
+      specs.push_back(proposedSpec(app.name + "/" + v.name, eval, train,
+                                   /*freeze=*/true, {}, defaultRunnerConfig(),
+                                   v.space));
+    }
+  }
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions(argc, argv)).run(specs);
 
   TextTable table({"App", "Action space", "Actions", "Avg T (C)", "TC-MTTF (y)",
                    "Aging MTTF (y)", "Exec (s)"});
 
-  for (const workload::AppSpec& app :
-       {workload::tachyon(1), workload::mpegDec(1), workload::mpegEnc(1)}) {
-    const workload::Scenario eval = workload::Scenario::of({app});
-    const workload::Scenario train = repeated({app}, 3);
-
-    struct Variant {
-      std::string name;
-      core::ActionSpace space;
-    };
-    std::vector<Variant> variants;
-    variants.push_back({"standard (paper)", core::ActionSpace::standard(4)});
-    variants.push_back({"extended (+split DVFS)", core::ActionSpace::extended(4)});
-
-    for (Variant& v : variants) {
-      core::ThermalManager manager(core::ThermalManagerConfig{}, v.space);
-      (void)runner.run(train, manager);
-      manager.freeze();
-      const core::RunResult result = runner.run(eval, manager);
+  std::size_t index = 0;
+  for (const workload::AppSpec& app : apps) {
+    for (const Variant& v : variants) {
+      const core::RunResult& result = sweep.runs[index++].result;
       table.row()
           .cell(app.name)
           .cell(v.name)
@@ -45,6 +56,10 @@ int main() {
 
   printBanner(std::cout, "Ablation: machine-wide vs per-core DVFS action spaces");
   table.print(std::cout);
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
   std::cout << "\nSplit actions add a fast-pair/cool-pair placement option, but a\n"
                "bigger action space is not automatically better at a fixed training\n"
                "budget: the extra actions lengthen the optimistic sweep and make\n"

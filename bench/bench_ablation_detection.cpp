@@ -2,9 +2,12 @@
 // adaptation (dual Q-table + Delta-MA thresholds) on an inter-application
 // scenario — enabled vs disabled — against the modified Ge baseline that is
 // told about switches explicitly.
+//
+// Scenario variants are independent runs; the grid goes through the sweep
+// engine (`--jobs N`; bit-identical output at any lane count).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rltherm;
   using namespace rltherm::bench;
   using workload::makeApp;
@@ -15,31 +18,44 @@ int main() {
       {makeApp("mpeg_dec", 1), makeApp("tachyon", 1), makeApp("mpeg_enc", 1)},
   };
 
-  core::PolicyRunner runner(defaultRunnerConfig());
+  // Spec layout per scenario: adaptive, no-adaptation, then modified Ge.
+  std::vector<exec::RunSpec> specs;
+  for (const auto& apps : scenarios) {
+    const workload::Scenario eval = workload::Scenario::of(apps);
+    const workload::Scenario train = repeated(apps, 3);
+    for (const bool adaptation : {true, false}) {
+      core::ThermalManagerConfig config;
+      config.adaptationEnabled = adaptation;
+      specs.push_back(proposedSpec(
+          eval.name + (adaptation ? "/adaptive" : "/no-adaptation"), eval, train,
+          /*freeze=*/false, config, defaultRunnerConfig(),
+          core::ActionSpace::standard(4)));
+    }
+    specs.push_back(geSpec(eval.name + "/modified-ge", eval, train,
+                           /*modified=*/true, defaultRunnerConfig()));
+  }
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions(argc, argv)).run(specs);
 
   TextTable table({"Scenario", "Variant", "TC-MTTF (y)", "Aging MTTF (y)",
                    "inter-det", "intra-det"});
 
+  std::size_t index = 0;
   for (const auto& apps : scenarios) {
     const workload::Scenario eval = workload::Scenario::of(apps);
-    const workload::Scenario train = repeated(apps, 3);
-
     for (const bool adaptation : {true, false}) {
-      core::ThermalManagerConfig config;
-      config.adaptationEnabled = adaptation;
-      core::ThermalManager* manager = nullptr;
-      const core::RunResult result =
-          runProposedLive(runner, eval, train, config, &manager);
+      const exec::RunReport& report = sweep.runs[index++];
+      const auto* manager = dynamic_cast<const core::ThermalManager*>(report.policy.get());
+      expects(manager != nullptr, "ablation run must carry its ThermalManager");
       table.row()
           .cell(eval.name)
           .cell(adaptation ? "adaptive (paper)" : "no-adaptation")
-          .cell(result.reliability.cyclingMttfYears, 2)
-          .cell(result.reliability.agingMttfYears, 2)
+          .cell(report.result.reliability.cyclingMttfYears, 2)
+          .cell(report.result.reliability.agingMttfYears, 2)
           .cell(static_cast<long long>(manager->interDetections()))
           .cell(static_cast<long long>(manager->intraDetections()));
     }
 
-    const core::RunResult ge = runGeQiu(runner, eval, train, /*modified=*/true);
+    const core::RunResult& ge = sweep.runs[index++].result;
     table.row()
         .cell(eval.name)
         .cell("modified-Ge (signalled)")
@@ -52,6 +68,10 @@ int main() {
   printBanner(std::cout,
               "Ablation: Section 5.4 workload-variation adaptation on inter-app scenarios");
   table.print(std::cout);
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
   std::cout << "\nThe adaptive variant detects switches with no application-layer\n"
                "signal; the no-adaptation variant keeps one Q-table across apps.\n";
   return 0;

@@ -2,30 +2,43 @@
 // K1/K2 of the reward function (Eq. 8) versus flat weights. The paper argues
 // the Gaussian keeps the agent from clustering in the Q-table; flat weights
 // over-reward the extreme-stable states.
+//
+// The (app x variant) runs are independent and submitted through the sweep
+// engine (`--jobs N`; bit-identical output at any lane count).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rltherm;
   using namespace rltherm::bench;
 
   const std::vector<workload::AppSpec> apps = {
       workload::tachyon(1), workload::mpegDec(1), workload::mpegEnc(1)};
 
-  core::PolicyRunner runner(defaultRunnerConfig());
+  std::vector<exec::RunSpec> specs;
+  for (const workload::AppSpec& app : apps) {
+    const workload::Scenario eval = workload::Scenario::of({app});
+    const workload::Scenario train = repeated({app}, 3);
+    for (const bool gaussian : {true, false}) {
+      core::ThermalManagerConfig config;
+      config.reward.gaussianWeights = gaussian;
+      specs.push_back(proposedSpec(
+          app.name + (gaussian ? "/gaussian-K" : "/flat-K"), eval, train,
+          /*freeze=*/true, config, defaultRunnerConfig(),
+          core::ActionSpace::standard(4)));
+    }
+  }
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions(argc, argv)).run(specs);
 
   TextTable table({"App", "Variant", "Avg T (C)", "TC-MTTF (y)", "Aging MTTF (y)",
                    "Exec (s)", "Q coverage"});
 
+  std::size_t index = 0;
   for (const workload::AppSpec& app : apps) {
-    const workload::Scenario eval = workload::Scenario::of({app});
-    const workload::Scenario train = repeated({app}, 3);
-
     for (const bool gaussian : {true, false}) {
-      core::ThermalManagerConfig config;
-      config.reward.gaussianWeights = gaussian;
-      core::ThermalManager* manager = nullptr;
-      const core::RunResult result =
-          runProposedFrozen(runner, eval, train, config, &manager);
+      const exec::RunReport& report = sweep.runs[index++];
+      const auto* manager = dynamic_cast<const core::ThermalManager*>(report.policy.get());
+      expects(manager != nullptr, "ablation run must carry its ThermalManager");
+      const core::RunResult& result = report.result;
       table.row()
           .cell(app.name)
           .cell(gaussian ? "gaussian-K" : "flat-K")
@@ -39,6 +52,10 @@ int main() {
 
   printBanner(std::cout, "Ablation: Gaussian vs flat reward learning weights (Eq. 8)");
   table.print(std::cout);
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
   std::cout << "\nBoth variants control temperature; the Gaussian weighting tends to\n"
                "explore more of the Q-table (higher coverage) as the paper intends.\n";
   return 0;

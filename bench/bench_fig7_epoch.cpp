@@ -6,9 +6,13 @@
 // Expected shapes: execution-time and energy overheads fall as epochs grow
 // (fewer control actions, fewer migrations); training time RISES with the
 // epoch because it is (epochs-to-convergence) x (epoch length).
+//
+// All (app x epoch) runs plus the per-app Linux baselines are independent,
+// so the whole grid goes through the sweep engine in one submission
+// (`--jobs N`; output is bit-identical at any lane count).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rltherm;
   using namespace rltherm::bench;
 
@@ -16,32 +20,48 @@ int main() {
   const std::vector<workload::AppSpec> apps = {
       workload::tachyon(1), workload::mpegDec(1), workload::mpegEnc(1)};
 
-  core::PolicyRunner runner(defaultRunnerConfig());
-
-  printBanner(std::cout, "Figure 7: effect of the decision-epoch length");
+  // Spec layout: per app, one Linux baseline followed by one live (training)
+  // run per epoch length — index arithmetic below relies on this order.
+  std::vector<exec::RunSpec> specs;
   for (const workload::AppSpec& app : apps) {
     const workload::Scenario eval = workload::Scenario::of({app});
-    const core::RunResult linux_ = runLinux(runner, eval);
-
-    TextTable table({"Epoch (s)", "Norm exec time", "Norm dyn energy",
-                     "Epochs to converge", "Norm learning time"});
-    double learningTimeAt5 = 0.0;
+    specs.push_back(linuxSpec(app.name + "/linux", eval, defaultRunnerConfig()));
     for (const double epoch : epochs) {
       core::ThermalManagerConfig config;
       config.decisionEpoch = epoch;
       config.samplingInterval = std::min(3.0, epoch);
-      core::ThermalManager manager(config, core::ActionSpace::standard(4));
-      const core::RunResult result = runner.run(eval, manager);
+      specs.push_back(proposedSpec(app.name + "/epoch-" + formatFixed(epoch, 0),
+                                   eval, /*train=*/{}, /*freeze=*/false, config,
+                                   defaultRunnerConfig(),
+                                   core::ActionSpace::standard(4)));
+    }
+  }
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions(argc, argv)).run(specs);
+
+  printBanner(std::cout, "Figure 7: effect of the decision-epoch length");
+  const std::size_t perApp = 1 + epochs.size();
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const workload::AppSpec& app = apps[a];
+    const core::RunResult& linux_ = sweep.runs[a * perApp].result;
+
+    TextTable table({"Epoch (s)", "Norm exec time", "Norm dyn energy",
+                     "Epochs to converge", "Norm learning time"});
+    double learningTimeAt5 = 0.0;
+    for (std::size_t e = 0; e < epochs.size(); ++e) {
+      const exec::RunReport& report = sweep.runs[a * perApp + 1 + e];
+      const auto* manager = dynamic_cast<const core::ThermalManager*>(report.policy.get());
+      expects(manager != nullptr, "epoch run must carry its ThermalManager");
+      const core::RunResult& result = report.result;
 
       const double learningTime =
-          static_cast<double>(manager.epochsToConvergence()) * epoch;
+          static_cast<double>(manager->epochsToConvergence()) * epochs[e];
       if (learningTimeAt5 == 0.0) learningTimeAt5 = learningTime;
 
       table.row()
-          .cell(epoch, 0)
+          .cell(epochs[e], 0)
           .cell(result.duration / linux_.duration, 3)
           .cell(result.dynamicEnergy / linux_.dynamicEnergy, 3)
-          .cell(static_cast<long long>(manager.epochsToConvergence()))
+          .cell(static_cast<long long>(manager->epochsToConvergence()))
           .cell(learningTime / learningTimeAt5, 2);
     }
     std::cout << "\n-- " << app.name << " (Linux exec " << formatFixed(linux_.duration, 0)
@@ -49,6 +69,10 @@ int main() {
               << " kJ) --\n";
     table.print(std::cout);
   }
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
   std::cout << "\nThe paper picks a ~30 s decision epoch from this trade-off\n"
                "(overheads flatten out while training time keeps growing).\n";
   return 0;

@@ -4,9 +4,12 @@
 // proposed-vs-Linux improvements are recomputed on a hot and a cycling
 // workload. A reproduction whose conclusions only hold at one magic
 // calibration would be worthless; this bench quantifies the margin.
+//
+// The (variant x app x policy) grid is embarrassingly parallel and runs
+// through the sweep engine (`--jobs N`; identical numbers at any lane count).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rltherm;
   using namespace rltherm::bench;
 
@@ -20,22 +23,37 @@ int main() {
       {"+20% power", 1.2, 1.0},      {"-20% cooling R", 1.0, 0.8},
       {"+20% cooling R", 1.0, 1.2},  {"hot corner (+20%/+20%)", 1.2, 1.2},
   };
+  const std::vector<workload::AppSpec> apps = {workload::tachyon(1),
+                                               workload::mpegDec(1)};
+
+  // Spec layout: for each (variant, app), a Linux baseline directly followed
+  // by the trained-and-frozen proposed manager.
+  std::vector<exec::RunSpec> specs;
+  for (const Variant& variant : variants) {
+    core::RunnerConfig runnerConfig = defaultRunnerConfig();
+    runnerConfig.machine.dynamicPower.effectiveCapacitance *= variant.powerScale;
+    runnerConfig.machine.thermal.sinkToAmbient *= variant.sinkScale;
+
+    for (const workload::AppSpec& app : apps) {
+      const workload::Scenario eval = workload::Scenario::of({app});
+      specs.push_back(linuxSpec(variant.name + "/" + app.family + "/linux", eval,
+                                runnerConfig));
+      specs.push_back(proposedSpec(variant.name + "/" + app.family + "/proposed",
+                                   eval, repeated({app}, 3), /*freeze=*/true, {},
+                                   runnerConfig, core::ActionSpace::standard(4)));
+    }
+  }
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions(argc, argv)).run(specs);
 
   TextTable table({"Variant", "App", "Linux avg T", "TC gain (x)", "Aging gain (x)"});
 
   int holds = 0;
   int rows = 0;
+  std::size_t index = 0;
   for (const Variant& variant : variants) {
-    core::RunnerConfig runnerConfig = defaultRunnerConfig();
-    runnerConfig.machine.dynamicPower.effectiveCapacitance *= variant.powerScale;
-    runnerConfig.machine.thermal.sinkToAmbient *= variant.sinkScale;
-    core::PolicyRunner runner(runnerConfig);
-
-    for (const workload::AppSpec& app : {workload::tachyon(1), workload::mpegDec(1)}) {
-      const workload::Scenario eval = workload::Scenario::of({app});
-      const workload::Scenario train = repeated({app}, 3);
-      const core::RunResult linux_ = runLinux(runner, eval);
-      const core::RunResult proposed = runProposedFrozen(runner, eval, train);
+    for (const workload::AppSpec& app : apps) {
+      const core::RunResult& linux_ = sweep.runs[index++].result;
+      const core::RunResult& proposed = sweep.runs[index++].result;
       const double tcGain = proposed.reliability.cyclingMttfYears /
                             linux_.reliability.cyclingMttfYears;
       const double agingGain = proposed.reliability.agingMttfYears /
@@ -55,6 +73,10 @@ int main() {
 
   printBanner(std::cout, "Calibration sensitivity of the headline result");
   table.print(std::cout);
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
   std::cout << "\nConclusion (proposed does not lose lifetime, wins at least one\n"
                "metric) holds in " << holds << "/" << rows
             << " perturbed configurations.\n"

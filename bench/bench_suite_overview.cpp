@@ -3,13 +3,15 @@
 // Linux's default management. This is the map that motivates the adaptive
 // approach — applications differ in BOTH average temperature and cycling,
 // and no static policy suits all of them.
+//
+// The 15 runs are independent, so they go through the parallel sweep engine
+// (`--jobs N`, default all hardware threads); the JSON report records the
+// sweep's wall-clock, lane count and speedup versus back-to-back execution.
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace rltherm;
   using namespace rltherm::bench;
-
-  core::PolicyRunner runner(defaultRunnerConfig());
 
   TextTable table({"App", "Sync", "Exec (s)", "Avg T (C)", "Peak T (C)",
                    "Cycles (worst)", "TC-MTTF (y)", "Aging MTTF (y)", "Signature"});
@@ -30,9 +32,19 @@ int main(int argc, char** argv) {
   for (int d = 1; d <= 3; ++d) suite.push_back(workload::faceRec(d));
   for (int d = 1; d <= 3; ++d) suite.push_back(workload::sphinx(d));
 
+  std::vector<exec::RunSpec> specs;
+  specs.reserve(suite.size());
   for (const workload::AppSpec& app : suite) {
-    const core::RunResult result =
-        runLinux(runner, workload::Scenario::of({app}));
+    specs.push_back(
+        linuxSpec(app.name, workload::Scenario::of({app}), defaultRunnerConfig()));
+  }
+
+  const exec::SweepRunner sweepRunner(sweepOptions(argc, argv));
+  const exec::SweepResult sweep = sweepRunner.run(specs);
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const workload::AppSpec& app = suite[i];
+    const core::RunResult& result = sweep.runs[i].result;
     std::size_t worstCycles = 0;
     for (const auto& core : result.reliability.cores) {
       worstCycles = std::max(worstCycles, core.cycleCount);
@@ -52,8 +64,14 @@ int main(int argc, char** argv) {
   printBanner(std::cout,
               "Workload suite under Linux ondemand (the Section 3 characterization)");
   table.print(std::cout);
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
   const std::string jsonPath = jsonOutputPath(argc, argv, "BENCH_suite.json");
-  if (!jsonPath.empty()) writeJsonReport(table, "suite_overview", jsonPath);
+  if (!jsonPath.empty()) {
+    writeJsonReport(table, "suite_overview", jsonPath, metaOf(sweep));
+  }
   std::cout << "\nThe renderers (tachyon, face_rec) are hot with modest cycling; the\n"
                "GOP codecs are cool with pronounced cycling; sphinx's burst mixture\n"
                "sits in between. One static policy cannot serve all of them — the\n"

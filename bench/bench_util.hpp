@@ -22,6 +22,7 @@
 #include "core/baselines.hpp"
 #include "core/runner.hpp"
 #include "core/thermal_manager.hpp"
+#include "exec/sweep.hpp"
 #include "obs/json.hpp"
 #include "workload/app_spec.hpp"
 
@@ -92,6 +93,72 @@ inline core::RunResult runProposedLive(core::PolicyRunner& runner,
   return runner.run(eval, manager);
 }
 
+/// `--jobs N` support for the bench binaries: parallel lanes for the sweep
+/// engine (default 0 = all hardware threads). Sweep results are bit-identical
+/// for every jobs value; the flag only trades wall-clock for cores.
+inline exec::SweepOptions sweepOptions(int argc, char** argv) {
+  exec::SweepOptions options;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      options.jobs = static_cast<std::size_t>(std::stoul(argv[i + 1]));
+    }
+  }
+  return options;
+}
+
+/// Spec builders mirroring the serial helpers above, for submission through
+/// exec::SweepRunner. Each run constructs its own machine and policy, so
+/// specs built here reproduce the serial helpers' results bit for bit.
+inline exec::RunSpec linuxSpec(std::string label, workload::Scenario eval,
+                               core::RunnerConfig runner,
+                               platform::GovernorSetting governor = {
+                                   platform::GovernorKind::Ondemand, 0.0}) {
+  exec::RunSpec spec;
+  spec.label = std::move(label);
+  spec.scenario = std::move(eval);
+  spec.runner = std::move(runner);
+  spec.policy = [governor](std::uint64_t) {
+    return std::make_unique<core::StaticGovernorPolicy>(governor);
+  };
+  return spec;
+}
+
+/// The proposed manager, trained on `train`, optionally frozen, then
+/// evaluated on `eval` (runProposedFrozen/-Live as one spec). The trained
+/// manager comes back in the report's `policy` slot for post-hoc queries.
+inline exec::RunSpec proposedSpec(std::string label, workload::Scenario eval,
+                                  workload::Scenario train, bool freeze,
+                                  core::ThermalManagerConfig config,
+                                  core::RunnerConfig runner,
+                                  core::ActionSpace actions) {
+  exec::RunSpec spec;
+  spec.label = std::move(label);
+  spec.scenario = std::move(eval);
+  spec.train = std::move(train);
+  spec.freezeAfterTrain = freeze;
+  spec.runner = std::move(runner);
+  spec.policy = [config, actions](std::uint64_t) {
+    return std::make_unique<core::ThermalManager>(config, actions);
+  };
+  return spec;
+}
+
+/// Ge & Qiu [7] as one spec: trained on `train`, evaluated live on `eval`.
+inline exec::RunSpec geSpec(std::string label, workload::Scenario eval,
+                            workload::Scenario train, bool modified,
+                            core::RunnerConfig runner,
+                            core::GeQiuConfig config = {}) {
+  exec::RunSpec spec;
+  spec.label = std::move(label);
+  spec.scenario = std::move(eval);
+  spec.train = std::move(train);
+  spec.runner = std::move(runner);
+  spec.policy = [config, modified](std::uint64_t) {
+    return std::make_unique<core::GeQiuPolicy>(config, modified);
+  };
+  return spec;
+}
+
 /// `--json [PATH]` support for the bench binaries: returns the output path
 /// when the flag is present (PATH if given, `fallback` otherwise), empty
 /// string when absent.
@@ -106,17 +173,34 @@ inline std::string jsonOutputPath(int argc, char** argv, const std::string& fall
   return {};
 }
 
+/// Execution accounting attached to every JSON report: how long the bench
+/// took, how many parallel lanes ran it, and the wall-clock speedup versus
+/// running its jobs back to back (1.0 for purely serial benches).
+struct ReportMeta {
+  double wallMs = 0.0;
+  std::size_t jobs = 1;
+  double speedup = 1.0;
+};
+
+inline ReportMeta metaOf(const exec::SweepResult& sweep) {
+  return ReportMeta{sweep.wallMs, sweep.jobs, sweep.speedup()};
+}
+
 /// Writes a bench result table as a JSON report:
-///   {"suite": NAME, "columns": [...], "rows": [{col: value, ...}, ...]}
+///   {"suite": NAME, "wall_ms": MS, "jobs": N, "speedup_vs_serial": X,
+///    "columns": [...], "rows": [{col: value, ...}, ...]}
 /// Numeric-looking cells become JSON numbers (see JsonWriter::valueAuto), so
 /// downstream scripts get typed data without the table layer changing.
 inline void writeJsonReport(const TextTable& table, const std::string& suite,
-                            const std::string& path) {
+                            const std::string& path, const ReportMeta& meta = {}) {
   std::ofstream out(path);
   expects(out.good(), "cannot write '" + path + "'");
   obs::JsonWriter json(out);
   json.beginObject();
   json.key("suite").value(suite);
+  json.key("wall_ms").value(meta.wallMs);
+  json.key("jobs").value(static_cast<std::uint64_t>(meta.jobs));
+  json.key("speedup_vs_serial").value(meta.speedup);
   json.key("columns").beginArray();
   for (const std::string& column : table.header()) json.value(column);
   json.endArray();

@@ -1,22 +1,28 @@
 #!/usr/bin/env bash
 # CI correctness driver: build + test under ASan/UBSan with runtime contracts
-# enabled, then run the project lint and (when available) clang-tidy.
-# Any finding fails the script. See docs/ANALYSIS.md.
+# enabled, vet the parallel sweep engine under TSan, then run the project
+# lint and (when available) clang-tidy. Any finding fails the script. See
+# docs/ANALYSIS.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/5] configure (preset: asan-ubsan) =="
+echo "== [1/6] configure (preset: asan-ubsan) =="
 cmake --preset asan-ubsan
 
-echo "== [2/5] build =="
+echo "== [2/6] build =="
 cmake --build --preset asan-ubsan -j "${JOBS}"
 
-echo "== [3/5] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+echo "== [3/6] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
 ctest --preset asan-ubsan -j "${JOBS}"
 
-echo "== [4/5] events-JSONL smoke (rltherm_cli --events) =="
+echo "== [4/6] concurrency tests under TSan (ctest -L concurrency) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}" --target rltherm_concurrency_tests
+ctest --preset tsan -L concurrency -j "${JOBS}"
+
+echo "== [5/6] events-JSONL smoke (rltherm_cli --events) =="
 EVENTS_TMP="$(mktemp /tmp/rltherm_events.XXXXXX.jsonl)"
 trap 'rm -f "${EVENTS_TMP}"' EXIT
 ./build-asan-ubsan/tools/rltherm_cli run --app mpeg_dec --policy linux-ondemand \
@@ -42,7 +48,7 @@ else
   echo "python3 not found on PATH; checked the event log is non-empty only."
 fi
 
-echo "== [5/5] static analysis =="
+echo "== [6/6] static analysis =="
 ./build-asan-ubsan/tools/rltherm_lint .
 
 if command -v run-clang-tidy >/dev/null 2>&1; then

@@ -1,0 +1,115 @@
+#include "exec/sweep.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/thermal_manager.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/timeline.hpp"
+
+namespace rltherm::exec {
+
+std::uint64_t childSeed(std::uint64_t base, std::size_t index) noexcept {
+  // Closed form of the index-th SplitMix64 draw from a stream seeded at
+  // `base` (each draw advances the state by the golden-gamma increment).
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+namespace {
+
+/// Executes one spec end to end on the current thread, under a private
+/// observability session, and fills `report`.
+void executeSpec(const RunSpec& spec, std::size_t index, RunReport& report) {
+  expects(static_cast<bool>(spec.policy), "SweepRunner: spec '" + spec.label +
+                                              "' has no policy factory");
+  const std::uint64_t startNs = obs::wallClockNs();
+  const std::uint64_t seed = childSeed(spec.seed, index);
+  report.label = spec.label.empty() ? spec.scenario.name : spec.label;
+  report.seed = seed;
+
+  core::RunnerConfig runnerConfig = spec.runner;
+  if (spec.seed != 0) runnerConfig.machine.sensorSeed = seed;
+
+  std::unique_ptr<core::ThermalPolicy> policy = spec.policy(seed);
+  expects(policy != nullptr, "SweepRunner: policy factory for '" + report.label +
+                                 "' returned null");
+
+  obs::CollectingEventSink events;
+  obs::MetricsRegistry metrics;
+  obs::Session session;
+  session.events = &events;
+  session.metrics = &metrics;
+  {
+    const obs::ScopedSession guard(session);
+    const core::PolicyRunner runner(runnerConfig);
+    if (!spec.train.apps.empty()) (void)runner.run(spec.train, *policy);
+    if (spec.freezeAfterTrain) {
+      if (auto* manager = dynamic_cast<core::ThermalManager*>(policy.get())) {
+        manager->freeze();
+      }
+    }
+    report.result = runner.run(spec.scenario, *policy);
+  }
+
+  report.policy = std::move(policy);
+  report.events = std::move(events.events);
+  metrics.forEachCounter([&](const std::string& name, const obs::Counter& counter) {
+    report.counters[name] = counter.value();
+  });
+  metrics.forEachGauge([&](const std::string& name, const obs::Gauge& gauge) {
+    report.gauges[name] = gauge.value();
+  });
+  report.wallMs = static_cast<double>(obs::wallClockNs() - startNs) / 1e6;
+}
+
+}  // namespace
+
+SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
+  SweepResult sweep;
+  std::size_t jobs = options_.jobs == 0 ? hardwareConcurrency() : options_.jobs;
+  jobs = std::max<std::size_t>(1, std::min(jobs, std::max<std::size_t>(specs.size(), 1)));
+  sweep.jobs = jobs;
+
+  const std::uint64_t startNs = obs::wallClockNs();
+  sweep.runs.resize(specs.size());
+  {
+    ThreadPool pool(jobs);
+    std::vector<RunReport>& reports = sweep.runs;
+    pool.parallelFor(specs.size(), [&specs, &reports](std::size_t index) {
+      executeSpec(specs[index], index, reports[index]);
+    });
+  }
+  sweep.wallMs = static_cast<double>(obs::wallClockNs() - startNs) / 1e6;
+
+  // Index-ordered merge: counter sums commute, but doing everything in spec
+  // order keeps gauges (last writer wins) and any future merge deterministic
+  // by construction.
+  for (const RunReport& run : sweep.runs) {
+    sweep.serialMsEstimate += run.wallMs;
+    for (const auto& [name, value] : run.counters) sweep.counters[name] += value;
+    for (const auto& [name, value] : run.gauges) sweep.gauges[name] = value;
+  }
+
+  if (options_.forwardToAmbient) {
+    if (obs::EventSink* sink = obs::events()) {
+      for (const RunReport& run : sweep.runs) {
+        for (const obs::Event& event : run.events) sink->record(event);
+      }
+    }
+    if (obs::MetricsRegistry* ambient = obs::metrics()) {
+      for (const auto& [name, value] : sweep.counters) ambient->counter(name).add(value);
+      for (const auto& [name, value] : sweep.gauges) ambient->gauge(name).set(value);
+    }
+  }
+  return sweep;
+}
+
+}  // namespace rltherm::exec

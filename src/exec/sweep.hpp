@@ -1,0 +1,122 @@
+// Deterministic parallel experiment engine.
+//
+// Every figure/table reproduction is a pile of INDEPENDENT closed-loop
+// simulations (train a policy, evaluate it, collect the RunResult), executed
+// serially in the seed benches. SweepRunner fans a vector of RunSpecs across
+// a ThreadPool and merges the results back into an index-ordered aggregate,
+// with a hard determinism guarantee:
+//
+//   A sweep's output is BIT-IDENTICAL for any --jobs value.
+//
+// The guarantee holds because jobs share nothing:
+//  - each job constructs its own PolicyRunner/Machine/policy from its spec;
+//  - each job's RNG seed is derived from the spec seed and the spec INDEX
+//    via a SplitMix64 stream (childSeed), never from thread identity or
+//    scheduling order;
+//  - each job installs a private observability session on its worker thread
+//    (the ambient session pointer is thread-local, see obs/session.hpp), so
+//    metrics/events are recorded per run and merged in index order after the
+//    join — the merged stream is the same one a serial loop would produce;
+//  - reports are written into a pre-sized slot per index; the only shared
+//    write is the thread pool's chunk cursor.
+//
+// Attached observability on the CALLING thread still works: after the join,
+// the merged event stream is forwarded to the ambient sink and the merged
+// counters/gauges to the ambient registry (in index order), unless
+// forwardToAmbient is switched off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/runner.hpp"
+#include "obs/events.hpp"
+#include "workload/driver.hpp"
+
+namespace rltherm::exec {
+
+/// Index-addressable SplitMix64 stream: the `index`-th output of a SplitMix64
+/// generator seeded with `base`. Used to give every run of a sweep an
+/// independent, scheduling-order-free seed.
+[[nodiscard]] std::uint64_t childSeed(std::uint64_t base, std::size_t index) noexcept;
+
+/// Constructs the policy a run evaluates. Called once per run, on the worker
+/// thread executing it, with that run's childSeed — factories for seeded
+/// policies (e.g. ThermalManager) should plumb it into their config; others
+/// may ignore it.
+using PolicyFactory =
+    std::function<std::unique_ptr<core::ThermalPolicy>(std::uint64_t seed)>;
+
+/// One independent experiment: optional training prefix, then the evaluated
+/// scenario, on a freshly constructed machine.
+struct RunSpec {
+  std::string label;            ///< reported back; defaults to scenario name
+  workload::Scenario scenario;  ///< evaluation scenario
+  workload::Scenario train;     ///< training prefix; empty apps = none
+  /// Freeze a ThermalManager policy (exploitation-phase pin) between the
+  /// training prefix and the evaluation run; ignored for other policies.
+  bool freezeAfterTrain = false;
+  PolicyFactory policy;         ///< required
+  core::RunnerConfig runner;
+  /// Run-seed base. 0 (default) leaves the spec's configured machine seeds
+  /// untouched, preserving the exact serial-bench numbers. Non-zero derives
+  /// childSeed(seed, index) and installs it as the machine's sensor seed;
+  /// either way the factory receives the derived child seed.
+  std::uint64_t seed = 0;
+};
+
+/// Everything one run produced, in spec order.
+struct RunReport {
+  std::string label;
+  std::uint64_t seed = 0;       ///< child seed handed to the factory
+  core::RunResult result;
+  double wallMs = 0.0;          ///< wall-clock of this job (train + eval)
+  /// The policy after the run (trained manager, etc.) for post-hoc queries
+  /// like epochsToConvergence().
+  std::unique_ptr<core::ThermalPolicy> policy;
+  std::vector<obs::Event> events;               ///< this run's event stream
+  std::map<std::string, std::uint64_t> counters;  ///< this run's counters
+  std::map<std::string, double> gauges;           ///< this run's gauges
+};
+
+struct SweepResult {
+  std::vector<RunReport> runs;  ///< index order == spec order, always
+  std::size_t jobs = 1;         ///< execution lanes actually used
+  double wallMs = 0.0;          ///< wall-clock of the whole sweep
+  double serialMsEstimate = 0.0;  ///< sum of per-run wall times
+  /// Counters summed / gauges last-writer-wins across runs in index order.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+
+  /// Wall-clock speedup versus running the same jobs back to back.
+  [[nodiscard]] double speedup() const noexcept {
+    return wallMs > 0.0 ? serialMsEstimate / wallMs : 1.0;
+  }
+};
+
+struct SweepOptions {
+  std::size_t jobs = 0;          ///< 0 = hardwareConcurrency(); 1 = serial
+  bool forwardToAmbient = true;  ///< replay merged events/metrics to the
+                                 ///< calling thread's session after the join
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Runs every spec, in parallel across min(jobs, specs) lanes; blocks
+  /// until all are done. Throws the lowest-index job's exception, if any.
+  [[nodiscard]] SweepResult run(const std::vector<RunSpec>& specs) const;
+
+  [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace rltherm::exec

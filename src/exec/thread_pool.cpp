@@ -1,0 +1,114 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rltherm::exec {
+
+std::size_t hardwareConcurrency() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardwareConcurrency();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workCv_.wait(lock, [&] { return stop_ || generation_ != seenGeneration; });
+      if (stop_) return;
+      seenGeneration = generation_;
+    }
+    runChunks();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) doneCv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::runChunks() {
+  for (;;) {
+    const std::size_t start = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (start >= count_) return;
+    const std::size_t end = std::min(start + chunk_, count_);
+    for (std::size_t i = start; i < end; ++i) {
+      try {
+        (*body_)(i);
+      } catch (...) {
+        recordException(i);
+      }
+    }
+  }
+}
+
+void ThreadPool::recordException(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(errorMutex_);
+  if (error_ == nullptr || index < errorIndex_) {
+    error_ = std::current_exception();
+    errorIndex_ = index;
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t chunk) {
+  expects(chunk > 0, "ThreadPool::parallelFor: chunk must be > 0");
+  if (count == 0) return;
+
+  if (workers_.empty()) {
+    // Fully serial: plain in-order loop on the calling thread. Exceptions
+    // still go through the capture-and-rethrow path so behaviour (run every
+    // index, then throw the lowest) matches the parallel case.
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        recordException(i);
+      }
+    }
+  } else {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      body_ = &body;
+      count_ = count;
+      chunk_ = chunk;
+      cursor_.store(0, std::memory_order_relaxed);
+      pending_ = workers_.size();
+      ++generation_;
+    }
+    workCv_.notify_all();
+    runChunks();  // the calling thread pulls chunks too
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+
+  std::exception_ptr error;
+  {
+    const std::lock_guard<std::mutex> lock(errorMutex_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace rltherm::exec

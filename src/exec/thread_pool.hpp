@@ -1,0 +1,81 @@
+// Chunked fork-join thread pool (deliberately work-stealing-free).
+//
+// The pool exists for one job shape: N independent, identically-typed tasks
+// (closed-loop simulations, seconds each) indexed 0..N-1. parallelFor() hands
+// out contiguous index chunks from a single atomic cursor; there are no
+// per-worker deques and no stealing, so the only inter-thread communication
+// is one fetch_add per chunk. That keeps the concurrency surface small
+// enough to reason about (and for TSan to vet exhaustively), which matters
+// more here than the last few percent of load balance — the sweep engine's
+// determinism guarantee (see sweep.hpp) rests on tasks sharing NOTHING.
+//
+// Semantics:
+//  - The calling thread participates in the loop, so ThreadPool(1) spawns no
+//    threads at all and runs the body inline in index order — bit-identical
+//    to a plain for loop, which is how `--jobs 1` preserves the serial path.
+//  - parallelFor blocks until every index has been executed. It is not
+//    reentrant and must only be called from the owning thread.
+//  - Exceptions thrown by the body are captured; after the join, the one
+//    with the LOWEST index is rethrown (deterministic regardless of which
+//    worker saw it first). Remaining indices still run to completion.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rltherm::exec {
+
+/// Number of hardware threads, never 0 (falls back to 1 when unknown).
+[[nodiscard]] std::size_t hardwareConcurrency() noexcept;
+
+class ThreadPool {
+ public:
+  /// @param threads total worker count INCLUDING the calling thread;
+  ///        0 means hardwareConcurrency(). ThreadPool(1) is fully serial.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (spawned workers + the calling thread).
+  [[nodiscard]] std::size_t threadCount() const noexcept { return workers_.size() + 1; }
+
+  /// Runs body(i) for every i in [0, count), distributing `chunk`-sized
+  /// index ranges across the pool. Blocks until all indices completed.
+  void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body,
+                   std::size_t chunk = 1);
+
+ private:
+  void workerLoop();
+  void runChunks();
+  void recordException(std::size_t index);
+
+  // Current-job state; meaningful only between a parallelFor's publish and
+  // its final join (pending_ > 0).
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+
+  std::mutex mutex_;
+  std::condition_variable workCv_;
+  std::condition_variable doneCv_;
+  std::uint64_t generation_ = 0;  ///< bumped per parallelFor, guarded by mutex_
+  std::size_t pending_ = 0;       ///< workers still to finish current job
+  bool stop_ = false;
+
+  std::mutex errorMutex_;
+  std::size_t errorIndex_ = 0;
+  std::exception_ptr error_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rltherm::exec

@@ -16,9 +16,10 @@
 //   {"event":"manager.epoch.decide","t":330,"state":7,...}
 //
 // Event names follow the same `subsystem.noun.verb` convention as metrics.
-// Emission is single-threaded like the rest of the simulator; call sites
-// guard on obs::events() != nullptr so a detached run performs no work and
-// no allocations (see obs/session.hpp).
+// Sinks are not internally synchronized: each simulation thread emits into
+// the sink of its own thread-local session (see obs/session.hpp; the sweep
+// engine installs one per run). Call sites guard on obs::events() != nullptr
+// so a detached run performs no work and no allocations.
 #pragma once
 
 #include <cstdint>

@@ -13,9 +13,13 @@
 // null-pointer test — no clock reads, no allocations, no events. This is
 // what lets the simulator keep instrumentation compiled in unconditionally.
 //
-// The ambient pointer is deliberately a plain single-threaded global, like
-// the simulator itself. Nested installation is supported (the previous
-// session is restored on scope exit), which the tests use.
+// The ambient pointer is THREAD-LOCAL: each thread sees only the session it
+// installed itself. A single-threaded program behaves exactly as a plain
+// global would; the parallel sweep engine (src/exec/) installs one private
+// session per run on whichever pool thread executes it, so concurrent runs
+// never share a sink and library code stays lock-free. Nested installation
+// is supported (the previous session is restored on scope exit), which the
+// tests use. See docs/ARCHITECTURE.md "Parallel execution".
 #pragma once
 
 namespace rltherm::obs {
@@ -32,7 +36,7 @@ struct Session {
 };
 
 namespace detail {
-inline Session* g_session = nullptr;
+inline thread_local Session* g_session = nullptr;
 }  // namespace detail
 
 [[nodiscard]] inline Session* current() noexcept { return detail::g_session; }

@@ -1,0 +1,65 @@
+// Bench-report smoke test: the JSON emitted by bench_util's writeJsonReport
+// must carry the execution-accounting header (wall_ms, jobs,
+// speedup_vs_serial) alongside the table payload, since the suite scripts
+// key on those fields to track sweep speedups across runs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+
+namespace rltherm::bench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(BenchJsonTest, ReportCarriesWallMsAndJobs) {
+  TextTable table({"App", "MTTF (y)"});
+  table.row().cell("tachyon").cell(4.25, 2);
+  table.row().cell("mpeg_dec").cell(6.5, 2);
+
+  ReportMeta meta;
+  meta.wallMs = 1234.5;
+  meta.jobs = 4;
+  meta.speedup = 3.2;
+  const std::string path = ::testing::TempDir() + "bench_json_test.json";
+  writeJsonReport(table, "unit_smoke", path, meta);
+
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"suite\":\"unit_smoke\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_ms\":1234.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"speedup_vs_serial\":3.2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tachyon\""), std::string::npos) << json;
+}
+
+TEST(BenchJsonTest, DefaultMetaMarksSerialSingleJob) {
+  TextTable table({"k"});
+  table.row().cell("v");
+  const std::string path = ::testing::TempDir() + "bench_json_default.json";
+  writeJsonReport(table, "unit_default", path);
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"jobs\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"speedup_vs_serial\":1"), std::string::npos) << json;
+}
+
+TEST(BenchJsonTest, MetaOfMirrorsSweepResult) {
+  exec::SweepResult sweep;
+  sweep.wallMs = 100.0;
+  sweep.serialMsEstimate = 250.0;
+  sweep.jobs = 3;
+  const ReportMeta meta = metaOf(sweep);
+  EXPECT_DOUBLE_EQ(meta.wallMs, 100.0);
+  EXPECT_EQ(meta.jobs, 3u);
+  EXPECT_DOUBLE_EQ(meta.speedup, 2.5);
+}
+
+}  // namespace
+}  // namespace rltherm::bench

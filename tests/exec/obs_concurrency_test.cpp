@@ -1,0 +1,162 @@
+// Observability under parallel sweeps: every run records into its own
+// thread-local session (exactly one manager.epoch.decide event per decision
+// epoch, no cross-run bleed), and the post-join ambient forwarding reproduces
+// the exact stream a serial loop would have produced — in index order,
+// JSONL-line-valid. Runs under TSan via the `concurrency` label.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/thermal_manager.hpp"
+#include "exec/sweep.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "workload/app_spec.hpp"
+
+namespace rltherm::exec {
+namespace {
+
+workload::AppSpec tinyApp(int iterations = 40) {
+  workload::AppSpec spec;
+  spec.name = "tiny";
+  spec.family = "tiny";
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.2;
+  spec.burstWorkJitter = 0.2;
+  spec.burstActivity = 0.9;
+  spec.serialWork = 0.1;
+  spec.serialActivity = 0.2;
+  spec.performanceConstraint = 0.1;
+  return spec;
+}
+
+std::vector<RunSpec> rlSpecs(std::size_t n) {
+  std::vector<RunSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    RunSpec spec;
+    spec.label = "rl-" + std::to_string(i);
+    spec.scenario = workload::Scenario::of({tinyApp(30 + 10 * static_cast<int>(i))});
+    core::RunnerConfig runner;
+    runner.analysisWarmup = 0.0;
+    runner.analysisCooldown = 0.0;
+    runner.maxSimTime = 400.0;
+    spec.runner = runner;
+    spec.seed = 99;
+    spec.policy = [](std::uint64_t childSeed) {
+      core::ThermalManagerConfig config;
+      config.samplingInterval = 0.5;
+      config.decisionEpoch = 2.0;
+      config.seed = childSeed;
+      return std::make_unique<core::ThermalManager>(config,
+                                                    core::ActionSpace::standard(4));
+    };
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::size_t countOf(const std::vector<obs::Event>& events, const std::string& name) {
+  std::size_t n = 0;
+  for (const obs::Event& event : events) n += (event.name == name) ? 1 : 0;
+  return n;
+}
+
+TEST(ObsConcurrencyTest, ExactlyOneDecideEventPerEpochPerRun) {
+  const SweepResult sweep = SweepRunner({.jobs = 4}).run(rlSpecs(4));
+  for (const RunReport& run : sweep.runs) {
+    const auto* manager =
+        dynamic_cast<const core::ThermalManager*>(run.policy.get());
+    ASSERT_NE(manager, nullptr) << run.label;
+    EXPECT_GT(manager->epochCount(), 0u) << run.label;
+    EXPECT_EQ(countOf(run.events, "manager.epoch.decide"), manager->epochCount())
+        << run.label;
+    EXPECT_EQ(run.counters.at("manager.epochs.decide"), manager->epochCount())
+        << run.label;
+  }
+}
+
+TEST(ObsConcurrencyTest, AmbientForwardingIsIndexOrderedAndComplete) {
+  obs::CollectingEventSink ambient;
+  obs::MetricsRegistry metrics;
+  obs::Session session;
+  session.events = &ambient;
+  session.metrics = &metrics;
+  const obs::ScopedSession guard(session);
+
+  const SweepResult sweep = SweepRunner({.jobs = 4}).run(rlSpecs(3));
+
+  // The ambient stream must be the per-run streams concatenated in spec
+  // order — precisely what a serial loop under one session would have left.
+  std::size_t cursor = 0;
+  for (const RunReport& run : sweep.runs) {
+    for (const obs::Event& event : run.events) {
+      ASSERT_LT(cursor, ambient.events.size());
+      EXPECT_EQ(ambient.events[cursor].name, event.name) << "stream position " << cursor;
+      EXPECT_EQ(ambient.events[cursor].simTime, event.simTime)
+          << "stream position " << cursor;
+      ++cursor;
+    }
+  }
+  EXPECT_EQ(cursor, ambient.events.size());
+
+  for (const auto& [name, value] : sweep.counters) {
+    EXPECT_EQ(metrics.counter(name).value(), value) << name;
+  }
+}
+
+TEST(ObsConcurrencyTest, ForwardingCanBeDisabled) {
+  obs::CollectingEventSink ambient;
+  obs::Session session;
+  session.events = &ambient;
+  const obs::ScopedSession guard(session);
+
+  const SweepResult sweep =
+      SweepRunner({.jobs = 2, .forwardToAmbient = false}).run(rlSpecs(2));
+  EXPECT_FALSE(sweep.runs[0].events.empty());
+  EXPECT_TRUE(ambient.events.empty());
+}
+
+TEST(ObsConcurrencyTest, MergedStreamSerializesAsValidJsonl) {
+  const SweepResult sweep = SweepRunner({.jobs = 4}).run(rlSpecs(3));
+  std::ostringstream out;
+  obs::JsonlEventSink sink(out);
+  std::size_t expected = 0;
+  for (const RunReport& run : sweep.runs) {
+    for (const obs::Event& event : run.events) {
+      sink.record(event);
+      ++expected;
+    }
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t got = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    // Structural JSONL check: one complete object per line, schema header
+    // first (the golden schema itself is covered by tests/obs/events_test).
+    EXPECT_EQ(line.rfind("{\"event\":\"", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"t\":"), std::string::npos) << line;
+    ++got;
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(sink.eventCount(), expected);
+}
+
+TEST(ObsConcurrencyTest, CallerSessionSurvivesSweepUnchanged) {
+  obs::CollectingEventSink ambient;
+  obs::Session session;
+  session.events = &ambient;
+  const obs::ScopedSession guard(session);
+  ASSERT_EQ(obs::events(), &ambient);
+  (void)SweepRunner({.jobs = 4}).run(rlSpecs(2));
+  // Worker-thread sessions are thread-local; the caller's must still be
+  // installed afterwards.
+  EXPECT_EQ(obs::events(), &ambient);
+}
+
+}  // namespace
+}  // namespace rltherm::exec

@@ -1,0 +1,103 @@
+// ThreadPool contract tests: every index runs exactly once for any
+// (threads, chunk, count) combination, the single-lane pool is genuinely
+// serial and in-order, and exceptions surface deterministically as the
+// lowest-index failure. These run under TSan via the `concurrency` ctest
+// label (scripts/check.sh).
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rltherm::exec {
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsNeverZero) {
+  EXPECT_GE(hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                    std::size_t{8}}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+      for (const std::size_t count :
+           {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{64},
+            std::size_t{257}}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(count);
+        pool.parallelFor(
+            count, [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+            chunk);
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " chunk=" << chunk
+                                       << " count=" << count << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SingleLanePoolSpawnsNothingAndRunsInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallelFor(20, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: serial by contract
+  });
+  std::vector<std::size_t> expected(20);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), hardwareConcurrency());
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  const auto body = [&](std::size_t i) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (i == 3 || i == 17 || i == 40) {
+      throw std::runtime_error("boom at " + std::to_string(i));
+    }
+  };
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    executed.store(0);
+    try {
+      pool.parallelFor(50, body);
+      FAIL() << "expected parallelFor to rethrow";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom at 3");
+    }
+    // Remaining indices still ran: a failed job must not strand the others.
+    EXPECT_EQ(executed.load(), 50);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallelFor(10, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50u * 55u);
+}
+
+TEST(ThreadPoolTest, ChunkLargerThanCountStillCoversEverything) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5);
+  pool.parallelFor(5, [&](std::size_t i) { hits[i].fetch_add(1); }, /*chunk=*/100);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace rltherm::exec

@@ -9,6 +9,7 @@
 #include "core/baselines.hpp"
 #include "core/runner.hpp"
 #include "core/thermal_manager.hpp"
+#include "exec/sweep.hpp"
 #include "workload/app_spec.hpp"
 
 namespace rltherm::core {
@@ -106,6 +107,46 @@ TEST(DeterminismTest, FullClosedLoopArtifactsAreBitIdentical) {
     EXPECT_EQ(ra.aging, rb.aging) << "epoch " << i;
     EXPECT_EQ(ra.reward, rb.reward) << "epoch " << i;
     EXPECT_EQ(ra.alpha, rb.alpha) << "epoch " << i;
+  }
+}
+
+// The sweep engine's serial path is the old for loop: submitting a run
+// through SweepRunner at --jobs 1 must reproduce a direct PolicyRunner call
+// bit for bit. This pins the engine to the serial baseline; the jobs-count
+// invariance tests in tests/exec/ then extend the guarantee to any lane
+// count.
+TEST(DeterminismTest, SerialSweepMatchesDirectRunnerBitwise) {
+  PolicyRunner runner(fastRunner());
+  ThermalManagerConfig config;
+  config.samplingInterval = 0.5;
+  config.decisionEpoch = 2.0;
+  ThermalManager direct(config, ActionSpace::standard(4));
+  const RunResult expected = runner.run(workload::Scenario::of({tinyApp(120)}), direct);
+
+  exec::RunSpec spec;
+  spec.scenario = workload::Scenario::of({tinyApp(120)});
+  spec.runner = fastRunner();
+  spec.policy = [&config](std::uint64_t) {
+    return std::make_unique<ThermalManager>(config, ActionSpace::standard(4));
+  };
+  const exec::SweepResult sweep = exec::SweepRunner({.jobs = 1}).run({spec});
+  ASSERT_EQ(sweep.runs.size(), 1u);
+  const RunResult& actual = sweep.runs[0].result;
+
+  EXPECT_EQ(expected.coreTraces, actual.coreTraces);
+  EXPECT_EQ(expected.duration, actual.duration);
+  EXPECT_EQ(expected.dynamicEnergy, actual.dynamicEnergy);
+  EXPECT_EQ(expected.staticEnergy, actual.staticEnergy);
+  EXPECT_EQ(expected.counters.instructions, actual.counters.instructions);
+  EXPECT_EQ(expected.reliability.cyclingMttfYears, actual.reliability.cyclingMttfYears);
+  EXPECT_EQ(expected.reliability.agingMttfYears, actual.reliability.agingMttfYears);
+
+  const auto* swept = dynamic_cast<const ThermalManager*>(sweep.runs[0].policy.get());
+  ASSERT_NE(swept, nullptr);
+  ASSERT_EQ(swept->epochCount(), direct.epochCount());
+  for (std::size_t i = 0; i < direct.epochCount(); ++i) {
+    EXPECT_EQ(swept->epochLog()[i].action, direct.epochLog()[i].action) << "epoch " << i;
+    EXPECT_EQ(swept->epochLog()[i].reward, direct.epochLog()[i].reward) << "epoch " << i;
   }
 }
 

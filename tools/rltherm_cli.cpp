@@ -9,6 +9,9 @@
 //   rltherm_cli inter      --apps mpeg_dec,tachyon --policy proposed [...]
 //   rltherm_cli concurrent --apps tachyon,mpeg_dec --window 2000 --policy ge [...]
 //   rltherm_cli compare    --app tachyon --policies linux-ondemand,ge,proposed
+//   rltherm_cli sweep      --apps tachyon,mpeg_dec --policies linux-ondemand,proposed
+//                          [--jobs N] [--dataset N] [--train N] [--live]
+//                          [--seed S] [--config file.ini]
 //
 // Policies: linux-ondemand | linux-powersave | linux-performance |
 //           userspace-<GHz> (e.g. userspace-2.4) | ge | ge-modified | proposed
@@ -46,6 +49,7 @@
 #include "core/config_io.hpp"
 #include "core/runner.hpp"
 #include "core/thermal_manager.hpp"
+#include "exec/sweep.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
@@ -130,13 +134,18 @@ void usage() {
       "  rltherm_cli inter      --apps a,b[,c] --policy P [same options]\n"
       "  rltherm_cli concurrent --apps a,b --window SECONDS --policy P [same options]\n"
       "  rltherm_cli compare    --app FAMILY [--dataset N] --policies p1,p2,...\n"
+      "  rltherm_cli sweep      --apps a,b,... --policies p1,p2,... [--jobs N]\n"
+      "                         [--dataset N] [--train N] [--live] [--seed S]\n"
       "policies: linux-ondemand linux-powersave linux-performance\n"
       "          userspace-<GHz> ge ge-modified proposed\n"
       "observability:\n"
       "  --events FILE        JSONL event log (decision epochs, app lifecycle,\n"
       "                       run summaries)\n"
       "  --chrome-trace FILE  hot-path timings as Chrome trace_event JSON\n"
-      "  --metrics            print metrics/timer summaries + overhead estimate\n";
+      "  --metrics            print metrics/timer summaries + overhead estimate\n"
+      "sweep runs the (app x policy) grid on a thread pool (--jobs, default: all\n"
+      "hardware threads; --jobs 1 is the serial path). Output is bit-identical\n"
+      "for every --jobs value; see docs/ARCHITECTURE.md 'Parallel execution'.\n";
 }
 
 /// Owns the observability backends selected by --events / --chrome-trace /
@@ -480,6 +489,90 @@ int runCommand(const Options& options) {
   return 0;
 }
 
+/// `sweep`: fan the (app x policy) grid out over the exec::SweepRunner thread
+/// pool. Learning policies train on `--train` back-to-back passes first and
+/// are frozen for the evaluation run unless `--live`. Results print in grid
+/// order, which is independent of `--jobs`; with `--events`/`--metrics` the
+/// per-run observability streams are merged into the ambient session in the
+/// same order.
+int sweepCommand(const Options& options) {
+  validateFlags(options, {"apps", "dataset", "policies", "jobs", "train", "live", "seed"});
+  ConfigFile config;
+  if (options.has("config")) {
+    std::ifstream in(options.get("config", ""));
+    expects(in.good(), "cannot read config file");
+    config = ConfigFile::parse(in);
+  }
+  core::RunnerConfig runnerConfig = core::runnerConfigFrom(config);
+  if (options.has("big-little")) {
+    runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
+  }
+
+  const int dataset = std::stoi(options.get("dataset", "1"));
+  const int trainPasses = std::stoi(options.get("train", "3"));
+  const bool live = options.has("live");
+  const std::uint64_t baseSeed =
+      static_cast<std::uint64_t>(std::stoull(options.get("seed", "0")));
+  const std::vector<std::string> families = splitList(options.get("apps", ""));
+  const std::vector<std::string> policies =
+      splitList(options.get("policies", "linux-ondemand,ge,proposed"));
+  expects(!families.empty(), "sweep: --apps required");
+  expects(!policies.empty(), "sweep: --policies must name at least one policy");
+
+  // Grid order (apps outer, policies inner) fixes the output row order and
+  // the per-run child seeds, independent of how the runs land on threads.
+  std::vector<exec::RunSpec> specs;
+  for (const std::string& family : families) {
+    const workload::AppSpec app = workload::makeApp(family, dataset);
+    for (const std::string& policyName : policies) {
+      exec::RunSpec spec;
+      spec.label = app.name + "/" + policyName;
+      spec.scenario = workload::Scenario::of({app});
+      if (isLearningPolicy(policyName)) {
+        std::vector<workload::AppSpec> trainApps(
+            static_cast<std::size_t>(trainPasses), app);
+        spec.train = workload::Scenario::of(trainApps);
+        spec.freezeAfterTrain = !live;
+      }
+      spec.runner = runnerConfig;
+      spec.seed = baseSeed;
+      spec.policy = [policyName, &config](std::uint64_t) {
+        return makePolicy(policyName, config).policy;
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  exec::SweepOptions sweepOptions;
+  sweepOptions.jobs = static_cast<std::size_t>(std::stoul(options.get("jobs", "0")));
+
+  ObsSetup obsSetup(options);
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions).run(specs);
+
+  TextTable table({"run", "exec (s)", "avg T (C)", "peak T (C)", "TC-MTTF (y)",
+                   "aging MTTF (y)", "dyn energy (kJ)"});
+  for (const exec::RunReport& report : sweep.runs) {
+    const core::RunResult& result = report.result;
+    table.row()
+        .cell(report.label)
+        .cell(result.duration, 0)
+        .cell(result.reliability.averageTemp, 1)
+        .cell(result.reliability.peakTemp, 1)
+        .cell(result.reliability.cyclingMttfYears, 2)
+        .cell(result.reliability.agingMttfYears, 2)
+        .cell(result.dynamicEnergy / 1000.0, 2);
+  }
+  printBanner(std::cout, "sweep: " + std::to_string(families.size()) + " apps x " +
+                             std::to_string(policies.size()) + " policies");
+  table.print(std::cout);
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
+  obsSetup.finish();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -490,6 +583,7 @@ int main(int argc, char** argv) {
       return commandListApps();
     }
     if (options.command == "compare") return compareCommand(options);
+    if (options.command == "sweep") return sweepCommand(options);
     if (options.command == "run" || options.command == "inter" ||
         options.command == "concurrent") {
       return runCommand(options);
