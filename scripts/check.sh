@@ -1,28 +1,41 @@
 #!/usr/bin/env bash
 # CI correctness driver: build + test under ASan/UBSan with runtime contracts
-# enabled, vet the parallel sweep engine under TSan, then run the project
-# lint and (when available) clang-tidy. Any finding fails the script. See
-# docs/ANALYSIS.md.
+# enabled, gate the fault-injection suite and lint the scenario files, vet
+# the parallel sweep engine under TSan, then run the project lint and (when
+# available) clang-tidy. Any finding fails the script. See docs/ANALYSIS.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/6] configure (preset: asan-ubsan) =="
+echo "== [1/7] configure (preset: asan-ubsan) =="
 cmake --preset asan-ubsan
 
-echo "== [2/6] build =="
+echo "== [2/7] build =="
 cmake --build --preset asan-ubsan -j "${JOBS}"
 
-echo "== [3/6] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+echo "== [3/7] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
 ctest --preset asan-ubsan -j "${JOBS}"
 
-echo "== [4/6] concurrency tests under TSan (ctest -L concurrency) =="
+echo "== [4/7] fault suite gate (ctest -L faults) + scenario lint =="
+# The full run above includes these, but gate on the label explicitly so a
+# test-registration regression (lost LABELS faults) fails loudly instead of
+# silently shrinking coverage. -L with no matching tests exits zero, hence
+# the -N count check.
+FAULT_COUNT="$(ctest --preset asan-ubsan -L faults -N | sed -n 's/^Total Tests: //p')"
+if [ "${FAULT_COUNT:-0}" -eq 0 ]; then
+  echo "no tests carry the 'faults' label; the fault suite gate is vacuous"
+  exit 1
+fi
+ctest --preset asan-ubsan -L faults -j "${JOBS}"
+./build-asan-ubsan/tools/rltherm_cli faults --lint --scenarios scenarios
+
+echo "== [5/7] concurrency tests under TSan (ctest -L concurrency) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target rltherm_concurrency_tests
 ctest --preset tsan -L concurrency -j "${JOBS}"
 
-echo "== [5/6] events-JSONL smoke (rltherm_cli --events) =="
+echo "== [6/7] events-JSONL smoke (rltherm_cli --events) =="
 EVENTS_TMP="$(mktemp /tmp/rltherm_events.XXXXXX.jsonl)"
 trap 'rm -f "${EVENTS_TMP}"' EXIT
 ./build-asan-ubsan/tools/rltherm_cli run --app mpeg_dec --policy linux-ondemand \
@@ -48,7 +61,7 @@ else
   echo "python3 not found on PATH; checked the event log is non-empty only."
 fi
 
-echo "== [6/6] static analysis =="
+echo "== [7/7] static analysis =="
 ./build-asan-ubsan/tools/rltherm_lint .
 
 if command -v run-clang-tidy >/dev/null 2>&1; then

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/events.hpp"
@@ -88,7 +90,20 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
                             ThermalPolicy& policy) const {
   platform::Machine machine(config_.machine);
   workload::WorkloadDriver driver(machine, scenario);
-  PolicyContext ctx{machine, driver};
+  // Fault wiring (inactive and allocation-free for an empty plan). The
+  // injector is declared after the machine so it detaches before the
+  // machine is destroyed.
+  std::optional<fault::FaultInjector> injector;
+  std::optional<fault::GatedWorkloadControl> gatedControl;
+  if (!config_.faults.empty()) {
+    injector.emplace(config_.faults);
+    injector->attach(machine);
+    gatedControl.emplace(driver, *injector);
+  }
+  workload::WorkloadControl& control =
+      gatedControl.has_value() ? static_cast<workload::WorkloadControl&>(*gatedControl)
+                               : driver;
+  PolicyContext ctx{machine, control};
 
   RunResult result;
   result.policyName = policy.name();
@@ -105,6 +120,7 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
   bool running = true;
   while (running && machine.now() < config_.maxSimTime) {
     running = driver.tick();
+    if (injector.has_value()) injector->advanceTo(machine.now());
 
     if (driver.appJustSwitched() && policy.wantsAppSwitchSignal()) {
       policy.onAppSwitch(ctx);
@@ -112,10 +128,24 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
 
     const Seconds now = machine.now();
     if (nextSample > 0.0 && now + 1e-9 >= nextSample) {
-      const std::vector<Celsius> readings = machine.readSensors();
-      policy.onSample(ctx, readings);
-      if (obs::MetricsRegistry* metrics = obs::metrics()) {
-        metrics->counter("runner.samples.deliver").add();
+      // The sensors are ALWAYS read — a dropped delivery must not perturb
+      // the sensor RNG stream, or fault scenarios would not be comparable
+      // against their clean baseline.
+      std::vector<Celsius> readings = machine.readSensors();
+      bool deliver = true;
+      if (injector.has_value()) {
+        auto filtered = injector->filterSample(now, std::move(readings));
+        if (filtered.has_value()) {
+          readings = std::move(*filtered);
+        } else {
+          deliver = false;
+        }
+      }
+      if (deliver) {
+        policy.onSample(ctx, readings);
+        if (obs::MetricsRegistry* metrics = obs::metrics()) {
+          metrics->counter("runner.samples.deliver").add();
+        }
       }
       machine.perfCounters().recordMonitoringOverhead(
           config_.monitorCacheMissesPerSample, config_.monitorPageFaultsPerSample);
@@ -134,6 +164,7 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
   result.timedOut = running;  // loop exited on time, not completion
   result.duration = machine.now();
   result.completions = driver.completions();
+  if (injector.has_value()) result.faultStats = injector->stats();
   finalizeResult(config_, machine, result);
   return result;
 }
@@ -143,7 +174,17 @@ RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps
   expects(duration > 0.0, "runConcurrent: duration must be > 0");
   platform::Machine machine(config_.machine);
   workload::MultiAppDriver driver(machine, apps, /*restartFinished=*/true);
-  PolicyContext ctx{machine, driver};
+  std::optional<fault::FaultInjector> injector;
+  std::optional<fault::GatedWorkloadControl> gatedControl;
+  if (!config_.faults.empty()) {
+    injector.emplace(config_.faults);
+    injector->attach(machine);
+    gatedControl.emplace(driver, *injector);
+  }
+  workload::WorkloadControl& control =
+      gatedControl.has_value() ? static_cast<workload::WorkloadControl&>(*gatedControl)
+                               : driver;
+  PolicyContext ctx{machine, control};
 
   RunResult result;
   result.policyName = policy.name();
@@ -162,15 +203,27 @@ RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps
 
   while (machine.now() < duration) {
     (void)driver.tick();
+    if (injector.has_value()) injector->advanceTo(machine.now());
     if (driver.appJustSwitched() && policy.wantsAppSwitchSignal()) {
       policy.onAppSwitch(ctx);
     }
     const Seconds now = machine.now();
     if (nextSample > 0.0 && now + 1e-9 >= nextSample) {
-      const std::vector<Celsius> readings = machine.readSensors();
-      policy.onSample(ctx, readings);
-      if (obs::MetricsRegistry* metrics = obs::metrics()) {
-        metrics->counter("runner.samples.deliver").add();
+      std::vector<Celsius> readings = machine.readSensors();
+      bool deliver = true;
+      if (injector.has_value()) {
+        auto filtered = injector->filterSample(now, std::move(readings));
+        if (filtered.has_value()) {
+          readings = std::move(*filtered);
+        } else {
+          deliver = false;
+        }
+      }
+      if (deliver) {
+        policy.onSample(ctx, readings);
+        if (obs::MetricsRegistry* metrics = obs::metrics()) {
+          metrics->counter("runner.samples.deliver").add();
+        }
       }
       machine.perfCounters().recordMonitoringOverhead(
           config_.monitorCacheMissesPerSample, config_.monitorPageFaultsPerSample);
@@ -188,6 +241,7 @@ RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps
 
   result.duration = machine.now();
   result.timedOut = false;  // the fixed window is the intended stop
+  if (injector.has_value()) result.faultStats = injector->stats();
   for (std::size_t i = 0; i < driver.appCount(); ++i) {
     result.completions.push_back(workload::AppCompletion{
         .name = driver.spec(i).name,

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "platform/machine.hpp"
 #include "reliability/analyzer.hpp"
 #include "workload/driver.hpp"
@@ -38,6 +40,11 @@ struct RunnerConfig {
   /// its metric windows). Drives the Fig. 6 monitoring-overhead trend.
   std::uint64_t monitorCacheMissesPerSample = 300000;
   std::uint64_t monitorPageFaultsPerSample = 8000;
+
+  /// Deterministic fault schedule replayed against the run (empty = no
+  /// injection, the default; the runner then behaves bit-identically to a
+  /// build without the fault layer). See src/fault/plan.hpp.
+  fault::FaultPlan faults;
 };
 
 struct RunResult {
@@ -58,6 +65,10 @@ struct RunResult {
   Watts averageDynamicPower = 0.0;
   Watts averageTotalPower = 0.0;
   platform::PerfCounterSample counters;
+
+  /// Injection counters for the run (all zero when RunnerConfig::faults is
+  /// empty).
+  fault::FaultStats faultStats;
 };
 
 class PolicyRunner {

@@ -1,0 +1,208 @@
+// SafetySupervisor: graceful degradation for any thermal policy.
+//
+// The paper's run-time system trusts its sensors and actuators completely —
+// one stuck register and the Q-learner files garbage into its state space
+// forever; one swallowed cpufreq write and the chosen action silently never
+// happens. The supervisor wraps ANY ThermalPolicy (the RL manager or a
+// static baseline) and interposes on its whole observation/actuation
+// surface:
+//
+//   observation   every sensor vector is sanitized channel by channel:
+//                 range check against [plausibleFloor, plausibleCeiling],
+//                 rate-of-change residual against the supervisor's one-step
+//                 RC-style prediction (a first-order relaxation of the held
+//                 estimate toward the cross-core median — the package
+//                 couples the cores thermally), and divergence against the
+//                 median of the other plausible channels. Rejected readings
+//                 are replaced by the model estimate, so the inner policy's
+//                 Q-state stays well-formed.
+//
+//   health FSM    per channel, with hysteresis:
+//
+//                        reject            reject x quarantineAfter
+//              Healthy --------> Suspect -------------------------+
+//                 ^  ^            |                               v
+//                 |  |  accept x restoreAfter                Quarantined
+//                 |  +------------+                               |
+//                 +-----------------------------------------------+
+//                        restore-eligible x restoreAfter
+//
+//                 A Suspect channel is already substituted (one bad sample
+//                 never reaches the inner policy); Quarantined is the
+//                 sticky, hysteresis-guarded version of the same thing. A
+//                 quarantined channel must look self-consistent AND agree
+//                 with the healthy median for `restoreAfter` consecutive
+//                 samples before it is trusted again.
+//
+//   actuation     after every inner-policy sample the supervisor compares
+//                 machine.lastGovernorRequest() with the effective
+//                 governorSetting(); a mismatch means the request was
+//                 swallowed (fault injection, wedged firmware) and is
+//                 retried with exponential backoff in sample periods, at
+//                 most maxActuationRetries times per request.
+//
+//   emergency     if the sanitized maximum crosses emergencyTemp (or every
+//                 channel is quarantined — the controller is flying blind),
+//                 the supervisor pins powersave + the spread mapping,
+//                 freezes the inner manager's Q-updates, and re-issues the
+//                 pin with capped exponential backoff until it takes effect
+//                 (re-issuing every sample would perpetually restart a
+//                 delayed actuation path's mailbox); the fallback holds
+//                 until the package cools below emergencyExitTemp for
+//                 emergencyExitSamples consecutive samples, and only then
+//                 is learning resumed.
+//
+// Transitions are observable: safety.sensor.quarantine / .restore,
+// safety.actuation.retry, safety.emergency.enter / .exit events plus
+// matching counters (see docs/ARCHITECTURE.md "Fault injection & safety").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace rltherm::core {
+
+struct SafetySupervisorConfig {
+  /// Plausibility range for a raw reading. The floor sits above the dead
+  /// sensor pattern (SensorConfig::deadReading, 0 degC) and below any
+  /// realistic ambient, so sub-ambient readings are treated as implausible
+  /// instead of discretizing to a valid low-aging state.
+  Celsius plausibleFloor = 15.0;
+  Celsius plausibleCeiling = 110.0;
+
+  /// Rate gate: a reading farther than maxRatePerSecond * dt + rateMargin
+  /// from the channel's one-step prediction is rejected.
+  double maxRatePerSecond = 8.0;  ///< degC per second
+  Celsius rateMargin = 2.0;       ///< noise + quantization allowance
+
+  /// Cross-core redundancy gate: with >= 2 other plausible channels, a
+  /// reading farther than this from their median is rejected.
+  Celsius divergenceLimit = 12.0;
+
+  /// Time constant of the substitution model's relaxation toward the
+  /// healthy-median reference.
+  Seconds modelTimeConstant = 4.0;
+
+  std::size_t quarantineAfter = 2;  ///< consecutive rejects Suspect -> Quarantined
+  std::size_t restoreAfter = 4;     ///< consecutive accepts back to Healthy
+
+  /// Bounded actuation retry: attempts per swallowed governor request, with
+  /// backoff doubling in sample periods (retry after 1, 2, 4, ... samples).
+  std::size_t maxActuationRetries = 3;
+
+  Celsius emergencyTemp = 87.0;      ///< sanitized max >= this -> emergency
+  Celsius emergencyExitTemp = 80.0;  ///< must cool below this to exit
+  std::size_t emergencyExitSamples = 4;
+  bool emergencyOnTotalSensorLoss = true;
+
+  /// Cap (in sample periods) on the doubling gap between fallback re-issues
+  /// while the emergency pin has not taken effect. Re-issuing every sample
+  /// would defeat itself against a delayed-actuation path whose mailbox
+  /// keeps only the newest request: each re-issue restarts the delay, so
+  /// the pin never lands. Backing off up to this cap leaves a quiet gap
+  /// long enough for the deferred transition to complete.
+  std::size_t emergencyRepinBackoffCap = 32;
+
+  /// Sampling interval used when the inner policy is static (its own
+  /// samplingInterval() <= 0): the supervisor still needs to watch the
+  /// package to provide the emergency backstop for baselines.
+  Seconds monitorInterval = 3.0;
+};
+
+enum class SensorHealth { Healthy, Suspect, Quarantined };
+[[nodiscard]] const char* toString(SensorHealth health) noexcept;
+
+/// Counters for campaign reporting and tests.
+struct SafetyStats {
+  std::uint64_t samplesSeen = 0;
+  std::uint64_t readingsSubstituted = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t actuationRetries = 0;
+  std::uint64_t actuationGiveUps = 0;
+  std::uint64_t emergencies = 0;
+};
+
+class SafetySupervisor final : public ThermalPolicy {
+ public:
+  /// Wraps (and owns) the inner policy.
+  SafetySupervisor(std::unique_ptr<ThermalPolicy> inner, SafetySupervisorConfig config);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Seconds samplingInterval() const override;
+  void onStart(PolicyContext& ctx) override;
+  void onSample(PolicyContext& ctx, std::span<const Celsius> sensorTemps) override;
+  void onAppSwitch(PolicyContext& ctx) override;
+  [[nodiscard]] bool wantsAppSwitchSignal() const override;
+
+  /// Freeze/unfreeze the inner manager's learning if the inner policy is a
+  /// ThermalManager (no-op otherwise) — lets the sweep engine's
+  /// freeze-after-train protocol work through the wrapper.
+  void freezeInner() noexcept;
+  void unfreezeInner() noexcept;
+
+  [[nodiscard]] ThermalPolicy& inner() noexcept { return *inner_; }
+  [[nodiscard]] const ThermalPolicy& inner() const noexcept { return *inner_; }
+
+  // --- instrumentation (tests, campaign reports) ---
+  [[nodiscard]] SensorHealth health(std::size_t channel) const;
+  [[nodiscard]] bool inEmergency() const noexcept { return emergency_; }
+  [[nodiscard]] const SafetyStats& stats() const noexcept { return stats_; }
+  /// Simulated time of the first quarantine, if any occurred.
+  [[nodiscard]] std::optional<Seconds> firstQuarantineTime() const noexcept {
+    return firstQuarantine_;
+  }
+  /// Simulated time spent in emergency fallback so far.
+  [[nodiscard]] Seconds emergencyDuration() const noexcept { return emergencyTotal_; }
+  [[nodiscard]] const SafetySupervisorConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Channel {
+    SensorHealth health = SensorHealth::Healthy;
+    Celsius estimate = 0.0;       ///< model/substitution value (always plausible)
+    Celsius lastRaw = 0.0;        ///< previous raw reading (restore self-consistency)
+    bool seeded = false;
+    std::size_t rejectStreak = 0;
+    std::size_t acceptStreak = 0;
+  };
+
+  /// Sanitize one sensor vector in place; returns the plausible maximum.
+  [[nodiscard]] Celsius sanitize(Seconds now, Seconds dt, std::vector<Celsius>& temps);
+  void superviseActuation(PolicyContext& ctx);
+  void enterEmergency(PolicyContext& ctx, Seconds now, const char* reason, Celsius maxTemp);
+  void maintainEmergency(PolicyContext& ctx, Seconds now, Celsius maxTemp);
+  void quarantine(std::size_t channel, Seconds now, const char* reason);
+  void restore(std::size_t channel, Seconds now);
+  [[nodiscard]] bool allQuarantined() const;
+
+  std::unique_ptr<ThermalPolicy> inner_;
+  SafetySupervisorConfig config_;
+
+  std::vector<Channel> channels_;
+  Seconds lastSampleTime_ = 0.0;
+  bool haveLastSample_ = false;
+  std::optional<Seconds> firstQuarantine_;
+
+  // Actuation retry state for the current swallowed request.
+  std::size_t retriesUsed_ = 0;
+  std::size_t retryCountdown_ = 0;  ///< samples until the next retry
+  std::optional<platform::GovernorSetting> watchedRequest_;
+
+  // Emergency state.
+  bool emergency_ = false;
+  bool innerWasFrozenBeforeEmergency_ = false;
+  std::size_t coolSamples_ = 0;
+  Seconds emergencyEnteredAt_ = 0.0;
+  Seconds emergencyTotal_ = 0.0;
+  std::size_t repinBackoff_ = 1;    ///< next gap between fallback re-issues
+  std::size_t repinCountdown_ = 0;  ///< samples until the next re-issue
+
+  SafetyStats stats_;
+};
+
+}  // namespace rltherm::core

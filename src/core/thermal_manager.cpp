@@ -65,9 +65,23 @@ void ThermalManager::onStart(PolicyContext& ctx) {
 void ThermalManager::onSample(PolicyContext& ctx, std::span<const Celsius> sensorTemps) {
   expects(sensorTemps.size() == epochSamples_.size(),
           "onSample: unexpected sensor count");
-  // TRec.push(T) of Algorithm 1.
+  // TRec.push(T) of Algorithm 1 — with a plausibility floor: a sub-ambient
+  // reading is physically impossible on a powered package (it is the
+  // signature of a dead sensor register, see SensorConfig::deadReading) and
+  // must not discretize into a valid low-aging state. Without a
+  // SafetySupervisor in front, the manager clamps such readings to the
+  // floor so the rainflow/aging inputs stay physical.
   for (std::size_t c = 0; c < sensorTemps.size(); ++c) {
-    epochSamples_[c].push_back(sensorTemps[c]);
+    Celsius reading = sensorTemps[c];
+    RLTHERM_EXPECT(std::isfinite(reading),
+                   "onSample: sensor reading must be finite");
+    if (reading < config_.plausibleFloor) {
+      reading = config_.plausibleFloor;
+      if (obs::MetricsRegistry* metrics = obs::metrics()) {
+        metrics->counter("manager.samples.implausible").add();
+      }
+    }
+    epochSamples_[c].push_back(reading);
   }
   if (epochSamples_.front().size() >= samplesPerEpoch_) onEpoch(ctx);
 }

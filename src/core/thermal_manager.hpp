@@ -58,6 +58,13 @@ struct ThermalManagerConfig {
   double autocorrStretchAbove = 0.95;  ///< stretch interval when r1 exceeds this
   double autocorrShrinkBelow = 0.70;   ///< shrink interval when r1 falls below
 
+  /// Plausibility floor for incoming sensor readings: anything below is
+  /// clamped to this value before entering the epoch window (a sub-ambient
+  /// reading on a powered package is a dead/garbage sensor register, not a
+  /// cold core — see SensorConfig::deadReading). Counted in the
+  /// manager.samples.implausible metric.
+  Celsius plausibleFloor = 15.0;
+
   std::size_t stressBins = 4;      ///< N_s (so states = N_s * N_a)
   std::size_t agingBins = 4;       ///< N_a
   /// Working ranges of the per-epoch stress / aging state variables; values

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/safety_supervisor.hpp"
 #include "core/thermal_manager.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -54,6 +55,8 @@ void executeSpec(const RunSpec& spec, std::size_t index, RunReport& report) {
     if (spec.freezeAfterTrain) {
       if (auto* manager = dynamic_cast<core::ThermalManager*>(policy.get())) {
         manager->freeze();
+      } else if (auto* supervisor = dynamic_cast<core::SafetySupervisor*>(policy.get())) {
+        supervisor->freezeInner();
       }
     }
     report.result = runner.run(spec.scenario, *policy);

@@ -1,0 +1,430 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rltherm::fault {
+
+namespace {
+
+/// Kind table: scenario-file spelling <-> enum. Kept in one place so the
+/// parser, the printer and the "valid kinds" error message cannot drift.
+struct KindName {
+  const char* name;
+  FaultKind kind;
+};
+
+constexpr KindName kKindNames[] = {
+    {"sensor.stuck", FaultKind::SensorStuck},
+    {"sensor.dead", FaultKind::SensorDead},
+    {"sensor.offset", FaultKind::SensorOffset},
+    {"sensor.noise_burst", FaultKind::SensorNoiseBurst},
+    {"sample.drop", FaultKind::SampleDrop},
+    {"sample.late", FaultKind::SampleLate},
+    {"dvfs.ignore", FaultKind::DvfsIgnore},
+    {"dvfs.delay", FaultKind::DvfsDelay},
+    {"dvfs.partial", FaultKind::DvfsPartial},
+    {"affinity.fail", FaultKind::AffinityFail},
+};
+
+std::string validKindList() {
+  std::string out;
+  for (const KindName& entry : kKindNames) {
+    if (!out.empty()) out += ", ";
+    out += entry.name;
+  }
+  return out;
+}
+
+std::optional<FaultKind> kindOf(const std::string& name) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) return entry.kind;
+  }
+  return std::nullopt;
+}
+
+[[noreturn]] void fail(const std::string& source, std::size_t line,
+                       const std::string& message) {
+  if (line > 0) {
+    throw PreconditionError(source + ":" + std::to_string(line) + ": " + message);
+  }
+  throw PreconditionError(source + ": " + message);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips a trailing `# comment` that is not inside a quoted string.
+std::string stripComment(const std::string& line) {
+  bool inString = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') inString = !inString;
+    if (line[i] == '#' && !inString) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// One raw key = value assignment with its source line.
+struct RawValue {
+  std::string text;  ///< value text, quotes already removed for strings
+  bool quoted = false;
+  std::size_t line = 0;
+};
+
+using RawTable = std::map<std::string, RawValue>;
+
+double parseNumber(const std::string& source, const RawValue& value,
+                   const std::string& key) {
+  if (value.quoted) {
+    fail(source, value.line, "key '" + key + "' must be a number, got a string");
+  }
+  const char* begin = value.text.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || !std::isfinite(parsed)) {
+    fail(source, value.line,
+         "key '" + key + "' has malformed number '" + value.text + "'");
+  }
+  return parsed;
+}
+
+std::size_t parseIndex(const std::string& source, const RawValue& value,
+                       const std::string& key) {
+  const double parsed = parseNumber(source, value, key);
+  if (parsed < 0.0 || parsed != std::floor(parsed)) {
+    fail(source, value.line,
+         "key '" + key + "' must be a non-negative integer, got '" + value.text + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+std::string parseString(const std::string& source, const RawValue& value,
+                        const std::string& key) {
+  if (!value.quoted) {
+    fail(source, value.line, "key '" + key + "' must be a quoted string");
+  }
+  return value.text;
+}
+
+void rejectUnknownKeys(const std::string& source, const RawTable& table,
+                       std::initializer_list<const char*> known,
+                       const std::string& tableName) {
+  for (const auto& [key, value] : table) {
+    const bool ok = std::any_of(known.begin(), known.end(), [&key](const char* k) {
+      return key == k;
+    });
+    if (!ok) {
+      std::string valid;
+      for (const char* k : known) {
+        if (!valid.empty()) valid += ", ";
+        valid += k;
+      }
+      fail(source, value.line,
+           "unknown key '" + key + "' in [" + tableName + "] (valid keys: " + valid + ")");
+    }
+  }
+}
+
+FaultEvent buildEvent(const std::string& source, const RawTable& table,
+                      std::size_t tableLine, std::size_t cores) {
+  rejectUnknownKeys(source, table, {"t", "until", "kind", "channel", "param", "delay"},
+                    "[event]");
+  FaultEvent event;
+  event.line = tableLine;
+
+  const auto kindIt = table.find("kind");
+  if (kindIt == table.end()) {
+    fail(source, tableLine, "[[event]] is missing required key 'kind'");
+  }
+  const std::string kindName = parseString(source, kindIt->second, "kind");
+  const std::optional<FaultKind> kind = kindOf(kindName);
+  if (!kind.has_value()) {
+    fail(source, kindIt->second.line,
+         "unknown fault kind '" + kindName + "' (valid kinds: " + validKindList() + ")");
+  }
+  event.kind = *kind;
+
+  const auto tIt = table.find("t");
+  if (tIt == table.end()) {
+    fail(source, tableLine, "[[event]] is missing required key 't'");
+  }
+  event.start = parseNumber(source, tIt->second, "t");
+  if (event.start < 0.0) {
+    fail(source, tIt->second.line, "'t' must be >= 0");
+  }
+
+  if (const auto untilIt = table.find("until"); untilIt != table.end()) {
+    event.until = parseNumber(source, untilIt->second, "until");
+    if (event.until <= event.start) {
+      fail(source, untilIt->second.line,
+           "'until' must be greater than 't' (" + std::to_string(event.start) + ")");
+    }
+  }
+
+  const auto channelIt = table.find("channel");
+  if (isSensorFault(event.kind)) {
+    if (channelIt == table.end()) {
+      fail(source, tableLine,
+           "'" + kindName + "' requires a 'channel' (per-core sensor index)");
+    }
+    event.channel = parseIndex(source, channelIt->second, "channel");
+    if (event.channel >= cores) {
+      fail(source, channelIt->second.line,
+           "channel " + std::to_string(event.channel) + " is out of range for " +
+               std::to_string(cores) + " cores (declare 'cores' in [scenario] if "
+               "the plan targets a larger machine)");
+    }
+  } else if (channelIt != table.end()) {
+    fail(source, channelIt->second.line,
+         "'channel' is only valid for sensor.* events, not '" + kindName + "'");
+  }
+
+  const auto paramIt = table.find("param");
+  const bool needsParam = event.kind == FaultKind::SensorOffset ||
+                          event.kind == FaultKind::SensorNoiseBurst;
+  if (needsParam) {
+    if (paramIt == table.end()) {
+      fail(source, tableLine,
+           "'" + kindName + "' requires 'param' (" +
+               (event.kind == FaultKind::SensorOffset ? "offset in degrees C"
+                                                      : "extra noise sigma in degrees C") +
+               ")");
+    }
+    event.parameter = parseNumber(source, paramIt->second, "param");
+    if (event.kind == FaultKind::SensorNoiseBurst && event.parameter <= 0.0) {
+      fail(source, paramIt->second.line, "'param' (noise sigma) must be > 0");
+    }
+  } else if (paramIt != table.end()) {
+    fail(source, paramIt->second.line,
+         "'param' is only valid for sensor.offset / sensor.noise_burst, not '" +
+             kindName + "'");
+  }
+
+  const auto delayIt = table.find("delay");
+  const bool needsDelay =
+      event.kind == FaultKind::SampleLate || event.kind == FaultKind::DvfsDelay;
+  if (needsDelay) {
+    if (delayIt == table.end()) {
+      fail(source, tableLine, "'" + kindName + "' requires 'delay' (seconds)");
+    }
+    event.delay = parseNumber(source, delayIt->second, "delay");
+    if (event.delay <= 0.0) {
+      fail(source, delayIt->second.line, "'delay' must be > 0 seconds");
+    }
+  } else if (delayIt != table.end()) {
+    fail(source, delayIt->second.line,
+         "'delay' is only valid for sample.late / dvfs.delay, not '" + kindName + "'");
+  }
+
+  return event;
+}
+
+/// Conflict-group key: events in the same group must not overlap in time.
+/// Sensor faults conflict per channel; sample/dvfs/affinity faults conflict
+/// within their class (two simultaneous dvfs failure modes are ill-defined).
+std::string overlapGroup(const FaultEvent& event) {
+  if (isSensorFault(event.kind)) return "sensor channel " + std::to_string(event.channel);
+  if (isSampleFault(event.kind)) return "sample delivery";
+  if (isDvfsFault(event.kind)) return "dvfs actuation";
+  return "affinity actuation";
+}
+
+std::string describeAt(const FaultEvent& event) {
+  if (event.line > 0) return "line " + std::to_string(event.line);
+  std::ostringstream out;
+  out << "t=" << event.start;
+  return out.str();
+}
+
+}  // namespace
+
+std::string toString(FaultKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+bool isSensorFault(FaultKind kind) noexcept {
+  return kind == FaultKind::SensorStuck || kind == FaultKind::SensorDead ||
+         kind == FaultKind::SensorOffset || kind == FaultKind::SensorNoiseBurst;
+}
+
+bool isSampleFault(FaultKind kind) noexcept {
+  return kind == FaultKind::SampleDrop || kind == FaultKind::SampleLate;
+}
+
+bool isDvfsFault(FaultKind kind) noexcept {
+  return kind == FaultKind::DvfsIgnore || kind == FaultKind::DvfsDelay ||
+         kind == FaultKind::DvfsPartial;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text, const std::string& sourceName) {
+  std::istringstream in(text);
+  return parse(in, sourceName);
+}
+
+FaultPlan FaultPlan::fromFile(const std::string& path) {
+  std::ifstream in(path);
+  expects(in.good(), "cannot read fault scenario '" + path + "'");
+  return parse(in, path);
+}
+
+FaultPlan FaultPlan::parse(std::istream& in, const std::string& sourceName) {
+  FaultPlan plan;
+
+  enum class Table { None, Scenario, Event };
+  Table current = Table::None;
+  RawTable table;
+  std::size_t tableLine = 0;
+  bool sawScenario = false;
+
+  // Raw event tables are finished (validated + appended) when the next table
+  // header or the end of input arrives.
+  const auto finishTable = [&] {
+    if (current == Table::Scenario) {
+      rejectUnknownKeys(sourceName, table, {"name", "description", "cores"}, "scenario");
+      if (const auto it = table.find("name"); it != table.end()) {
+        plan.name = parseString(sourceName, it->second, "name");
+      }
+      if (const auto it = table.find("description"); it != table.end()) {
+        plan.description = parseString(sourceName, it->second, "description");
+      }
+      if (const auto it = table.find("cores"); it != table.end()) {
+        plan.cores = parseIndex(sourceName, it->second, "cores");
+        if (plan.cores == 0) fail(sourceName, it->second.line, "'cores' must be >= 1");
+      }
+    } else if (current == Table::Event) {
+      plan.events.push_back(buildEvent(sourceName, table, tableLine, plan.cores));
+    }
+    table.clear();
+  };
+
+  std::string rawLine;
+  std::size_t lineNo = 0;
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    const std::string line = trim(stripComment(rawLine));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line == "[[event]]") {
+        finishTable();
+        current = Table::Event;
+        tableLine = lineNo;
+        continue;
+      }
+      if (line == "[scenario]") {
+        if (sawScenario) {
+          fail(sourceName, lineNo, "duplicate [scenario] table");
+        }
+        if (current == Table::Event) {
+          fail(sourceName, lineNo, "[scenario] must precede all [[event]] tables");
+        }
+        finishTable();
+        current = Table::Scenario;
+        tableLine = lineNo;
+        sawScenario = true;
+        continue;
+      }
+      fail(sourceName, lineNo,
+           "unknown table '" + line + "' (expected [scenario] or [[event]])");
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(sourceName, lineNo, "expected 'key = value', got '" + line + "'");
+    }
+    if (current == Table::None) {
+      fail(sourceName, lineNo,
+           "'" + trim(line.substr(0, eq)) + "' appears before any [scenario]/[[event]] table");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(sourceName, lineNo, "empty key before '='");
+    if (value.empty()) fail(sourceName, lineNo, "key '" + key + "' has no value");
+
+    RawValue raw;
+    raw.line = lineNo;
+    if (value.front() == '"') {
+      if (value.size() < 2 || value.back() != '"') {
+        fail(sourceName, lineNo, "unterminated string for key '" + key + "'");
+      }
+      raw.quoted = true;
+      raw.text = value.substr(1, value.size() - 2);
+    } else {
+      raw.text = value;
+    }
+    if (!table.emplace(key, raw).second) {
+      fail(sourceName, lineNo, "duplicate key '" + key + "' in the same table");
+    }
+  }
+  finishTable();
+
+  if (plan.name.empty()) plan.name = sourceName;
+  try {
+    plan.validate();
+  } catch (const PreconditionError& error) {
+    throw PreconditionError(sourceName + ": " + error.what());
+  }
+  return plan;
+}
+
+void FaultPlan::validate() {
+  expects(cores >= 1, "FaultPlan: cores must be >= 1");
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start < b.start;
+                   });
+  for (const FaultEvent& event : events) {
+    expects(event.start >= 0.0, "FaultPlan: event at " + describeAt(event) +
+                                    " has negative start time");
+    expects(event.until > event.start, "FaultPlan: event at " + describeAt(event) +
+                                           " has 'until' <= 't'");
+    if (isSensorFault(event.kind)) {
+      expects(event.channel < cores,
+              "FaultPlan: event at " + describeAt(event) + " targets channel " +
+                  std::to_string(event.channel) + " on a " + std::to_string(cores) +
+                  "-core plan");
+    }
+    if (event.kind == FaultKind::SensorNoiseBurst) {
+      expects(event.parameter > 0.0, "FaultPlan: event at " + describeAt(event) +
+                                         " needs a positive noise sigma");
+    }
+    if (event.kind == FaultKind::SampleLate || event.kind == FaultKind::DvfsDelay) {
+      expects(event.delay > 0.0, "FaultPlan: event at " + describeAt(event) +
+                                     " needs a positive delay");
+    }
+  }
+  // Overlap detection within each conflict group (O(n^2) over a handful of
+  // events; scenario files are tiny by construction).
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const FaultEvent& a = events[i];
+      const FaultEvent& b = events[j];
+      const std::string group = overlapGroup(a);
+      if (group != overlapGroup(b)) continue;
+      const bool overlaps = a.start < b.until && b.start < a.until;
+      if (overlaps) {
+        throw PreconditionError("FaultPlan: overlapping " + group + " events (" +
+                                describeAt(a) + " and " + describeAt(b) +
+                                ") — windows on one target must not intersect");
+      }
+    }
+  }
+}
+
+}  // namespace rltherm::fault

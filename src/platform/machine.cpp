@@ -176,6 +176,11 @@ Hertz Machine::clampForCore(std::size_t core, Hertz f) const {
 }
 
 void Machine::setGovernor(const GovernorSetting& setting) {
+  lastGovernorRequest_ = setting;
+  // The interposer (fault injection) may swallow the request — and may
+  // itself call setCoreGovernor, so it must run before any state is torn
+  // down here.
+  if (governorInterposer_ && !governorInterposer_(setting)) return;
   governors_.clear();
   governors_.reserve(config_.coreCount);
   for (std::size_t c = 0; c < config_.coreCount; ++c) {

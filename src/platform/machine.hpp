@@ -119,7 +119,30 @@ class Machine {
   [[nodiscard]] const sched::Scheduler& scheduler() const noexcept { return *scheduler_; }
 
   /// Install the governor on all cores (per-core instances, shared setting).
+  /// When a GovernorInterposer is installed, the request is offered to it
+  /// first and silently swallowed if it returns false (the machine keeps its
+  /// previous governors). The request is recorded in lastGovernorRequest()
+  /// either way, so a supervisor can detect a swallowed actuation by
+  /// comparing against governorSetting().
   void setGovernor(const GovernorSetting& setting);
+
+  /// Actuation filter for fault injection: called with each machine-wide
+  /// governor request BEFORE it takes effect; return false to swallow it
+  /// (a firmware-rejected cpufreq transition). Per-core setCoreGovernor is
+  /// NOT gated — the fault model targets the machine-wide cpufreq path.
+  /// Pass nullptr to remove.
+  using GovernorInterposer = std::function<bool(const GovernorSetting&)>;
+  void setGovernorInterposer(GovernorInterposer interposer) {
+    governorInterposer_ = std::move(interposer);
+  }
+
+  /// The most recent machine-wide governor REQUEST (what the last caller of
+  /// setGovernor asked for), independent of whether an interposer let it
+  /// take effect. The constructor's initial setGovernor counts as the first
+  /// request, so this is never nullopt on a constructed machine.
+  [[nodiscard]] const std::optional<GovernorSetting>& lastGovernorRequest() const noexcept {
+    return lastGovernorRequest_;
+  }
 
   /// Inject a control-plane stall: for the next `duration` of simulated
   /// time, threads occupy their cores (consuming power) but make no forward
@@ -185,6 +208,8 @@ class Machine {
   PerfCounters counters_;
 
   GovernorSetting governorSetting_;
+  GovernorInterposer governorInterposer_;
+  std::optional<GovernorSetting> lastGovernorRequest_;
   std::vector<std::unique_ptr<Governor>> governors_;  // one per core
   std::vector<Hertz> coreFrequency_;
   std::vector<bool> throttleActive_;

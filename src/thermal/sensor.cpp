@@ -13,11 +13,12 @@ SensorBank::SensorBank(SensorConfig config, std::uint64_t seed)
   expects(config.quantizationStep >= 0.0, "Sensor quantization step must be >= 0");
   expects(config.noiseSigma >= 0.0, "Sensor noise sigma must be >= 0");
   expects(config.minReading < config.maxReading, "Sensor clamp range is empty");
+  expects(std::isfinite(config.deadReading), "Sensor deadReading must be finite");
 }
 
-Celsius SensorBank::readOne(Celsius trueTemp) {
+Celsius SensorBank::readHealthy(Celsius trueTemp) {
   RLTHERM_EXPECT(isPhysicalTemperature(trueTemp),
-                 "SensorBank::readOne: true temperature must be physical");
+                 "SensorBank: true temperature must be physical");
   Celsius reading = trueTemp;
   if (config_.noiseSigma > 0.0) reading += rng_.gaussian(0.0, config_.noiseSigma);
   if (config_.quantizationStep > 0.0) {
@@ -26,30 +27,37 @@ Celsius SensorBank::readOne(Celsius trueTemp) {
   return std::clamp(reading, config_.minReading, config_.maxReading);
 }
 
+Celsius SensorBank::readChannel(std::size_t index, Celsius trueTemp) {
+  if (channels_.size() <= index) channels_.resize(index + 1);
+  ChannelState& channel = channels_[index];
+  const Celsius healthy = readHealthy(trueTemp);
+  switch (channel.fault) {
+    case SensorFault::None:
+      channel.lastHealthy = healthy;
+      channel.hasLast = true;
+      return healthy;
+    case SensorFault::StuckAtLast:
+      return channel.hasLast ? channel.lastHealthy : healthy;
+    case SensorFault::ConstantOffset:
+      return std::clamp(healthy + channel.parameter, config_.minReading,
+                        config_.maxReading);
+    case SensorFault::Dead:
+      return config_.deadReading;
+    case SensorFault::NoiseBurst:
+      return std::clamp(healthy + rng_.gaussian(0.0, channel.parameter),
+                        config_.minReading, config_.maxReading);
+  }
+  return healthy;  // unreachable; switch covers every SensorFault
+}
+
+Celsius SensorBank::readOne(Celsius trueTemp) { return readChannel(0, trueTemp); }
+
 std::vector<Celsius> SensorBank::read(std::span<const Celsius> trueTemps) {
   if (channels_.size() < trueTemps.size()) channels_.resize(trueTemps.size());
   std::vector<Celsius> out;
   out.reserve(trueTemps.size());
   for (std::size_t i = 0; i < trueTemps.size(); ++i) {
-    ChannelState& channel = channels_[i];
-    const Celsius healthy = readOne(trueTemps[i]);
-    switch (channel.fault) {
-      case SensorFault::None:
-        channel.lastHealthy = healthy;
-        channel.hasLast = true;
-        out.push_back(healthy);
-        break;
-      case SensorFault::StuckAtLast:
-        out.push_back(channel.hasLast ? channel.lastHealthy : healthy);
-        break;
-      case SensorFault::ConstantOffset:
-        out.push_back(std::clamp(healthy + channel.parameter, config_.minReading,
-                                 config_.maxReading));
-        break;
-      case SensorFault::Dead:
-        out.push_back(config_.minReading);
-        break;
-    }
+    out.push_back(readChannel(i, trueTemps[i]));
   }
   return out;
 }

@@ -1,0 +1,272 @@
+// Closed-loop fault-campaign acceptance tests.
+//
+// Two pinned claims from the campaign engine:
+//
+//  1. Determinism: any FaultPlan replays bit-identically through the sweep
+//     engine for --jobs 1/2/8 — every reported number and every injection
+//     counter, not just "roughly the same".
+//
+//  2. Graceful degradation: under the combined storm (a sensor dies mid-run
+//     while DVFS requests land tens of seconds late) the supervised manager
+//     completes with no contract violation, quarantines the dead channel
+//     within the configured window and holds the thermal guardband, while
+//     the SAME scenario without the supervisor measurably violates it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault_campaign_util.hpp"
+
+namespace rltherm::bench {
+namespace {
+
+workload::AppSpec hotApp(int iterations) {
+  workload::AppSpec spec;
+  spec.name = "hot";
+  spec.family = "hot";
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.2;
+  spec.burstWorkJitter = 0.1;
+  spec.burstActivity = 1.0;
+  spec.serialWork = 0.05;
+  spec.serialActivity = 0.3;
+  spec.performanceConstraint = 0.1;
+  return spec;
+}
+
+core::RunnerConfig shortRunner() {
+  core::RunnerConfig config;
+  config.analysisWarmup = 0.0;
+  config.analysisCooldown = 0.0;
+  config.maxSimTime = 900.0;
+  return config;
+}
+
+/// A dense plan touching every fault class, compressed into the first
+/// ~45 s so even the fastest lane (the grid app runs ~75 s) sees every
+/// window open AND close.
+fault::FaultPlan stressPlan() {
+  fault::FaultPlan plan;
+  plan.name = "stress";
+  plan.events = {
+      {.kind = fault::FaultKind::SampleLate, .start = 5.0, .until = 20.0, .delay = 4.0},
+      {.kind = fault::FaultKind::DvfsDelay, .start = 6.0, .until = 30.0, .delay = 5.0},
+      {.kind = fault::FaultKind::SensorStuck, .start = 8.0, .until = 28.0, .channel = 1},
+      {.kind = fault::FaultKind::AffinityFail, .start = 10.0, .until = 25.0},
+      {.kind = fault::FaultKind::SampleDrop, .start = 25.0, .until = 40.0},
+      {.kind = fault::FaultKind::SensorDead, .start = 35.0, .channel = 2},
+      {.kind = fault::FaultKind::DvfsIgnore, .start = 35.0, .until = 45.0},
+  };
+  plan.validate();
+  return plan;
+}
+
+FaultCampaignOptions campaignOptions() {
+  FaultCampaignOptions options;
+  options.scenarios.push_back({"clean", fault::FaultPlan{}});
+  options.scenarios.push_back({"stress", stressPlan()});
+  options.apps = {hotApp(240)};
+  options.trainRepeats = 1;
+  options.runner = shortRunner();
+  return options;
+}
+
+TEST(FaultCampaignTest, PlanReplaysBitIdenticallyAcrossJobs) {
+  const std::vector<exec::RunSpec> specs = faultCampaignSpecs(campaignOptions());
+  ASSERT_EQ(specs.size(), 8u);  // 2 scenarios x {linux, proposed} x {raw, safe}
+
+  exec::SweepOptions serial;
+  serial.jobs = 1;
+  const exec::SweepResult reference = exec::SweepRunner(serial).run(specs);
+  const TextTable referenceTable = faultCampaignTable(specs, reference);
+
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    exec::SweepOptions options;
+    options.jobs = jobs;
+    const exec::SweepResult sweep = exec::SweepRunner(options).run(specs);
+    ASSERT_EQ(sweep.runs.size(), reference.runs.size());
+    for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+      const core::RunResult& a = reference.runs[i].result;
+      const core::RunResult& b = sweep.runs[i].result;
+      // Bit-identical, not approximately equal: same trajectory, same
+      // injections, same reliability integrals.
+      EXPECT_EQ(a.reliability.peakTemp, b.reliability.peakTemp) << specs[i].label;
+      EXPECT_EQ(a.reliability.averageTemp, b.reliability.averageTemp) << specs[i].label;
+      EXPECT_EQ(a.reliability.cyclingMttfYears, b.reliability.cyclingMttfYears)
+          << specs[i].label;
+      EXPECT_EQ(a.dynamicEnergy, b.dynamicEnergy) << specs[i].label;
+      EXPECT_EQ(a.faultStats.sensorFaultsApplied, b.faultStats.sensorFaultsApplied);
+      EXPECT_EQ(a.faultStats.samplesDropped, b.faultStats.samplesDropped);
+      EXPECT_EQ(a.faultStats.samplesDelayed, b.faultStats.samplesDelayed);
+      EXPECT_EQ(a.faultStats.dvfsIgnored, b.faultStats.dvfsIgnored);
+      EXPECT_EQ(a.faultStats.dvfsDeferred, b.faultStats.dvfsDeferred);
+      EXPECT_EQ(a.faultStats.affinityDropped, b.faultStats.affinityDropped);
+    }
+    // The rendered report (the thing the JSON export serializes) matches
+    // cell for cell.
+    EXPECT_EQ(faultCampaignTable(specs, sweep).rows(), referenceTable.rows());
+  }
+}
+
+TEST(FaultCampaignTest, FaultsActuallyFireInTheStressLanes) {
+  const std::vector<exec::RunSpec> specs = faultCampaignSpecs(campaignOptions());
+  exec::SweepOptions options;
+  options.jobs = 2;
+  const exec::SweepResult sweep = exec::SweepRunner(options).run(specs);
+  for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+    const fault::FaultStats& stats = sweep.runs[i].result.faultStats;
+    const std::uint64_t injected = stats.sensorFaultsApplied + stats.samplesDropped +
+                                   stats.samplesDelayed + stats.dvfsIgnored +
+                                   stats.dvfsDeferred + stats.dvfsPartial +
+                                   stats.affinityDropped;
+    if (specs[i].label.rfind("clean/", 0) == 0) {
+      EXPECT_EQ(injected, 0u) << specs[i].label;
+    } else {
+      EXPECT_GT(injected, 0u) << specs[i].label;
+      EXPECT_EQ(stats.sensorFaultsApplied, 2u) << specs[i].label;
+      EXPECT_EQ(stats.sensorFaultsCleared, 1u) << specs[i].label;  // dead = forever
+    }
+  }
+}
+
+TEST(FaultCampaignTest, JsonReportCarriesExecutionMetadata) {
+  FaultCampaignOptions options = campaignOptions();
+  options.scenarios = {{"clean", fault::FaultPlan{}}};
+  options.includeProposed = false;  // 2 quick linux lanes are enough
+  const std::vector<exec::RunSpec> specs = faultCampaignSpecs(options);
+  exec::SweepOptions sweepOptions;
+  sweepOptions.jobs = 2;
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions).run(specs);
+  const TextTable table = faultCampaignTable(specs, sweep);
+
+  const std::string path = ::testing::TempDir() + "fault_campaign_report.json";
+  writeJsonReport(table, "fault_campaign", path, metaOf(sweep));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"suite\":\"fault_campaign\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"quarantines\""), std::string::npos);
+}
+
+/// The acceptance storm: channel 2 dies at 240 s (reads 0 degC) while every
+/// machine-wide DVFS request between 240 s and 700 s lands 45 s late —
+/// worse, the delayed path keeps only the newest request, so a controller
+/// that re-issues faster than the delay never lands anything at all.
+fault::FaultPlan acceptanceStorm() {
+  fault::FaultPlan plan;
+  plan.name = "acceptance-storm";
+  plan.events = {
+      {.kind = fault::FaultKind::SensorDead, .start = 240.0, .channel = 2},
+      {.kind = fault::FaultKind::DvfsDelay, .start = 240.0, .until = 700.0, .delay = 45.0},
+  };
+  plan.validate();
+  return plan;
+}
+
+/// Two threads per core of continuous full-activity bursts: at ondemand or
+/// performance this drives the default package toward its ~69 degC uncapped
+/// ceiling (powersave holds ~36), so a 66 degC firmware trip and a 62 degC
+/// supervisor guardband are both inside the reachable band.
+workload::AppSpec saturatingApp(int iterations) {
+  workload::AppSpec spec;
+  spec.name = "saturate";
+  spec.family = "saturate";
+  spec.threadCount = 8;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 1.0;
+  spec.burstWorkJitter = 0.1;
+  spec.burstActivity = 1.0;
+  spec.serialWork = 0.02;
+  spec.serialActivity = 0.3;
+  spec.performanceConstraint = 0.05;
+  return spec;
+}
+
+TEST(FaultCampaignTest, SupervisorHoldsGuardbandWhereRawPolicyViolatesIt) {
+  FaultCampaignOptions options;
+  options.scenarios.push_back({"storm", acceptanceStorm()});
+  options.apps = {saturatingApp(200)};
+  options.trainRepeats = 1;
+  options.runner = shortRunner();
+  options.runner.maxSimTime = 2500.0;
+  options.runner.machine.sensor.noiseSigma = 0.0;
+  options.runner.machine.sensor.quantizationStep = 0.0;
+  options.runner.machine.throttleTemp = 66.0;  // firmware backstop (hotbox)
+  options.safety.emergencyTemp = 62.0;         // supervisor guardband
+  // Unreachable under load (powersave floor ~36): once the supervisor pins
+  // the fallback it holds it for the rest of the run.
+  options.safety.emergencyExitTemp = 30.0;
+
+  const std::vector<exec::RunSpec> specs = faultCampaignSpecs(options);
+  ASSERT_EQ(specs.size(), 4u);  // {linux, proposed} x {raw, safe}
+  exec::SweepOptions sweepOptions;
+  sweepOptions.jobs = 2;
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions).run(specs);
+
+  const core::RunResult& rawLinux = sweep.runs[0].result;
+  const core::RunResult& safeLinux = sweep.runs[1].result;
+  const core::RunResult& rawManaged = sweep.runs[2].result;
+  const core::RunResult& safeManaged = sweep.runs[3].result;
+
+  // Every lane completes the storm: no NaN, no contract violation, no
+  // timeout. (Contract checks abort the process under RLTHERM_CHECKED, so
+  // reaching this line under the asan-ubsan preset is itself part of the
+  // claim.)
+  for (const exec::RunReport& report : sweep.runs) {
+    EXPECT_FALSE(report.result.timedOut) << report.label;
+    EXPECT_TRUE(std::isfinite(report.result.reliability.peakTemp)) << report.label;
+    // The firmware trip bounds even the blind lanes (ThrottleTest pins the
+    // trip + 5 ceiling).
+    EXPECT_LT(report.result.reliability.peakTemp, 66.0 + 5.0) << report.label;
+  }
+
+  // Raw ondemand rides the saturating workload straight into the firmware
+  // throttle: the guardband (62) is violated and the backstop (66) engages.
+  EXPECT_GE(rawLinux.reliability.peakTemp, 65.9);
+
+  // Supervised, the emergency fallback pins powersave at the 62 degC
+  // guardband and the package never needs the hardware throttle.
+  const auto* linuxSupervisor =
+      dynamic_cast<const core::SafetySupervisor*>(sweep.runs[1].policy.get());
+  ASSERT_NE(linuxSupervisor, nullptr);
+  EXPECT_GE(linuxSupervisor->stats().emergencies, 1u);
+  EXPECT_LT(safeLinux.reliability.peakTemp, 64.0);
+  EXPECT_LT(safeLinux.reliability.peakTemp, rawLinux.reliability.peakTemp - 2.0);
+
+  // Both supervised lanes notice the dead channel within the configured
+  // window: quarantineAfter rejected samples plus slack for sample phase.
+  for (const std::size_t lane : {std::size_t{1}, std::size_t{3}}) {
+    const auto* supervisor =
+        dynamic_cast<const core::SafetySupervisor*>(sweep.runs[lane].policy.get());
+    ASSERT_NE(supervisor, nullptr) << sweep.runs[lane].label;
+    ASSERT_TRUE(supervisor->firstQuarantineTime().has_value())
+        << sweep.runs[lane].label;
+    const Seconds window =
+        static_cast<Seconds>(supervisor->config().quarantineAfter + 2) *
+        supervisor->samplingInterval();
+    EXPECT_GE(*supervisor->firstQuarantineTime(), 240.0) << sweep.runs[lane].label;
+    EXPECT_LE(*supervisor->firstQuarantineTime(), 240.0 + window)
+        << sweep.runs[lane].label;
+    EXPECT_GE(supervisor->stats().quarantines, 1u) << sweep.runs[lane].label;
+    EXPECT_GT(supervisor->stats().readingsSubstituted, 0u) << sweep.runs[lane].label;
+  }
+
+  // The delayed-DVFS burst really bit the closed loop: the manager issues
+  // its chosen action every epoch, so during [240, 700) its requests pile
+  // into the deferral mailbox.
+  EXPECT_GT(rawManaged.faultStats.dvfsDeferred, 0u);
+  EXPECT_EQ(rawManaged.faultStats.sensorFaultsApplied, 1u);
+  EXPECT_GT(safeManaged.faultStats.sensorFaultsApplied, 0u);
+}
+
+}  // namespace
+}  // namespace rltherm::bench

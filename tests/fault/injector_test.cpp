@@ -1,0 +1,211 @@
+// FaultInjector unit tests: the shim between a validated FaultPlan and the
+// machine's sensor, sample-delivery and actuation surfaces. Every decision
+// is a pure function of (plan, simulated time) — no hidden randomness.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "platform/machine.hpp"
+
+namespace rltherm::fault {
+namespace {
+
+using platform::GovernorKind;
+using platform::GovernorSetting;
+
+FaultPlan planOf(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.name = "test-plan";
+  plan.events = std::move(events);
+  plan.validate();
+  return plan;
+}
+
+platform::Machine testMachine() {
+  platform::MachineConfig config;
+  config.sensor.noiseSigma = 0.0;
+  config.sensor.quantizationStep = 0.0;
+  return platform::Machine(config);
+}
+
+TEST(FaultInjectorTest, SensorWindowAppliesAndClearsAtEdges) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(planOf({{.kind = FaultKind::SensorStuck,
+                                  .start = 5.0,
+                                  .until = 10.0,
+                                  .channel = 1}}));
+  injector.attach(machine);
+
+  injector.advanceTo(4.0);
+  EXPECT_EQ(machine.sensors().fault(1), thermal::SensorFault::None);
+  injector.advanceTo(5.0);
+  EXPECT_EQ(machine.sensors().fault(1), thermal::SensorFault::StuckAtLast);
+  EXPECT_EQ(injector.stats().sensorFaultsApplied, 1u);
+  injector.advanceTo(7.0);  // still inside the window: no double-apply
+  EXPECT_EQ(injector.stats().sensorFaultsApplied, 1u);
+  injector.advanceTo(10.0);
+  EXPECT_EQ(machine.sensors().fault(1), thermal::SensorFault::None);
+  EXPECT_EQ(injector.stats().sensorFaultsCleared, 1u);
+}
+
+TEST(FaultInjectorTest, ForeverWindowIsNeverCleared) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(
+      planOf({{.kind = FaultKind::SensorDead, .start = 2.0, .channel = 0}}));
+  injector.attach(machine);
+  injector.advanceTo(1000.0);
+  EXPECT_EQ(machine.sensors().fault(0), thermal::SensorFault::Dead);
+  EXPECT_EQ(injector.stats().sensorFaultsCleared, 0u);
+}
+
+TEST(FaultInjectorTest, DvfsIgnoreSwallowsMachineWideRequests) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(
+      planOf({{.kind = FaultKind::DvfsIgnore, .start = 10.0, .until = 20.0}}));
+  injector.attach(machine);
+  const GovernorSetting before = machine.governorSetting();
+
+  injector.advanceTo(15.0);
+  machine.setGovernor({GovernorKind::Performance, 0.0});
+  EXPECT_TRUE(machine.governorSetting() == before);  // swallowed
+  ASSERT_TRUE(machine.lastGovernorRequest().has_value());
+  EXPECT_TRUE(*machine.lastGovernorRequest() ==
+              (GovernorSetting{GovernorKind::Performance, 0.0}));
+  EXPECT_EQ(injector.stats().dvfsIgnored, 1u);
+
+  injector.advanceTo(20.0);  // window closed: requests flow again
+  machine.setGovernor({GovernorKind::Performance, 0.0});
+  EXPECT_TRUE(machine.governorSetting() ==
+              (GovernorSetting{GovernorKind::Performance, 0.0}));
+}
+
+TEST(FaultInjectorTest, DvfsDelayDefersUntilDue) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(planOf(
+      {{.kind = FaultKind::DvfsDelay, .start = 10.0, .until = 30.0, .delay = 5.0}}));
+  injector.attach(machine);
+  const GovernorSetting before = machine.governorSetting();
+
+  injector.advanceTo(12.0);
+  machine.setGovernor({GovernorKind::Powersave, 0.0});
+  EXPECT_TRUE(machine.governorSetting() == before);
+  EXPECT_EQ(injector.stats().dvfsDeferred, 1u);
+
+  injector.advanceTo(16.0);  // before due (12 + 5): still pending
+  EXPECT_TRUE(machine.governorSetting() == before);
+  injector.advanceTo(17.0);  // due: the deferred transition completes
+  EXPECT_TRUE(machine.governorSetting() ==
+              (GovernorSetting{GovernorKind::Powersave, 0.0}));
+}
+
+TEST(FaultInjectorTest, DvfsDelayKeepsOnlyTheNewestRequest) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(planOf(
+      {{.kind = FaultKind::DvfsDelay, .start = 0.0, .until = 100.0, .delay = 10.0}}));
+  injector.attach(machine);
+
+  injector.advanceTo(1.0);
+  machine.setGovernor({GovernorKind::Powersave, 0.0});
+  injector.advanceTo(2.0);
+  machine.setGovernor({GovernorKind::Performance, 0.0});  // overwrites the mailbox
+  injector.advanceTo(12.0);
+  EXPECT_TRUE(machine.governorSetting() ==
+              (GovernorSetting{GovernorKind::Performance, 0.0}));
+  EXPECT_EQ(injector.stats().dvfsDeferred, 2u);
+}
+
+TEST(FaultInjectorTest, DvfsPartialReachesOnlyHalfTheCores) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(
+      planOf({{.kind = FaultKind::DvfsPartial, .start = 0.0, .until = 100.0}}));
+  injector.attach(machine);
+  const GovernorSetting before = machine.governorSetting();
+
+  injector.advanceTo(1.0);
+  machine.setGovernor({GovernorKind::Userspace, 1.2e9});
+  EXPECT_TRUE(machine.governorSetting() == before);  // machine-wide unchanged
+  EXPECT_EQ(injector.stats().dvfsPartial, 1u);
+}
+
+TEST(FaultInjectorTest, SampleDropAndLate) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(planOf({
+      {.kind = FaultKind::SampleDrop, .start = 0.0, .until = 10.0},
+      {.kind = FaultKind::SampleLate, .start = 10.0, .until = 100.0, .delay = 3.0},
+  }));
+  injector.attach(machine);
+
+  injector.advanceTo(5.0);
+  EXPECT_FALSE(injector.filterSample(5.0, {50.0}).has_value());
+  EXPECT_EQ(injector.stats().samplesDropped, 1u);
+
+  // Late window: the first delivery has no sufficiently old pass yet...
+  injector.advanceTo(10.0);
+  EXPECT_FALSE(injector.filterSample(10.0, {60.0}).has_value());
+  // ...but once the pipeline fills, the newest pass >= delay old is served.
+  injector.advanceTo(11.0);
+  (void)injector.filterSample(11.0, {61.0});
+  injector.advanceTo(14.0);
+  const std::optional<std::vector<Celsius>> stale = injector.filterSample(14.0, {64.0});
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_DOUBLE_EQ((*stale)[0], 61.0);  // the pass taken at t=11
+  EXPECT_EQ(injector.stats().samplesDelayed, 3u);
+}
+
+TEST(FaultInjectorTest, HealthySampleFlowsThroughUntouched) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(
+      planOf({{.kind = FaultKind::SampleDrop, .start = 50.0, .until = 60.0}}));
+  injector.attach(machine);
+  injector.advanceTo(5.0);
+  const std::optional<std::vector<Celsius>> out = injector.filterSample(5.0, {42.0, 43.0});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ((*out)[0], 42.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 43.0);
+}
+
+TEST(FaultInjectorTest, AffinityWindowGatesMigrations) {
+  platform::Machine machine = testMachine();
+  FaultInjector injector(
+      planOf({{.kind = FaultKind::AffinityFail, .start = 5.0, .until = 10.0}}));
+  injector.attach(machine);
+  injector.advanceTo(6.0);
+  EXPECT_FALSE(injector.affinityAllowed());
+  EXPECT_EQ(injector.stats().affinityDropped, 1u);
+  injector.advanceTo(10.0);
+  EXPECT_TRUE(injector.affinityAllowed());
+  EXPECT_EQ(injector.stats().affinityDropped, 1u);
+}
+
+TEST(FaultInjectorTest, AttachRejectsChannelsBeyondTheMachine) {
+  platform::MachineConfig config;
+  config.coreCount = 2;
+  platform::Machine machine(config);
+  FaultPlan plan;
+  plan.cores = 8;  // plan written for a larger machine
+  plan.events.push_back({.kind = FaultKind::SensorDead, .start = 1.0, .channel = 5});
+  FaultInjector injector(plan);
+  EXPECT_THROW(injector.attach(machine), PreconditionError);
+}
+
+TEST(FaultInjectorTest, DetachRestoresTheGovernorPath) {
+  platform::Machine machine = testMachine();
+  {
+    FaultInjector injector(
+        planOf({{.kind = FaultKind::DvfsIgnore, .start = 0.0, .until = 100.0}}));
+    injector.attach(machine);
+    injector.advanceTo(1.0);
+    machine.setGovernor({GovernorKind::Performance, 0.0});
+    EXPECT_FALSE(machine.governorSetting() ==
+                 (GovernorSetting{GovernorKind::Performance, 0.0}));
+  }  // destructor detaches
+  machine.setGovernor({GovernorKind::Performance, 0.0});
+  EXPECT_TRUE(machine.governorSetting() ==
+              (GovernorSetting{GovernorKind::Performance, 0.0}));
+}
+
+}  // namespace
+}  // namespace rltherm::fault

@@ -1,0 +1,265 @@
+// Scenario-format goldens: FaultPlan::parse must accept the documented
+// grammar and reject every malformed plan with a file:line-prefixed message
+// (unknown kinds, out-of-range channels, overlapping windows, duplicate
+// keys, ...). A scenario that does not do what it says is worse than no
+// scenario at all, so silent skips are bugs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "fault/plan.hpp"
+
+namespace rltherm::fault {
+namespace {
+
+/// Parses `text` expecting failure; returns the error message.
+std::string parseError(const std::string& text) {
+  try {
+    (void)FaultPlan::parse(text, "test.toml");
+  } catch (const PreconditionError& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected the scenario to be rejected:\n" << text;
+  return {};
+}
+
+void expectContains(const std::string& message, const std::string& needle) {
+  EXPECT_NE(message.find(needle), std::string::npos)
+      << "message: \"" << message << "\"\nexpected to contain: \"" << needle << "\"";
+}
+
+TEST(FaultPlanParseTest, ParsesFullScenario) {
+  const std::string text =
+      "# storm scenario\n"
+      "[scenario]\n"
+      "name = \"storm\"\n"
+      "description = \"a # inside a string is not a comment\"\n"
+      "cores = 8\n"
+      "\n"
+      "[[event]]\n"
+      "t = 120.0\n"
+      "kind = \"sensor.dead\"\n"
+      "channel = 6\n"
+      "\n"
+      "[[event]]\n"
+      "t = 30.0           # comment after a value\n"
+      "until = 90.0\n"
+      "kind = \"dvfs.delay\"\n"
+      "delay = 5.0\n";
+  const FaultPlan plan = FaultPlan::parse(text, "test.toml");
+  EXPECT_EQ(plan.name, "storm");
+  EXPECT_EQ(plan.description, "a # inside a string is not a comment");
+  EXPECT_EQ(plan.cores, 8u);
+  ASSERT_EQ(plan.events.size(), 2u);
+  // validate() sorts by start time: the dvfs.delay window comes first.
+  EXPECT_EQ(plan.events[0].kind, FaultKind::DvfsDelay);
+  EXPECT_DOUBLE_EQ(plan.events[0].start, 30.0);
+  EXPECT_DOUBLE_EQ(plan.events[0].until, 90.0);
+  EXPECT_DOUBLE_EQ(plan.events[0].delay, 5.0);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::SensorDead);
+  EXPECT_EQ(plan.events[1].channel, 6u);
+  // Omitted `until` means the fault persists to the end of the run.
+  EXPECT_TRUE(std::isinf(plan.events[1].until));
+}
+
+TEST(FaultPlanParseTest, NameDefaultsToSourceName) {
+  const FaultPlan plan =
+      FaultPlan::parse("[[event]]\nt = 1.0\nkind = \"sample.drop\"\n", "test.toml");
+  EXPECT_EQ(plan.name, "test.toml");
+  EXPECT_EQ(plan.cores, 4u);  // default core count
+}
+
+TEST(FaultPlanParseTest, EmptyScenarioIsValid) {
+  const FaultPlan plan = FaultPlan::parse("[scenario]\nname = \"noop\"\n", "test.toml");
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanGoldenTest, UnknownKindIsLineNumbered) {
+  const std::string message = parseError(
+      "[[event]]\n"
+      "t = 5.0\n"
+      "kind = \"sensor.explode\"\n");
+  expectContains(message, "test.toml:3");
+  expectContains(message, "unknown fault kind 'sensor.explode'");
+  expectContains(message, "sensor.stuck");  // the valid-kind list is spelled out
+}
+
+TEST(FaultPlanGoldenTest, OutOfRangeChannelIsLineNumbered) {
+  const std::string message = parseError(
+      "[scenario]\n"
+      "cores = 2\n"
+      "[[event]]\n"
+      "t = 5.0\n"
+      "kind = \"sensor.dead\"\n"
+      "channel = 2\n");
+  expectContains(message, "test.toml:6");
+  expectContains(message, "channel 2 is out of range for 2 cores");
+}
+
+TEST(FaultPlanGoldenTest, OverlappingSensorWindowsOnOneChannelRejected) {
+  const std::string message = parseError(
+      "[[event]]\n"
+      "t = 10.0\n"
+      "until = 50.0\n"
+      "kind = \"sensor.stuck\"\n"
+      "channel = 1\n"
+      "[[event]]\n"
+      "t = 40.0\n"
+      "kind = \"sensor.dead\"\n"
+      "channel = 1\n");
+  expectContains(message, "overlapping sensor channel 1 events");
+  expectContains(message, "line 1");
+  expectContains(message, "line 6");
+}
+
+TEST(FaultPlanGoldenTest, DisjointWindowsAndDistinctChannelsAreFine) {
+  const FaultPlan plan = FaultPlan::parse(
+      "[[event]]\n"
+      "t = 10.0\n"
+      "until = 40.0\n"
+      "kind = \"sensor.stuck\"\n"
+      "channel = 1\n"
+      "[[event]]\n"
+      "t = 40.0\n"
+      "kind = \"sensor.dead\"\n"
+      "channel = 1\n"
+      "[[event]]\n"
+      "t = 20.0\n"
+      "kind = \"sensor.offset\"\n"
+      "channel = 2\n"
+      "param = 5.0\n",
+      "test.toml");
+  EXPECT_EQ(plan.events.size(), 3u);
+}
+
+TEST(FaultPlanGoldenTest, OverlappingDvfsClassRejected) {
+  // Two simultaneous dvfs failure modes are ill-defined even across kinds.
+  const std::string message = parseError(
+      "[[event]]\n"
+      "t = 10.0\n"
+      "until = 100.0\n"
+      "kind = \"dvfs.ignore\"\n"
+      "[[event]]\n"
+      "t = 50.0\n"
+      "until = 80.0\n"
+      "kind = \"dvfs.delay\"\n"
+      "delay = 5.0\n");
+  expectContains(message, "overlapping dvfs actuation events");
+}
+
+TEST(FaultPlanGoldenTest, DuplicateKeyRejected) {
+  const std::string message = parseError(
+      "[[event]]\n"
+      "t = 5.0\n"
+      "t = 6.0\n"
+      "kind = \"sample.drop\"\n");
+  expectContains(message, "test.toml:3");
+  expectContains(message, "duplicate key 't'");
+}
+
+TEST(FaultPlanGoldenTest, KeyBeforeAnyTableRejected) {
+  const std::string message = parseError("t = 5.0\n");
+  expectContains(message, "test.toml:1");
+  expectContains(message, "before any [scenario]/[[event]] table");
+}
+
+TEST(FaultPlanGoldenTest, UnknownTableAndUnknownKeyRejected) {
+  expectContains(parseError("[faults]\n"), "unknown table '[faults]'");
+  const std::string message = parseError(
+      "[[event]]\n"
+      "t = 5.0\n"
+      "kind = \"sample.drop\"\n"
+      "chanel = 1\n");
+  expectContains(message, "test.toml:4");
+  expectContains(message, "unknown key 'chanel'");
+}
+
+TEST(FaultPlanGoldenTest, UnterminatedStringRejected) {
+  const std::string message = parseError(
+      "[scenario]\n"
+      "name = \"oops\n");
+  expectContains(message, "test.toml:2");
+  expectContains(message, "unterminated string");
+}
+
+TEST(FaultPlanGoldenTest, ScenarioAfterEventsRejected) {
+  const std::string message = parseError(
+      "[[event]]\n"
+      "t = 5.0\n"
+      "kind = \"sample.drop\"\n"
+      "[scenario]\n"
+      "cores = 4\n");
+  expectContains(message, "test.toml:4");
+  expectContains(message, "[scenario] must precede all [[event]] tables");
+}
+
+TEST(FaultPlanGoldenTest, WindowAndFieldConsistencyRejected) {
+  // until <= t
+  expectContains(parseError("[[event]]\nt = 10.0\nuntil = 10.0\nkind = \"sample.drop\"\n"),
+                 "'until' must be greater than 't'");
+  // negative start
+  expectContains(parseError("[[event]]\nt = -1.0\nkind = \"sample.drop\"\n"),
+                 "'t' must be >= 0");
+  // channel on a non-sensor event
+  expectContains(
+      parseError("[[event]]\nt = 1.0\nkind = \"dvfs.ignore\"\nchannel = 0\n"),
+      "'channel' is only valid for sensor.* events");
+  // sensor fault without a channel
+  expectContains(parseError("[[event]]\nt = 1.0\nkind = \"sensor.dead\"\n"),
+                 "requires a 'channel'");
+  // offset without its parameter
+  expectContains(parseError("[[event]]\nt = 1.0\nkind = \"sensor.offset\"\nchannel = 0\n"),
+                 "requires 'param'");
+  // delay missing / non-positive
+  expectContains(parseError("[[event]]\nt = 1.0\nkind = \"sample.late\"\n"),
+                 "requires 'delay'");
+  expectContains(
+      parseError("[[event]]\nt = 1.0\nkind = \"sample.late\"\ndelay = 0.0\n"),
+      "'delay' must be > 0");
+  // malformed number
+  expectContains(parseError("[[event]]\nt = soon\nkind = \"sample.drop\"\n"),
+                 "malformed number 'soon'");
+  // quoted value where a number is required
+  expectContains(parseError("[[event]]\nt = \"5.0\"\nkind = \"sample.drop\"\n"),
+                 "must be a number, got a string");
+}
+
+TEST(FaultPlanValidateTest, ProgrammaticPlansAreCheckedToo) {
+  FaultPlan plan;
+  plan.cores = 4;
+  plan.events.push_back({.kind = FaultKind::SensorDead, .start = 10.0, .channel = 7});
+  EXPECT_THROW(plan.validate(), PreconditionError);
+
+  FaultPlan sorted;
+  sorted.events.push_back({.kind = FaultKind::SampleDrop, .start = 50.0, .until = 60.0});
+  sorted.events.push_back({.kind = FaultKind::SampleDrop, .start = 10.0, .until = 20.0});
+  sorted.validate();
+  EXPECT_DOUBLE_EQ(sorted.events[0].start, 10.0);  // validate() sorts by start
+}
+
+TEST(FaultPlanTest, KindSpellingRoundTrips) {
+  for (const FaultKind kind :
+       {FaultKind::SensorStuck, FaultKind::SensorDead, FaultKind::SensorOffset,
+        FaultKind::SensorNoiseBurst, FaultKind::SampleDrop, FaultKind::SampleLate,
+        FaultKind::DvfsIgnore, FaultKind::DvfsDelay, FaultKind::DvfsPartial,
+        FaultKind::AffinityFail}) {
+    const std::string spelled = toString(kind);
+    const std::string text = std::string("[[event]]\nt = 1.0\nkind = \"") + spelled +
+                             "\"\n" + (isSensorFault(kind) ? "channel = 0\n" : "") +
+                             (kind == FaultKind::SensorOffset ||
+                                      kind == FaultKind::SensorNoiseBurst
+                                  ? "param = 2.0\n"
+                                  : "") +
+                             (kind == FaultKind::SampleLate || kind == FaultKind::DvfsDelay
+                                  ? "delay = 1.0\n"
+                                  : "");
+    const FaultPlan plan = FaultPlan::parse(text, "test.toml");
+    ASSERT_EQ(plan.events.size(), 1u) << spelled;
+    EXPECT_EQ(plan.events[0].kind, kind) << spelled;
+  }
+}
+
+}  // namespace
+}  // namespace rltherm::fault

@@ -1,0 +1,281 @@
+// SafetySupervisor unit tests: the per-channel plausibility FSM
+// (healthy -> suspect -> quarantined with hysteresis), model substitution,
+// bounded actuation retry and the thermal-emergency fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/safety_supervisor.hpp"
+#include "core/thermal_manager.hpp"
+#include "platform/machine.hpp"
+#include "workload/control.hpp"
+
+namespace rltherm::core {
+namespace {
+
+using platform::GovernorKind;
+using platform::GovernorSetting;
+
+/// Inner policy that records every sanitized vector it is handed.
+class RecordingPolicy final : public ThermalPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "recording"; }
+  [[nodiscard]] Seconds samplingInterval() const override { return 1.0; }
+  void onSample(PolicyContext& /*ctx*/, std::span<const Celsius> sensorTemps) override {
+    samples.emplace_back(sensorTemps.begin(), sensorTemps.end());
+  }
+
+  std::vector<std::vector<Celsius>> samples;
+};
+
+/// Workload stub counting affinity applications (the emergency spread pin).
+class NullControl final : public workload::WorkloadControl {
+ public:
+  [[nodiscard]] double performanceRatio() const override { return 1.0; }
+  void applyAffinityPattern(std::span<const sched::AffinityMask> /*pattern*/) override {
+    ++applied;
+  }
+  [[nodiscard]] bool appJustSwitched() const override { return false; }
+
+  std::size_t applied = 0;
+};
+
+platform::Machine testMachine() {
+  platform::MachineConfig config;
+  config.sensor.noiseSigma = 0.0;
+  config.sensor.quantizationStep = 0.0;
+  return platform::Machine(config);
+}
+
+struct Harness {
+  platform::Machine machine = testMachine();
+  NullControl control;
+  PolicyContext ctx{machine, control};
+
+  SafetySupervisor makeSupervisor(SafetySupervisorConfig config = {}) {
+    auto inner = std::make_unique<RecordingPolicy>();
+    innerPtr = inner.get();
+    SafetySupervisor supervisor(std::move(inner), config);
+    supervisor.onStart(ctx);
+    return supervisor;
+  }
+
+  RecordingPolicy* innerPtr = nullptr;
+};
+
+void feed(SafetySupervisor& supervisor, PolicyContext& ctx, std::vector<Celsius> temps,
+          int times = 1) {
+  for (int i = 0; i < times; ++i) supervisor.onSample(ctx, temps);
+}
+
+TEST(SafetySupervisorTest, NameWrapsInner) {
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor();
+  EXPECT_EQ(supervisor.name(), "safe(recording)");
+  EXPECT_DOUBLE_EQ(supervisor.samplingInterval(), 1.0);
+}
+
+TEST(SafetySupervisorTest, StaticInnerFallsBackToMonitorInterval) {
+  SafetySupervisorConfig config;
+  config.monitorInterval = 2.5;
+  SafetySupervisor supervisor(
+      std::make_unique<StaticGovernorPolicy>(GovernorSetting{GovernorKind::Ondemand, 0.0}),
+      config);
+  // A static policy never samples on its own; the supervisor still must
+  // watch the package to provide the emergency backstop.
+  EXPECT_DOUBLE_EQ(supervisor.samplingInterval(), 2.5);
+}
+
+TEST(SafetySupervisorTest, OutOfRangeChannelIsSubstitutedThenQuarantined) {
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor();
+
+  feed(supervisor, h.ctx, {60.0, 60.0, 60.0, 0.0});  // channel 3 reads dead (0 degC)
+  EXPECT_EQ(supervisor.health(3), SensorHealth::Suspect);
+  EXPECT_EQ(supervisor.stats().readingsSubstituted, 1u);
+  feed(supervisor, h.ctx, {60.0, 60.0, 60.0, 0.0});  // quarantineAfter = 2
+  EXPECT_EQ(supervisor.health(3), SensorHealth::Quarantined);
+  EXPECT_EQ(supervisor.stats().quarantines, 1u);
+  ASSERT_TRUE(supervisor.firstQuarantineTime().has_value());
+
+  // The inner policy never saw the dead reading: every forwarded value is
+  // plausible, and the substitute relaxes toward the healthy median.
+  ASSERT_EQ(h.innerPtr->samples.size(), 2u);
+  for (const std::vector<Celsius>& sample : h.innerPtr->samples) {
+    EXPECT_DOUBLE_EQ(sample[0], 60.0);
+    EXPECT_GE(sample[3], supervisor.config().plausibleFloor);
+    EXPECT_LE(sample[3], supervisor.config().plausibleCeiling);
+  }
+  EXPECT_GT(h.innerPtr->samples[1][3], h.innerPtr->samples[0][3]);  // toward 60
+}
+
+TEST(SafetySupervisorTest, QuarantinedChannelRestoresAfterConsistentAgreement) {
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor();
+  feed(supervisor, h.ctx, {60.0, 60.0, 60.0, 0.0}, 2);
+  ASSERT_EQ(supervisor.health(3), SensorHealth::Quarantined);
+
+  // The channel comes back healthy. The first good sample only establishes
+  // self-consistency (the jump from 0 to 60 exceeds any physical rate);
+  // after restoreAfter consecutive consistent + agreeing samples it is
+  // trusted again.
+  int samplesToRestore = 0;
+  for (int i = 0; i < 10 && supervisor.health(3) != SensorHealth::Healthy; ++i) {
+    feed(supervisor, h.ctx, {60.0, 60.0, 60.0, 60.0});
+    ++samplesToRestore;
+  }
+  EXPECT_EQ(supervisor.health(3), SensorHealth::Healthy);
+  EXPECT_EQ(supervisor.stats().restores, 1u);
+  EXPECT_EQ(samplesToRestore,
+            1 + static_cast<int>(supervisor.config().restoreAfter));
+  // The restoring sample itself is trusted and forwarded raw.
+  EXPECT_DOUBLE_EQ(h.innerPtr->samples.back()[3], 60.0);
+}
+
+TEST(SafetySupervisorTest, DivergentChannelIsCaughtByRedundancy) {
+  SafetySupervisorConfig config;
+  config.maxRatePerSecond = 1e6;  // isolate the divergence gate
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor(config);
+
+  feed(supervisor, h.ctx, {60.0, 60.0, 60.0, 60.0});
+  // Channel 1 drifts 20 degC away from the median while staying in range.
+  feed(supervisor, h.ctx, {60.0, 80.0, 60.0, 60.0}, 2);
+  EXPECT_EQ(supervisor.health(1), SensorHealth::Quarantined);
+  EXPECT_DOUBLE_EQ(h.innerPtr->samples.back()[0], 60.0);
+  EXPECT_LT(h.innerPtr->samples.back()[1], 80.0);  // substituted
+}
+
+TEST(SafetySupervisorTest, NanReadingNeverReachesInner) {
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor();
+  const Celsius nan = std::numeric_limits<Celsius>::quiet_NaN();
+  feed(supervisor, h.ctx, {60.0, nan, 60.0, 60.0}, 3);
+  EXPECT_EQ(supervisor.health(1), SensorHealth::Quarantined);
+  for (const std::vector<Celsius>& sample : h.innerPtr->samples) {
+    for (const Celsius temp : sample) EXPECT_TRUE(std::isfinite(temp));
+  }
+}
+
+TEST(SafetySupervisorTest, EmergencyPinsFallbackAndPausesInner) {
+  SafetySupervisorConfig config;
+  config.maxRatePerSecond = 1e6;  // let the test cool instantly
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor(config);
+
+  feed(supervisor, h.ctx, {95.0, 95.0, 95.0, 95.0});
+  EXPECT_TRUE(supervisor.inEmergency());
+  EXPECT_EQ(supervisor.stats().emergencies, 1u);
+  EXPECT_TRUE(h.machine.governorSetting() ==
+              (GovernorSetting{GovernorKind::Powersave, 0.0}));
+  EXPECT_GE(h.control.applied, 1u);          // spread mapping pinned
+  EXPECT_TRUE(h.innerPtr->samples.empty());  // inner paused during emergency
+
+  // Cool below the exit threshold for emergencyExitSamples consecutive
+  // samples; learning resumes only then.
+  feed(supervisor, h.ctx, {70.0, 70.0, 70.0, 70.0},
+       static_cast<int>(config.emergencyExitSamples));
+  EXPECT_FALSE(supervisor.inEmergency());
+  EXPECT_GE(supervisor.emergencyDuration(), 0.0);
+
+  feed(supervisor, h.ctx, {70.0, 70.0, 70.0, 70.0});
+  EXPECT_EQ(h.innerPtr->samples.size(), 1u);  // forwarding resumed
+}
+
+TEST(SafetySupervisorTest, TotalSensorLossTriggersBlindEmergency) {
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor();
+  // Every channel reads the dead pattern: once all four are quarantined the
+  // controller is flying blind and the fallback must engage even though the
+  // substituted maximum looks cool.
+  feed(supervisor, h.ctx, {0.0, 0.0, 0.0, 0.0}, 3);
+  EXPECT_TRUE(supervisor.inEmergency());
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(supervisor.health(c), SensorHealth::Quarantined);
+  }
+  // Blind: the cool-down counter must not run on substituted readings.
+  feed(supervisor, h.ctx, {0.0, 0.0, 0.0, 0.0}, 10);
+  EXPECT_TRUE(supervisor.inEmergency());
+}
+
+TEST(SafetySupervisorTest, RetriesSwallowedActuationWithBackoff) {
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor();
+  h.machine.setGovernorInterposer([](const GovernorSetting&) { return false; });
+  h.machine.setGovernor({GovernorKind::Performance, 0.0});  // swallowed
+
+  // Sample 1 notices the mismatch; retries then fire after 1, 2, 4 further
+  // samples (exponential backoff) until maxActuationRetries is exhausted.
+  feed(supervisor, h.ctx, {60.0, 60.0, 60.0, 60.0}, 15);
+  EXPECT_EQ(supervisor.stats().actuationRetries, supervisor.config().maxActuationRetries);
+  EXPECT_EQ(supervisor.stats().actuationGiveUps, 1u);
+}
+
+TEST(SafetySupervisorTest, RetryHealsWhenTheActuationPathRecovers) {
+  Harness h;
+  SafetySupervisor supervisor = h.makeSupervisor();
+  int calls = 0;
+  h.machine.setGovernorInterposer([&calls](const GovernorSetting&) {
+    ++calls;
+    return calls >= 2;  // the first request is swallowed, the retry lands
+  });
+  h.machine.setGovernor({GovernorKind::Performance, 0.0});
+  feed(supervisor, h.ctx, {60.0, 60.0, 60.0, 60.0}, 3);
+  EXPECT_TRUE(h.machine.governorSetting() ==
+              (GovernorSetting{GovernorKind::Performance, 0.0}));
+  EXPECT_EQ(supervisor.stats().actuationRetries, 1u);
+  EXPECT_EQ(supervisor.stats().actuationGiveUps, 0u);
+}
+
+TEST(SafetySupervisorTest, FreezeReachesAWrappedManager) {
+  platform::Machine machine = testMachine();
+  NullControl control;
+  PolicyContext ctx{machine, control};
+  ThermalManagerConfig managerConfig;
+  managerConfig.samplingInterval = 0.5;
+  managerConfig.decisionEpoch = 2.0;
+  auto manager =
+      std::make_unique<ThermalManager>(managerConfig, ActionSpace::standard(4));
+  ThermalManager* managerPtr = manager.get();
+  SafetySupervisor supervisor(std::move(manager), SafetySupervisorConfig{});
+  supervisor.onStart(ctx);
+
+  EXPECT_FALSE(managerPtr->frozen());
+  supervisor.freezeInner();
+  EXPECT_TRUE(managerPtr->frozen());
+  supervisor.unfreezeInner();
+  EXPECT_FALSE(managerPtr->frozen());
+}
+
+TEST(SafetySupervisorTest, EmergencyFreezesLearningAndRestoresIt) {
+  platform::Machine machine = testMachine();
+  NullControl control;
+  PolicyContext ctx{machine, control};
+  ThermalManagerConfig managerConfig;
+  managerConfig.samplingInterval = 0.5;
+  managerConfig.decisionEpoch = 2.0;
+  auto manager =
+      std::make_unique<ThermalManager>(managerConfig, ActionSpace::standard(4));
+  ThermalManager* managerPtr = manager.get();
+  SafetySupervisorConfig config;
+  config.maxRatePerSecond = 1e6;
+  SafetySupervisor supervisor(std::move(manager), config);
+  supervisor.onStart(ctx);
+
+  supervisor.onSample(ctx, std::vector<Celsius>{95.0, 95.0, 95.0, 95.0});
+  ASSERT_TRUE(supervisor.inEmergency());
+  EXPECT_TRUE(managerPtr->frozen());  // Q-updates frozen during the emergency
+
+  for (std::size_t i = 0; i < config.emergencyExitSamples; ++i) {
+    supervisor.onSample(ctx, std::vector<Celsius>{70.0, 70.0, 70.0, 70.0});
+  }
+  EXPECT_FALSE(supervisor.inEmergency());
+  EXPECT_FALSE(managerPtr->frozen());  // learning resumed after the guarded exit
+}
+
+}  // namespace
+}  // namespace rltherm::core

@@ -7,6 +7,9 @@
 #include "core/baselines.hpp"
 #include "core/runner.hpp"
 #include "core/thermal_manager.hpp"
+#include "fault/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
 #include "thermal/sensor.hpp"
 #include "workload/app_spec.hpp"
 
@@ -101,6 +104,56 @@ TEST(SensorFaultTest, ClearFaultHeals) {
   EXPECT_DOUBLE_EQ(bank.read(std::vector<Celsius>{70.0})[0], 70.0);
 }
 
+TEST(SensorFaultTest, NoiseBurstIsSeedDeterministic) {
+  const thermal::SensorConfig config{.quantizationStep = 0.0, .noiseSigma = 0.0};
+  thermal::SensorBank a(config, 7);
+  thermal::SensorBank b(config, 7);
+  thermal::SensorBank healthy(config, 7);
+  a.injectFault(0, thermal::SensorFault::NoiseBurst, 5.0);
+  b.injectFault(0, thermal::SensorFault::NoiseBurst, 5.0);
+  bool differedFromHealthy = false;
+  for (int i = 0; i < 16; ++i) {
+    const Celsius left = a.read(std::vector<Celsius>{60.0})[0];
+    const Celsius right = b.read(std::vector<Celsius>{60.0})[0];
+    EXPECT_DOUBLE_EQ(left, right);  // same seed, same burst
+    if (left != healthy.read(std::vector<Celsius>{60.0})[0]) differedFromHealthy = true;
+  }
+  EXPECT_TRUE(differedFromHealthy);
+}
+
+TEST(SensorFaultTest, DeadChannelReadsConfiguredPattern) {
+  // deadReading is the fixed register pattern — deliberately NOT clamped to
+  // [minReading, maxReading], so a sub-floor value passes through verbatim.
+  thermal::SensorConfig config{.quantizationStep = 0.0, .noiseSigma = 0.0};
+  config.deadReading = -10.0;
+  thermal::SensorBank bank(config, 1);
+  bank.injectFault(0, thermal::SensorFault::Dead);
+  EXPECT_DOUBLE_EQ(bank.read(std::vector<Celsius>{70.0})[0], -10.0);
+}
+
+TEST(SensorFaultTest, LazilyCreatedChannelHonorsPreInjectedFault) {
+  // Channels materialize on first read; a fault injected up front for a
+  // channel that does not exist yet must still bite on that first read.
+  thermal::SensorBank bank({.quantizationStep = 0.0, .noiseSigma = 0.0}, 1);
+  bank.injectFault(3, thermal::SensorFault::ConstantOffset, 7.0);
+  const std::vector<Celsius> out =
+      bank.read(std::vector<Celsius>{40.0, 41.0, 42.0, 43.0});
+  EXPECT_DOUBLE_EQ(out[0], 40.0);
+  EXPECT_DOUBLE_EQ(out[3], 50.0);
+  EXPECT_EQ(bank.fault(3), thermal::SensorFault::ConstantOffset);
+}
+
+TEST(SensorFaultTest, ReadOneGoesThroughTheFaultPath) {
+  thermal::SensorConfig config{.quantizationStep = 0.0, .noiseSigma = 0.0};
+  config.deadReading = -5.0;
+  thermal::SensorBank bank(config, 1);
+  EXPECT_DOUBLE_EQ(bank.readOne(55.0), 55.0);
+  bank.injectFault(0, thermal::SensorFault::Dead);
+  EXPECT_DOUBLE_EQ(bank.readOne(55.0), -5.0);
+  bank.clearFault(0);
+  EXPECT_DOUBLE_EQ(bank.readOne(55.0), 55.0);
+}
+
 class ManagerUnderSensorFault
     : public ::testing::TestWithParam<thermal::SensorFault> {};
 
@@ -120,7 +173,48 @@ TEST_P(ManagerUnderSensorFault, CompletesWithoutCrashOrRunaway) {
 INSTANTIATE_TEST_SUITE_P(Faults, ManagerUnderSensorFault,
                          ::testing::Values(thermal::SensorFault::StuckAtLast,
                                            thermal::SensorFault::ConstantOffset,
-                                           thermal::SensorFault::Dead));
+                                           thermal::SensorFault::Dead,
+                                           thermal::SensorFault::NoiseBurst));
+
+TEST(SensorFaultTest, FaultPlanWindowHealsMidRun) {
+  // The runner-level path of ClearFaultHeals: a bounded sensor window from a
+  // FaultPlan is applied AND cleared by the injector while the scenario is
+  // still running, and the run completes normally afterwards.
+  RunnerConfig config = fastRunner();
+  config.faults.name = "heal-mid-run";
+  config.faults.events.push_back({.kind = fault::FaultKind::SensorStuck,
+                                  .start = 20.0,
+                                  .until = 60.0,
+                                  .channel = 1});
+  config.faults.validate();
+  PolicyRunner runner(config);
+  ThermalManagerConfig managerConfig;
+  managerConfig.samplingInterval = 0.5;
+  managerConfig.decisionEpoch = 2.0;
+  ThermalManager manager(managerConfig, ActionSpace::standard(4));
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp(120)}), manager);
+  EXPECT_FALSE(result.timedOut);
+  EXPECT_EQ(result.faultStats.sensorFaultsApplied, 1u);
+  EXPECT_EQ(result.faultStats.sensorFaultsCleared, 1u);
+  ASSERT_FALSE(result.completions.empty());
+  EXPECT_EQ(result.completions[0].iterations, 120);
+}
+
+TEST(SensorFaultTest, ManagerClampsSubAmbientReadings) {
+  // Without a supervisor in front, the bare manager must not discretize a
+  // dead channel's 0 degC into a valid low-aging state — it clamps to the
+  // plausibility floor and counts the rejects.
+  obs::MetricsRegistry metrics;
+  obs::Session session;
+  session.metrics = &metrics;
+  const obs::ScopedSession guard(session);
+
+  PolicyRunner runner(fastRunner());
+  FaultingManager policy(thermal::SensorFault::Dead, 0.0);
+  const RunResult result = runner.run(workload::Scenario::of({tinyApp(60)}), policy);
+  EXPECT_FALSE(result.timedOut);
+  EXPECT_GT(metrics.counter("manager.samples.implausible").value(), 0u);
+}
 
 TEST(WorkloadStressTest, ZeroConstraintAppRunsFine) {
   // Pc = 0 disables the performance channel entirely; the reward must not

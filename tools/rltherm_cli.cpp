@@ -12,9 +12,18 @@
 //   rltherm_cli sweep      --apps tachyon,mpeg_dec --policies linux-ondemand,proposed
 //                          [--jobs N] [--dataset N] [--train N] [--live]
 //                          [--seed S] [--config file.ini]
+//   rltherm_cli faults     [--scenarios DIR] [--apps a,b] [--jobs N] [--json FILE]
+//   rltherm_cli faults     --lint [FILE1,FILE2,...] [--scenarios DIR]
 //
 // Policies: linux-ondemand | linux-powersave | linux-performance |
 //           userspace-<GHz> (e.g. userspace-2.4) | ge | ge-modified | proposed
+//
+// Robustness (see docs/ARCHITECTURE.md "Fault injection & safety"):
+//   --faults FILE   replay a fault scenario (scenarios/*.toml) during the run
+//   --supervise     wrap the selected policy in the SafetySupervisor
+//   faults          run the (scenario x policy x raw/safe) campaign grid;
+//                   with --lint, parse scenario files and exit nonzero on the
+//                   first line-numbered error (no simulation)
 //
 // `--config` overlays an INI file (see core/config_io.hpp) on the default
 // machine/runner/manager parameters; `--csv` writes the per-core temperature
@@ -33,6 +42,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -40,6 +50,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -48,8 +59,11 @@
 #include "core/baselines.hpp"
 #include "core/config_io.hpp"
 #include "core/runner.hpp"
+#include "core/safety_supervisor.hpp"
 #include "core/thermal_manager.hpp"
 #include "exec/sweep.hpp"
+#include "fault/plan.hpp"
+#include "fault_campaign_util.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
@@ -93,6 +107,7 @@ Options parseArgs(int argc, char** argv) {
 const std::vector<std::string>& commonFlags() {
   static const std::vector<std::string> flags = {
       "config", "big-little", "events", "chrome-trace", "metrics",
+      "faults",  "supervise",
   };
   return flags;
 }
@@ -136,8 +151,19 @@ void usage() {
       "  rltherm_cli compare    --app FAMILY [--dataset N] --policies p1,p2,...\n"
       "  rltherm_cli sweep      --apps a,b,... --policies p1,p2,... [--jobs N]\n"
       "                         [--dataset N] [--train N] [--live] [--seed S]\n"
+      "  rltherm_cli faults     [--scenarios DIR] [--apps a,b] [--jobs N]\n"
+      "                         [--train N] [--seed S] [--json FILE]\n"
+      "  rltherm_cli faults     --lint [FILE1,FILE2,...] [--scenarios DIR]\n"
       "policies: linux-ondemand linux-powersave linux-performance\n"
       "          userspace-<GHz> ge ge-modified proposed\n"
+      "robustness:\n"
+      "  --faults FILE        replay a fault scenario (scenarios/*.toml) during\n"
+      "                       the run (run/inter/concurrent/compare/sweep)\n"
+      "  --supervise          wrap the policy in the SafetySupervisor (sensor\n"
+      "                       quarantine, actuation retry, thermal emergency)\n"
+      "  faults               campaign grid over every scenario x policy, raw\n"
+      "                       vs supervised; --lint validates scenario files\n"
+      "                       and exits nonzero on the first parse error\n"
       "observability:\n"
       "  --events FILE        JSONL event log (decision epochs, app lifecycle,\n"
       "                       run summaries)\n"
@@ -309,6 +335,22 @@ PolicyBundle makePolicy(const std::string& name, const ConfigFile& config) {
   return bundle;
 }
 
+/// `--faults FILE`: loads the scenario into the runner config so the
+/// injector replays it during every run of the command.
+void loadFaults(const Options& options, core::RunnerConfig& runner) {
+  if (!options.has("faults")) return;
+  runner.faults = fault::FaultPlan::fromFile(options.get("faults", ""));
+}
+
+/// `--supervise`: wraps the selected policy in a SafetySupervisor. The
+/// bundle's manager pointer keeps pointing at the inner ThermalManager, so
+/// the freeze-after-train protocol still works through the wrapper.
+void superviseIfRequested(const Options& options, PolicyBundle& bundle) {
+  if (!options.has("supervise")) return;
+  bundle.policy = std::make_unique<core::SafetySupervisor>(
+      std::move(bundle.policy), core::SafetySupervisorConfig{});
+}
+
 void writeTraceCsv(const core::RunResult& result, const std::string& path) {
   trace::Recorder recorder(result.traceInterval);
   for (std::size_t c = 0; c < result.coreTraces.size(); ++c) {
@@ -380,6 +422,7 @@ int compareCommand(const Options& options) {
   if (options.has("big-little")) {
     runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
   }
+  loadFaults(options, runnerConfig);
   core::PolicyRunner runner(runnerConfig);
   ObsSetup obsSetup(options);
 
@@ -395,6 +438,7 @@ int compareCommand(const Options& options) {
   for (const std::string& name :
        splitList(options.get("policies", "linux-ondemand,ge,proposed"))) {
     PolicyBundle bundle = makePolicy(name, config);
+    superviseIfRequested(options, bundle);
     if (isLearningPolicy(name)) {
       (void)runner.run(train, *bundle.policy);
       if (bundle.manager && !options.has("live")) bundle.manager->freeze();
@@ -435,9 +479,11 @@ int runCommand(const Options& options) {
   if (options.has("big-little")) {
     runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
   }
+  loadFaults(options, runnerConfig);
   core::PolicyRunner runner(runnerConfig);
 
   PolicyBundle bundle = makePolicy(options.get("policy", "linux-ondemand"), config);
+  superviseIfRequested(options, bundle);
   const int trainPasses = std::stoi(options.get("train", "3"));
 
   ObsSetup obsSetup(options);
@@ -507,7 +553,9 @@ int sweepCommand(const Options& options) {
   if (options.has("big-little")) {
     runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
   }
+  loadFaults(options, runnerConfig);
 
+  const bool supervise = options.has("supervise");
   const int dataset = std::stoi(options.get("dataset", "1"));
   const int trainPasses = std::stoi(options.get("train", "3"));
   const bool live = options.has("live");
@@ -536,8 +584,13 @@ int sweepCommand(const Options& options) {
       }
       spec.runner = runnerConfig;
       spec.seed = baseSeed;
-      spec.policy = [policyName, &config](std::uint64_t) {
-        return makePolicy(policyName, config).policy;
+      spec.policy = [policyName, &config, supervise](std::uint64_t) {
+        std::unique_ptr<core::ThermalPolicy> policy = makePolicy(policyName, config).policy;
+        if (supervise) {
+          policy = std::make_unique<core::SafetySupervisor>(
+              std::move(policy), core::SafetySupervisorConfig{});
+        }
+        return policy;
       };
       specs.push_back(std::move(spec));
     }
@@ -573,6 +626,116 @@ int sweepCommand(const Options& options) {
   return 0;
 }
 
+/// Directory holding the scenario *.toml files: `--scenarios DIR`, or the
+/// `scenarios/` next to the usual launch points (repo root, build/,
+/// build/tools/).
+std::string scenarioDir(const Options& options) {
+  if (options.has("scenarios")) return options.get("scenarios", "scenarios");
+  for (const char* root : {".", "..", "../.."}) {
+    const std::string dir = std::string(root) + "/scenarios";
+    if (std::filesystem::is_directory(dir)) return dir;
+  }
+  throw PreconditionError(
+      "cannot find scenarios/ (run from the repo root or pass --scenarios DIR)");
+}
+
+/// Every *.toml under the scenario directory, sorted for deterministic
+/// lint/campaign order.
+std::vector<std::string> scenarioFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".toml") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  expects(!files.empty(), "no *.toml scenarios under '" + dir + "'");
+  return files;
+}
+
+/// `faults --lint [FILE1,FILE2]`: parse scenario files (all of scenarios/
+/// when no list is given) and report every malformed one with the parser's
+/// line-numbered message. Exit is nonzero iff any file failed — this is the
+/// scenario gate scripts/check.sh runs.
+int lintScenarios(const Options& options) {
+  const std::string arg = options.get("lint", "true");
+  const std::vector<std::string> files =
+      arg == "true" ? scenarioFiles(scenarioDir(options)) : splitList(arg);
+  int failures = 0;
+  for (const std::string& file : files) {
+    try {
+      const fault::FaultPlan plan = fault::FaultPlan::fromFile(file);
+      std::cout << "ok: " << file << " (" << plan.events.size() << " events)\n";
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      ++failures;
+    }
+  }
+  std::cout << files.size() - static_cast<std::size_t>(failures) << "/" << files.size()
+            << " scenarios valid\n";
+  return failures == 0 ? 0 : 1;
+}
+
+/// `faults`: the campaign grid — every scenario file (plus the clean
+/// baseline) x {linux, proposed} x {raw, supervised} — through the sweep
+/// engine, reporting peak/MTTF deltas and the supervisor's accounting.
+int faultsCommand(const Options& options) {
+  validateFlags(options,
+                {"scenarios", "lint", "apps", "dataset", "jobs", "train", "seed", "json"});
+  if (options.has("lint")) return lintScenarios(options);
+
+  ConfigFile config;
+  if (options.has("config")) {
+    std::ifstream in(options.get("config", ""));
+    expects(in.good(), "cannot read config file");
+    config = ConfigFile::parse(in);
+  }
+
+  bench::FaultCampaignOptions campaign;
+  campaign.runner = core::runnerConfigFrom(config);
+  if (options.has("big-little")) {
+    campaign.runner.machine.coreTypes = platform::bigLittleCoreTypes();
+  }
+  const int dataset = std::stoi(options.get("dataset", "1"));
+  for (const std::string& family :
+       splitList(options.get("apps", "tachyon,mpeg_dec"))) {
+    campaign.apps.push_back(workload::makeApp(family, dataset));
+  }
+  expects(!campaign.apps.empty(), "faults: --apps must name at least one app");
+  campaign.trainRepeats = std::stoi(options.get("train", "2"));
+
+  campaign.scenarios.push_back({"clean", fault::FaultPlan{}});
+  for (const std::string& file : scenarioFiles(scenarioDir(options))) {
+    campaign.scenarios.push_back(
+        {std::filesystem::path(file).stem().string(), fault::FaultPlan::fromFile(file)});
+  }
+
+  std::vector<exec::RunSpec> specs = bench::faultCampaignSpecs(campaign);
+  const std::uint64_t baseSeed =
+      static_cast<std::uint64_t>(std::stoull(options.get("seed", "0")));
+  for (exec::RunSpec& spec : specs) spec.seed = baseSeed;
+
+  exec::SweepOptions sweepOptions;
+  sweepOptions.jobs = static_cast<std::size_t>(std::stoul(options.get("jobs", "0")));
+
+  ObsSetup obsSetup(options);
+  const exec::SweepResult sweep = exec::SweepRunner(sweepOptions).run(specs);
+  const TextTable table = bench::faultCampaignTable(specs, sweep);
+  printBanner(std::cout, "fault campaign: " +
+                             std::to_string(campaign.scenarios.size()) +
+                             " scenarios, raw vs supervised");
+  table.print(std::cout);
+  std::cout << "sweep: " << sweep.runs.size() << " runs in "
+            << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
+            << " jobs (" << formatFixed(sweep.speedup(), 2)
+            << "x vs back-to-back)\n";
+  if (options.has("json")) {
+    bench::writeJsonReport(table, "fault_campaign",
+                           options.get("json", "fault_campaign.json"),
+                           bench::metaOf(sweep));
+  }
+  obsSetup.finish();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -584,6 +747,7 @@ int main(int argc, char** argv) {
     }
     if (options.command == "compare") return compareCommand(options);
     if (options.command == "sweep") return sweepCommand(options);
+    if (options.command == "faults") return faultsCommand(options);
     if (options.command == "run" || options.command == "inter" ||
         options.command == "concurrent") {
       return runCommand(options);
