@@ -117,6 +117,32 @@ void BM_QTableUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_QTableUpdate);
 
+void BM_QTableSnapshotRestore(benchmark::State& state) {
+  // The per-epoch Q_exp maintenance path (thermal_manager.cpp): snapshot
+  // into a preallocated buffer, then restore. Both must be copy-assigns into
+  // existing storage — the bench fails if either side reallocates.
+  rl::QTable table(16, 12);
+  Rng rng(11);
+  for (int i = 0; i < 512; ++i) {
+    const std::size_t s = static_cast<std::size_t>(rng.uniformInt(16));
+    const std::size_t a = static_cast<std::size_t>(rng.uniformInt(12));
+    const std::size_t next = static_cast<std::size_t>(rng.uniformInt(16));
+    (void)table.update(s, a, rng.uniform(-1.0, 1.0), next, 0.1, 0.75);
+  }
+  std::vector<double> buffer = table.snapshot();  // preallocate once
+  const double* data = buffer.data();
+  const std::size_t capacity = buffer.capacity();
+  for (auto _ : state) {
+    table.snapshotInto(buffer);
+    table.restore(buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  if (buffer.data() != data || buffer.capacity() != capacity) {
+    state.SkipWithError("snapshotInto/restore reallocated the preallocated buffer");
+  }
+}
+BENCHMARK(BM_QTableSnapshotRestore);
+
 void BM_SchedulerDispatch(benchmark::State& state) {
   sched::SchedulerConfig config;
   config.coreCount = 4;

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -188,11 +189,14 @@ inline ReportMeta metaOf(const exec::SweepResult& sweep) {
 
 /// Writes a bench result table as a JSON report:
 ///   {"suite": NAME, "wall_ms": MS, "jobs": N, "speedup_vs_serial": X,
-///    "columns": [...], "rows": [{col: value, ...}, ...]}
+///    <extra scalars...>, "columns": [...], "rows": [{col: value, ...}, ...]}
 /// Numeric-looking cells become JSON numbers (see JsonWriter::valueAuto), so
 /// downstream scripts get typed data without the table layer changing.
+/// `extra` lets a bench attach suite-specific top-level scalars (e.g. the
+/// policy zoo's retrain_ms_saved) without a bespoke writer.
 inline void writeJsonReport(const TextTable& table, const std::string& suite,
-                            const std::string& path, const ReportMeta& meta = {}) {
+                            const std::string& path, const ReportMeta& meta = {},
+                            const std::vector<std::pair<std::string, double>>& extra = {}) {
   std::ofstream out(path);
   expects(out.good(), "cannot write '" + path + "'");
   obs::JsonWriter json(out);
@@ -201,6 +205,7 @@ inline void writeJsonReport(const TextTable& table, const std::string& suite,
   json.key("wall_ms").value(meta.wallMs);
   json.key("jobs").value(static_cast<std::uint64_t>(meta.jobs));
   json.key("speedup_vs_serial").value(meta.speedup);
+  for (const auto& [key, value] : extra) json.key(key).value(value);
   json.key("columns").beginArray();
   for (const std::string& column : table.header()) json.value(column);
   json.endArray();

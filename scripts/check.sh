@@ -1,23 +1,24 @@
 #!/usr/bin/env bash
 # CI correctness driver: build + test under ASan/UBSan with runtime contracts
-# enabled, gate the fault-injection suite and lint the scenario files, vet
-# the parallel sweep engine under TSan, then run the project lint and (when
-# available) clang-tidy. Any finding fails the script. See docs/ANALYSIS.md.
+# enabled, gate the fault-injection and checkpoint-store suites, lint the
+# scenario files, smoke the train/inspect workflow, vet the parallel sweep
+# engine under TSan, then run the project lint and (when available)
+# clang-tidy. Any finding fails the script. See docs/ANALYSIS.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/7] configure (preset: asan-ubsan) =="
+echo "== [1/9] configure (preset: asan-ubsan) =="
 cmake --preset asan-ubsan
 
-echo "== [2/7] build =="
+echo "== [2/9] build =="
 cmake --build --preset asan-ubsan -j "${JOBS}"
 
-echo "== [3/7] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+echo "== [3/9] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
 ctest --preset asan-ubsan -j "${JOBS}"
 
-echo "== [4/7] fault suite gate (ctest -L faults) + scenario lint =="
+echo "== [4/9] fault suite gate (ctest -L faults) + scenario lint =="
 # The full run above includes these, but gate on the label explicitly so a
 # test-registration regression (lost LABELS faults) fails loudly instead of
 # silently shrinking coverage. -L with no matching tests exits zero, hence
@@ -30,12 +31,22 @@ fi
 ctest --preset asan-ubsan -L faults -j "${JOBS}"
 ./build-asan-ubsan/tools/rltherm_cli faults --lint --scenarios scenarios
 
-echo "== [5/7] concurrency tests under TSan (ctest -L concurrency) =="
+echo "== [5/9] store suite gate (ctest -L store) =="
+# Same vacuity guard as the fault gate: the corruption property tests MUST
+# execute under the sanitizers, so a lost 'store' label fails the script.
+STORE_COUNT="$(ctest --preset asan-ubsan -L store -N | sed -n 's/^Total Tests: //p')"
+if [ "${STORE_COUNT:-0}" -eq 0 ]; then
+  echo "no tests carry the 'store' label; the checkpoint-store gate is vacuous"
+  exit 1
+fi
+ctest --preset asan-ubsan -L store -j "${JOBS}"
+
+echo "== [6/9] concurrency tests under TSan (ctest -L concurrency) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target rltherm_concurrency_tests
 ctest --preset tsan -L concurrency -j "${JOBS}"
 
-echo "== [6/7] events-JSONL smoke (rltherm_cli --events) =="
+echo "== [7/9] events-JSONL smoke (rltherm_cli --events) =="
 EVENTS_TMP="$(mktemp /tmp/rltherm_events.XXXXXX.jsonl)"
 trap 'rm -f "${EVENTS_TMP}"' EXIT
 ./build-asan-ubsan/tools/rltherm_cli run --app mpeg_dec --policy linux-ondemand \
@@ -61,7 +72,34 @@ else
   echo "python3 not found on PATH; checked the event log is non-empty only."
 fi
 
-echo "== [7/7] static analysis =="
+echo "== [8/9] checkpoint train/inspect smoke (rltherm_cli train + inspect --json) =="
+CKPT_TMP="$(mktemp -d /tmp/rltherm_ckpt.XXXXXX)"
+trap 'rm -f "${EVENTS_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
+printf '[runner]\nmax_sim_time = 400\nanalysis_warmup = 10\nanalysis_cooldown = 5\n\n[manager]\nsampling_interval = 0.5\ndecision_epoch = 2.0\n' \
+  > "${CKPT_TMP}/tiny.ini"
+./build-asan-ubsan/tools/rltherm_cli train --config "${CKPT_TMP}/tiny.ini" \
+  --out "${CKPT_TMP}/policy.ckpt" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  ./build-asan-ubsan/tools/rltherm_cli inspect "${CKPT_TMP}/policy.ckpt" --json \
+    > "${CKPT_TMP}/inspect.json"
+  python3 - "${CKPT_TMP}/inspect.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+for key in ("format_version", "fingerprint", "states", "sections"):
+    if key not in doc:
+        sys.exit(f"inspect --json: missing key '{key}'")
+if not doc["sections"]:
+    sys.exit("inspect --json: no sections reported")
+print(f"checkpoint smoke: {len(doc['sections'])} sections, "
+      f"fingerprint {doc['fingerprint']}")
+PY
+else
+  ./build-asan-ubsan/tools/rltherm_cli inspect "${CKPT_TMP}/policy.ckpt" >/dev/null
+  echo "python3 not found on PATH; checked inspect runs only."
+fi
+
+echo "== [9/9] static analysis =="
 ./build-asan-ubsan/tools/rltherm_lint .
 
 if command -v run-clang-tidy >/dev/null 2>&1; then

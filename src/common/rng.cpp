@@ -25,6 +25,20 @@ Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& lane : state_) lane = splitMix64(s);
 }
 
+Rng::StreamState Rng::streamState() const noexcept {
+  StreamState state;
+  state.lanes = state_;
+  state.cachedGaussian = cachedGaussian_;
+  state.hasCachedGaussian = hasCachedGaussian_;
+  return state;
+}
+
+void Rng::setStreamState(const StreamState& state) noexcept {
+  state_ = state.lanes;
+  cachedGaussian_ = state.cachedGaussian;
+  hasCachedGaussian_ = state.hasCachedGaussian;
+}
+
 std::uint64_t Rng::next() noexcept {
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

@@ -41,6 +41,18 @@ class Rng {
   /// Jump function: advances the state by 2^128 steps, for independent streams.
   void jump() noexcept;
 
+  /// Complete generator state for checkpointing: the four xoshiro lanes plus
+  /// the Box-Muller cache (without it a restored stream would emit one extra
+  /// or one missing gaussian and diverge).
+  struct StreamState {
+    std::array<std::uint64_t, 4> lanes{};
+    double cachedGaussian = 0.0;
+    bool hasCachedGaussian = false;
+  };
+
+  [[nodiscard]] StreamState streamState() const noexcept;
+  void setStreamState(const StreamState& state) noexcept;
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cachedGaussian_ = 0.0;

@@ -31,6 +31,20 @@ void MovingAverage::reset() noexcept {
   sum_ = 0.0;
 }
 
+MovingAverage::Snapshot MovingAverage::snapshotState() const {
+  Snapshot snapshot;
+  snapshot.samples.assign(samples_.begin(), samples_.end());
+  snapshot.sum = sum_;
+  return snapshot;
+}
+
+void MovingAverage::restoreState(const Snapshot& snapshot) {
+  expects(snapshot.samples.size() <= window_,
+          "MovingAverage::restoreState: more samples than the window holds");
+  samples_.assign(snapshot.samples.begin(), snapshot.samples.end());
+  sum_ = snapshot.sum;
+}
+
 ExponentialMovingAverage::ExponentialMovingAverage(double alpha) : alpha_(alpha) {
   expects(alpha > 0.0 && alpha <= 1.0, "EMA alpha must be in (0, 1]");
 }
@@ -74,6 +88,18 @@ double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 double OnlineStats::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
 
 double OnlineStats::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+OnlineStats::Raw OnlineStats::raw() const noexcept {
+  return Raw{count_, mean_, m2_, min_, max_};
+}
+
+void OnlineStats::restoreRaw(const Raw& raw) noexcept {
+  count_ = raw.count;
+  mean_ = raw.mean;
+  m2_ = raw.m2;
+  min_ = raw.min;
+  max_ = raw.max;
+}
 
 double autocorrelation(std::span<const double> series, std::size_t lag) {
   if (lag == 0) return 1.0;

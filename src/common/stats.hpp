@@ -27,6 +27,19 @@ class MovingAverage {
   [[nodiscard]] bool full() const noexcept { return samples_.size() == window_; }
   void reset() noexcept;
 
+  /// Complete window state for checkpointing. The running sum is serialized
+  /// verbatim rather than re-derived: push/evict accumulate floating-point
+  /// error, so a re-summed window would diverge from the live instance by an
+  /// ULP or two and break bit-exact resume.
+  struct Snapshot {
+    std::vector<double> samples;  ///< oldest first
+    double sum = 0.0;
+  };
+
+  [[nodiscard]] Snapshot snapshotState() const;
+  /// Requires samples.size() <= window().
+  void restoreState(const Snapshot& snapshot);
+
  private:
   std::size_t window_;
   std::deque<double> samples_;
@@ -60,6 +73,18 @@ class OnlineStats {
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
   void reset() noexcept { *this = OnlineStats{}; }
+
+  /// Raw Welford accumulators for checkpointing (bit-exact round trip).
+  struct Raw {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  [[nodiscard]] Raw raw() const noexcept;
+  void restoreRaw(const Raw& raw) noexcept;
 
  private:
   std::size_t count_ = 0;

@@ -1,5 +1,8 @@
 #include "core/action_space.hpp"
 
+#include <exception>
+#include <string>
+
 #include "common/error.hpp"
 
 namespace rltherm::core {
@@ -36,7 +39,9 @@ ActionSpace ActionSpace::standard(std::size_t coreCount) {
       {platform::GovernorKind::Userspace, 2.8e9},
       {platform::GovernorKind::Userspace, 2.4e9},
   };
-  return ActionSpace(std::move(patterns), std::move(governors));
+  ActionSpace space(std::move(patterns), std::move(governors));
+  space.spec_ = "standard:" + std::to_string(coreCount);
+  return space;
 }
 
 ActionSpace ActionSpace::ofSize(std::size_t coreCount, std::size_t actionCount) {
@@ -65,6 +70,7 @@ ActionSpace ActionSpace::ofSize(std::size_t coreCount, std::size_t actionCount) 
   }
   ActionSpace space({catalogue[0]}, {governors[0]});  // placeholder, replaced below
   space.actions_ = std::move(actions);
+  space.spec_ = "sized:" + std::to_string(coreCount) + ":" + std::to_string(actionCount);
   return space;
 }
 
@@ -90,7 +96,49 @@ ActionSpace ActionSpace::extended(std::size_t coreCount) {
   space.actions_.push_back(splitAction(catalogue[1], 2.8e9, 2.0e9));
   space.actions_.push_back(splitAction(catalogue[2], 3.4e9, 2.0e9));
   space.actions_.push_back(splitAction(catalogue[4], 2.4e9, 1.6e9));
+  space.spec_ = "extended:" + std::to_string(coreCount);
   return space;
+}
+
+ActionSpace ActionSpace::fromSpec(const std::string& spec) {
+  const auto parseCount = [&spec](const std::string& text, const char* what) {
+    std::size_t consumed = 0;
+    unsigned long long value = 0;
+    try {
+      value = std::stoull(text, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != text.size() || text.empty() || value == 0) {
+      throw PreconditionError("ActionSpace::fromSpec: malformed " + std::string(what) +
+                              " in spec '" + spec + "'");
+    }
+    return static_cast<std::size_t>(value);
+  };
+
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "standard") return standard(parseCount(rest, "core count"));
+  if (kind == "extended") return extended(parseCount(rest, "core count"));
+  if (kind == "sized") {
+    const std::size_t sep = rest.find(':');
+    if (sep == std::string::npos) {
+      throw PreconditionError(
+          "ActionSpace::fromSpec: 'sized' needs '<cores>:<actions>' in spec '" + spec +
+          "'");
+    }
+    return ofSize(parseCount(rest.substr(0, sep), "core count"),
+                  parseCount(rest.substr(sep + 1), "action count"));
+  }
+  if (kind == "custom") {
+    throw PreconditionError(
+        "ActionSpace::fromSpec: a 'custom' action space cannot be rebuilt by name — "
+        "reconstruct it programmatically and use ThermalManager::loadCheckpoint");
+  }
+  throw PreconditionError("ActionSpace::fromSpec: unknown spec '" + spec +
+                          "' (expected standard:<cores>, extended:<cores> or "
+                          "sized:<cores>:<actions>)");
 }
 
 void ActionSpace::apply(std::size_t i, platform::Machine& machine,

@@ -53,6 +53,16 @@ class ActionSpace {
   [[nodiscard]] std::size_t size() const noexcept { return actions_.size(); }
   [[nodiscard]] const Action& action(std::size_t i) const { return actions_.at(i); }
 
+  /// Constructor descriptor for checkpointing: spaces built by the named
+  /// factories carry a reconstructable spec ("standard:4", "extended:4",
+  /// "sized:4:20"); a space assembled from raw pattern/governor lists is
+  /// "custom" and cannot round-trip by name (fromSpec rejects it).
+  [[nodiscard]] const std::string& spec() const noexcept { return spec_; }
+
+  /// Rebuilds a factory-made space from its spec() string. Fails with a
+  /// diagnostic error on "custom" or on a malformed spec.
+  [[nodiscard]] static ActionSpace fromSpec(const std::string& spec);
+
   /// Apply action i: set the governor on the machine and the affinity
   /// pattern on the workload's managed threads.
   void apply(std::size_t i, platform::Machine& machine,
@@ -60,6 +70,7 @@ class ActionSpace {
 
  private:
   std::vector<Action> actions_;
+  std::string spec_ = "custom";
 };
 
 }  // namespace rltherm::core

@@ -1,0 +1,36 @@
+// Bridge between the store subsystem's PolicyCheckpoint artifacts and the
+// live policy objects: rebuild a ThermalManager from a checkpoint file, and
+// the resume-from / save-at-end hooks that PolicyRunner and SweepRunner
+// apply to a policy that may be wrapped in a SafetySupervisor.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/thermal_manager.hpp"
+
+namespace rltherm::core {
+
+class ThermalPolicy;
+
+/// Reconstructs a manager entirely from a checkpoint file: config and action
+/// space from the META section (the action-space spec must be a factory
+/// spec, see ActionSpace::fromSpec), then the full learning state. The
+/// rebuilt space's action names are verified against the stored names so a
+/// catalogue drift between builds cannot be silently absorbed.
+[[nodiscard]] std::unique_ptr<ThermalManager> loadManagerFromCheckpoint(
+    const std::string& path);
+
+/// The ThermalManager inside `policy`, unwrapping one SafetySupervisor
+/// layer; nullptr when the policy is not checkpointable (a baseline).
+[[nodiscard]] ThermalManager* checkpointTarget(ThermalPolicy& policy) noexcept;
+[[nodiscard]] const ThermalManager* checkpointTarget(
+    const ThermalPolicy& policy) noexcept;
+
+/// Runner hooks: load into / save from `policy`'s ThermalManager. Both fail
+/// with a diagnostic error when the policy has no manager to target —
+/// silently skipping a requested resume would be worse than refusing.
+void resumePolicyFromCheckpoint(ThermalPolicy& policy, const std::string& path);
+void savePolicyCheckpointOf(const ThermalPolicy& policy, const std::string& path);
+
+}  // namespace rltherm::core

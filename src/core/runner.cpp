@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/manager_checkpoint.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
@@ -112,6 +113,9 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
   result.coreTraces.assign(machine.coreCount(), {});
   emitRunStart(result);
 
+  if (!config_.resumeCheckpoint.empty()) {
+    resumePolicyFromCheckpoint(policy, config_.resumeCheckpoint);
+  }
   policy.onStart(ctx);
 
   Seconds nextSample = policy.samplingInterval() > 0.0 ? policy.samplingInterval() : -1.0;
@@ -166,6 +170,9 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
   result.completions = driver.completions();
   if (injector.has_value()) result.faultStats = injector->stats();
   finalizeResult(config_, machine, result);
+  if (!config_.saveCheckpointAtEnd.empty()) {
+    savePolicyCheckpointOf(policy, config_.saveCheckpointAtEnd);
+  }
   return result;
 }
 
@@ -196,6 +203,9 @@ RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps
   result.coreTraces.assign(machine.coreCount(), {});
   emitRunStart(result);
 
+  if (!config_.resumeCheckpoint.empty()) {
+    resumePolicyFromCheckpoint(policy, config_.resumeCheckpoint);
+  }
   policy.onStart(ctx);
 
   Seconds nextSample = policy.samplingInterval() > 0.0 ? policy.samplingInterval() : -1.0;
@@ -251,6 +261,9 @@ RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps
     });
   }
   finalizeResult(config_, machine, result);
+  if (!config_.saveCheckpointAtEnd.empty()) {
+    savePolicyCheckpointOf(policy, config_.saveCheckpointAtEnd);
+  }
   return result;
 }
 

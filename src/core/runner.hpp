@@ -45,6 +45,16 @@ struct RunnerConfig {
   /// injection, the default; the runner then behaves bit-identically to a
   /// build without the fault layer). See src/fault/plan.hpp.
   fault::FaultPlan faults;
+
+  /// Policy-checkpoint hooks (src/store/). When `resumeCheckpoint` is
+  /// non-empty the policy's ThermalManager (possibly supervisor-wrapped)
+  /// loads it right before onStart; when `saveCheckpointAtEnd` is non-empty
+  /// a checkpoint is written after the run completes. Both fail with a
+  /// diagnostic error if the policy carries no manager. Because saves happen
+  /// at the run boundary, resume is bit-exact (see
+  /// ThermalManager::saveCheckpoint).
+  std::string resumeCheckpoint;
+  std::string saveCheckpointAtEnd;
 };
 
 struct RunResult {

@@ -215,7 +215,11 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
   havePrevAction_ = true;
   if (stableEpochs_ >= config_.movingAverageWindow &&
       schedule_.phase() != rl::LearningPhase::Exploration) {
-    qExp_ = qTable_.snapshot();
+    // Refresh in place: snapshotInto copy-assigns into the existing buffer,
+    // so the steady-state epoch path performs no allocation (asserted by
+    // BM_QTableSnapshotRestore in bench_micro_kernels).
+    if (!qExp_) qExp_.emplace();
+    qTable_.snapshotInto(*qExp_);
   }
 
   logEpoch(EpochRecord{

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,6 +40,10 @@
 #include "rl/learning_rate.hpp"
 #include "rl/qtable.hpp"
 #include "rl/reward.hpp"
+
+namespace rltherm::store {
+struct PolicyCheckpoint;
+}  // namespace rltherm::store
 
 namespace rltherm::core {
 
@@ -185,6 +191,24 @@ class ThermalManager final : public ThermalPolicy {
   [[nodiscard]] std::size_t epochsToConvergence() const;
 
   [[nodiscard]] const ThermalManagerConfig& config() const noexcept { return config_; }
+
+  // --- checkpointing (src/store/, implemented in manager_checkpoint.cpp) ---
+  /// Writes the complete learning state to a versioned checkpoint file
+  /// (atomic tmp+rename). Saving at a run boundary gives exact resume:
+  /// onStart clears only the partial-epoch sample buffers, which are empty
+  /// at a boundary, so a save-then-continue run is bit-identical to an
+  /// uninterrupted one.
+  void saveCheckpoint(const std::string& path) const;
+  /// Restores the complete learning state. The file's config fingerprint
+  /// must match configFingerprint() — a checkpoint cannot silently apply to
+  /// a manager with a different action space / discretizer / reward setup.
+  void loadCheckpoint(const std::string& path);
+  /// Hash of everything that determines what a learned Q entry means (see
+  /// the fingerprint rule in store/policy_checkpoint.hpp).
+  [[nodiscard]] std::uint64_t configFingerprint() const;
+  /// In-memory capture/restore backing the file-based pair above.
+  [[nodiscard]] store::PolicyCheckpoint captureCheckpoint() const;
+  void restoreFromCheckpoint(const store::PolicyCheckpoint& checkpoint);
 
  private:
   void onEpoch(PolicyContext& ctx);

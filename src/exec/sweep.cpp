@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/manager_checkpoint.hpp"
 #include "core/safety_supervisor.hpp"
 #include "core/thermal_manager.hpp"
 #include "exec/thread_pool.hpp"
@@ -51,6 +52,9 @@ void executeSpec(const RunSpec& spec, std::size_t index, RunReport& report) {
   {
     const obs::ScopedSession guard(session);
     const core::PolicyRunner runner(runnerConfig);
+    if (!spec.resumeFrom.empty()) {
+      core::resumePolicyFromCheckpoint(*policy, spec.resumeFrom);
+    }
     if (!spec.train.apps.empty()) (void)runner.run(spec.train, *policy);
     if (spec.freezeAfterTrain) {
       if (auto* manager = dynamic_cast<core::ThermalManager*>(policy.get())) {
@@ -60,6 +64,9 @@ void executeSpec(const RunSpec& spec, std::size_t index, RunReport& report) {
       }
     }
     report.result = runner.run(spec.scenario, *policy);
+    if (!spec.saveCheckpointAs.empty()) {
+      core::savePolicyCheckpointOf(*policy, spec.saveCheckpointAs);
+    }
   }
 
   report.policy = std::move(policy);

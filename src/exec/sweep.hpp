@@ -62,6 +62,14 @@ struct RunSpec {
   /// training prefix and the evaluation run; ignored for other policies.
   bool freezeAfterTrain = false;
   PolicyFactory policy;         ///< required
+  /// Policy-zoo hooks (src/store/): load the factory-built policy's
+  /// ThermalManager from this checkpoint before any training prefix, and/or
+  /// save it after the evaluation run. Paths must be unique per spec — jobs
+  /// run concurrently and two specs writing the same file would race. Specs
+  /// that only READ a common checkpoint (train once, evaluate many) are the
+  /// intended pattern and remain bit-identical at any --jobs.
+  std::string resumeFrom;
+  std::string saveCheckpointAs;
   core::RunnerConfig runner;
   /// Run-seed base. 0 (default) leaves the spec's configured machine seeds
   /// untouched, preserving the exact serial-bench numbers. Non-zero derives

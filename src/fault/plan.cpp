@@ -1,7 +1,6 @@
 #include "fault/plan.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -10,6 +9,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/strict_file.hpp"
 
 namespace rltherm::fault {
 
@@ -51,31 +51,17 @@ std::optional<FaultKind> kindOf(const std::string& name) {
   return std::nullopt;
 }
 
+// The shared strict-file helpers (common/strict_file.hpp) own the
+// golden-tested "source:line: message" diagnostic format and the text-line
+// utilities; terse local aliases keep the parser readable.
 [[noreturn]] void fail(const std::string& source, std::size_t line,
                        const std::string& message) {
-  if (line > 0) {
-    throw PreconditionError(source + ":" + std::to_string(line) + ": " + message);
-  }
-  throw PreconditionError(source + ": " + message);
+  failParse(source, line, message);
 }
 
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
+std::string trim(const std::string& s) { return trimWhitespace(s); }
 
-/// Strips a trailing `# comment` that is not inside a quoted string.
-std::string stripComment(const std::string& line) {
-  bool inString = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (line[i] == '"') inString = !inString;
-    if (line[i] == '#' && !inString) return line.substr(0, i);
-  }
-  return line;
-}
+std::string stripComment(const std::string& line) { return stripLineComment(line); }
 
 /// One raw key = value assignment with its source line.
 struct RawValue {

@@ -43,6 +43,11 @@ void LearningRateSchedule::restoreToExplorationEnd() noexcept {
   recomputeAlphaFromStep();
 }
 
+void LearningRateSchedule::restoreStep(std::size_t step) noexcept {
+  step_ = step;
+  recomputeAlphaFromStep();
+}
+
 double LearningRateSchedule::epsilon() const noexcept {
   return phase() == LearningPhase::Exploration ? 1.0 : 0.0;
 }

@@ -68,6 +68,10 @@ class LearningRateSchedule {
 
   [[nodiscard]] const LearningRateConfig& config() const noexcept { return config_; }
 
+  /// Checkpoint restore: alpha is a pure function of step (every mutator
+  /// recomputes it), so the step counter is the schedule's complete state.
+  void restoreStep(std::size_t step) noexcept;
+
  private:
   void recomputeAlphaFromStep() noexcept;
 

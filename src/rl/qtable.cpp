@@ -94,6 +94,31 @@ void QTable::restore(const std::vector<double>& snapshot) {
   values_ = snapshot;
 }
 
+std::vector<std::uint8_t> QTable::touchedBytes() const {
+  std::vector<std::uint8_t> bytes(touched_.size());
+  for (std::size_t i = 0; i < touched_.size(); ++i) {
+    bytes[i] = touched_[i] ? 1 : 0;
+  }
+  return bytes;
+}
+
+void QTable::restoreFull(const std::vector<double>& values,
+                         const std::vector<std::size_t>& visits,
+                         const std::vector<std::uint8_t>& touched) {
+  expects(values.size() == values_.size(), "QTable::restoreFull: values size mismatch");
+  expects(visits.size() == visits_.size(), "QTable::restoreFull: visits size mismatch");
+  expects(touched.size() == touched_.size(),
+          "QTable::restoreFull: touched size mismatch");
+  values_ = values;
+  visits_ = visits;
+  touchedCount_ = 0;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    expects(touched[i] <= 1, "QTable::restoreFull: touched entries must be 0 or 1");
+    touched_[i] = touched[i] == 1;
+    if (touched_[i]) ++touchedCount_;
+  }
+}
+
 std::size_t selectEpsilonGreedy(const QTable& table, std::size_t state, double epsilon,
                                 Rng& rng) {
   expects(epsilon >= 0.0 && epsilon <= 1.0, "epsilon must be in [0, 1]");

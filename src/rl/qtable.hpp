@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -60,6 +61,24 @@ class QTable {
   /// Copy-out / copy-in for the dual-table mechanism ("Q <- Q_exp").
   [[nodiscard]] std::vector<double> snapshot() const { return values_; }
   void restore(const std::vector<double>& snapshot);
+
+  /// Allocation-free variant of snapshot(): copy-assigns into `out`, reusing
+  /// its capacity. The per-epoch Q_exp refresh uses this so steady-state
+  /// epochs allocate nothing (asserted in bench_micro_kernels).
+  void snapshotInto(std::vector<double>& out) const { out = values_; }
+
+  // --- checkpoint support (src/store/) ---
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+  [[nodiscard]] const std::vector<std::size_t>& visits() const noexcept {
+    return visits_;
+  }
+  /// Touched mask as bytes (0/1), vector<bool> being unserializable as-is.
+  [[nodiscard]] std::vector<std::uint8_t> touchedBytes() const;
+  /// Full-state restore for checkpoint loads; recomputes the touched count.
+  /// Sizes must match the table's geometry.
+  void restoreFull(const std::vector<double>& values,
+                   const std::vector<std::size_t>& visits,
+                   const std::vector<std::uint8_t>& touched);
 
  private:
   [[nodiscard]] std::size_t index(std::size_t state, std::size_t action) const;

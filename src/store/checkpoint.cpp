@@ -1,0 +1,201 @@
+#include "store/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strict_file.hpp"
+
+namespace rltherm::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = ((c & 1u) != 0) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+/// Section header: u32 id + u64 length + u32 crc.
+constexpr std::uint64_t kSectionHeaderBytes = 16;
+constexpr std::uint64_t kFileHeaderBytes = 24;
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = makeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(v) == sizeof(bits), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void ByteWriter::str(const std::string& s) {
+  u64(static_cast<std::uint64_t>(s.size()));
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::raw(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+const CheckpointSection* CheckpointImage::find(std::uint32_t id) const noexcept {
+  for (const CheckpointSection& section : sections) {
+    if (section.id == id) return &section;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> encodeImage(const CheckpointImage& image) {
+  ByteWriter out;
+  out.raw(reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic));
+  out.u32(image.version);
+  out.u64(image.fingerprint);
+  out.u32(static_cast<std::uint32_t>(image.sections.size()));
+  std::uint32_t previousId = 0;
+  for (const CheckpointSection& section : image.sections) {
+    expects(section.id > previousId,
+            "encodeImage: section ids must be nonzero and strictly increasing");
+    previousId = section.id;
+    out.u32(section.id);
+    out.u64(static_cast<std::uint64_t>(section.payload.size()));
+    out.u32(crc32(section.payload.data(), section.payload.size()));
+    out.raw(section.payload.data(), section.payload.size());
+  }
+  return out.take();
+}
+
+CheckpointImage decodeImage(const std::vector<std::uint8_t>& bytes,
+                            const std::string& source) {
+  ByteReader in(bytes.data(), bytes.size(), source);
+  const std::vector<std::uint8_t> magic = in.bytes(sizeof(kMagic), "magic");
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    failParseAtOffset(source, 0,
+                      "bad magic (not a policy checkpoint; expected 'RLTHCKPT')");
+  }
+  CheckpointImage image;
+  image.version = in.u32("format version");
+  if (image.version != kFormatVersion) {
+    failParseAtOffset(source, 8,
+                      "unsupported format version " + std::to_string(image.version) +
+                          " (this build reads version " +
+                          std::to_string(kFormatVersion) + ")");
+  }
+  image.fingerprint = in.u64("config fingerprint");
+  const std::uint32_t sectionCount = in.u32("section count");
+  std::uint32_t previousId = 0;
+  for (std::uint32_t i = 0; i < sectionCount; ++i) {
+    const std::size_t headerOffset = in.offset();
+    CheckpointSection section;
+    section.id = in.u32("section id");
+    if (section.id == 0) {
+      failParseAtOffset(source, headerOffset, "section id 0 is invalid");
+    }
+    if (i > 0 && section.id <= previousId) {
+      failParseAtOffset(source, headerOffset,
+                        "section id " + std::to_string(section.id) +
+                            " is not strictly increasing (previous id " +
+                            std::to_string(previousId) + ")");
+    }
+    previousId = section.id;
+    const std::uint64_t length = in.u64("section length");
+    const std::uint32_t storedCrc = in.u32("section crc");
+    // ByteReader::bytes() bounds-checks `length` against the remaining input
+    // BEFORE allocating, so a bit-flipped length cannot trigger an OOM.
+    if (length > bytes.size()) {
+      in.fail("section " + std::to_string(section.id) + " declares " +
+              std::to_string(length) + " payload byte(s), more than the whole file");
+    }
+    section.payload = in.bytes(static_cast<std::size_t>(length),
+                               "section payload");
+    const std::uint32_t actualCrc =
+        crc32(section.payload.data(), section.payload.size());
+    if (actualCrc != storedCrc) {
+      failParseAtOffset(source, headerOffset,
+                        "section " + std::to_string(section.id) +
+                            " CRC mismatch (stored " + std::to_string(storedCrc) +
+                            ", computed " + std::to_string(actualCrc) +
+                            ") — file corrupt");
+    }
+    image.sections.push_back(std::move(section));
+  }
+  in.expectEnd("the last section");
+  return image;
+}
+
+void writeCheckpointFile(const std::string& path, const CheckpointImage& image) {
+  const std::vector<std::uint8_t> bytes = encodeImage(image);
+  const std::string tmpPath = path + ".tmp";
+  {
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    expects(out.good(), "cannot write checkpoint tmp file '" + tmpPath + "'");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmpPath.c_str());
+      throw PreconditionError("failed writing checkpoint tmp file '" + tmpPath + "'");
+    }
+  }
+  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+    std::remove(tmpPath.c_str());
+    throw PreconditionError("failed renaming checkpoint '" + tmpPath + "' to '" +
+                            path + "'");
+  }
+}
+
+CheckpointImage readCheckpointFile(const std::string& path) {
+  const std::vector<std::uint8_t> bytes =
+      readFileBounded(path, kMaxCheckpointBytes, "checkpoint");
+  return decodeImage(bytes, path);
+}
+
+std::vector<SectionInfo> describeImage(const CheckpointImage& image) {
+  std::vector<SectionInfo> infos;
+  infos.reserve(image.sections.size());
+  std::uint64_t offset = kFileHeaderBytes;
+  for (const CheckpointSection& section : image.sections) {
+    SectionInfo info;
+    info.id = section.id;
+    info.offset = offset;
+    info.payloadBytes = static_cast<std::uint64_t>(section.payload.size());
+    info.crc = crc32(section.payload.data(), section.payload.size());
+    infos.push_back(info);
+    offset += kSectionHeaderBytes + info.payloadBytes;
+  }
+  return infos;
+}
+
+}  // namespace rltherm::store

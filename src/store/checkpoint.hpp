@@ -1,0 +1,108 @@
+// Versioned binary checkpoint container.
+//
+// On-disk layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "RLTHCKPT"
+//   8       4     format version (u32, currently 1)
+//   12      8     config fingerprint (u64, duplicated in the META section)
+//   20      4     section count (u32)
+//   24      ...   sections, each:
+//                   u32  section id (strictly increasing across the file)
+//                   u64  payload length in bytes
+//                   u32  CRC32 (IEEE) of the payload
+//                   ...  payload
+//
+// Strictness is the point: unknown/duplicate/out-of-order section ids,
+// length overruns, CRC mismatches and trailing bytes are all diagnostic
+// errors with absolute file offsets (common/strict_file.hpp style), never
+// UB. Writes go through a tmp-file + rename so a crash mid-save can never
+// leave a half-written checkpoint at the target path.
+//
+// This layer knows nothing about policies — section payloads are opaque
+// bytes. The policy codec lives in store/policy_checkpoint.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rltherm::store {
+
+inline constexpr char kMagic[8] = {'R', 'L', 'T', 'H', 'C', 'K', 'P', 'T'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Whole-file read cap: a corrupted length field must fail cleanly, not OOM.
+inline constexpr std::size_t kMaxCheckpointBytes = std::size_t{256} * 1024 * 1024;
+
+/// Cap on any single length-prefixed string inside a section payload.
+inline constexpr std::size_t kMaxStringBytes = std::size_t{1} * 1024 * 1024;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), the zlib `crc32` convention.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept;
+
+/// Little-endian append-only byte serializer, the write-side mirror of
+/// common/strict_file.hpp's ByteReader.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern, bit-exact round trip
+  void boolean(bool v);
+  void str(const std::string& s);  ///< u64 length prefix + raw content
+  void raw(const std::uint8_t* data, std::size_t size);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+struct CheckpointSection {
+  std::uint32_t id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Decoded container: header fields + sections in file order.
+struct CheckpointImage {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t fingerprint = 0;
+  std::vector<CheckpointSection> sections;
+
+  /// Returns the section with `id`, or nullptr when absent.
+  [[nodiscard]] const CheckpointSection* find(std::uint32_t id) const noexcept;
+};
+
+/// Sections must carry strictly increasing ids (encode enforces; decode
+/// rejects violations as corruption).
+[[nodiscard]] std::vector<std::uint8_t> encodeImage(const CheckpointImage& image);
+
+/// Validates magic, version, section structure and every CRC. `source` names
+/// the artifact in diagnostics (usually the file path).
+[[nodiscard]] CheckpointImage decodeImage(const std::vector<std::uint8_t>& bytes,
+                                          const std::string& source);
+
+/// Atomic write: serialize to `path + ".tmp"`, fsync-free flush, rename.
+void writeCheckpointFile(const std::string& path, const CheckpointImage& image);
+
+/// Bounded read (kMaxCheckpointBytes) + decodeImage.
+[[nodiscard]] CheckpointImage readCheckpointFile(const std::string& path);
+
+/// Per-section metadata for `rltherm_cli inspect`.
+struct SectionInfo {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;  ///< absolute file offset of the section header
+  std::uint64_t payloadBytes = 0;
+  std::uint32_t crc = 0;
+};
+
+[[nodiscard]] std::vector<SectionInfo> describeImage(const CheckpointImage& image);
+
+}  // namespace rltherm::store

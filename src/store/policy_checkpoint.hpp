@@ -1,0 +1,196 @@
+// Policy checkpoint codec: the section payloads that capture a complete
+// ThermalManager learning state for bit-exact continuation.
+//
+// Sections (ids are part of the on-disk format; never renumber):
+//
+//   id  name      contents
+//   1   meta      full manager configuration + action-space descriptor
+//   2   qtable    Q values, per-state visit counts, touched mask
+//   3   qexp      optional Q_exp end-of-exploration snapshot
+//   4   schedule  LearningRateSchedule step (alpha is a pure function of it)
+//   5   rng       xoshiro lanes + Box-Muller cache
+//   6   sampling  adaptive sampling-interval state
+//   7   detect    Section 5.4 detection state: stress/aging moving averages
+//                 (running sums verbatim), previous MAs, online histories,
+//                 previous state/action, stable-epoch count, frozen flag,
+//                 detection counters
+//   8   epochlog  per-epoch instrumentation records (the obs event epoch
+//                 numbering continues from its length, so it is state)
+//
+// Fingerprint rule: the header/META fingerprint is FNV-1a(64) over a
+// canonical little-endian encoding of every field that changes what the
+// learned Q values MEAN — action-space spec + action names, discretizer
+// geometry (bins + ranges), gamma/optimistic-init/learning-rate/reward
+// parameters, detection window + thresholds, adaptationEnabled. Timing-only
+// knobs (sampling interval, decision epoch/overhead, adaptive-sampling
+// bounds) and the RNG seed are deliberately excluded: they are either
+// restored from the checkpoint or do not alter the meaning of a Q entry.
+// Loading into a manager whose fingerprint differs is a diagnostic error.
+//
+// This layer depends only on rltherm::common — it mirrors the manager's
+// state in plain structs so src/core can link against src/store without a
+// cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/checkpoint.hpp"
+
+namespace rltherm::store {
+
+inline constexpr std::uint32_t kSectionMeta = 1;
+inline constexpr std::uint32_t kSectionQTable = 2;
+inline constexpr std::uint32_t kSectionQExp = 3;
+inline constexpr std::uint32_t kSectionSchedule = 4;
+inline constexpr std::uint32_t kSectionRng = 5;
+inline constexpr std::uint32_t kSectionSampling = 6;
+inline constexpr std::uint32_t kSectionDetect = 7;
+inline constexpr std::uint32_t kSectionEpochLog = 8;
+
+/// Stable display name for a section id ("?" when unknown).
+[[nodiscard]] const char* sectionName(std::uint32_t id) noexcept;
+
+/// Mirror of ThermalManagerConfig plus the action-space descriptor. Doubles
+/// are stored as IEEE bit patterns, so the round trip is exact.
+struct PolicyMeta {
+  // action space
+  std::string actionSpec;
+  std::vector<std::string> actionNames;
+  // discretizer geometry
+  std::uint64_t stressBins = 4;
+  std::uint64_t agingBins = 4;
+  double stressRangeLo = 1.0e-8;
+  double stressRangeHi = 1.0e-3;
+  double agingRangeHi = 2.0;
+  // learning
+  double gamma = 0.75;
+  double optimisticInit = 1.5;
+  bool scaleExplorationToActions = false;
+  double lrInitialAlpha = 1.0;
+  double lrDecay = 0.25;
+  double lrMinAlpha = 0.08;
+  double lrExplorationThreshold = 0.5;
+  double lrExploitationThreshold = 0.1;
+  // reward
+  double rewardGaussianMean = 0.35;
+  double rewardGaussianSigma = 0.35;
+  double rewardImportanceHigh = 0.7;
+  double rewardImportanceLow = 0.3;
+  double rewardUnsafePenaltyScale = 2.0;
+  double rewardSafetyCenter = 0.5;
+  double rewardPerformanceWeight = 1.0;
+  bool rewardGaussianWeights = true;
+  // detection
+  std::uint64_t movingAverageWindow = 2;
+  double intraThresholdAging = 0.04;
+  double interThresholdAging = 0.12;
+  double intraThresholdStress = 0.35;
+  double interThresholdStress = 0.55;
+  bool adaptationEnabled = true;
+  // timing / misc — NOT fingerprinted (see the fingerprint rule above)
+  double samplingInterval = 3.0;
+  double decisionEpoch = 30.0;
+  bool adaptiveSampling = false;
+  double minSamplingInterval = 1.0;
+  double maxSamplingInterval = 10.0;
+  double autocorrStretchAbove = 0.95;
+  double autocorrShrinkBelow = 0.70;
+  double plausibleFloor = 15.0;
+  double decisionOverhead = 0.25;
+  std::uint64_t seed = 42;
+};
+
+/// FNV-1a(64) over the canonical encoding of the fingerprinted subset.
+[[nodiscard]] std::uint64_t fingerprintOf(const PolicyMeta& meta);
+
+struct RngStateData {
+  std::array<std::uint64_t, 4> lanes{};
+  double cachedGaussian = 0.0;
+  bool hasCachedGaussian = false;
+};
+
+struct OnlineStatsData {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct MovingAverageData {
+  std::vector<double> samples;  ///< oldest first, at most movingAverageWindow
+  double sum = 0.0;             ///< running sum verbatim (FP-drift exact)
+};
+
+/// Mirror of core::EpochRecord; phase as u8 (0 = exploration, 1 =
+/// exploration-exploitation, 2 = exploitation).
+struct EpochRecordData {
+  double time = 0.0;
+  std::uint64_t state = 0;
+  std::uint64_t action = 0;
+  double stress = 0.0;
+  double aging = 0.0;
+  double reward = 0.0;
+  double alpha = 0.0;
+  std::uint8_t phase = 0;
+  double qCoverage = 0.0;
+  bool intraDetected = false;
+  bool interDetected = false;
+};
+
+struct PolicyCheckpoint {
+  PolicyMeta meta;
+  // qtable
+  std::vector<double> qValues;         ///< stressBins*agingBins*actions entries
+  std::vector<std::uint64_t> qVisits;  ///< one per state
+  std::vector<std::uint8_t> qTouched;  ///< one 0/1 byte per (state, action)
+  // qexp
+  bool hasQExp = false;
+  std::vector<double> qExp;
+  // schedule
+  std::uint64_t scheduleStep = 0;
+  // rng
+  RngStateData rng;
+  // sampling
+  double currentSamplingInterval = 3.0;
+  std::uint64_t samplesPerEpoch = 1;
+  // detect
+  MovingAverageData stressMa;
+  MovingAverageData agingMa;
+  bool hasPrevStressMa = false;
+  double prevStressMa = 0.0;
+  bool hasPrevAgingMa = false;
+  double prevAgingMa = 0.0;
+  OnlineStatsData stressHistory;
+  OnlineStatsData agingHistory;
+  bool hasPrevState = false;
+  std::uint64_t prevState = 0;
+  std::uint64_t prevAction = 0;
+  bool havePrevAction = false;
+  std::uint64_t stableEpochs = 0;
+  bool frozen = false;
+  std::uint64_t interDetections = 0;
+  std::uint64_t intraDetections = 0;
+  // epochlog
+  std::vector<EpochRecordData> epochLog;
+};
+
+/// Encodes all sections; the image fingerprint is fingerprintOf(meta).
+[[nodiscard]] CheckpointImage encodePolicyCheckpoint(const PolicyCheckpoint& checkpoint);
+
+/// Decodes + cross-validates (geometry consistency, enum ranges, window
+/// bounds, header-vs-META fingerprint agreement). Every required section
+/// must be present; unknown section ids are rejected.
+[[nodiscard]] PolicyCheckpoint decodePolicyCheckpoint(const CheckpointImage& image,
+                                                      const std::string& source);
+
+/// encode + atomic write.
+void savePolicyCheckpoint(const std::string& path, const PolicyCheckpoint& checkpoint);
+
+/// bounded read + decode.
+[[nodiscard]] PolicyCheckpoint loadPolicyCheckpoint(const std::string& path);
+
+}  // namespace rltherm::store

@@ -6,6 +6,9 @@
 // power x time identities.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
 #include "core/baselines.hpp"
 #include "core/runner.hpp"
 #include "core/thermal_manager.hpp"
@@ -64,6 +67,46 @@ TEST(DeterminismTest, RlRunsAreBitIdenticalWithSameSeed) {
   for (std::size_t i = 0; i < a.epochCount(); ++i) {
     EXPECT_EQ(a.epochLog()[i].action, b.epochLog()[i].action) << "epoch " << i;
   }
+}
+
+// Checkpoint pin for the determinism suite: interrupting training at a run
+// boundary — save, destroy the manager, reload from the file — must leave NO
+// trace in any downstream artifact. The deep bit-exactness of the store's
+// codec lives in tests/store/; this test pins the end-to-end property the
+// rest of the suite relies on.
+TEST(DeterminismTest, CheckpointedResumeIsIndistinguishableFromContinuity) {
+  PolicyRunner runner(fastRunner());
+  ThermalManagerConfig config;
+  config.samplingInterval = 0.5;
+  config.decisionEpoch = 2.0;
+
+  ThermalManager continuous(config, ActionSpace::standard(4));
+  (void)runner.run(workload::Scenario::of({tinyApp()}), continuous);
+  const RunResult expected =
+      runner.run(workload::Scenario::of({tinyApp(80)}), continuous);
+
+  const std::string path = testing::TempDir() + "determinism_resume.ckpt";
+  {
+    ThermalManager trained(config, ActionSpace::standard(4));
+    (void)runner.run(workload::Scenario::of({tinyApp()}), trained);
+    trained.saveCheckpoint(path);
+  }  // the trained manager is gone; only the file survives
+  ThermalManager resumed(config, ActionSpace::standard(4));
+  resumed.loadCheckpoint(path);
+  const RunResult actual = runner.run(workload::Scenario::of({tinyApp(80)}), resumed);
+
+  EXPECT_EQ(actual.coreTraces, expected.coreTraces);
+  EXPECT_EQ(actual.counters.instructions, expected.counters.instructions);
+  EXPECT_EQ(actual.dynamicEnergy, expected.dynamicEnergy);
+  EXPECT_EQ(actual.reliability.cyclingMttfYears, expected.reliability.cyclingMttfYears);
+  ASSERT_EQ(resumed.epochCount(), continuous.epochCount());
+  for (std::size_t i = 0; i < continuous.epochCount(); ++i) {
+    EXPECT_EQ(resumed.epochLog()[i].action, continuous.epochLog()[i].action)
+        << "epoch " << i;
+    EXPECT_EQ(resumed.epochLog()[i].reward, continuous.epochLog()[i].reward)
+        << "epoch " << i;
+  }
+  std::filesystem::remove(path);
 }
 
 // The race/UB canary guarding future parallelism work: the ENTIRE closed-loop

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace rltherm::rl {
 namespace {
@@ -112,6 +116,52 @@ TEST(QTableTest, OutOfRangeThrows) {
   EXPECT_THROW((void)table.update(0, 0, 1.0, 9, 0.5, 0.5), PreconditionError);
   EXPECT_THROW((void)table.update(0, 0, 1.0, 1, 1.5, 0.5), PreconditionError);
   EXPECT_THROW((void)table.update(0, 0, 1.0, 1, 0.5, 1.5), PreconditionError);
+}
+
+TEST(QTableTest, SnapshotIntoMatchesSnapshotWithoutReallocating) {
+  QTable table(3, 4);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    table.update(rng.uniformInt(3), rng.uniformInt(4), rng.uniform(), rng.uniformInt(3),
+                 0.3, 0.9);
+  }
+  std::vector<double> buffer = table.snapshot();  // right-sized
+  const double* data = buffer.data();
+  const std::size_t capacity = buffer.capacity();
+  table.snapshotInto(buffer);
+  EXPECT_EQ(buffer, table.snapshot());
+  // The copy-assign into a right-sized buffer must reuse its storage — this
+  // is what keeps the per-epoch Q_exp refresh allocation-free.
+  EXPECT_EQ(buffer.data(), data);
+  EXPECT_EQ(buffer.capacity(), capacity);
+}
+
+TEST(QTableTest, RestoreFullRoundTripsValuesVisitsAndTouched) {
+  QTable original(3, 4);
+  Rng rng(13);
+  for (int i = 0; i < 40; ++i) {
+    original.update(rng.uniformInt(3), rng.uniformInt(4), rng.uniform(),
+                    rng.uniformInt(3), 0.3, 0.9);
+  }
+  QTable copy(3, 4);
+  copy.restoreFull(original.values(), original.visits(), original.touchedBytes());
+  EXPECT_EQ(copy.values(), original.values());
+  EXPECT_EQ(copy.visits(), original.visits());
+  EXPECT_EQ(copy.touchedBytes(), original.touchedBytes());
+  EXPECT_EQ(copy.coverage(), original.coverage());  // touched count recomputed
+}
+
+TEST(QTableTest, RestoreFullRejectsWrongGeometry) {
+  QTable table(2, 2);
+  const std::vector<double> values(4, 0.0);
+  const std::vector<std::size_t> visits(4, 0);
+  const std::vector<std::uint8_t> touched(4, 0);
+  EXPECT_THROW(table.restoreFull(std::vector<double>(3, 0.0), visits, touched),
+               PreconditionError);
+  EXPECT_THROW(table.restoreFull(values, std::vector<std::size_t>(5, 0), touched),
+               PreconditionError);
+  EXPECT_THROW(table.restoreFull(values, visits, std::vector<std::uint8_t>(1, 0)),
+               PreconditionError);
 }
 
 TEST(EpsilonGreedyTest, GreedyWhenEpsilonZero) {

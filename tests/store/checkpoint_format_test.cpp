@@ -1,0 +1,189 @@
+// The versioned container (store/checkpoint.hpp): CRC correctness, writer/
+// image round trips, the atomic write protocol, and a diagnostic error for
+// every way the header or section table can be malformed.
+#include "store/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rltherm::store {
+namespace {
+
+std::string errorOf(const std::function<void()>& thrower) {
+  try {
+    thrower();
+  } catch (const PreconditionError& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected a PreconditionError";
+  return {};
+}
+
+CheckpointImage sampleImage() {
+  CheckpointImage image;
+  image.fingerprint = 0xDEADBEEFCAFEF00DULL;
+  ByteWriter meta;
+  meta.str("standard:4");
+  meta.u64(16);
+  CheckpointSection a;
+  a.id = 1;
+  a.payload = meta.take();
+  ByteWriter values;
+  for (int i = 0; i < 8; ++i) values.f64(0.25 * i);
+  CheckpointSection b;
+  b.id = 2;
+  b.payload = values.take();
+  image.sections = {a, b};
+  return image;
+}
+
+TEST(Crc32Test, MatchesTheIeeeKnownAnswer) {
+  // The classic zlib/IEEE 802.3 check value for "123456789".
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data, sizeof data), 0xCBF43926u);
+  EXPECT_EQ(crc32(data, 0), 0u);
+}
+
+TEST(ByteWriterTest, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.u8(0x2A);
+  writer.u32(0x04030201u);
+  writer.u64(0x8000000000000001ULL);
+  writer.boolean(true);
+  writer.str("ab");
+  const std::vector<std::uint8_t>& bytes = writer.bytes();
+  ASSERT_EQ(bytes.size(), 1u + 4 + 8 + 1 + 8 + 2);
+  EXPECT_EQ(bytes[0], 0x2A);
+  EXPECT_EQ(bytes[1], 0x01);  // u32 low byte first
+  EXPECT_EQ(bytes[4], 0x04);
+  EXPECT_EQ(bytes[5], 0x01);  // u64 low byte
+  EXPECT_EQ(bytes[12], 0x80);  // u64 high byte
+  EXPECT_EQ(bytes[13], 0x01);  // bool
+  EXPECT_EQ(bytes[14], 0x02);  // string length prefix (u64 LE)
+  EXPECT_EQ(bytes[22], 'a');
+  EXPECT_EQ(bytes[23], 'b');
+}
+
+TEST(CheckpointImageTest, EncodeDecodeRoundTripsExactly) {
+  const CheckpointImage image = sampleImage();
+  const std::vector<std::uint8_t> bytes = encodeImage(image);
+  const CheckpointImage back = decodeImage(bytes, "mem");
+  EXPECT_EQ(back.version, kFormatVersion);
+  EXPECT_EQ(back.fingerprint, image.fingerprint);
+  ASSERT_EQ(back.sections.size(), 2u);
+  EXPECT_EQ(back.sections[0].id, 1u);
+  EXPECT_EQ(back.sections[0].payload, image.sections[0].payload);
+  EXPECT_EQ(back.sections[1].payload, image.sections[1].payload);
+  EXPECT_NE(back.find(2), nullptr);
+  EXPECT_EQ(back.find(3), nullptr);
+}
+
+TEST(CheckpointImageTest, EncodeRejectsNonIncreasingIds) {
+  CheckpointImage image = sampleImage();
+  image.sections[1].id = 1;  // duplicate
+  EXPECT_THROW((void)encodeImage(image), PreconditionError);
+  image.sections[1].id = 0;  // zero/regressing
+  EXPECT_THROW((void)encodeImage(image), PreconditionError);
+}
+
+TEST(CheckpointImageTest, BadMagicIsDiagnosedAtOffsetZero) {
+  std::vector<std::uint8_t> bytes = encodeImage(sampleImage());
+  bytes[0] = 'X';
+  const std::string message =
+      errorOf([&] { (void)decodeImage(bytes, "p.ckpt"); });
+  EXPECT_NE(message.find("p.ckpt: offset 0:"), std::string::npos) << message;
+  EXPECT_NE(message.find("bad magic"), std::string::npos) << message;
+}
+
+TEST(CheckpointImageTest, UnsupportedVersionIsDiagnosed) {
+  std::vector<std::uint8_t> bytes = encodeImage(sampleImage());
+  bytes[8] = 0x7F;  // version low byte
+  const std::string message =
+      errorOf([&] { (void)decodeImage(bytes, "p.ckpt"); });
+  EXPECT_NE(message.find("offset 8"), std::string::npos) << message;
+  EXPECT_NE(message.find("version"), std::string::npos) << message;
+}
+
+TEST(CheckpointImageTest, CrcFlipIsDiagnosedAsCorruption) {
+  std::vector<std::uint8_t> bytes = encodeImage(sampleImage());
+  bytes.back() ^= 0x01;  // flip a payload bit of the last section
+  const std::string message =
+      errorOf([&] { (void)decodeImage(bytes, "p.ckpt"); });
+  EXPECT_NE(message.find("CRC mismatch"), std::string::npos) << message;
+  EXPECT_NE(message.find("corrupt"), std::string::npos) << message;
+}
+
+TEST(CheckpointImageTest, TrailingBytesAreRejected) {
+  std::vector<std::uint8_t> bytes = encodeImage(sampleImage());
+  bytes.push_back(0x00);
+  EXPECT_THROW((void)decodeImage(bytes, "p.ckpt"), PreconditionError);
+}
+
+TEST(CheckpointImageTest, TruncationAtEveryPrefixIsACleanError) {
+  const std::vector<std::uint8_t> bytes = encodeImage(sampleImage());
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)decodeImage(cut, "p.ckpt"), PreconditionError)
+        << "prefix of " << keep << " bytes decoded successfully";
+  }
+}
+
+TEST(CheckpointImageTest, OverlongSectionLengthIsRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> bytes = encodeImage(sampleImage());
+  // First section header starts at 24; its u64 length is at 24 + 4.
+  bytes[24 + 4 + 7] = 0x7F;  // length becomes ~2^62
+  EXPECT_THROW((void)decodeImage(bytes, "p.ckpt"), PreconditionError);
+}
+
+TEST(CheckpointFileTest, WriteReadRoundTripAndNoTmpLeftBehind) {
+  const std::string path = testing::TempDir() + "format_roundtrip.ckpt";
+  const CheckpointImage image = sampleImage();
+  writeCheckpointFile(path, image);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const CheckpointImage back = readCheckpointFile(path);
+  EXPECT_EQ(back.fingerprint, image.fingerprint);
+  ASSERT_EQ(back.sections.size(), image.sections.size());
+  EXPECT_EQ(back.sections[1].payload, image.sections[1].payload);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointFileTest, RewriteReplacesAtomically) {
+  const std::string path = testing::TempDir() + "format_rewrite.ckpt";
+  CheckpointImage image = sampleImage();
+  writeCheckpointFile(path, image);
+  image.fingerprint = 7;
+  writeCheckpointFile(path, image);  // overwrite via tmp+rename
+  EXPECT_EQ(readCheckpointFile(path).fingerprint, 7u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointFileTest, MissingFileIsACleanError) {
+  EXPECT_THROW((void)readCheckpointFile(testing::TempDir() + "does_not_exist.ckpt"),
+               PreconditionError);
+}
+
+TEST(DescribeImageTest, OffsetsWalkTheFileLayout) {
+  const CheckpointImage image = sampleImage();
+  const std::vector<SectionInfo> sections = describeImage(image);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].id, 1u);
+  EXPECT_EQ(sections[0].offset, 24u);  // right after the file header
+  EXPECT_EQ(sections[0].payloadBytes, image.sections[0].payload.size());
+  // Next header: previous header (16 B) + previous payload.
+  EXPECT_EQ(sections[1].offset, 24u + 16u + image.sections[0].payload.size());
+  EXPECT_EQ(sections[1].crc, crc32(image.sections[1].payload.data(),
+                                   image.sections[1].payload.size()));
+}
+
+}  // namespace
+}  // namespace rltherm::store

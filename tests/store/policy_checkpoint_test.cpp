@@ -1,0 +1,402 @@
+// The policy codec (store/policy_checkpoint.hpp) and its ThermalManager
+// bridge: field-exact round trips, the fingerprint rule (what must change it
+// and what must not), cross-field geometry validation, and the obs events
+// the save/load paths emit.
+#include "store/policy_checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "core/manager_checkpoint.hpp"
+#include "core/runner.hpp"
+#include "core/safety_supervisor.hpp"
+#include "core/thermal_manager.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "workload/app_spec.hpp"
+
+namespace rltherm::store {
+namespace {
+
+/// A synthetic, internally consistent checkpoint: 2x2 states, 3 actions.
+PolicyCheckpoint sampleCheckpoint() {
+  PolicyCheckpoint ckpt;
+  ckpt.meta.actionSpec = "custom";
+  ckpt.meta.actionNames = {"a", "b", "c"};
+  ckpt.meta.stressBins = 2;
+  ckpt.meta.agingBins = 2;
+  ckpt.meta.movingAverageWindow = 2;
+  ckpt.qValues.assign(12, 0.0);
+  for (std::size_t i = 0; i < ckpt.qValues.size(); ++i) {
+    ckpt.qValues[i] = 0.125 * static_cast<double>(i) - 0.3;
+  }
+  ckpt.qVisits = {3, 0, 7, 1};
+  ckpt.qTouched.assign(12, 0);
+  ckpt.qTouched[0] = 1;
+  ckpt.qTouched[5] = 1;
+  ckpt.hasQExp = true;
+  ckpt.qExp.assign(12, 1.5);
+  ckpt.scheduleStep = 17;
+  ckpt.rng.lanes = {1, 2, 3, 4};
+  ckpt.rng.cachedGaussian = -0.75;
+  ckpt.rng.hasCachedGaussian = true;
+  ckpt.currentSamplingInterval = 2.5;
+  ckpt.samplesPerEpoch = 6;
+  ckpt.stressMa.samples = {0.1, 0.2};
+  ckpt.stressMa.sum = 0.1 + 0.2;
+  ckpt.agingMa.samples = {1.1};
+  ckpt.agingMa.sum = 1.1;
+  ckpt.hasPrevStressMa = true;
+  ckpt.prevStressMa = 0.15;
+  ckpt.stressHistory = {5, 0.2, 0.01, 0.1, 0.3};
+  ckpt.agingHistory = {5, 1.1, 0.2, 0.9, 1.4};
+  ckpt.hasPrevState = true;
+  ckpt.prevState = 3;
+  ckpt.prevAction = 2;
+  ckpt.havePrevAction = true;
+  ckpt.stableEpochs = 4;
+  ckpt.frozen = false;
+  ckpt.interDetections = 1;
+  ckpt.intraDetections = 2;
+  EpochRecordData epoch;
+  epoch.time = 30.0;
+  epoch.state = 1;
+  epoch.action = 0;
+  epoch.stress = 0.4;
+  epoch.aging = 1.2;
+  epoch.reward = 0.6;
+  epoch.alpha = 0.9;
+  epoch.phase = 1;
+  epoch.qCoverage = 2.0 / 12.0;
+  epoch.intraDetected = true;
+  ckpt.epochLog = {epoch};
+  return ckpt;
+}
+
+TEST(PolicyCheckpointTest, EncodeDecodeIsFieldExact) {
+  const PolicyCheckpoint ckpt = sampleCheckpoint();
+  const CheckpointImage image = encodePolicyCheckpoint(ckpt);
+  EXPECT_EQ(image.fingerprint, fingerprintOf(ckpt.meta));
+  const PolicyCheckpoint back = decodePolicyCheckpoint(image, "mem");
+
+  EXPECT_EQ(back.meta.actionSpec, ckpt.meta.actionSpec);
+  EXPECT_EQ(back.meta.actionNames, ckpt.meta.actionNames);
+  EXPECT_EQ(back.meta.stressBins, ckpt.meta.stressBins);
+  EXPECT_EQ(back.meta.movingAverageWindow, ckpt.meta.movingAverageWindow);
+  EXPECT_EQ(back.qValues, ckpt.qValues);
+  EXPECT_EQ(back.qVisits, ckpt.qVisits);
+  EXPECT_EQ(back.qTouched, ckpt.qTouched);
+  EXPECT_EQ(back.hasQExp, ckpt.hasQExp);
+  EXPECT_EQ(back.qExp, ckpt.qExp);
+  EXPECT_EQ(back.scheduleStep, ckpt.scheduleStep);
+  EXPECT_EQ(back.rng.lanes, ckpt.rng.lanes);
+  EXPECT_EQ(back.rng.cachedGaussian, ckpt.rng.cachedGaussian);
+  EXPECT_EQ(back.rng.hasCachedGaussian, ckpt.rng.hasCachedGaussian);
+  EXPECT_EQ(back.currentSamplingInterval, ckpt.currentSamplingInterval);
+  EXPECT_EQ(back.samplesPerEpoch, ckpt.samplesPerEpoch);
+  EXPECT_EQ(back.stressMa.samples, ckpt.stressMa.samples);
+  EXPECT_EQ(back.stressMa.sum, ckpt.stressMa.sum);
+  EXPECT_EQ(back.agingMa.samples, ckpt.agingMa.samples);
+  EXPECT_EQ(back.hasPrevStressMa, ckpt.hasPrevStressMa);
+  EXPECT_EQ(back.prevStressMa, ckpt.prevStressMa);
+  EXPECT_EQ(back.hasPrevAgingMa, ckpt.hasPrevAgingMa);
+  EXPECT_EQ(back.stressHistory.count, ckpt.stressHistory.count);
+  EXPECT_EQ(back.stressHistory.m2, ckpt.stressHistory.m2);
+  EXPECT_EQ(back.agingHistory.max, ckpt.agingHistory.max);
+  EXPECT_EQ(back.hasPrevState, ckpt.hasPrevState);
+  EXPECT_EQ(back.prevState, ckpt.prevState);
+  EXPECT_EQ(back.prevAction, ckpt.prevAction);
+  EXPECT_EQ(back.havePrevAction, ckpt.havePrevAction);
+  EXPECT_EQ(back.stableEpochs, ckpt.stableEpochs);
+  EXPECT_EQ(back.frozen, ckpt.frozen);
+  EXPECT_EQ(back.interDetections, ckpt.interDetections);
+  EXPECT_EQ(back.intraDetections, ckpt.intraDetections);
+  ASSERT_EQ(back.epochLog.size(), 1u);
+  EXPECT_EQ(back.epochLog[0].time, ckpt.epochLog[0].time);
+  EXPECT_EQ(back.epochLog[0].state, ckpt.epochLog[0].state);
+  EXPECT_EQ(back.epochLog[0].phase, ckpt.epochLog[0].phase);
+  EXPECT_EQ(back.epochLog[0].qCoverage, ckpt.epochLog[0].qCoverage);
+  EXPECT_EQ(back.epochLog[0].intraDetected, ckpt.epochLog[0].intraDetected);
+  EXPECT_EQ(back.epochLog[0].interDetected, ckpt.epochLog[0].interDetected);
+}
+
+TEST(PolicyCheckpointTest, FingerprintIsStableAcrossEncodeCycles) {
+  const PolicyCheckpoint ckpt = sampleCheckpoint();
+  const std::uint64_t first = fingerprintOf(ckpt.meta);
+  const PolicyCheckpoint back =
+      decodePolicyCheckpoint(encodePolicyCheckpoint(ckpt), "mem");
+  EXPECT_EQ(fingerprintOf(back.meta), first);
+}
+
+TEST(PolicyCheckpointTest, SemanticFieldsChangeTheFingerprint) {
+  PolicyMeta meta = sampleCheckpoint().meta;
+  const std::uint64_t base = fingerprintOf(meta);
+
+  PolicyMeta changed = meta;
+  changed.gamma += 0.01;
+  EXPECT_NE(fingerprintOf(changed), base);
+
+  changed = meta;
+  changed.actionNames[1] = "B";
+  EXPECT_NE(fingerprintOf(changed), base);
+
+  changed = meta;
+  changed.stressBins = 8;
+  EXPECT_NE(fingerprintOf(changed), base);
+
+  changed = meta;
+  changed.rewardPerformanceWeight = 0.5;
+  EXPECT_NE(fingerprintOf(changed), base);
+
+  changed = meta;
+  changed.interThresholdStress += 0.1;
+  EXPECT_NE(fingerprintOf(changed), base);
+}
+
+TEST(PolicyCheckpointTest, TimingAndSeedFieldsDoNotChangeTheFingerprint) {
+  PolicyMeta meta = sampleCheckpoint().meta;
+  const std::uint64_t base = fingerprintOf(meta);
+  meta.samplingInterval = 9.0;
+  meta.decisionEpoch = 99.0;
+  meta.adaptiveSampling = true;
+  meta.minSamplingInterval = 0.5;
+  meta.maxSamplingInterval = 20.0;
+  meta.plausibleFloor = 1.0;
+  meta.decisionOverhead = 3.0;
+  meta.seed = 12345;
+  EXPECT_EQ(fingerprintOf(meta), base);
+}
+
+TEST(PolicyCheckpointTest, GeometryMismatchesAreDiagnosed) {
+  {
+    PolicyCheckpoint ckpt = sampleCheckpoint();
+    ckpt.qValues.resize(11);  // != states * actions
+    EXPECT_THROW((void)decodePolicyCheckpoint(encodePolicyCheckpoint(ckpt), "mem"),
+                 PreconditionError);
+  }
+  {
+    PolicyCheckpoint ckpt = sampleCheckpoint();
+    ckpt.qVisits.resize(5);  // != states
+    EXPECT_THROW((void)decodePolicyCheckpoint(encodePolicyCheckpoint(ckpt), "mem"),
+                 PreconditionError);
+  }
+  {
+    PolicyCheckpoint ckpt = sampleCheckpoint();
+    ckpt.prevState = 99;  // out of the 2x2 state space
+    EXPECT_THROW((void)decodePolicyCheckpoint(encodePolicyCheckpoint(ckpt), "mem"),
+                 PreconditionError);
+  }
+  {
+    PolicyCheckpoint ckpt = sampleCheckpoint();
+    ckpt.epochLog[0].phase = 3;  // no such learning phase
+    EXPECT_THROW((void)decodePolicyCheckpoint(encodePolicyCheckpoint(ckpt), "mem"),
+                 PreconditionError);
+  }
+  {
+    PolicyCheckpoint ckpt = sampleCheckpoint();
+    ckpt.stressMa.samples = {0.1, 0.2, 0.3};  // more than the window
+    EXPECT_THROW((void)decodePolicyCheckpoint(encodePolicyCheckpoint(ckpt), "mem"),
+                 PreconditionError);
+  }
+}
+
+TEST(PolicyCheckpointTest, MissingSectionIsDiagnosedByName) {
+  CheckpointImage image = encodePolicyCheckpoint(sampleCheckpoint());
+  image.sections.erase(image.sections.begin() + 3);  // drop 'schedule' (id 4)
+  try {
+    (void)decodePolicyCheckpoint(image, "p.ckpt");
+    FAIL() << "expected a PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("schedule"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(PolicyCheckpointTest, UnknownSectionIdIsRejected) {
+  CheckpointImage image = encodePolicyCheckpoint(sampleCheckpoint());
+  CheckpointSection extra;
+  extra.id = 9;
+  extra.payload = {1, 2, 3};
+  image.sections.push_back(extra);
+  EXPECT_THROW((void)decodePolicyCheckpoint(image, "p.ckpt"), PreconditionError);
+}
+
+TEST(SectionNameTest, KnownIdsHaveStableNames) {
+  EXPECT_STREQ(sectionName(kSectionMeta), "meta");
+  EXPECT_STREQ(sectionName(kSectionEpochLog), "epochlog");
+  EXPECT_STREQ(sectionName(42), "?");
+}
+
+// ---------------------------------------------------------------------------
+// ThermalManager bridge
+// ---------------------------------------------------------------------------
+
+workload::AppSpec tinyApp(int iterations = 60) {
+  workload::AppSpec spec;
+  spec.name = "tiny";
+  spec.family = "tiny";
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.2;
+  spec.burstWorkJitter = 0.2;
+  spec.burstActivity = 0.9;
+  spec.serialWork = 0.1;
+  spec.serialActivity = 0.2;
+  spec.performanceConstraint = 0.1;
+  return spec;
+}
+
+core::RunnerConfig fastRunner() {
+  core::RunnerConfig config;
+  config.analysisWarmup = 0.0;
+  config.analysisCooldown = 0.0;
+  config.maxSimTime = 600.0;
+  return config;
+}
+
+core::ThermalManagerConfig fastManager() {
+  core::ThermalManagerConfig config;
+  config.samplingInterval = 0.5;
+  config.decisionEpoch = 2.0;
+  return config;
+}
+
+TEST(ManagerCheckpointTest, SaveLoadRestoresTheCompleteStateBitwise) {
+  const core::PolicyRunner runner(fastRunner());
+  core::ThermalManager trained(fastManager(), core::ActionSpace::standard(4));
+  (void)runner.run(workload::Scenario::of({tinyApp()}), trained);
+
+  const std::string path = testing::TempDir() + "manager_roundtrip.ckpt";
+  trained.saveCheckpoint(path);
+
+  core::ThermalManager loaded(fastManager(), core::ActionSpace::standard(4));
+  loaded.loadCheckpoint(path);
+
+  // Capturing both sides and comparing the ENCODED images is the strongest
+  // equality we can state: every serialized bit of learning state matches.
+  EXPECT_EQ(encodeImage(encodePolicyCheckpoint(trained.captureCheckpoint())),
+            encodeImage(encodePolicyCheckpoint(loaded.captureCheckpoint())));
+  EXPECT_EQ(loaded.epochCount(), trained.epochCount());
+  std::filesystem::remove(path);
+}
+
+TEST(ManagerCheckpointTest, FingerprintMismatchIsADiagnosticError) {
+  const core::PolicyRunner runner(fastRunner());
+  core::ThermalManager trained(fastManager(), core::ActionSpace::standard(4));
+  (void)runner.run(workload::Scenario::of({tinyApp(30)}), trained);
+  const std::string path = testing::TempDir() + "manager_mismatch.ckpt";
+  trained.saveCheckpoint(path);
+
+  core::ThermalManagerConfig other = fastManager();
+  other.gamma += 0.1;  // semantic change -> different fingerprint
+  core::ThermalManager incompatible(other, core::ActionSpace::standard(4));
+  EXPECT_THROW(incompatible.loadCheckpoint(path), PreconditionError);
+
+  core::ThermalManagerConfig timingOnly = fastManager();
+  timingOnly.decisionOverhead += 1.0;  // timing knob -> same fingerprint
+  core::ThermalManager compatible(timingOnly, core::ActionSpace::standard(4));
+  EXPECT_NO_THROW(compatible.loadCheckpoint(path));
+  std::filesystem::remove(path);
+}
+
+TEST(ManagerCheckpointTest, LoadManagerFromCheckpointRebuildsEverything) {
+  const core::PolicyRunner runner(fastRunner());
+  core::ThermalManager trained(fastManager(), core::ActionSpace::standard(4));
+  (void)runner.run(workload::Scenario::of({tinyApp()}), trained);
+  const std::string path = testing::TempDir() + "manager_rebuild.ckpt";
+  trained.saveCheckpoint(path);
+
+  const std::unique_ptr<core::ThermalManager> rebuilt =
+      core::loadManagerFromCheckpoint(path);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->configFingerprint(), trained.configFingerprint());
+  EXPECT_EQ(encodeImage(encodePolicyCheckpoint(rebuilt->captureCheckpoint())),
+            encodeImage(encodePolicyCheckpoint(trained.captureCheckpoint())));
+  std::filesystem::remove(path);
+}
+
+TEST(ManagerCheckpointTest, ActionCatalogueDriftIsDiagnosed) {
+  core::ThermalManager trained(fastManager(), core::ActionSpace::standard(4));
+  PolicyCheckpoint ckpt = trained.captureCheckpoint();
+  ckpt.meta.actionNames[0] = "not-the-real-action";  // fingerprint follows meta
+  const std::string path = testing::TempDir() + "manager_drift.ckpt";
+  savePolicyCheckpoint(path, ckpt);
+  try {
+    (void)core::loadManagerFromCheckpoint(path);
+    FAIL() << "expected a PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("drifted"), std::string::npos)
+        << error.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ManagerCheckpointTest, CustomActionSpaceCannotBeRebuiltByName) {
+  EXPECT_THROW((void)core::ActionSpace::fromSpec("custom"), PreconditionError);
+  EXPECT_THROW((void)core::ActionSpace::fromSpec("nonsense:7"), PreconditionError);
+  const core::ActionSpace rebuilt = core::ActionSpace::fromSpec("standard:4");
+  const core::ActionSpace original = core::ActionSpace::standard(4);
+  ASSERT_EQ(rebuilt.size(), original.size());
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(rebuilt.action(i).toString(), original.action(i).toString());
+  }
+}
+
+TEST(ManagerCheckpointTest, BaselinePoliciesHaveNoCheckpointTarget) {
+  core::StaticGovernorPolicy baseline({platform::GovernorKind::Ondemand, 0.0});
+  EXPECT_EQ(core::checkpointTarget(baseline), nullptr);
+  EXPECT_THROW(core::savePolicyCheckpointOf(baseline, "nope.ckpt"), PreconditionError);
+  EXPECT_THROW(core::resumePolicyFromCheckpoint(baseline, "nope.ckpt"),
+               PreconditionError);
+}
+
+TEST(ManagerCheckpointTest, SupervisorWrappedManagerIsCheckpointable) {
+  auto inner = std::make_unique<core::ThermalManager>(fastManager(),
+                                                      core::ActionSpace::standard(4));
+  core::ThermalManager* innerPtr = inner.get();
+  core::SafetySupervisor supervised(std::move(inner), core::SafetySupervisorConfig{});
+  EXPECT_EQ(core::checkpointTarget(supervised), innerPtr);
+
+  const std::string path = testing::TempDir() + "supervised.ckpt";
+  core::savePolicyCheckpointOf(supervised, path);
+  EXPECT_NO_THROW(core::resumePolicyFromCheckpoint(supervised, path));
+  std::filesystem::remove(path);
+}
+
+TEST(ManagerCheckpointTest, SaveAndLoadEmitEventsAndCounters) {
+  obs::CollectingEventSink events;
+  obs::MetricsRegistry metrics;
+  obs::Session session;
+  session.events = &events;
+  session.metrics = &metrics;
+  const obs::ScopedSession guard(session);
+
+  core::ThermalManager manager(fastManager(), core::ActionSpace::standard(4));
+  const std::string path = testing::TempDir() + "manager_events.ckpt";
+  manager.saveCheckpoint(path);
+  manager.loadCheckpoint(path);
+
+  EXPECT_EQ(events.countOf("store.checkpoint.save"), 1u);
+  EXPECT_EQ(events.countOf("store.checkpoint.load"), 1u);
+  EXPECT_EQ(metrics.counter("store.checkpoint.save").value(), 1u);
+  EXPECT_EQ(metrics.counter("store.checkpoint.load").value(), 1u);
+
+  const obs::Event& save = events.events.front();
+  ASSERT_NE(save.find("path"), nullptr);
+  EXPECT_EQ(std::get<std::string>(save.find("path")->value), path);
+  ASSERT_NE(save.find("fingerprint"), nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(save.find("fingerprint")->value),
+            static_cast<std::int64_t>(manager.configFingerprint()));
+  ASSERT_NE(save.find("q_coverage"), nullptr);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rltherm::store

@@ -14,6 +14,10 @@
 //                          [--seed S] [--config file.ini]
 //   rltherm_cli faults     [--scenarios DIR] [--apps a,b] [--jobs N] [--json FILE]
 //   rltherm_cli faults     --lint [FILE1,FILE2,...] [--scenarios DIR]
+//   rltherm_cli train      --app tachyon [--dataset N] [--train N] [--seed S]
+//                          [--out policy.ckpt]
+//   rltherm_cli eval       --policy policy.ckpt --app tachyon [--dataset N]
+//   rltherm_cli inspect    FILE [--json]
 //
 // Policies: linux-ondemand | linux-powersave | linux-performance |
 //           userspace-<GHz> (e.g. userspace-2.4) | ge | ge-modified | proposed
@@ -37,8 +41,18 @@
 //   --metrics            print the metrics registry + timer summary tables
 //                        and an instrumentation-overhead estimate
 //
+// Policy checkpoints (see docs/ARCHITECTURE.md "store (policy checkpoints)"):
+//   train      train the proposed manager and write a versioned checkpoint
+//              (--out, default policy.ckpt)
+//   eval       rebuild the manager from a checkpoint, freeze it and evaluate
+//              (inference-only — no Q update ever runs)
+//   inspect    human-readable summary of a checkpoint; --json for machines
+//   --resume FILE  (run/inter/concurrent) load the checkpoint into the
+//              policy before the run and skip the training pass; resume at a
+//              run boundary is bit-exact
+//
 // Unknown flags are rejected with a nonzero exit; every command validates
-// its flag set.
+// its flag set, and commands that take no positional arguments reject them.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -58,6 +72,7 @@
 #include "common/table.hpp"
 #include "core/baselines.hpp"
 #include "core/config_io.hpp"
+#include "core/manager_checkpoint.hpp"
 #include "core/runner.hpp"
 #include "core/safety_supervisor.hpp"
 #include "core/thermal_manager.hpp"
@@ -68,6 +83,8 @@
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/timeline.hpp"
+#include "store/checkpoint.hpp"
+#include "store/policy_checkpoint.hpp"
 #include "trace/export.hpp"
 #include "trace/recorder.hpp"
 #include "workload/app_spec.hpp"
@@ -79,6 +96,7 @@ using namespace rltherm;
 struct Options {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positionals;  ///< only `inspect FILE` accepts any
 
   [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const {
     const auto it = flags.find(name);
@@ -92,7 +110,10 @@ Options parseArgs(int argc, char** argv) {
   if (argc >= 2) options.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    expects(arg.rfind("--", 0) == 0, "unexpected argument '" + arg + "' (flags are --name [value])");
+    if (arg.rfind("--", 0) != 0) {
+      options.positionals.push_back(arg);  // validated per command
+      continue;
+    }
     arg = arg.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       options.flags[arg] = argv[++i];
@@ -113,9 +134,14 @@ const std::vector<std::string>& commonFlags() {
 }
 
 /// Rejects misspelled / unsupported flags per command: `--polcy` must fail
-/// loudly, not silently fall back to the default policy.
+/// loudly, not silently fall back to the default policy. Positional
+/// arguments are rejected unless the command declares it takes them.
 void validateFlags(const Options& options, std::vector<std::string> known,
-                   bool withCommon = true) {
+                   bool withCommon = true, bool allowPositionals = false) {
+  if (!allowPositionals && !options.positionals.empty()) {
+    throw PreconditionError("unexpected argument '" + options.positionals.front() +
+                            "' (flags are --name [value])");
+  }
   if (withCommon) {
     known.insert(known.end(), commonFlags().begin(), commonFlags().end());
   }
@@ -154,6 +180,10 @@ void usage() {
       "  rltherm_cli faults     [--scenarios DIR] [--apps a,b] [--jobs N]\n"
       "                         [--train N] [--seed S] [--json FILE]\n"
       "  rltherm_cli faults     --lint [FILE1,FILE2,...] [--scenarios DIR]\n"
+      "  rltherm_cli train      --app FAMILY [--dataset N] [--train N] [--seed S]\n"
+      "                         [--out policy.ckpt]\n"
+      "  rltherm_cli eval       --policy policy.ckpt --app FAMILY [--dataset N]\n"
+      "  rltherm_cli inspect    FILE [--json]\n"
       "policies: linux-ondemand linux-powersave linux-performance\n"
       "          userspace-<GHz> ge ge-modified proposed\n"
       "robustness:\n"
@@ -169,6 +199,14 @@ void usage() {
       "                       run summaries)\n"
       "  --chrome-trace FILE  hot-path timings as Chrome trace_event JSON\n"
       "  --metrics            print metrics/timer summaries + overhead estimate\n"
+      "policy checkpoints (train once, evaluate many):\n"
+      "  train                train the proposed manager, write a versioned\n"
+      "                       checkpoint (--out, default policy.ckpt)\n"
+      "  eval                 rebuild the manager from --policy FILE, freeze it\n"
+      "                       and evaluate (inference-only)\n"
+      "  inspect FILE         summarize a checkpoint (--json for machines)\n"
+      "  --resume FILE        (run/inter/concurrent) load the checkpoint before\n"
+      "                       the run and skip the training pass\n"
       "sweep runs the (app x policy) grid on a thread pool (--jobs, default: all\n"
       "hardware threads; --jobs 1 is the serial path). Output is bit-identical\n"
       "for every --jobs value; see docs/ARCHITECTURE.md 'Parallel execution'.\n";
@@ -460,7 +498,7 @@ int compareCommand(const Options& options) {
 }
 
 int runCommand(const Options& options) {
-  std::vector<std::string> known = {"policy", "dataset", "train", "live", "csv"};
+  std::vector<std::string> known = {"policy", "dataset", "train", "live", "csv", "resume"};
   if (options.command == "run") {
     known.push_back("app");
   } else {
@@ -480,6 +518,11 @@ int runCommand(const Options& options) {
     runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
   }
   loadFaults(options, runnerConfig);
+  // --resume FILE: the runner loads the checkpoint into the policy's
+  // ThermalManager right before the (single) evaluation run; the training
+  // pass is skipped — the checkpoint IS the training.
+  const bool resume = options.has("resume");
+  if (resume) runnerConfig.resumeCheckpoint = options.get("resume", "");
   core::PolicyRunner runner(runnerConfig);
 
   PolicyBundle bundle = makePolicy(options.get("policy", "linux-ondemand"), config);
@@ -495,7 +538,7 @@ int runCommand(const Options& options) {
     }
     expects(!apps.empty(), "concurrent: --apps required");
     const double window = std::stod(options.get("window", "2000"));
-    if (isLearningPolicy(options.get("policy", ""))) {
+    if (!resume && isLearningPolicy(options.get("policy", ""))) {
       (void)runner.runConcurrent(apps, *bundle.policy, window);  // learn
       if (bundle.manager && !options.has("live")) bundle.manager->freeze();
     }
@@ -512,7 +555,7 @@ int runCommand(const Options& options) {
                                        std::stoi(options.get("dataset", "1"))));
     }
     const workload::Scenario eval = workload::Scenario::of(apps);
-    if (isLearningPolicy(options.get("policy", ""))) {
+    if (!resume && isLearningPolicy(options.get("policy", ""))) {
       std::vector<workload::AppSpec> trainApps;
       for (int pass = 0; pass < trainPasses; ++pass) {
         trainApps.insert(trainApps.end(), apps.begin(), apps.end());
@@ -736,6 +779,214 @@ int faultsCommand(const Options& options) {
   return 0;
 }
 
+std::string hexU64(std::uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << v;
+  return out.str();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `train`: train the proposed ThermalManager on --train back-to-back passes
+/// of --app and write the checkpoint via the runner's save-at-end hook (the
+/// same code path RunnerConfig::saveCheckpointAtEnd exercises everywhere).
+int trainCommand(const Options& options) {
+  validateFlags(options, {"app", "dataset", "train", "seed", "out"});
+  ConfigFile config;
+  if (options.has("config")) {
+    std::ifstream in(options.get("config", ""));
+    expects(in.good(), "cannot read config file");
+    config = ConfigFile::parse(in);
+  }
+  core::RunnerConfig runnerConfig = core::runnerConfigFrom(config);
+  if (options.has("big-little")) {
+    runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
+  }
+  loadFaults(options, runnerConfig);
+  const std::string out = options.get("out", "policy.ckpt");
+  runnerConfig.saveCheckpointAtEnd = out;
+  const core::PolicyRunner runner(runnerConfig);
+
+  core::ThermalManagerConfig managerConfig = core::managerConfigFrom(config);
+  if (options.has("seed")) {
+    managerConfig.seed = static_cast<std::uint64_t>(std::stoull(options.get("seed", "42")));
+  }
+  auto manager = std::make_unique<core::ThermalManager>(managerConfig,
+                                                        core::ActionSpace::standard(4));
+  core::ThermalManager* managerPtr = manager.get();
+  PolicyBundle bundle;
+  bundle.manager = managerPtr;
+  bundle.policy = std::move(manager);
+  superviseIfRequested(options, bundle);
+
+  const workload::AppSpec app = workload::makeApp(
+      options.get("app", "tachyon"), std::stoi(options.get("dataset", "1")));
+  const int trainPasses = std::stoi(options.get("train", "3"));
+  expects(trainPasses > 0, "train: --train must be >= 1");
+  const std::vector<workload::AppSpec> trainApps(static_cast<std::size_t>(trainPasses),
+                                                 app);
+
+  ObsSetup obsSetup(options);
+  const core::RunResult result =
+      runner.run(workload::Scenario::of(trainApps), *bundle.policy);
+
+  std::cout << "trained " << result.policyName << " on " << trainPasses << "x "
+            << app.name << " (" << formatFixed(result.duration, 0) << " s simulated, "
+            << managerPtr->epochCount() << " epochs, "
+            << managerPtr->epochsToConvergence() << " to convergence)\n";
+  std::cout << "wrote " << out << " (fingerprint "
+            << hexU64(managerPtr->configFingerprint()) << ")\n";
+  obsSetup.finish();
+  return 0;
+}
+
+/// `eval`: rebuild the manager entirely from a checkpoint file, freeze it
+/// (inference-only — no Q update, no exploration) and evaluate.
+int evalCommand(const Options& options) {
+  validateFlags(options, {"policy", "app", "dataset", "csv"});
+  ConfigFile config;
+  if (options.has("config")) {
+    std::ifstream in(options.get("config", ""));
+    expects(in.good(), "cannot read config file");
+    config = ConfigFile::parse(in);
+  }
+  core::RunnerConfig runnerConfig = core::runnerConfigFrom(config);
+  if (options.has("big-little")) {
+    runnerConfig.machine.coreTypes = platform::bigLittleCoreTypes();
+  }
+  loadFaults(options, runnerConfig);
+  const core::PolicyRunner runner(runnerConfig);
+
+  expects(options.has("policy"), "eval: --policy FILE (a checkpoint) is required");
+  std::unique_ptr<core::ThermalManager> manager =
+      core::loadManagerFromCheckpoint(options.get("policy", "policy.ckpt"));
+  manager->freeze();
+  PolicyBundle bundle;
+  bundle.manager = manager.get();
+  bundle.policy = std::move(manager);
+  superviseIfRequested(options, bundle);
+
+  const workload::AppSpec app = workload::makeApp(
+      options.get("app", "tachyon"), std::stoi(options.get("dataset", "1")));
+
+  ObsSetup obsSetup(options);
+  const core::RunResult result =
+      runner.run(workload::Scenario::of({app}), *bundle.policy);
+  printResult(result);
+  if (options.has("csv")) writeTraceCsv(result, options.get("csv", "trace.csv"));
+  obsSetup.finish();
+  return 0;
+}
+
+/// `inspect FILE [--json]`: decode + validate a checkpoint and summarize it.
+/// Any corruption surfaces here as the reader's diagnostic error (nonzero
+/// exit), so `inspect` doubles as a checkpoint linter.
+int inspectCommand(const Options& options) {
+  validateFlags(options, {"json"}, /*withCommon=*/false, /*allowPositionals=*/true);
+  expects(options.positionals.size() == 1,
+          "inspect: exactly one FILE argument is required");
+  const std::string path = options.positionals.front();
+  const store::CheckpointImage image = store::readCheckpointFile(path);
+  const store::PolicyCheckpoint ckpt = store::decodePolicyCheckpoint(image, path);
+  const std::vector<store::SectionInfo> sections = store::describeImage(image);
+
+  std::size_t touched = 0;
+  for (const std::uint8_t byte : ckpt.qTouched) touched += byte;
+  const double coverage = ckpt.qTouched.empty()
+                              ? 0.0
+                              : static_cast<double>(touched) /
+                                    static_cast<double>(ckpt.qTouched.size());
+  const std::uint64_t states = ckpt.meta.stressBins * ckpt.meta.agingBins;
+
+  if (options.has("json")) {
+    std::ostringstream out;
+    out << "{\"file\":\"" << jsonEscape(path) << "\""
+        << ",\"format_version\":" << image.version
+        << ",\"fingerprint\":\"" << hexU64(image.fingerprint) << "\""
+        << ",\"action_space\":\"" << jsonEscape(ckpt.meta.actionSpec) << "\""
+        << ",\"actions\":" << ckpt.meta.actionNames.size()
+        << ",\"stress_bins\":" << ckpt.meta.stressBins
+        << ",\"aging_bins\":" << ckpt.meta.agingBins
+        << ",\"states\":" << states
+        << ",\"q_entries\":" << ckpt.qValues.size()
+        << ",\"q_touched\":" << touched
+        << ",\"q_coverage\":" << formatFixed(coverage, 4)
+        << ",\"schedule_step\":" << ckpt.scheduleStep
+        << ",\"epochs\":" << ckpt.epochLog.size()
+        << ",\"frozen\":" << (ckpt.frozen ? "true" : "false")
+        << ",\"has_qexp\":" << (ckpt.hasQExp ? "true" : "false")
+        << ",\"inter_detections\":" << ckpt.interDetections
+        << ",\"intra_detections\":" << ckpt.intraDetections
+        << ",\"seed\":" << ckpt.meta.seed
+        << ",\"sections\":[";
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"id\":" << sections[i].id
+          << ",\"name\":\"" << store::sectionName(sections[i].id) << "\""
+          << ",\"offset\":" << sections[i].offset
+          << ",\"payload_bytes\":" << sections[i].payloadBytes
+          << ",\"crc32\":\"" << hexU64(sections[i].crc) << "\"}";
+    }
+    out << "]}";
+    std::cout << out.str() << "\n";
+    return 0;
+  }
+
+  printBanner(std::cout, "checkpoint " + path);
+  TextTable table({"field", "value"});
+  table.row().cell("format version").cell(static_cast<long long>(image.version));
+  table.row().cell("config fingerprint").cell(hexU64(image.fingerprint));
+  table.row().cell("action space").cell(ckpt.meta.actionSpec);
+  table.row().cell("actions").cell(static_cast<long long>(ckpt.meta.actionNames.size()));
+  table.row().cell("states (stress x aging)").cell(
+      std::to_string(ckpt.meta.stressBins) + " x " + std::to_string(ckpt.meta.agingBins) +
+      " = " + std::to_string(states));
+  table.row().cell("Q coverage").cell(std::to_string(touched) + "/" +
+                                      std::to_string(ckpt.qTouched.size()) + " (" +
+                                      formatFixed(100.0 * coverage, 1) + "%)");
+  table.row().cell("learning-rate step").cell(static_cast<long long>(ckpt.scheduleStep));
+  table.row().cell("epochs logged").cell(static_cast<long long>(ckpt.epochLog.size()));
+  table.row().cell("frozen").cell(ckpt.frozen ? "yes" : "no");
+  table.row().cell("Q_exp snapshot").cell(ckpt.hasQExp ? "present" : "absent");
+  table.row().cell("inter/intra detections").cell(
+      std::to_string(ckpt.interDetections) + " / " + std::to_string(ckpt.intraDetections));
+  table.row().cell("seed").cell(static_cast<long long>(ckpt.meta.seed));
+  table.print(std::cout);
+
+  TextTable layout({"id", "section", "offset", "payload (B)", "crc32"});
+  for (const store::SectionInfo& info : sections) {
+    layout.row()
+        .cell(static_cast<long long>(info.id))
+        .cell(store::sectionName(info.id))
+        .cell(static_cast<long long>(info.offset))
+        .cell(static_cast<long long>(info.payloadBytes))
+        .cell(hexU64(info.crc));
+  }
+  layout.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -748,6 +999,9 @@ int main(int argc, char** argv) {
     if (options.command == "compare") return compareCommand(options);
     if (options.command == "sweep") return sweepCommand(options);
     if (options.command == "faults") return faultsCommand(options);
+    if (options.command == "train") return trainCommand(options);
+    if (options.command == "eval") return evalCommand(options);
+    if (options.command == "inspect") return inspectCommand(options);
     if (options.command == "run" || options.command == "inter" ||
         options.command == "concurrent") {
       return runCommand(options);
