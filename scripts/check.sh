@@ -100,7 +100,25 @@ else
 fi
 
 echo "== [9/9] static analysis =="
-./build-asan-ubsan/tools/rltherm_lint .
+# Gate on the committed baseline: pre-existing findings are inventoried in
+# tools/lint_baseline.json, anything NEW fails. --json so the finding list
+# is machine-readable in CI logs; stale-baseline notes land on stderr.
+./build-asan-ubsan/tools/rltherm_lint --json \
+  --baseline tools/lint_baseline.json .
+
+# Canary self-test: seed a violation and require the gate to catch it. A
+# lint that exits zero on a fresh std::rand() in src/ has failed open (bad
+# build, empty scan set, over-wide baseline) — that must fail the script.
+CANARY="src/common/lint_canary_delete_me.cpp"
+trap 'rm -f "${EVENTS_TMP}" "${CANARY}"; rm -rf "${CKPT_TMP}"' EXIT
+printf 'int canary() { return std::rand(); } // 273.15\n' > "${CANARY}"
+if ./build-asan-ubsan/tools/rltherm_lint \
+    --baseline tools/lint_baseline.json . >/dev/null 2>&1; then
+  echo "lint canary FAILED: a seeded std::rand() in src/ was not flagged"
+  exit 1
+fi
+rm -f "${CANARY}"
+echo "lint canary: seeded violation caught as expected"
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
   run-clang-tidy -quiet -p build-asan-ubsan "^$(pwd)/(src|tools)/"

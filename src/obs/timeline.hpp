@@ -81,6 +81,7 @@ class TraceCollector {
   std::uint64_t dropped_ = 0;
   std::uint64_t totalCalls_ = 0;
   std::vector<TimedEvent> events_;
+  // rltherm-lint: allow(unordered-serialization) — aggregates are merged into a name-keyed std::map before any output iterates them
   std::unordered_map<const char*, ScopeStats> statsBySite_;
 };
 

@@ -38,13 +38,20 @@ double agingRate(std::span<const Celsius> temperatures, const AgingParams& param
   if (temperatures.empty()) return 0.0;
   double sum = 0.0;
   for (const Celsius t : temperatures) sum += 1.0 / faultDensityScale(t, params);
-  return sum / static_cast<double>(temperatures.size());
+  const double rate = sum / static_cast<double>(temperatures.size());
+  RLTHERM_ENSURE(rate > 0.0 && !std::isnan(rate),
+                 "agingRate: mean fault rate must be positive");
+  return rate;
 }
 
 double mttfFromAging(double agingRatePerYear, const AgingParams& params) {
+  RLTHERM_EXPECT(params.weibullBeta > 0.0,
+                 "mttfFromAging: Weibull shape beta must be positive");
   if (agingRatePerYear <= 0.0) return std::numeric_limits<double>::infinity();
   const double gamma = std::tgamma(1.0 + 1.0 / params.weibullBeta);
-  return gamma / agingRatePerYear;
+  const double mttf = gamma / agingRatePerYear;
+  RLTHERM_ENSURE(mttf > 0.0, "mttfFromAging: MTTF must be positive");
+  return mttf;
 }
 
 double agingMttfYears(std::span<const Celsius> temperatures, const AgingParams& params) {

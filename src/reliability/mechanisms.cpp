@@ -8,6 +8,7 @@
 
 namespace rltherm::reliability {
 
+// rltherm-lint: allow(missing-contract) — pure enum-to-name mapper, no numerics to assert
 std::string toString(Mechanism mechanism) {
   switch (mechanism) {
     case Mechanism::Electromigration: return "EM";

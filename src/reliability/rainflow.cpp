@@ -51,6 +51,8 @@ std::vector<Celsius> extractExtrema(std::span<const Celsius> series) {
       direction = newDirection;
     }
   }
+  RLTHERM_ENSURE(!extrema.empty() && extrema.size() <= series.size(),
+                 "extractExtrema: cannot produce more extrema than samples");
   return extrema;
 }
 

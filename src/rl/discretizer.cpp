@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::rl {
@@ -16,8 +17,10 @@ std::size_t RangeDiscretizer::bin(double value) const noexcept {
   if (value <= lo_) return 0;
   if (value >= hi_) return bins_ - 1;
   const double fraction = (value - lo_) / (hi_ - lo_);
-  const auto b = static_cast<std::size_t>(fraction * static_cast<double>(bins_));
-  return std::min(b, bins_ - 1);
+  const auto b = std::min(static_cast<std::size_t>(fraction * static_cast<double>(bins_)),
+                          bins_ - 1);
+  RLTHERM_ENSURE(b < bins_, "bin: index must stay below the bin count");
+  return b;
 }
 
 double RangeDiscretizer::normalizedMidpoint(std::size_t binIndex) const {

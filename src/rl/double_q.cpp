@@ -17,6 +17,8 @@ double DoubleQLearner::value(std::size_t state, std::size_t action) const {
 }
 
 std::size_t DoubleQLearner::bestAction(std::size_t state) const {
+  RLTHERM_EXPECT(state < stateCount() && actionCount() > 0,
+                 "bestAction: state must be in range with actions available");
   std::size_t best = 0;
   double bestValue = value(state, 0);
   for (std::size_t action = 1; action < actionCount(); ++action) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::rl {
@@ -19,6 +20,8 @@ LearningRateSchedule::LearningRateSchedule(LearningRateConfig config)
 }
 
 LearningPhase LearningRateSchedule::phase() const noexcept {
+  RLTHERM_INVARIANT(alpha_ >= config_.minAlpha && alpha_ <= config_.initialAlpha,
+                    "phase: alpha must stay within [minAlpha, initialAlpha]");
   if (alpha_ >= config_.explorationThreshold) return LearningPhase::Exploration;
   if (alpha_ <= config_.exploitationThreshold) return LearningPhase::Exploitation;
   return LearningPhase::ExplorationExploitation;
@@ -41,6 +44,8 @@ void LearningRateSchedule::restoreToExplorationEnd() noexcept {
   const double steps = -std::log(ratio) / config_.decay;
   step_ = static_cast<std::size_t>(std::ceil(std::max(0.0, steps)));
   recomputeAlphaFromStep();
+  RLTHERM_ENSURE(alpha_ > 0.0 && alpha_ <= config_.initialAlpha,
+                 "restoreToExplorationEnd: restored alpha must stay in range");
 }
 
 void LearningRateSchedule::restoreStep(std::size_t step) noexcept {

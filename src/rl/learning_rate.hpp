@@ -20,6 +20,7 @@ enum class LearningPhase {
 };
 
 /// Stable lowercase name (used by the obs event log and summary tables).
+// rltherm-lint: allow(missing-contract) — pure enum-to-name mapper, no numerics to assert
 [[nodiscard]] constexpr const char* toString(LearningPhase phase) noexcept {
   switch (phase) {
     case LearningPhase::Exploration: return "exploration";

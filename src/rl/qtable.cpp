@@ -83,10 +83,13 @@ double QTable::coverage() const noexcept {
 }
 
 void QTable::reset(double initialValue) {
+  RLTHERM_EXPECT(std::isfinite(initialValue),
+                 "reset: initial Q-value must be finite");
   std::fill(values_.begin(), values_.end(), initialValue);
   std::fill(visits_.begin(), visits_.end(), std::size_t{0});
   std::fill(touched_.begin(), touched_.end(), false);
   touchedCount_ = 0;
+  RLTHERM_ENSURE(coverage() == 0.0, "reset: coverage must return to zero");
 }
 
 void QTable::restore(const std::vector<double>& snapshot) {
@@ -99,6 +102,10 @@ std::vector<std::uint8_t> QTable::touchedBytes() const {
   for (std::size_t i = 0; i < touched_.size(); ++i) {
     bytes[i] = touched_[i] ? 1 : 0;
   }
+  RLTHERM_ENSURE(static_cast<std::size_t>(
+                     std::count(bytes.begin(), bytes.end(), std::uint8_t{1})) ==
+                     touchedCount_,
+                 "touchedBytes: set bytes must match the touched count");
   return bytes;
 }
 

@@ -1,7 +1,9 @@
 #include "thermal/grid_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::thermal {
@@ -104,13 +106,20 @@ std::vector<Watts> GridPackage::nodePower(std::span<const Watts> corePower) cons
 
 Celsius GridPackage::coreMeanTemperature(std::size_t core) const {
   const std::vector<std::size_t>& cells = coreCells(core);
+  RLTHERM_EXPECT(!cells.empty(),
+                 "coreMeanTemperature: core must map to at least one cell");
   double sum = 0.0;
   for (const std::size_t node : cells) sum += network_.temperature(node);
-  return sum / static_cast<double>(cells.size());
+  const Celsius mean = sum / static_cast<double>(cells.size());
+  RLTHERM_ENSURE(std::isfinite(mean),
+                 "coreMeanTemperature: mean must be finite");
+  return mean;
 }
 
 Celsius GridPackage::corePeakTemperature(std::size_t core) const {
   const std::vector<std::size_t>& cells = coreCells(core);
+  RLTHERM_EXPECT(!cells.empty(),
+                 "corePeakTemperature: core must map to at least one cell");
   Celsius peak = network_.temperature(cells.front());
   for (const std::size_t node : cells) {
     peak = std::max(peak, network_.temperature(node));

@@ -1,5 +1,6 @@
 #include "thermal/quadcore.hpp"
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace rltherm::thermal {
@@ -8,6 +9,8 @@ std::vector<Celsius> QuadCorePackage::coreTemperatures() const {
   std::vector<Celsius> out;
   out.reserve(coreNodes.size());
   for (const std::size_t node : coreNodes) out.push_back(network.temperature(node));
+  RLTHERM_ENSURE(out.size() == coreNodes.size(),
+                 "coreTemperatures: one reading per core node");
   return out;
 }
 

@@ -123,6 +123,8 @@ std::vector<std::size_t> RcNetwork::nodesOfKind(NodeKind kind) const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].kind == kind) out.push_back(i);
   }
+  RLTHERM_ENSURE(std::is_sorted(out.begin(), out.end()),
+                 "nodesOfKind: indices must ascend for deterministic iteration");
   return out;
 }
 

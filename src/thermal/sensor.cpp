@@ -59,6 +59,8 @@ std::vector<Celsius> SensorBank::read(std::span<const Celsius> trueTemps) {
   for (std::size_t i = 0; i < trueTemps.size(); ++i) {
     out.push_back(readChannel(i, trueTemps[i]));
   }
+  RLTHERM_ENSURE(out.size() == trueTemps.size(),
+                 "read: one reading per requested channel");
   return out;
 }
 
@@ -66,6 +68,8 @@ void SensorBank::injectFault(std::size_t channel, SensorFault fault, Celsius par
   if (channels_.size() <= channel) channels_.resize(channel + 1);
   channels_[channel].fault = fault;
   channels_[channel].parameter = parameter;
+  RLTHERM_ENSURE(channels_[channel].fault == fault,
+                 "injectFault: fault must be recorded on the channel");
 }
 
 void SensorBank::clearFault(std::size_t channel) {

@@ -1,0 +1,15 @@
+#include "demo.hpp"
+
+namespace demo {
+
+// The one telemetry name, documented in docs/ARCHITECTURE.md.
+const char* metricName() { return "demo.runs.complete"; }
+
+std::string bannedTokensInStrings() {
+  // Banned tokens inside string literals are data, not code.
+  std::string s = "std::rand() plus 273.15 plus thread_local";
+  s += R"raw(raw strings too: std::unordered_map, std::chrono::system_clock)raw";
+  return s;
+}
+
+}  // namespace demo

@@ -1,0 +1,33 @@
+// Clean fixture: every line here is a trap the ORIGINAL single-pass regex
+// tool fired on. The multi-pass analyzer must report nothing.
+//
+// Banned tokens quoted in prose: std::rand(), 273.15, thread_local and
+// std::chrono::system_clock are all forbidden in real code — but this is a
+// comment, so none of them count. Neither does gettimeofday().
+//
+// Quoting the suppression syntax itself is also fine:
+//   // rltherm-lint: allow(<rule>) — placeholder ids are not suppressions
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace demo {
+
+// A digit separator is not the start of a character literal; the code after
+// this constant must still be scanned.
+constexpr long kIterations = 1'000'000;
+
+/* block comment mentioning std::rand() and 273.15 — still not code */
+struct Counters {
+  // No serialization marker anywhere in this header/source pair, so an
+  // unordered map is fine: nothing ever iterates it into an artifact.
+  std::unordered_map<int, long> byBin;
+  double scale = 2.0;
+  char marker = 'x';
+};
+
+const char* metricName();
+std::string bannedTokensInStrings();
+
+}  // namespace demo

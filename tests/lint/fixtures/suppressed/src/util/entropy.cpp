@@ -1,0 +1,4 @@
+#include <cstdlib>
+
+// rltherm-lint: allow(global-rng) — fixture: justified suppression on the line above
+int entropy() { return std::rand(); }

@@ -1,0 +1,22 @@
+#include "core.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+thread_local int cachedJobs = 0;
+
+double toKelvinOpenCoded(double c) { return c + 273.15; }
+
+int roll() { return std::rand(); }
+
+long wallNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+// rltherm-lint: allow(no-such-rule) — the id is a typo, so this whole
+// suppression must surface as a bad-suppression finding
+void dump(const Telemetry& t) {
+  std::ofstream out("telemetry.json");
+  out << "core.sample.emit" << t.hist.size();
+}

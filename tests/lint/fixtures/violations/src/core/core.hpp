@@ -1,0 +1,8 @@
+#pragma once
+
+#include <unordered_map>
+
+struct Telemetry {
+  double peakTemperature = 0.0;
+  std::unordered_map<int, int> hist;
+};

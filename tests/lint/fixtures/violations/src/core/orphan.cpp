@@ -1,0 +1,2 @@
+// Not listed in this directory's CMakeLists.txt.
+int orphaned() { return 42; }

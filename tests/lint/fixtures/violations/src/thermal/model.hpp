@@ -1,0 +1,17 @@
+#pragma once
+
+namespace fixture {
+
+class Model {
+ public:
+  // Non-trivial public function in a hot-path header with no RLTHERM_*
+  // contract and no expects/ensures: missing-contract.
+  double step(double power) {
+    double acc = power;
+    acc += 1.0;
+    for (int i = 0; i < 3; ++i) acc += static_cast<double>(i);
+    return acc;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// Internal plumbing shared between analyzer.cpp (the driver) and rules.cpp
+// (the checks). Not installed; tests include lint.hpp only.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace rltherm::lint::detail {
+
+/// One lexed source file in scope.
+struct FileUnit {
+  std::filesystem::path absPath;
+  std::string relPath;  ///< forward-slash path relative to the repo root
+  SourceText text;
+  std::vector<Suppression> suppressions;
+};
+
+/// A telemetry name documented in docs/ARCHITECTURE.md.
+struct DocumentedName {
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// Everything a rule may look at.
+struct AnalysisContext {
+  std::filesystem::path root;
+  std::vector<FileUnit> files;           ///< sorted by relPath
+  std::vector<DocumentedName> docNames;  ///< empty when the doc is absent
+  bool hasSchemaDoc = false;
+  std::string schemaDocRel;  ///< "docs/ARCHITECTURE.md" when present
+};
+
+void checkNakedDoubleTemperature(const AnalysisContext& ctx,
+                                 std::vector<Finding>& findings);
+void checkRawKelvinOffset(const AnalysisContext& ctx, std::vector<Finding>& findings);
+void checkGlobalRng(const AnalysisContext& ctx, std::vector<Finding>& findings);
+void checkUnregisteredSources(const AnalysisContext& ctx,
+                              std::vector<Finding>& findings);
+void checkUnorderedSerialization(const AnalysisContext& ctx,
+                                 std::vector<Finding>& findings);
+void checkWallClock(const AnalysisContext& ctx, std::vector<Finding>& findings);
+void checkThreadLocal(const AnalysisContext& ctx, std::vector<Finding>& findings);
+void checkTelemetrySchema(const AnalysisContext& ctx, std::vector<Finding>& findings);
+void checkMissingContracts(const AnalysisContext& ctx, std::vector<Finding>& findings);
+
+std::size_t lineOfOffset(const std::string& text, std::size_t offset);
+
+}  // namespace rltherm::lint::detail

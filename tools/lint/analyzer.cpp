@@ -1,0 +1,206 @@
+// Pass orchestration: collect + lex every source file in scope, parse the
+// telemetry schema doc, run the rules, then gate the raw findings through
+// per-line suppressions. The scan set is `src/`, `tools/` and `bench/`
+// under the given root — whichever exist — so the analyzer works both on
+// the real repo and on the miniature fixture trees in tests/lint/.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis_internal.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rltherm::lint {
+
+namespace {
+
+using detail::AnalysisContext;
+using detail::DocumentedName;
+using detail::FileUnit;
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Telemetry-name shape: >= 3 lowercase dot-joined segments.
+bool isTelemetryShape(const std::string& s) {
+  static const std::regex shape(R"(^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){2,}$)");
+  return std::regex_match(s, shape);
+}
+
+/// Names the schema doc may mention without a code counterpart — today only
+/// the naming-convention placeholder itself.
+bool isDocPlaceholder(const std::string& name) {
+  return name == "subsystem.noun.verb";
+}
+
+/// Extracts documented telemetry names from docs/ARCHITECTURE.md. A name is
+/// any backtick- or double-quote-delimited token of telemetry shape. Table
+/// rows abbreviate families as `workload.app.start` / `.finish` / `.switch`;
+/// a token of shape `.seg[.seg...]` continues the most recent full name on
+/// the same line by replacing its trailing segments.
+std::vector<DocumentedName> parseSchemaDoc(const std::string& text) {
+  std::vector<DocumentedName> out;
+  std::set<std::string> seen;
+  static const std::regex token(R"TOK([`"]([a-z0-9_.]+)[`"])TOK");
+  static const std::regex continuation(R"(^(\.[a-z][a-z0-9_]*)+$)");
+
+  std::size_t line = 1;
+  std::size_t begin = 0;
+  const auto addName = [&](const std::string& name) {
+    if (isDocPlaceholder(name)) return;
+    if (seen.insert(name).second) out.push_back({name, line});
+  };
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    const std::string lineText = text.substr(begin, i - begin);
+    std::string lastFull;
+    for (auto it = std::sregex_iterator(lineText.begin(), lineText.end(), token);
+         it != std::sregex_iterator(); ++it) {
+      const std::string t = (*it)[1].str();
+      if (isTelemetryShape(t)) {
+        lastFull = t;
+        addName(t);
+        continue;
+      }
+      if (!lastFull.empty() && std::regex_match(t, continuation)) {
+        const std::size_t contSegs = static_cast<std::size_t>(
+            std::count(t.begin(), t.end(), '.'));
+        std::string head = lastFull;
+        for (std::size_t k = 0; k < contSegs; ++k) {
+          const std::size_t dot = head.rfind('.');
+          if (dot == std::string::npos) break;
+          head.resize(dot);
+        }
+        addName(head + t);
+      }
+    }
+    begin = i + 1;
+    ++line;
+  }
+  return out;
+}
+
+void collectFiles(const fs::path& root, AnalysisContext& ctx) {
+  for (const char* scope : {"src", "tools", "bench"}) {
+    const fs::path dir = root / scope;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path ext = entry.path().extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      FileUnit unit;
+      unit.absPath = entry.path();
+      unit.relPath = fs::relative(entry.path(), root).generic_string();
+      const std::string raw = readFile(entry.path());
+      unit.text = lexSource(raw);
+      unit.suppressions = parseSuppressions(unit.text.comments);
+      ctx.files.push_back(std::move(unit));
+    }
+  }
+  std::sort(ctx.files.begin(), ctx.files.end(),
+            [](const FileUnit& a, const FileUnit& b) { return a.relPath < b.relPath; });
+}
+
+/// Validates suppressions (known rule ids, non-empty justification) and
+/// filters findings they cover. A suppression applies to its own line and
+/// the line directly below. Invalid suppressions become `bad-suppression`
+/// findings, which are not themselves suppressible.
+std::vector<Finding> applySuppressions(const AnalysisContext& ctx,
+                                       std::vector<Finding> raw) {
+  const std::vector<std::string>& known = allRuleIds();
+  std::map<std::string, const FileUnit*> byPath;
+  for (const FileUnit& unit : ctx.files) byPath[unit.relPath] = &unit;
+
+  std::vector<Finding> out;
+  for (const FileUnit& unit : ctx.files) {
+    for (const Suppression& s : unit.suppressions) {
+      if (s.justification.empty()) {
+        out.push_back({unit.relPath, s.line, "bad-suppression",
+                       "suppression has no justification; write why after the "
+                       "dash: // rltherm-lint: allow(rule) — <reason>"});
+      }
+      if (s.rules.empty()) {
+        out.push_back({unit.relPath, s.line, "bad-suppression",
+                       "suppression lists no rule ids in allow(...)"});
+      }
+      for (const std::string& id : s.rules) {
+        if (!std::binary_search(known.begin(), known.end(), id)) {
+          out.push_back({unit.relPath, s.line, "bad-suppression",
+                         "unknown rule id '" + id +
+                             "' in suppression (see rltherm_lint --list-rules); a "
+                             "typo here would silently fail open"});
+        }
+      }
+    }
+  }
+
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    const auto it = byPath.find(f.file);
+    if (it != byPath.end()) {
+      for (const Suppression& s : it->second->suppressions) {
+        if (s.justification.empty() || s.rules.empty()) continue;
+        if (s.line != f.line && s.line + 1 != f.line) continue;
+        if (std::find(s.rules.begin(), s.rules.end(), f.rule) != s.rules.end()) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& allRuleIds() {
+  static const std::vector<std::string> kRules = {
+      "bad-suppression",        "global-rng",
+      "missing-contract",       "naked-double-temperature",
+      "raw-kelvin-offset",      "stale-telemetry-doc",
+      "thread-local",           "undocumented-telemetry",
+      "unordered-serialization", "unregistered-source",
+      "wall-clock",
+  };
+  return kRules;
+}
+
+std::vector<Finding> analyzeTree(const fs::path& root) {
+  AnalysisContext ctx;
+  ctx.root = root;
+  collectFiles(root, ctx);
+
+  const fs::path schemaDoc = root / "docs" / "ARCHITECTURE.md";
+  if (fs::is_regular_file(schemaDoc)) {
+    ctx.hasSchemaDoc = true;
+    ctx.schemaDocRel = "docs/ARCHITECTURE.md";
+    ctx.docNames = parseSchemaDoc(readFile(schemaDoc));
+  }
+
+  std::vector<Finding> raw;
+  detail::checkNakedDoubleTemperature(ctx, raw);
+  detail::checkRawKelvinOffset(ctx, raw);
+  detail::checkGlobalRng(ctx, raw);
+  detail::checkUnregisteredSources(ctx, raw);
+  detail::checkUnorderedSerialization(ctx, raw);
+  detail::checkWallClock(ctx, raw);
+  detail::checkThreadLocal(ctx, raw);
+  detail::checkTelemetrySchema(ctx, raw);
+  detail::checkMissingContracts(ctx, raw);
+
+  std::vector<Finding> findings = applySuppressions(ctx, std::move(raw));
+  sortFindings(findings);
+  return findings;
+}
+
+}  // namespace rltherm::lint

@@ -1,0 +1,365 @@
+// Pass 2, part 2: the contract-coverage rule (`missing-contract`).
+//
+// The numerically delicate modules — src/thermal/, src/rl/,
+// src/reliability/ — carry runtime contracts (RLTHERM_EXPECT / ENSURE /
+// INVARIANT, see common/contracts.hpp) on their hot paths. This rule makes
+// that policy machine-checked: every *public* function declared in one of
+// those headers must have at least one RLTHERM_* macro (or an expects() /
+// ensures() argument check) in its definition, or carry an explicit
+// suppression with a justification.
+//
+// Parsing is lexical, on the code view: a small brace-tracking scanner
+// recovers class blocks, access regions and function declarations — enough
+// for this codebase's clang-formatted headers, with deliberate outs for
+// anything it cannot prove is a function:
+//  - operators, destructors, pure-virtuals, `= default/delete`, friends,
+//    usings and ALL_CAPS macro invocations are skipped;
+//  - inline bodies and out-of-line definitions that are *trivial*
+//    (<= 2 statements, no loop) are skipped — accessors need no contracts;
+//  - a declaration whose definition cannot be located is skipped rather
+//    than guessed at.
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <string>
+#include <string_view>
+
+#include "analysis_internal.hpp"
+
+namespace rltherm::lint::detail {
+
+namespace {
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Offset of the matching '}' for the '{' at `open` (code view: literals
+/// and comments are already blanked, so every brace is structural).
+std::size_t matchBrace(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i;
+  }
+  return text.size();
+}
+
+bool isKeyword(std::string_view id) {
+  static const char* kKeywords[] = {"if",       "for",     "while",   "switch",
+                                    "return",   "sizeof",  "decltype", "alignof",
+                                    "noexcept", "catch",   "static_assert",
+                                    "new",      "delete",  "throw",   "co_return"};
+  return std::any_of(std::begin(kKeywords), std::end(kKeywords),
+                     [&](const char* k) { return id == k; });
+}
+
+bool isAllCaps(std::string_view id) {
+  bool sawAlpha = false;
+  for (const char c : id) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) sawAlpha = true;
+  }
+  return sawAlpha;
+}
+
+/// Extracts the function name from a declaration head: the identifier
+/// directly before the first top-level '('. Empty when the head does not
+/// look like a function declaration worth checking.
+std::string functionNameFromHead(std::string_view head, std::string_view className) {
+  if (head.find('#') != std::string_view::npos) return {};
+  if (head.find("operator") != std::string_view::npos) return {};
+  static const std::regex nonFunction(
+      R"(\b(using|friend|typedef|template)\b)");
+  if (std::regex_search(head.begin(), head.end(), nonFunction)) return {};
+  const std::size_t paren = head.find('(');
+  if (paren == std::string_view::npos) return {};
+  std::size_t e = paren;
+  while (e > 0 && std::isspace(static_cast<unsigned char>(head[e - 1])) != 0) --e;
+  std::size_t b = e;
+  while (b > 0 && isIdentChar(head[b - 1])) --b;
+  if (b == e) return {};
+  std::string name(head.substr(b, e - b));
+  if (isKeyword(name) || isAllCaps(name)) return {};
+  if (b > 0 && head[b - 1] == '~') return {};  // destructor
+  // Require a return type before the name — or a constructor (name equals
+  // the enclosing class). A bare `ident(...)` statement is a macro call or
+  // member initializer, not a declaration.
+  if (trim(head.substr(0, b)).empty() && name != className) return {};
+  return name;
+}
+
+struct PublicFn {
+  std::string className;  ///< "" for free functions
+  std::string name;
+  std::size_t declOffset = 0;
+  bool hasInlineBody = false;
+  std::size_t bodyBegin = 0;  ///< valid when hasInlineBody
+  std::size_t bodyEnd = 0;
+};
+
+/// True for bodies too small to warrant a contract: at most two statements
+/// and no loop (accessors, forwarding one-liners).
+bool isTrivialBody(std::string_view body) {
+  const std::size_t statements =
+      static_cast<std::size_t>(std::count(body.begin(), body.end(), ';'));
+  if (statements > 2) return false;
+  static const std::regex loop(R"(\b(for|while)\b)");
+  return !std::regex_search(body.begin(), body.end(), loop);
+}
+
+bool bodyHasContract(std::string_view body) {
+  static const std::regex contract(
+      R"(\bRLTHERM_(EXPECT|ENSURE|INVARIANT)\b|\bexpects\s*\(|\bensures\s*\()");
+  return std::regex_search(body.begin(), body.end(), contract);
+}
+
+/// Recursively scans [begin, end) of a header's code view collecting public
+/// function declarations/definitions.
+void scanRegion(const std::string& code, std::size_t begin, std::size_t end,
+                const std::string& className, bool isPublic,
+                std::vector<PublicFn>& out) {
+  std::size_t stmtStart = begin;
+  bool publicNow = isPublic;
+  std::size_t i = begin;
+  while (i < end) {
+    const char c = code[i];
+    if (c == ':') {
+      // Access label? (`public:` — but not `::`, ternaries or inheritance.)
+      const bool scopeColon = (i + 1 < end && code[i + 1] == ':') ||
+                              (i > begin && code[i - 1] == ':');
+      if (!scopeColon) {
+        const std::string_view head = trim({code.data() + stmtStart, i - stmtStart});
+        if (head == "public") {
+          publicNow = true;
+          stmtStart = i + 1;
+        } else if (head == "private" || head == "protected") {
+          publicNow = false;
+          stmtStart = i + 1;
+        }
+      } else {
+        ++i;  // skip the second ':' so it is not re-examined
+      }
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      const std::string_view head = trim({code.data() + stmtStart, i - stmtStart});
+      static const std::regex defaulted(R"(=\s*(default|delete|0)\s*$)");
+      if (publicNow && !std::regex_search(head.begin(), head.end(), defaulted)) {
+        const std::string name = functionNameFromHead(head, className);
+        if (!name.empty()) {
+          out.push_back({className, name, stmtStart, false, 0, 0});
+        }
+      }
+      stmtStart = i + 1;
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      const std::size_t close = matchBrace(code, i);
+      const std::string_view head = trim({code.data() + stmtStart, i - stmtStart});
+      std::cmatch m;
+      static const std::regex classHead(R"(\b(class|struct)\s+([A-Za-z_]\w*)[^;{]*$)");
+      static const std::regex skipHead(R"(\b(enum|union)\b)");
+      if (std::regex_search(head.begin(), head.end(), m, classHead) &&
+          !std::regex_search(head.begin(), head.end(), skipHead)) {
+        const std::string nested = m[2].str();
+        scanRegion(code, i + 1, close, nested,
+                   head.find("struct") != std::string_view::npos, out);
+      } else if (head.find("namespace") != std::string_view::npos) {
+        scanRegion(code, i + 1, close, className, publicNow, out);
+      } else if (!std::regex_search(head.begin(), head.end(), skipHead)) {
+        if (publicNow) {
+          const std::string name = functionNameFromHead(head, className);
+          if (!name.empty()) {
+            out.push_back({className, name, stmtStart, true, i + 1, close});
+          }
+        }
+      }
+      // Consume an optional trailing token after the block (`};` or the
+      // initializer of a brace-initialized member) conservatively: resume
+      // right after the close brace.
+      i = close + 1;
+      stmtStart = i;
+      continue;
+    }
+    ++i;
+  }
+}
+
+/// Locates the out-of-line definition of `className::name` (or free `name`)
+/// in `code` and returns its body span via out-params.
+bool findDefinition(const std::string& code, const std::string& className,
+                    const std::string& name, std::size_t& bodyBegin,
+                    std::size_t& bodyEnd, std::size_t& defOffset) {
+  const std::string pattern = className.empty()
+                                  ? "\\b" + name + "\\s*\\("
+                                  : "\\b" + className + "\\s*::\\s*" + name + "\\s*\\(";
+  const std::regex re(pattern);
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t at = static_cast<std::size_t>(it->position());
+    // Find the argument list's closing paren.
+    std::size_t p = code.find('(', at);
+    int depth = 0;
+    while (p < code.size()) {
+      if (code[p] == '(') ++depth;
+      if (code[p] == ')' && --depth == 0) break;
+      ++p;
+    }
+    if (p >= code.size()) continue;
+    // A definition's tail between ')' and '{' holds only qualifiers /
+    // trailing return types; a ';' or an operator character means this was
+    // a call or a declaration.
+    std::size_t q = p + 1;
+    bool isDefinition = false;
+    int tailParens = 0;  // noexcept(...) may nest; an UNBALANCED ')' means
+                         // the match was a call inside a larger expression
+    while (q < code.size()) {
+      const char t = code[q];
+      if (t == '{' && tailParens == 0) {
+        isDefinition = true;
+        break;
+      }
+      if (t == '(') {
+        ++tailParens;
+        ++q;
+        continue;
+      }
+      if (t == ')') {
+        if (tailParens == 0) break;
+        --tailParens;
+        ++q;
+        continue;
+      }
+      const bool tailChar = isIdentChar(t) ||
+                            std::isspace(static_cast<unsigned char>(t)) != 0 ||
+                            t == ':' || t == '&' || t == '*' || t == '<' ||
+                            t == '>' || t == ',' || t == '-' || t == '[' ||
+                            t == ']';
+      if (!tailChar) break;
+      ++q;
+    }
+    if (!isDefinition) continue;
+    bodyBegin = q + 1;
+    bodyEnd = matchBrace(code, q);
+    defOffset = at;
+    return true;
+  }
+  return false;
+}
+
+bool isHotPathHeader(std::string_view relPath) {
+  return (startsWith(relPath, "src/thermal/") || startsWith(relPath, "src/rl/") ||
+          startsWith(relPath, "src/reliability/")) &&
+         endsWith(relPath, ".hpp");
+}
+
+}  // namespace
+
+void checkMissingContracts(const AnalysisContext& ctx,
+                           std::vector<Finding>& findings) {
+  for (const FileUnit& header : ctx.files) {
+    if (!isHotPathHeader(header.relPath)) continue;
+
+    std::vector<PublicFn> fns;
+    scanRegion(header.text.code, 0, header.text.code.size(), "", true, fns);
+
+    // Sibling sources in the same directory, for out-of-line definitions.
+    const std::string dir =
+        header.relPath.substr(0, header.relPath.rfind('/') + 1);
+    std::vector<const FileUnit*> sources;
+    for (const FileUnit& unit : ctx.files) {
+      if (startsWith(unit.relPath, dir) && endsWith(unit.relPath, ".cpp") &&
+          unit.relPath.find('/', dir.size()) == std::string::npos) {
+        sources.push_back(&unit);
+      }
+    }
+
+    // One finding per unique (class, name): overloads share contract duty.
+    std::vector<std::string> reported;
+    for (const PublicFn& fn : fns) {
+      const std::string key = fn.className + "::" + fn.name;
+      if (std::find(reported.begin(), reported.end(), key) != reported.end()) {
+        continue;
+      }
+      const std::string display =
+          fn.className.empty() ? fn.name : fn.className + "::" + fn.name;
+
+      if (fn.hasInlineBody) {
+        const std::string_view body{header.text.code.data() + fn.bodyBegin,
+                                    fn.bodyEnd - fn.bodyBegin};
+        if (isTrivialBody(body) || bodyHasContract(body)) {
+          reported.push_back(key);
+          continue;
+        }
+        // Anchor the finding on the head's first token, not the whitespace
+        // trailing the previous statement, so a suppression on the line
+        // above the signature covers it.
+        std::size_t at = fn.declOffset;
+        while (at < fn.bodyBegin &&
+               std::isspace(static_cast<unsigned char>(header.text.code[at])) != 0) {
+          ++at;
+        }
+        findings.push_back(
+            {header.relPath, lineOfOffset(header.text.code, at),
+             "missing-contract",
+             "public hot-path function '" + display +
+                 "' has no RLTHERM_* contract (or expects/ensures check) in its "
+                 "definition; assert a numeric pre/postcondition (see "
+                 "docs/ANALYSIS.md) or suppress with a justification"});
+        reported.push_back(key);
+        continue;
+      }
+
+      // Out-of-line: find the definition in a sibling .cpp (or this header,
+      // for definitions below the class).
+      bool located = false;
+      for (const FileUnit* source : sources) {
+        std::size_t bodyBegin = 0;
+        std::size_t bodyEnd = 0;
+        std::size_t defOffset = 0;
+        if (!findDefinition(source->text.code, fn.className, fn.name, bodyBegin,
+                            bodyEnd, defOffset)) {
+          continue;
+        }
+        located = true;
+        const std::string_view body{source->text.code.data() + bodyBegin,
+                                    bodyEnd - bodyBegin};
+        if (!isTrivialBody(body) && !bodyHasContract(body)) {
+          findings.push_back(
+              {source->relPath, lineOfOffset(source->text.code, defOffset),
+               "missing-contract",
+               "public hot-path function '" + display +
+                   "' has no RLTHERM_* contract (or expects/ensures check) in "
+                   "its definition; assert a numeric pre/postcondition (see "
+                   "docs/ANALYSIS.md) or suppress with a justification"});
+        }
+        break;
+      }
+      (void)located;  // undefinable declarations are skipped, not guessed at
+      reported.push_back(key);
+    }
+  }
+}
+
+}  // namespace rltherm::lint::detail

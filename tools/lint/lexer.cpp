@@ -1,0 +1,204 @@
+// Pass 1: the lexer. Produces a "code view" of a C++ source file — comments
+// and string/character literals replaced by spaces, newlines preserved so
+// byte offsets still map to the original line numbers — plus the collected
+// string-literal contents for the telemetry rules.
+//
+// A hand-rolled scanner, not a regex: `//` inside strings, `"` inside
+// comments, raw strings and digit separators all require one character of
+// context the regex engine does not keep. The subtle cases, each covered by
+// a fixture under tests/lint/fixtures/:
+//
+//  - raw strings: R"(...)" and R"delim(...)delim", with optional u8/u/U/L
+//    encoding prefixes; contents are collected, not scanned as code.
+//  - digit separators: the ' in 1'000'000 does not open a character
+//    literal. Heuristic: a ' directly after [A-Za-z0-9_] is a separator
+//    unless that trailing identifier is an encoding prefix (u8/u/U/L).
+//  - line splices: a backslash-newline inside a // comment continues the
+//    comment (the preprocessor splices before lexing).
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "lint.hpp"
+
+namespace rltherm::lint {
+
+namespace {
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when text[i] starts a raw-string literal's opening quote, i.e. the
+/// quote is preceded by R with an optional encoding prefix that is itself
+/// not glued to a longer identifier (xR"..." is not a raw string).
+bool isRawStringQuote(std::string_view text, std::size_t i) {
+  if (i == 0 || text[i] != '"' || text[i - 1] != 'R') return false;
+  std::size_t p = i - 1;  // points at 'R'
+  if (p == 0) return true;
+  // Allow u8R, uR, UR, LR; reject any other identifier char before R.
+  std::size_t q = p;
+  while (q > 0 && isIdentChar(text[q - 1])) --q;
+  const std::string_view prefix = text.substr(q, p - q);
+  return prefix.empty() || prefix == "u8" || prefix == "u" || prefix == "U" ||
+         prefix == "L";
+}
+
+}  // namespace
+
+SourceText lexSource(const std::string& raw) {
+  SourceText out;
+  out.code.assign(raw.size(), ' ');
+  out.comments.assign(raw.size(), ' ');
+  std::size_t line = 1;
+
+  enum class State { Code, LineComment, BlockComment, Str, Chr };
+  State state = State::Code;
+  bool escaped = false;
+  std::string literal;        // accumulating Str/Chr contents
+  std::size_t literalLine = 0;
+
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const char c = raw[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+      ++line;
+      if (state == State::LineComment && (i == 0 || raw[i - 1] != '\\')) {
+        state = State::Code;
+      }
+      // An unterminated ordinary literal cannot span a newline; recover so
+      // one bad line does not blank the rest of the file.
+      if (state == State::Str || state == State::Chr) {
+        if (!escaped) {
+          if (state == State::Str) {
+            out.strings.push_back({literalLine, literal});
+          }
+          state = State::Code;
+        }
+        escaped = false;
+      }
+      ++i;
+      continue;
+    }
+
+    switch (state) {
+      case State::Code: {
+        if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+          state = State::LineComment;
+          i += 2;
+          continue;
+        }
+        if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+          state = State::BlockComment;
+          i += 2;
+          continue;
+        }
+        if (isRawStringQuote(raw, i)) {
+          // R"delim( ... )delim"  — find the delimiter, then the closing
+          // sequence; everything between is one literal.
+          std::size_t d = i + 1;
+          while (d < raw.size() && raw[d] != '(' && raw[d] != '\n') ++d;
+          if (d >= raw.size() || raw[d] != '(') {
+            out.code[i] = c;  // malformed; treat the quote as plain code
+            ++i;
+            continue;
+          }
+          const std::string delim = raw.substr(i + 1, d - i - 1);
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t bodyBegin = d + 1;
+          const std::size_t closeAt = raw.find(closer, bodyBegin);
+          const std::size_t bodyEnd =
+              closeAt == std::string::npos ? raw.size() : closeAt;
+          out.strings.push_back({line, raw.substr(bodyBegin, bodyEnd - bodyBegin)});
+          // Blank the whole literal but keep its newlines.
+          const std::size_t literalEnd =
+              closeAt == std::string::npos ? raw.size() : closeAt + closer.size();
+          // Also blank the R (and any encoding prefix) so `R` does not leak
+          // into the code view as an identifier fragment.
+          std::size_t q = i - 1;
+          while (q > 0 && isIdentChar(raw[q - 1])) --q;
+          for (std::size_t k = q; k < i; ++k) out.code[k] = ' ';
+          for (std::size_t k = i; k < literalEnd; ++k) {
+            if (raw[k] == '\n') {
+              out.code[k] = '\n';
+              out.comments[k] = '\n';
+              ++line;
+            }
+          }
+          i = literalEnd;
+          continue;
+        }
+        if (c == '"') {
+          state = State::Str;
+          escaped = false;
+          literal.clear();
+          literalLine = line;
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          // Digit separator (1'000'000) vs character literal: a quote glued
+          // to an identifier/number is a separator — unless the glued text
+          // is exactly an encoding prefix (u8'x', L'x').
+          bool separator = false;
+          if (i > 0 && isIdentChar(raw[i - 1])) {
+            std::size_t q = i;
+            while (q > 0 && isIdentChar(raw[q - 1])) --q;
+            const std::string_view prev(raw.data() + q, i - q);
+            separator = !(prev == "u8" || prev == "u" || prev == "U" || prev == "L");
+          }
+          if (separator) {
+            out.code[i] = c;
+            ++i;
+            continue;
+          }
+          state = State::Chr;
+          escaped = false;
+          ++i;
+          continue;
+        }
+        out.code[i] = c;
+        ++i;
+        continue;
+      }
+      case State::LineComment:
+        out.comments[i] = c;
+        ++i;
+        continue;
+      case State::BlockComment:
+        if (c == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
+          state = State::Code;
+          i += 2;
+          continue;
+        }
+        out.comments[i] = c;
+        ++i;
+        continue;
+      case State::Str:
+      case State::Chr: {
+        const char quote = state == State::Str ? '"' : '\'';
+        if (escaped) {
+          escaped = false;
+          if (state == State::Str) literal.push_back(c);
+        } else if (c == '\\') {
+          escaped = true;
+          if (state == State::Str) literal.push_back(c);
+        } else if (c == quote) {
+          if (state == State::Str) out.strings.push_back({literalLine, literal});
+          state = State::Code;
+        } else if (state == State::Str) {
+          literal.push_back(c);
+        }
+        ++i;
+        continue;
+      }
+    }
+  }
+  if (state == State::Str) out.strings.push_back({literalLine, literal});
+  return out;
+}
+
+}  // namespace rltherm::lint

@@ -1,0 +1,83 @@
+// Per-line suppressions:
+//
+//   badCall();  // rltherm-lint: allow(global-rng) — seeds the fuzz corpus
+//   // rltherm-lint: allow(raw-kelvin-offset, wall-clock) -- fixture data
+//   nextLineIsCoveredToo();
+//
+// A suppression silences matching findings on its own line and on the line
+// directly below (so both trailing-comment and comment-above styles work).
+// The justification after the separator (em dash, `--` or `-`) is REQUIRED:
+// an empty justification, or a rule id the analyzer does not know, turns
+// the suppression itself into a `bad-suppression` finding — a typo'd
+// suppression must never silently fail open. See docs/ANALYSIS.md.
+#include <algorithm>
+#include <cstddef>
+#include <regex>
+#include <string>
+
+#include "lint.hpp"
+
+namespace rltherm::lint {
+
+namespace {
+
+/// Real rule ids are [a-z0-9-]; anything else (e.g. `<rule>`) marks a doc
+/// comment *quoting* the suppression syntax, not using it.
+bool isPlaceholderId(const std::string& id) {
+  return !std::all_of(id.begin(), id.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+  });
+}
+
+}  // namespace
+
+std::vector<Suppression> parseSuppressions(const std::string& raw) {
+  std::vector<Suppression> out;
+  static const std::regex marker(
+      R"(rltherm-lint:\s*allow\(([^)]*)\)\s*(?:—|--|-)?\s*(.*))",
+      std::regex::ECMAScript);
+  std::size_t line = 1;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= raw.size(); ++i) {
+    if (i != raw.size() && raw[i] != '\n') continue;
+    const std::string text = raw.substr(begin, i - begin);
+    std::smatch m;
+    if (std::regex_search(text, m, marker)) {
+      Suppression s;
+      s.line = line;
+      // Split the comma-separated rule list.
+      const std::string list = m[1].str();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        std::string id = list.substr(pos, comma - pos);
+        const auto first = id.find_first_not_of(" \t");
+        const auto last = id.find_last_not_of(" \t");
+        if (first != std::string::npos) {
+          s.rules.push_back(id.substr(first, last - first + 1));
+        }
+        pos = comma + 1;
+      }
+      if (std::any_of(s.rules.begin(), s.rules.end(), isPlaceholderId)) {
+        begin = i + 1;
+        ++line;
+        continue;
+      }
+      std::string just = m[2].str();
+      const auto last = just.find_last_not_of(" \t\r");
+      just = last == std::string::npos ? std::string() : just.substr(0, last + 1);
+      // The separator may have been an em dash consumed as part of .* when
+      // the regex alternation missed it; strip leading dashes/space.
+      const auto firstReal = just.find_first_not_of(" \t-");
+      s.justification = firstReal == std::string::npos ? std::string()
+                                                       : just.substr(firstReal);
+      out.push_back(std::move(s));
+    }
+    begin = i + 1;
+    ++line;
+  }
+  return out;
+}
+
+}  // namespace rltherm::lint

@@ -1,295 +1,79 @@
 // rltherm_lint — project-specific static analysis for invariants that
-// clang-tidy cannot express.
+// clang-tidy cannot express. Thin CLI over the analyzer library in
+// tools/lint/ (lexer pass, rule families, suppressions); see lint.hpp for
+// the architecture and docs/ANALYSIS.md for the rule catalogue.
 //
-// Usage:  rltherm_lint [repo-root]     (default: current directory)
-//         rltherm_lint --list-rules
+// Usage:
+//   rltherm_lint [repo-root]                 text findings, exit 1 if any
+//   rltherm_lint --json [repo-root]          findings as JSON on stdout
+//   rltherm_lint --baseline FILE [root]      fail only on findings NOT in
+//                                            the committed baseline
+//   rltherm_lint --write-baseline FILE [root] (re)generate the baseline
+//   rltherm_lint --list-rules
 //
-// The tool walks `src/` under the repo root and checks every source file
-// against the rule set below, printing findings as `path:line: [rule] message`
-// and exiting non-zero if anything fired. scripts/check.sh runs it in CI.
-//
-// Rules (see docs/ANALYSIS.md for rationale and how to add one):
-//
-//   naked-double-temperature  Public headers must declare temperature-named
-//                             parameters/members as Celsius or Kelvin (the
-//                             typed wrappers in common/units.hpp), never as
-//                             naked `double`.
-//   raw-kelvin-offset         The 273.15 Celsius<->Kelvin offset may appear
-//                             only in common/units.hpp; all conversions go
-//                             through toKelvin()/toCelsius().
-//   global-rng                Only src/common/rng.* may touch a global or
-//                             standard-library RNG; all simulator randomness
-//                             flows through rltherm::Rng so traces stay
-//                             deterministic and bit-identical across
-//                             toolchains.
-//   unregistered-source       Every *.cpp under src/<module>/ must be listed
-//                             in that module's CMakeLists.txt, and every
-//                             src/<module>/ directory carrying a
-//                             CMakeLists.txt must be pulled in via
-//                             add_subdirectory() from src/CMakeLists.txt (an
-//                             orphan file or module compiles in nobody's
-//                             build and silently rots).
-//
-// Matching is purely lexical, but comments and string literals are stripped
-// first so documentation never triggers a finding.
-#include <algorithm>
-#include <cctype>
-#include <cstdio>
+// scripts/check.sh runs `rltherm_lint --json --baseline
+// tools/lint_baseline.json .` as the CI gate: pre-existing findings are
+// inventoried in the baseline, anything new fails. Prefer an inline
+// suppression with a justification over a baseline entry — the baseline
+// exists so adopting a new rule never blocks on fixing the whole tree at
+// once.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <regex>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint/lint.hpp"
+
 namespace fs = std::filesystem;
+namespace lint = rltherm::lint;
 
 namespace {
 
-struct Finding {
-  fs::path file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-/// Replaces comments and string/character literals with spaces, preserving
-/// newlines so line numbers survive. A small hand-rolled scanner: regexes
-/// cannot handle nesting of `//` inside strings and vice versa.
-std::string stripCommentsAndStrings(const std::string& text) {
-  std::string out(text.size(), ' ');
-  enum class State { Code, Slash, LineComment, BlockComment, BlockStar, Str, Chr };
-  State state = State::Code;
-  char quoteEscape = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      out[i] = '\n';
-      if (state == State::LineComment || state == State::Slash) state = State::Code;
-      continue;
-    }
-    switch (state) {
-      case State::Code:
-        if (c == '/') {
-          state = State::Slash;
-        } else if (c == '"') {
-          state = State::Str;
-          quoteEscape = 0;
-        } else if (c == '\'') {
-          state = State::Chr;
-          quoteEscape = 0;
-        } else {
-          out[i] = c;
-        }
-        break;
-      case State::Slash:
-        if (c == '/') {
-          state = State::LineComment;
-        } else if (c == '*') {
-          state = State::BlockComment;
-        } else {
-          // The previous '/' was real code (division); restore it.
-          out[i - 1] = '/';
-          out[i] = c;
-          state = State::Code;
-        }
-        break;
-      case State::LineComment:
-        break;
-      case State::BlockComment:
-        if (c == '*') state = State::BlockStar;
-        break;
-      case State::BlockStar:
-        state = (c == '/') ? State::Code : (c == '*' ? State::BlockStar
-                                                     : State::BlockComment);
-        break;
-      case State::Str:
-      case State::Chr: {
-        const char quote = state == State::Str ? '"' : '\'';
-        if (quoteEscape) {
-          quoteEscape = 0;
-        } else if (c == '\\') {
-          quoteEscape = 1;
-        } else if (c == quote) {
-          state = State::Code;
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-std::size_t lineOfOffset(const std::string& text, std::size_t offset) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(
-                                              std::min(offset, text.size())),
-                            '\n'));
-}
-
-std::string lowercase(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return s;
-}
-
-bool endsWith(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
-}
-
-/// Heuristic: does this identifier name a temperature quantity? Tuned so
-/// sensitivity/weight/scale factors (`tempSensitivity`, `temperatureWeight`)
-/// do not fire — those are 1/K coefficients, not temperatures.
-bool isTemperatureName(const std::string& raw) {
-  const std::string name = lowercase(raw);
-  static const char* kExact[] = {"temp",    "temperature", "ambient", "hottest",
-                                 "coolest", "tmax",        "tmin",    "tamb",
-                                 "tjunction"};
-  for (const char* e : kExact) {
-    if (name == e || name == std::string(e) + "_") return true;
-  }
-  for (const char* suffix : {"temp", "temperature", "celsius", "kelvin",
-                             "temp_", "temperature_", "celsius_", "kelvin_"}) {
-    if (endsWith(name, suffix)) return true;
-  }
-  return false;
-}
-
-std::string readFile(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-// --- rule: naked-double-temperature -----------------------------------------
-
-void checkNakedDoubleTemperature(const fs::path& file, const std::string& code,
-                                 std::vector<Finding>& findings) {
-  static const std::regex decl(R"(\bdouble\s+([A-Za-z_]\w*))");
-  for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
-       it != std::sregex_iterator(); ++it) {
-    const std::string name = (*it)[1].str();
-    if (!isTemperatureName(name)) continue;
-    findings.push_back(
-        {file, lineOfOffset(code, static_cast<std::size_t>(it->position())),
-         "naked-double-temperature",
-         "'" + name + "' looks like a temperature but is declared as naked double; "
-         "use Celsius or Kelvin from common/units.hpp"});
-  }
-}
-
-// --- rule: raw-kelvin-offset ------------------------------------------------
-
-void checkRawKelvinOffset(const fs::path& file, const std::string& code,
-                          std::vector<Finding>& findings) {
-  static const std::regex offset(R"(\b273\.15\b)");
-  for (auto it = std::sregex_iterator(code.begin(), code.end(), offset);
-       it != std::sregex_iterator(); ++it) {
-    findings.push_back(
-        {file, lineOfOffset(code, static_cast<std::size_t>(it->position())),
-         "raw-kelvin-offset",
-         "open-coded Celsius<->Kelvin offset; use toKelvin()/toCelsius() from "
-         "common/units.hpp"});
-  }
-}
-
-// --- rule: global-rng -------------------------------------------------------
-
-void checkGlobalRng(const fs::path& file, const std::string& code,
-                    std::vector<Finding>& findings) {
-  static const std::regex rng(
-      R"(\b(std\s*::\s*)?(rand|srand|rand_r|drand48|lrand48|random_device|mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+|knuth_b)\b)");
-  for (auto it = std::sregex_iterator(code.begin(), code.end(), rng);
-       it != std::sregex_iterator(); ++it) {
-    findings.push_back(
-        {file, lineOfOffset(code, static_cast<std::size_t>(it->position())),
-         "global-rng",
-         "'" + (*it)[2].str() +
-             "' bypasses rltherm::Rng; all simulator randomness must flow through "
-             "src/common/rng for deterministic traces"});
-  }
-}
-
-// --- rule: unregistered-source ----------------------------------------------
-
-void checkUnregisteredSources(const fs::path& srcRoot, std::vector<Finding>& findings) {
-  // Collect per-directory CMakeLists contents once.
-  std::map<fs::path, std::string> cmakeByDir;
-  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
-    if (entry.is_regular_file() && entry.path().filename() == "CMakeLists.txt") {
-      cmakeByDir[entry.path().parent_path()] = readFile(entry.path());
-    }
-  }
-  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".cpp") continue;
-    const fs::path dir = entry.path().parent_path();
-    const std::string name = entry.path().filename().string();
-    const auto cm = cmakeByDir.find(dir);
-    if (cm == cmakeByDir.end()) {
-      findings.push_back({entry.path(), 1, "unregistered-source",
-                          "no CMakeLists.txt in " + dir.string() +
-                              " to register this source file"});
-      continue;
-    }
-    if (cm->second.find(name) == std::string::npos) {
-      findings.push_back({entry.path(), 1, "unregistered-source",
-                          name + " is not listed in " +
-                              (dir / "CMakeLists.txt").string()});
-    }
-  }
-
-  // A module directory with its own CMakeLists.txt must itself be reachable:
-  // src/CMakeLists.txt needs an add_subdirectory(<module>) for it, otherwise
-  // every file in the module is registered yet still built by nobody.
-  const auto topCm = cmakeByDir.find(srcRoot);
-  if (topCm == cmakeByDir.end()) return;  // layout without a src aggregator
-  static const std::regex addSub(R"(add_subdirectory\s*\(\s*([\w./-]+))");
-  std::vector<std::string> registered;
-  for (auto it = std::sregex_iterator(topCm->second.begin(), topCm->second.end(), addSub);
-       it != std::sregex_iterator(); ++it) {
-    registered.push_back((*it)[1].str());
-  }
-  for (const auto& [dir, contents] : cmakeByDir) {
-    if (dir == srcRoot || dir.parent_path() != srcRoot) continue;
-    const std::string module = dir.filename().string();
-    if (std::find(registered.begin(), registered.end(), module) == registered.end()) {
-      findings.push_back({dir / "CMakeLists.txt", 1, "unregistered-source",
-                          "module directory src/" + module +
-                              " is not added via add_subdirectory() in " +
-                              (srcRoot / "CMakeLists.txt").string()});
-    }
-  }
-}
-
-// ----------------------------------------------------------------------------
-
-bool isExemptFromRngRule(const fs::path& rel) {
-  const std::string s = rel.generic_string();
-  return s == "common/rng.hpp" || s == "common/rng.cpp";
-}
-
-bool isExemptFromOffsetRule(const fs::path& rel) {
-  return rel.generic_string() == "common/units.hpp";
-}
-
 void listRules() {
   std::cout <<
-      "naked-double-temperature  temperature-named declarations in public headers must\n"
+      "bad-suppression           suppression comments must name known rules and\n"
+      "                          carry a non-empty justification\n"
+      "global-rng                std/libc RNGs forbidden outside src/common/rng\n"
+      "missing-contract          public functions in thermal/rl/reliability\n"
+      "                          headers need an RLTHERM_* contract (or\n"
+      "                          expects/ensures) in their definition\n"
+      "naked-double-temperature  temperature-named declarations in headers must\n"
       "                          use the Celsius/Kelvin wrappers (common/units.hpp)\n"
       "raw-kelvin-offset         273.15 may appear only in common/units.hpp\n"
-      "global-rng                std/libc RNGs forbidden outside src/common/rng\n"
-      "unregistered-source       every src/**.cpp must be listed in its CMakeLists.txt\n"
-      "                          and every src/<module>/ added from src/CMakeLists.txt\n";
+      "stale-telemetry-doc       names documented in docs/ARCHITECTURE.md must\n"
+      "                          still exist in code\n"
+      "thread-local              thread_local forbidden in src/ outside src/obs/\n"
+      "undocumented-telemetry    subsystem.noun.verb names emitted from src/ must\n"
+      "                          be documented in docs/ARCHITECTURE.md\n"
+      "unordered-serialization   std::unordered_* forbidden in header/source\n"
+      "                          pairs that write events/JSON/checkpoints\n"
+      "unregistered-source       every src/**.cpp must be listed in its\n"
+      "                          CMakeLists.txt, and every src/<module>/ added\n"
+      "                          from src/CMakeLists.txt\n"
+      "wall-clock                wall-clock reads forbidden in src/ outside the\n"
+      "                          two obs timing translation units\n"
+      "\n"
+      "Suppress a finding on its line (or the line above):\n"
+      "  // rltherm-lint: allow(<rule>[, <rule>...]) — <justification>\n";
+}
+
+int usageError(const std::string& message) {
+  std::cerr << "rltherm_lint: " << message
+            << "\nusage: rltherm_lint [--json] [--baseline FILE | --write-baseline "
+               "FILE] [repo-root]\n       rltherm_lint --list-rules\n";
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  bool json = false;
+  std::string baselinePath;
+  std::string writeBaselinePath;
+
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -297,42 +81,80 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: rltherm_lint [repo-root]\n       rltherm_lint --list-rules\n";
+      std::cout << "usage: rltherm_lint [--json] [--baseline FILE | "
+                   "--write-baseline FILE] [repo-root]\n"
+                   "       rltherm_lint --list-rules\n";
       return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--baseline" || arg == "--write-baseline") {
+      if (i + 1 >= argc) return usageError(std::string(arg) + " needs a file");
+      (arg == "--baseline" ? baselinePath : writeBaselinePath) = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      return usageError("unknown flag '" + std::string(arg) + "'");
     }
     root = fs::path(arg);
   }
-
-  const fs::path srcRoot = fs::exists(root / "src") ? root / "src" : root;
-  if (!fs::is_directory(srcRoot)) {
-    std::cerr << "rltherm_lint: no src/ directory under " << root << "\n";
+  if (!baselinePath.empty() && !writeBaselinePath.empty()) {
+    return usageError("--baseline and --write-baseline are mutually exclusive");
+  }
+  if (!fs::is_directory(root / "src") && !fs::is_directory(root / "tools") &&
+      !fs::is_directory(root / "bench")) {
+    std::cerr << "rltherm_lint: no src/, tools/ or bench/ directory under " << root
+              << "\n";
     return 2;
   }
 
-  std::vector<Finding> findings;
-  for (const auto& entry : fs::recursive_directory_iterator(srcRoot)) {
-    if (!entry.is_regular_file()) continue;
-    const fs::path ext = entry.path().extension();
-    if (ext != ".cpp" && ext != ".hpp") continue;
-    const fs::path rel = fs::relative(entry.path(), srcRoot);
-    const std::string code = stripCommentsAndStrings(readFile(entry.path()));
-    if (ext == ".hpp") checkNakedDoubleTemperature(entry.path(), code, findings);
-    if (!isExemptFromOffsetRule(rel)) checkRawKelvinOffset(entry.path(), code, findings);
-    if (!isExemptFromRngRule(rel)) checkGlobalRng(entry.path(), code, findings);
-  }
-  checkUnregisteredSources(srcRoot, findings);
+  std::vector<lint::Finding> findings = lint::analyzeTree(root);
 
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line) < std::tie(b.file, b.line);
-  });
-  for (const Finding& f : findings) {
-    std::cout << f.file.generic_string() << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
-  if (findings.empty()) {
-    std::cout << "rltherm_lint: clean (" << srcRoot.generic_string() << ")\n";
+  if (!writeBaselinePath.empty()) {
+    std::ofstream out(writeBaselinePath, std::ios::binary);
+    if (!out) return usageError("cannot write baseline " + writeBaselinePath);
+    lint::writeFindingsJson(findings, out);
+    std::cout << "rltherm_lint: wrote baseline with " << findings.size()
+              << " finding(s) to " << writeBaselinePath << "\n";
     return 0;
   }
-  std::cout << "rltherm_lint: " << findings.size() << " finding(s)\n";
+
+  std::vector<lint::Finding> gated = findings;
+  std::size_t baselined = 0;
+  std::vector<lint::Finding> stale;
+  if (!baselinePath.empty()) {
+    std::ifstream in(baselinePath, std::ios::binary);
+    if (!in) return usageError("cannot read baseline " + baselinePath);
+    std::string error;
+    const std::vector<lint::Finding> baseline = lint::readFindingsJson(in, &error);
+    if (!error.empty()) {
+      return usageError("malformed baseline " + baselinePath + ": " + error);
+    }
+    gated = lint::diffAgainstBaseline(findings, baseline, &stale);
+    baselined = findings.size() - gated.size();
+  }
+
+  if (json) {
+    lint::writeFindingsJson(gated, std::cout);
+  } else {
+    lint::writeFindingsText(gated, std::cout);
+  }
+
+  // Status lines go to stderr so --json output stays machine-parseable.
+  for (const lint::Finding& f : stale) {
+    std::cerr << "rltherm_lint: note: baseline entry no longer fires: " << f.file
+              << " [" << f.rule << "] (refresh with --write-baseline)\n";
+  }
+  if (gated.empty()) {
+    std::cerr << "rltherm_lint: clean (" << root.generic_string() << ")";
+    if (baselined != 0) std::cerr << ", " << baselined << " baselined finding(s)";
+    std::cerr << "\n";
+    return 0;
+  }
+  std::cerr << "rltherm_lint: " << gated.size() << " finding(s)";
+  if (!baselinePath.empty()) std::cerr << " not in baseline " << baselinePath;
+  std::cerr << "\n";
   return 1;
 }
