@@ -12,8 +12,10 @@
 //    mechanism under test.
 #pragma once
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +27,9 @@
 #include "core/thermal_manager.hpp"
 #include "exec/sweep.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/timeline.hpp"
 #include "workload/app_spec.hpp"
 
 namespace rltherm::bench {
@@ -99,10 +104,13 @@ inline core::RunResult runProposedLive(core::PolicyRunner& runner,
 /// for every jobs value; the flag only trades wall-clock for cores.
 inline exec::SweepOptions sweepOptions(int argc, char** argv) {
   exec::SweepOptions options;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs") {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
       options.jobs = static_cast<std::size_t>(std::stoul(argv[i + 1]));
     }
+    // A bench writing JSON wants the hot-path attribution in the report;
+    // the per-scope timing tax is acceptable for a measured run.
+    if (std::string(argv[i]) == "--json") options.collectScopes = true;
   }
   return options;
 }
@@ -175,21 +183,81 @@ inline std::string jsonOutputPath(int argc, char** argv, const std::string& fall
 }
 
 /// Execution accounting attached to every JSON report: how long the bench
-/// took, how many parallel lanes ran it, and the wall-clock speedup versus
-/// running its jobs back to back (1.0 for purely serial benches).
+/// took, how many parallel lanes ran it, the wall-clock speedup versus
+/// running its jobs back to back (1.0 for purely serial benches), the total
+/// simulated seconds the bench covered (0 when not applicable), and the
+/// hot-path attribution that travels with the numbers (per-scope timer
+/// aggregates + histogram quantiles, when the bench collected them).
 struct ReportMeta {
   double wallMs = 0.0;
   std::size_t jobs = 1;
   double speedup = 1.0;
+  double simSeconds = 0.0;
+  std::map<std::string, obs::TraceCollector::ScopeStats> scopes;
+  std::map<std::string, obs::Histogram> histograms;
 };
 
 inline ReportMeta metaOf(const exec::SweepResult& sweep) {
-  return ReportMeta{sweep.wallMs, sweep.jobs, sweep.speedup()};
+  ReportMeta meta;
+  meta.wallMs = sweep.wallMs;
+  meta.jobs = sweep.jobs;
+  meta.speedup = sweep.speedup();
+  for (const exec::RunReport& run : sweep.runs) meta.simSeconds += run.result.duration;
+  meta.scopes = sweep.scopes;
+  meta.histograms = sweep.histograms;
+  return meta;
+}
+
+/// Emits the shared perf sections of a bench report — fingerprint, headline,
+/// hot-scope attribution, histogram quantiles — into an OPEN top-level JSON
+/// object. Factored out so bespoke writers (bench_micro_kernels' repetition
+/// harness, the CLI --json summaries) emit the exact same schema as
+/// writeJsonReport. Field names are the contract with tools/perf/report.cpp.
+inline void writePerfSections(obs::JsonWriter& json, const ReportMeta& meta) {
+  json.key("schema_version")
+      .value(static_cast<std::uint64_t>(obs::kPerfSchemaVersion));
+  json.key("fingerprint");
+  obs::writeFingerprint(json, obs::currentFingerprint());
+  json.key("wall_ms").value(meta.wallMs);
+  json.key("jobs").value(static_cast<std::uint64_t>(meta.jobs));
+  json.key("speedup_vs_serial").value(meta.speedup);
+  json.key("sim_seconds").value(meta.simSeconds);
+  json.key("sim_seconds_per_wall_second")
+      .value(obs::simSecondsPerWallSecond(meta.simSeconds, meta.wallMs));
+  json.key("hot_scopes").beginArray();
+  for (const auto& [name, stats] : meta.scopes) {
+    json.beginObject();
+    json.key("scope").value(name);
+    json.key("calls").value(stats.calls);
+    json.key("total_ns").value(stats.totalNs);
+    json.key("mean_ns").value(static_cast<double>(stats.totalNs) /
+                              static_cast<double>(std::max<std::uint64_t>(stats.calls, 1)));
+    json.key("max_ns").value(stats.maxNs);
+    json.endObject();
+  }
+  json.endArray();
+  json.key("histograms").beginArray();
+  for (const auto& [name, histogram] : meta.histograms) {
+    json.beginObject();
+    json.key("metric").value(name);
+    json.key("count").value(histogram.count());
+    json.key("mean").value(histogram.mean());
+    json.key("min").value(histogram.minSeen());
+    json.key("max").value(histogram.maxSeen());
+    json.key("p50").value(histogram.quantile(0.50));
+    json.key("p95").value(histogram.quantile(0.95));
+    json.key("p99").value(histogram.quantile(0.99));
+    json.endObject();
+  }
+  json.endArray();
 }
 
 /// Writes a bench result table as a JSON report:
-///   {"suite": NAME, "wall_ms": MS, "jobs": N, "speedup_vs_serial": X,
-///    <extra scalars...>, "columns": [...], "rows": [{col: value, ...}, ...]}
+///   {"suite": NAME, "schema_version": V, "fingerprint": {...},
+///    "wall_ms": MS, "jobs": N, "speedup_vs_serial": X, "sim_seconds": S,
+///    "sim_seconds_per_wall_second": RATE, "hot_scopes": [...],
+///    "histograms": [...], <extra scalars...>,
+///    "columns": [...], "rows": [{col: value, ...}, ...]}
 /// Numeric-looking cells become JSON numbers (see JsonWriter::valueAuto), so
 /// downstream scripts get typed data without the table layer changing.
 /// `extra` lets a bench attach suite-specific top-level scalars (e.g. the
@@ -202,9 +270,7 @@ inline void writeJsonReport(const TextTable& table, const std::string& suite,
   obs::JsonWriter json(out);
   json.beginObject();
   json.key("suite").value(suite);
-  json.key("wall_ms").value(meta.wallMs);
-  json.key("jobs").value(static_cast<std::uint64_t>(meta.jobs));
-  json.key("speedup_vs_serial").value(meta.speedup);
+  writePerfSections(json, meta);
   for (const auto& [key, value] : extra) json.key(key).value(value);
   json.key("columns").beginArray();
   for (const std::string& column : table.header()) json.value(column);
@@ -221,6 +287,7 @@ inline void writeJsonReport(const TextTable& table, const std::string& suite,
   json.endObject();
   out << "\n";
   ensures(json.complete(), "bench JSON report left unbalanced");
+  obs::recordHeadline(meta.simSeconds, meta.wallMs);
   std::cout << "wrote " << path << "\n";
 }
 

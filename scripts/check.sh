@@ -9,16 +9,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/9] configure (preset: asan-ubsan) =="
+echo "== [1/10] configure (preset: asan-ubsan) =="
 cmake --preset asan-ubsan
 
-echo "== [2/9] build =="
+echo "== [2/10] build =="
 cmake --build --preset asan-ubsan -j "${JOBS}"
 
-echo "== [3/9] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+echo "== [3/10] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
 ctest --preset asan-ubsan -j "${JOBS}"
 
-echo "== [4/9] fault suite gate (ctest -L faults) + scenario lint =="
+echo "== [4/10] fault suite gate (ctest -L faults) + scenario lint =="
 # The full run above includes these, but gate on the label explicitly so a
 # test-registration regression (lost LABELS faults) fails loudly instead of
 # silently shrinking coverage. -L with no matching tests exits zero, hence
@@ -31,7 +31,7 @@ fi
 ctest --preset asan-ubsan -L faults -j "${JOBS}"
 ./build-asan-ubsan/tools/rltherm_cli faults --lint --scenarios scenarios
 
-echo "== [5/9] store suite gate (ctest -L store) =="
+echo "== [5/10] store suite gate (ctest -L store) =="
 # Same vacuity guard as the fault gate: the corruption property tests MUST
 # execute under the sanitizers, so a lost 'store' label fails the script.
 STORE_COUNT="$(ctest --preset asan-ubsan -L store -N | sed -n 's/^Total Tests: //p')"
@@ -41,12 +41,12 @@ if [ "${STORE_COUNT:-0}" -eq 0 ]; then
 fi
 ctest --preset asan-ubsan -L store -j "${JOBS}"
 
-echo "== [6/9] concurrency tests under TSan (ctest -L concurrency) =="
+echo "== [6/10] concurrency tests under TSan (ctest -L concurrency) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target rltherm_concurrency_tests
 ctest --preset tsan -L concurrency -j "${JOBS}"
 
-echo "== [7/9] events-JSONL smoke (rltherm_cli --events) =="
+echo "== [7/10] events-JSONL smoke (rltherm_cli --events) =="
 EVENTS_TMP="$(mktemp /tmp/rltherm_events.XXXXXX.jsonl)"
 trap 'rm -f "${EVENTS_TMP}"' EXIT
 ./build-asan-ubsan/tools/rltherm_cli run --app mpeg_dec --policy linux-ondemand \
@@ -72,7 +72,7 @@ else
   echo "python3 not found on PATH; checked the event log is non-empty only."
 fi
 
-echo "== [8/9] checkpoint train/inspect smoke (rltherm_cli train + inspect --json) =="
+echo "== [8/10] checkpoint train/inspect smoke (rltherm_cli train + inspect --json) =="
 CKPT_TMP="$(mktemp -d /tmp/rltherm_ckpt.XXXXXX)"
 trap 'rm -f "${EVENTS_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
 printf '[runner]\nmax_sim_time = 400\nanalysis_warmup = 10\nanalysis_cooldown = 5\n\n[manager]\nsampling_interval = 0.5\ndecision_epoch = 2.0\n' \
@@ -99,7 +99,7 @@ else
   echo "python3 not found on PATH; checked inspect runs only."
 fi
 
-echo "== [9/9] static analysis =="
+echo "== [9/10] static analysis =="
 # Gate on the committed baseline: pre-existing findings are inventoried in
 # tools/lint_baseline.json, anything NEW fails. --json so the finding list
 # is machine-readable in CI logs; stale-baseline notes land on stderr.
@@ -129,5 +129,39 @@ elif command -v clang-tidy >/dev/null 2>&1; then
 else
   echo "clang-tidy not found on PATH; skipping (rltherm_lint still ran)."
 fi
+
+echo "== [10/10] perf gate (bench_micro_kernels --json vs committed baseline) =="
+# Timing happens on the PLAIN optimized build — sanitizer trees distort
+# every number (the gate's fingerprint check would refuse them anyway).
+cmake -S . -B build >/dev/null
+cmake --build build -j "${JOBS}" --target bench_micro_kernels rltherm_perfgate
+
+# Vacuity guard, same shape as the fault/store gates: the perf-library tests
+# must actually be registered.
+PERF_COUNT="$(ctest --preset asan-ubsan -L perf -N | sed -n 's/^Total Tests: //p')"
+if [ "${PERF_COUNT:-0}" -eq 0 ]; then
+  echo "no tests carry the 'perf' label; the perf gate is vacuous"
+  exit 1
+fi
+
+PERF_TMP="$(mktemp /tmp/rltherm_bench_micro.XXXXXX.json)"
+trap 'rm -f "${EVENTS_TMP}" "${CANARY}" "${PERF_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
+./build/bench/bench_micro_kernels --json "${PERF_TMP}" --reps 5 >/dev/null
+# CI neighbors share the machine: a generous floor (30%) keeps the gate
+# about real regressions; the committed baseline still records per-kernel
+# CVs, so historically noisy kernels widen further on their own.
+./build/tools/rltherm_perfgate --baseline bench/baselines/BENCH_micro.json \
+  --floor 30 "${PERF_TMP}"
+
+# Canary self-test, mirroring the lint canary: inject an artificial 3x
+# slowdown into the fresh side and require the gate to FAIL. A perf gate
+# that passes a 3x regression has failed open (stale baseline, empty
+# report, thresholds gone permissive) — that must fail the script.
+if ./build/tools/rltherm_perfgate --baseline bench/baselines/BENCH_micro.json \
+    --floor 30 --canary 3.0 "${PERF_TMP}" >/dev/null 2>&1; then
+  echo "perf canary FAILED: a 3x artificial slowdown was not flagged"
+  exit 1
+fi
+echo "perf canary: 3x artificial slowdown caught as expected"
 
 echo "check.sh: all gates passed."

@@ -83,7 +83,20 @@ void ThermalManager::onSample(PolicyContext& ctx, std::span<const Celsius> senso
     }
     epochSamples_[c].push_back(reading);
   }
-  if (epochSamples_.front().size() >= samplesPerEpoch_) onEpoch(ctx);
+  if (epochSamples_.front().size() >= samplesPerEpoch_) {
+    // Decision latency: the wall-clock cost of one full epoch (aggregate +
+    // detect + learn + act) — the overhead an online deployment of the
+    // manager adds every decisionEpoch. Timed only when a metrics registry
+    // is attached; wall time never feeds back into the simulation.
+    if (obs::MetricsRegistry* metrics = obs::metrics()) {
+      const std::uint64_t start = obs::wallClockNs();
+      onEpoch(ctx);
+      metrics->histogram("manager.epoch.decide", 0.0, 5.0, 50)
+          .observe(static_cast<double>(obs::wallClockNs() - start) / 1e6);
+    } else {
+      onEpoch(ctx);
+    }
+  }
 }
 
 void ThermalManager::onEpoch(PolicyContext& ctx) {

@@ -29,7 +29,8 @@ namespace {
 
 /// Executes one spec end to end on the current thread, under a private
 /// observability session, and fills `report`.
-void executeSpec(const RunSpec& spec, std::size_t index, RunReport& report) {
+void executeSpec(const RunSpec& spec, std::size_t index, bool collectScopes,
+                 RunReport& report) {
   expects(static_cast<bool>(spec.policy), "SweepRunner: spec '" + spec.label +
                                               "' has no policy factory");
   const std::uint64_t startNs = obs::wallClockNs();
@@ -46,9 +47,13 @@ void executeSpec(const RunSpec& spec, std::size_t index, RunReport& report) {
 
   obs::CollectingEventSink events;
   obs::MetricsRegistry metrics;
+  // maxEvents = 0: aggregates only, no raw event buffer — a sweep wants the
+  // per-scope totals, not a Chrome trace of every lane.
+  obs::TraceCollector trace(0);
   obs::Session session;
   session.events = &events;
   session.metrics = &metrics;
+  if (collectScopes) session.trace = &trace;
   {
     const obs::ScopedSession guard(session);
     const core::PolicyRunner runner(runnerConfig);
@@ -77,6 +82,14 @@ void executeSpec(const RunSpec& spec, std::size_t index, RunReport& report) {
   metrics.forEachGauge([&](const std::string& name, const obs::Gauge& gauge) {
     report.gauges[name] = gauge.value();
   });
+  metrics.forEachHistogram([&](const std::string& name, const obs::Histogram& h) {
+    report.histograms.emplace(name, h);
+  });
+  if (collectScopes) {
+    for (const auto& [name, stats] : trace.sortedStats()) {
+      report.scopes[name] = stats;
+    }
+  }
   report.wallMs = static_cast<double>(obs::wallClockNs() - startNs) / 1e6;
 }
 
@@ -93,8 +106,9 @@ SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
   {
     ThreadPool pool(jobs);
     std::vector<RunReport>& reports = sweep.runs;
-    pool.parallelFor(specs.size(), [&specs, &reports](std::size_t index) {
-      executeSpec(specs[index], index, reports[index]);
+    const bool collectScopes = options_.collectScopes;
+    pool.parallelFor(specs.size(), [&specs, &reports, collectScopes](std::size_t index) {
+      executeSpec(specs[index], index, collectScopes, reports[index]);
     });
   }
   sweep.wallMs = static_cast<double>(obs::wallClockNs() - startNs) / 1e6;
@@ -106,6 +120,20 @@ SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
     sweep.serialMsEstimate += run.wallMs;
     for (const auto& [name, value] : run.counters) sweep.counters[name] += value;
     for (const auto& [name, value] : run.gauges) sweep.gauges[name] = value;
+    for (const auto& [name, histogram] : run.histograms) {
+      const auto it = sweep.histograms.find(name);
+      if (it == sweep.histograms.end()) {
+        sweep.histograms.emplace(name, histogram);
+      } else {
+        it->second.absorb(histogram);
+      }
+    }
+    for (const auto& [name, stats] : run.scopes) {
+      obs::TraceCollector::ScopeStats& merged = sweep.scopes[name];
+      merged.calls += stats.calls;
+      merged.totalNs += stats.totalNs;
+      merged.maxNs = std::max(merged.maxNs, stats.maxNs);
+    }
   }
 
   if (options_.forwardToAmbient) {
@@ -117,6 +145,12 @@ SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
     if (obs::MetricsRegistry* ambient = obs::metrics()) {
       for (const auto& [name, value] : sweep.counters) ambient->counter(name).add(value);
       for (const auto& [name, value] : sweep.gauges) ambient->gauge(name).set(value);
+      for (const auto& [name, histogram] : sweep.histograms) {
+        ambient
+            ->histogram(name, histogram.lo(), histogram.hi(),
+                        histogram.bucketCount())
+            .absorb(histogram);
+      }
     }
   }
   return sweep;

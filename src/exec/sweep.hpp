@@ -36,6 +36,8 @@
 #include "core/policy.hpp"
 #include "core/runner.hpp"
 #include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "workload/driver.hpp"
 
 namespace rltherm::exec {
@@ -90,6 +92,13 @@ struct RunReport {
   std::vector<obs::Event> events;               ///< this run's event stream
   std::map<std::string, std::uint64_t> counters;  ///< this run's counters
   std::map<std::string, double> gauges;           ///< this run's gauges
+  /// This run's histograms (e.g. manager.epoch.decide decision latency),
+  /// copied out of the run's private registry so quantiles survive the join.
+  std::map<std::string, obs::Histogram> histograms;
+  /// Hot-path timer aggregates, keyed by scope name; collected only when
+  /// SweepOptions::collectScopes is on (a per-scope clock read otherwise
+  /// taxes every RC step of every run).
+  std::map<std::string, obs::TraceCollector::ScopeStats> scopes;
 };
 
 struct SweepResult {
@@ -97,9 +106,12 @@ struct SweepResult {
   std::size_t jobs = 1;         ///< execution lanes actually used
   double wallMs = 0.0;          ///< wall-clock of the whole sweep
   double serialMsEstimate = 0.0;  ///< sum of per-run wall times
-  /// Counters summed / gauges last-writer-wins across runs in index order.
+  /// Counters summed / gauges last-writer-wins / histograms absorbed /
+  /// scope stats summed across runs, all merged in index order.
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
+  std::map<std::string, obs::Histogram> histograms;
+  std::map<std::string, obs::TraceCollector::ScopeStats> scopes;
 
   /// Wall-clock speedup versus running the same jobs back to back.
   [[nodiscard]] double speedup() const noexcept {
@@ -111,6 +123,10 @@ struct SweepOptions {
   std::size_t jobs = 0;          ///< 0 = hardwareConcurrency(); 1 = serial
   bool forwardToAmbient = true;  ///< replay merged events/metrics to the
                                  ///< calling thread's session after the join
+  /// Attach an aggregates-only TraceCollector to every run so hot-path
+  /// timer stats (thermal.rc.step, rl.q.update, ...) land in the reports.
+  /// Off by default: timing every scope costs two clock reads per RC step.
+  bool collectScopes = false;
 };
 
 class SweepRunner {

@@ -42,6 +42,52 @@ double Histogram::mean() const noexcept {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+double Histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "Histogram::quantile: q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // Target rank in [1, count]; walk cumulative counts in value order:
+  // underflow tail, buckets, overflow tail.
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  double cumulative = static_cast<double>(underflow_);
+  if (rank <= cumulative) return min_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double inBucket = static_cast<double>(counts_[b]);
+    if (inBucket > 0.0 && rank <= cumulative + inBucket) {
+      // Linear interpolation by rank position across the bucket, with the
+      // bucket's span tightened to the observed [min, max]: when the whole
+      // population sits in one coarse bucket, the quantiles spread across
+      // the seen range instead of all pinning to one bucket edge.
+      const double fraction = (rank - cumulative) / inBucket;
+      const double edge = lo_ + width * static_cast<double>(b);
+      const double spanLo = std::max(edge, min_);
+      const double spanHi = std::min(edge + width, max_);
+      return spanLo + (spanHi - spanLo) * fraction;
+    }
+    cumulative += inBucket;
+  }
+  return max_;  // rank lands in the overflow tail
+}
+
+void Histogram::absorb(const Histogram& other) {
+  expects(other.lo_ == lo_ && other.hi_ == hi_ &&
+              other.counts_.size() == counts_.size(),
+          "Histogram::absorb: bucket specs differ");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::uint64_t Histogram::bucketValue(std::size_t bucket) const {
   expects(bucket < counts_.size(), "Histogram::bucketValue: index out of range");
   return counts_[bucket];

@@ -55,6 +55,19 @@ class Histogram {
   [[nodiscard]] double minSeen() const noexcept { return min_; }
   [[nodiscard]] double maxSeen() const noexcept { return max_; }
 
+  /// Bucket-interpolated quantile estimate for q in [0, 1] (0 with no
+  /// observations). Ranks landing in a bucket interpolate linearly across
+  /// its width; ranks in the underflow/overflow tails return the exact
+  /// observed min/max (the only values known out there). The estimate is
+  /// clamped to [minSeen, maxSeen], so p50/p95/p99 are always inside the
+  /// observed range even for coarse buckets.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Merges `other` (same lo/hi/bucket spec — enforced) into this histogram;
+  /// the parallel sweep engine uses this to fold per-run histograms into one
+  /// deterministic aggregate in index order.
+  void absorb(const Histogram& other);
+
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] std::size_t bucketCount() const noexcept { return counts_.size(); }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -59,6 +60,80 @@ TEST(BenchJsonTest, MetaOfMirrorsSweepResult) {
   EXPECT_DOUBLE_EQ(meta.wallMs, 100.0);
   EXPECT_EQ(meta.jobs, 3u);
   EXPECT_DOUBLE_EQ(meta.speedup, 2.5);
+}
+
+// Golden schema: every field name tools/perf/report.cpp parses must appear
+// in what writeJsonReport emits. A rename on either side breaks this test
+// before it breaks the perf gate in check.sh.
+TEST(BenchJsonTest, PerfSchemaGolden) {
+  TextTable table({"k"});
+  table.row().cell("v");
+
+  ReportMeta meta;
+  meta.wallMs = 500.0;
+  meta.simSeconds = 2000.0;
+  obs::TraceCollector::ScopeStats stats;
+  stats.calls = 3;
+  stats.totalNs = 300;
+  stats.maxNs = 150;
+  meta.scopes.emplace("thermal.rc.step", stats);
+  obs::Histogram h(0.0, 5.0, 50);
+  h.observe(0.01);
+  h.observe(0.02);
+  meta.histograms.emplace("manager.epoch.decide", h);
+
+  const std::string path = ::testing::TempDir() + "bench_json_schema.json";
+  writeJsonReport(table, "unit_schema", path, meta);
+  const std::string json = slurp(path);
+
+  for (const char* field :
+       {"\"schema_version\":1", "\"fingerprint\"", "\"cpu_model\"",
+        "\"core_count\"", "\"compiler\"", "\"build_type\"", "\"checked\"",
+        "\"sanitizers\"", "\"sim_seconds\":2000",
+        "\"sim_seconds_per_wall_second\":4000", "\"hot_scopes\"",
+        "\"scope\":\"thermal.rc.step\"", "\"calls\":3", "\"total_ns\":300",
+        "\"mean_ns\":100", "\"max_ns\":150", "\"histograms\"",
+        "\"metric\":\"manager.epoch.decide\"", "\"count\":2", "\"p50\"",
+        "\"p95\"", "\"p99\""}) {
+    EXPECT_NE(json.find(field), std::string::npos)
+        << "missing " << field << " in " << json;
+  }
+}
+
+// The sweep engine's opt-in attribution: with collectScopes on, per-run
+// timed scopes and histograms come back merged on the SweepResult, and the
+// merge is independent of scheduling (index order).
+TEST(BenchJsonTest, SweepCollectsScopesAndHistograms) {
+  exec::RunSpec spec;
+  spec.label = "mini";
+  spec.scenario = workload::Scenario::of({workload::makeApp("mpeg_dec", 1)});
+  core::RunnerConfig runnerConfig;
+  runnerConfig.maxSimTime = 300.0;
+  spec.runner = runnerConfig;
+  spec.policy = [](std::uint64_t) {
+    return std::make_unique<core::StaticGovernorPolicy>(
+        platform::GovernorSetting{platform::GovernorKind::Ondemand, 0.0});
+  };
+
+  exec::SweepOptions options;
+  options.jobs = 1;
+  options.collectScopes = true;
+  const exec::SweepResult sweep = exec::SweepRunner(options).run({spec, spec});
+
+  ASSERT_EQ(sweep.runs.size(), 2u);
+  ASSERT_FALSE(sweep.scopes.empty());
+  const auto rcStep = sweep.scopes.find("thermal.rc.step");
+  ASSERT_NE(rcStep, sweep.scopes.end());
+  // Two identical runs: the merged aggregate holds both runs' calls, and
+  // each run's private view shows exactly half.
+  EXPECT_EQ(rcStep->second.calls,
+            sweep.runs[0].scopes.at("thermal.rc.step").calls * 2);
+  EXPECT_GT(rcStep->second.totalNs, 0u);
+
+  const ReportMeta meta = metaOf(sweep);
+  EXPECT_FALSE(meta.scopes.empty());
+  EXPECT_DOUBLE_EQ(meta.simSeconds,
+                   sweep.runs[0].result.duration + sweep.runs[1].result.duration);
 }
 
 }  // namespace

@@ -104,6 +104,89 @@ TEST(HistogramTest, InvalidSpecsRejected) {
   EXPECT_THROW(registry.histogram("a.bad", 0.0, 1.0, 0), PreconditionError);
 }
 
+TEST(HistogramTest, QuantilesInterpolateAcrossBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("manager.epoch.decide", 0.0, 100.0, 10);
+  // 100 evenly spread observations: 0.5, 1.5, ..., 99.5.
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  // With 10 obs per bucket the rank walk should land near the true values.
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+  // Extremes resolve to (near) the observed range.
+  EXPECT_GE(h.quantile(0.0), 0.5);
+  EXPECT_LE(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.5);
+}
+
+TEST(HistogramTest, QuantileOfEmptyAndSingleBucketPopulations) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("manager.epoch.decide", 0.0, 5.0, 50);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: defined as 0
+  // Everything lands in bucket 0 — quantiles must spread across the observed
+  // [min, max], not pin to a bucket edge.
+  h.observe(0.008);
+  h.observe(0.012);
+  h.observe(0.020);
+  EXPECT_GE(h.quantile(0.5), 0.008);
+  EXPECT_LE(h.quantile(0.5), 0.020);
+  EXPECT_LT(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileCountsTails) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("a.b.c", 0.0, 10.0, 10);
+  h.observe(-5.0);  // underflow
+  h.observe(5.0);
+  h.observe(20.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, AbsorbMergesPopulations) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  Histogram& ha = a.histogram("manager.epoch.decide", 0.0, 10.0, 10);
+  Histogram& hb = b.histogram("manager.epoch.decide", 0.0, 10.0, 10);
+  ha.observe(1.0);
+  ha.observe(2.0);
+  hb.observe(8.0);
+  hb.observe(-1.0);  // underflow
+  hb.observe(11.0);  // overflow
+  ha.absorb(hb);
+  EXPECT_EQ(ha.count(), 5u);
+  EXPECT_EQ(ha.underflow(), 1u);
+  EXPECT_EQ(ha.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(ha.minSeen(), -1.0);
+  EXPECT_DOUBLE_EQ(ha.maxSeen(), 11.0);
+  EXPECT_NEAR(ha.mean(), (1.0 + 2.0 + 8.0 - 1.0 + 11.0) / 5.0, 1e-12);
+}
+
+TEST(HistogramTest, AbsorbIntoEmptyAndFromEmpty) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  Histogram& empty = a.histogram("a.b.c", 0.0, 10.0, 10);
+  Histogram& full = b.histogram("a.b.c", 0.0, 10.0, 10);
+  full.observe(3.0);
+  Histogram copy = full;
+  copy.absorb(empty);  // absorbing empty is a no-op
+  EXPECT_EQ(copy.count(), 1u);
+  EXPECT_DOUBLE_EQ(copy.minSeen(), 3.0);
+  empty.absorb(full);  // empty adopts the other's min/max
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.minSeen(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.maxSeen(), 3.0);
+}
+
+TEST(HistogramTest, AbsorbRejectsMismatchedSpecs) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  Histogram& ha = a.histogram("a.b.c", 0.0, 10.0, 10);
+  Histogram& hb = b.histogram("a.b.c", 0.0, 20.0, 10);
+  EXPECT_THROW(ha.absorb(hb), PreconditionError);
+}
+
 TEST(MetricsRegistryTest, VisitationIsNameOrdered) {
   MetricsRegistry registry;
   registry.counter("c.two").add(2);

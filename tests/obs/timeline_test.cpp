@@ -51,6 +51,45 @@ TEST(TraceCollectorTest, RawBufferIsCappedButAggregatesKeepAccruing) {
   EXPECT_EQ(stats[0].second.totalNs, 50u);
 }
 
+TEST(TraceCollectorTest, AggregatesOnlyModeCountsEverythingWithNoBuffer) {
+  // maxEvents=0 is the aggregates-only mode the perf report pipeline runs
+  // in: the raw buffer stays empty forever while the per-scope stats keep
+  // full totals — including max, which must track a late slow call that the
+  // (nonexistent) buffer never saw.
+  TraceCollector collector(/*maxEvents=*/0);
+  for (int i = 0; i < 1000; ++i) {
+    collector.record("a.scope.run", wallClockNs(), 10);
+  }
+  collector.record("a.scope.run", wallClockNs(), 999);
+  EXPECT_TRUE(collector.events().empty());
+  EXPECT_EQ(collector.droppedEvents(), 1001u);
+  EXPECT_EQ(collector.totalCalls(), 1001u);
+  const auto stats = collector.sortedStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].second.calls, 1001u);
+  EXPECT_EQ(stats[0].second.totalNs, 10u * 1000u + 999u);
+  EXPECT_EQ(stats[0].second.maxNs, 999u);
+}
+
+TEST(TraceCollectorTest, ScopesFirstSeenAfterTheBoundStillAggregate) {
+  // A scope whose FIRST call happens after the raw buffer filled must still
+  // appear in the aggregates — the bound limits the event list, never the
+  // accounting.
+  TraceCollector collector(/*maxEvents=*/1);
+  collector.record("a.early.run", wallClockNs(), 5);
+  collector.record("a.late.run", wallClockNs(), 7);
+  collector.record("a.late.run", wallClockNs(), 9);
+  EXPECT_EQ(collector.events().size(), 1u);
+  const auto stats = collector.sortedStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, std::string("a.early.run"));
+  EXPECT_EQ(stats[0].second.calls, 1u);
+  EXPECT_EQ(stats[1].first, std::string("a.late.run"));
+  EXPECT_EQ(stats[1].second.calls, 2u);
+  EXPECT_EQ(stats[1].second.totalNs, 16u);
+  EXPECT_EQ(stats[1].second.maxNs, 9u);
+}
+
 TEST(TraceCollectorTest, SameNameFromDifferentSitesMergesInStats) {
   TraceCollector collector;
   // Two distinct string objects with equal contents simulate two macro sites

@@ -1,0 +1,86 @@
+// The noise-aware perf regression gate.
+//
+// Compares a fresh bench report against a committed baseline, metric by
+// metric, always median-of-K vs median-of-K. The regression threshold is
+// NOT a fixed percentage: each kernel's band is
+//
+//     threshold% = max(floorPct, cvMult * 100 * baseline_cv)
+//
+// so a kernel that was noisy when the baseline was recorded (high robust CV
+// across its reps) gets a proportionally wider band, and a rock-stable
+// kernel is held to the floor. This is what lets one gate serve both the
+// sub-microsecond RC-step kernels (CV ~1%) and the scheduler-bound closed
+// loop on a busy CI box (CV 10%+) without per-kernel tuning.
+//
+// Comparability rules:
+//  - different schema version, suite, build type, contract setting or
+//    sanitizer set: hard diagnostic (exit 2) — a different experiment;
+//  - different CPU model: warning note + the floor widens to
+//    kCrossMachineFloorPct — cross-machine numbers are indicative only.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perf/report.hpp"
+
+namespace rltherm::perf {
+
+inline constexpr double kDefaultFloorPct = 15.0;
+inline constexpr double kDefaultCvMult = 5.0;
+inline constexpr double kCrossMachineFloorPct = 35.0;
+
+struct GateConfig {
+  double floorPct = kDefaultFloorPct;  ///< minimum regression threshold (%)
+  double cvMult = kDefaultCvMult;      ///< threshold = max(floor, cvMult*cv)
+  /// Artificial slowdown injected into the FRESH side (medians multiplied,
+  /// rates divided) — the check.sh canary that proves the gate can fail.
+  double canaryFactor = 1.0;
+};
+
+struct GateRow {
+  std::string name;         ///< kernel name or "headline sim rate"
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double deltaPct = 0.0;     ///< signed; positive = worse
+  double thresholdPct = 0.0;
+  bool higherIsBetter = false;
+  bool regressed = false;
+};
+
+struct GateResult {
+  std::vector<GateRow> rows;
+  std::vector<std::string> notes;  ///< warnings (cross-machine, improvements)
+  std::string diagnostic;          ///< non-empty = not comparable (exit 2)
+
+  [[nodiscard]] bool pass() const {
+    if (!diagnostic.empty()) return false;
+    for (const GateRow& row : rows) {
+      if (row.regressed) return false;
+    }
+    return true;
+  }
+};
+
+[[nodiscard]] GateResult comparePerf(const PerfReport& baseline,
+                                     const PerfReport& fresh,
+                                     const GateConfig& config = {});
+
+/// Markdown diff table (| metric | baseline | fresh | delta | threshold |
+/// status |) plus the notes, for humans and CI logs.
+void renderMarkdown(const GateResult& result, std::ostream& out);
+
+/// Machine-readable result: {"pass": ..., "rows": [...], "notes": [...]}.
+void renderJson(const GateResult& result, std::ostream& out);
+
+/// Appends a dated trajectory point for `fresh` to the JSON document at
+/// `path` ({"schema_version":1,"points":[...]}; created when missing). Each
+/// point carries the date, fingerprint, headline rate, per-kernel medians
+/// and per-scope attribution — the perf curve the ROADMAP asks for.
+/// Returns "" on success, a diagnostic otherwise.
+[[nodiscard]] std::string appendTrajectory(const std::string& path,
+                                           const PerfReport& fresh,
+                                           const std::string& date);
+
+}  // namespace rltherm::perf

@@ -1,0 +1,347 @@
+#include "perf/perf_json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rltherm::perf {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::numberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::Number ? v->number : fallback;
+}
+
+std::string JsonValue::stringOr(std::string_view key,
+                                const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::String ? v->text : fallback;
+}
+
+bool JsonValue::boolOr(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::Bool ? v->boolean : fallback;
+}
+
+JsonValue JsonValue::makeNumber(double v) {
+  JsonValue value;
+  value.kind = Kind::Number;
+  value.number = v;
+  return value;
+}
+
+JsonValue JsonValue::makeString(std::string v) {
+  JsonValue value;
+  value.kind = Kind::String;
+  value.text = std::move(v);
+  return value;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skipSpace();
+    if (!parseValue(result.value)) {
+      result.error = "offset " + std::to_string(pos_) + ": " + error_;
+      return result;
+    }
+    skipSpace();
+    if (pos_ != input_.size()) {
+      result.error =
+          "offset " + std::to_string(pos_) + ": trailing content after value";
+    }
+    return result;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < input_.size() &&
+           (input_[pos_] == ' ' || input_[pos_] == '\t' || input_[pos_] == '\n' ||
+            input_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& message) {
+    error_ = message;
+    return false;
+  }
+
+  bool consume(char c, const char* what) {
+    if (pos_ >= input_.size() || input_[pos_] != c) {
+      return fail(std::string("expected ") + what);
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parseValue(JsonValue& out) {
+    if (pos_ >= input_.size()) return fail("unexpected end of input");
+    switch (input_[pos_]) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': out.kind = JsonValue::Kind::String; return parseString(out.text);
+      case 't':
+      case 'f': return parseLiteral(out);
+      case 'n': return parseNull(out);
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseObject(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skipSpace();
+    if (pos_ < input_.size() && input_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      std::string key;
+      if (pos_ >= input_.size() || input_[pos_] != '"') {
+        return fail("expected object key string");
+      }
+      if (!parseString(key)) return false;
+      skipSpace();
+      if (!consume(':', "':' after object key")) return false;
+      skipSpace();
+      JsonValue value;
+      if (!parseValue(value)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skipSpace();
+      if (pos_ < input_.size() && input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}', "',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skipSpace();
+    if (pos_ < input_.size() && input_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      JsonValue value;
+      if (!parseValue(value)) return false;
+      out.items.push_back(std::move(value));
+      skipSpace();
+      if (pos_ < input_.size() && input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']', "',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= input_.size()) return fail("dangling escape");
+        const char esc = input_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > input_.size()) return fail("truncated \\u escape");
+            std::uint32_t code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = input_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+              else return fail("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are not produced by
+            // our writer, so a lone surrogate just encodes as-is).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseLiteral(JsonValue& out) {
+    if (input_.substr(pos_, 4) == "true") {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (input_.substr(pos_, 5) == "false") {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parseNull(JsonValue& out) {
+    if (input_.substr(pos_, 4) == "null") {
+      out.kind = JsonValue::Kind::Null;
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) != 0 ||
+            input_[pos_] == '.' || input_[pos_] == 'e' || input_[pos_] == 'E' ||
+            input_[pos_] == '+' || input_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(input_.substr(start, pos_ - start));
+    try {
+      std::size_t used = 0;
+      out.number = std::stod(token, &used);
+      if (used != token.size()) return fail("malformed number '" + token + "'");
+    } catch (const std::exception&) {
+      return fail("malformed number '" + token + "'");
+    }
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string escapeString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string formatNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+ParseResult parseJson(std::string_view input) { return Parser(input).run(); }
+
+ParseResult parseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    ParseResult result;
+    result.error = path + ": cannot read file";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ParseResult result = parseJson(buffer.str());
+  if (!result.ok()) result.error = path + ": " + result.error;
+  return result;
+}
+
+void writeJson(const JsonValue& value, std::string& out) {
+  switch (value.kind) {
+    case JsonValue::Kind::Null: out += "null"; break;
+    case JsonValue::Kind::Bool: out += value.boolean ? "true" : "false"; break;
+    case JsonValue::Kind::Number: out += formatNumber(value.number); break;
+    case JsonValue::Kind::String:
+      out += '"';
+      out += escapeString(value.text);
+      out += '"';
+      break;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < value.items.size(); ++i) {
+        if (i > 0) out += ',';
+        writeJson(value.items[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < value.members.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += escapeString(value.members[i].first);
+        out += "\":";
+        writeJson(value.members[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace rltherm::perf

@@ -1,0 +1,64 @@
+// Minimal recursive-descent JSON parser for the perf gate.
+//
+// The simulator side only ever EMITS JSON (obs::JsonWriter); the perf gate
+// is the first tool that must READ it back — bench reports, committed
+// baselines, the trajectory file. Hand-rolled like the writer because the
+// project takes no third-party dependencies. Full JSON value model, strict
+// enough for our own artifacts: no comments, no trailing commas; \uXXXX
+// escapes decode to UTF-8.
+//
+// Object members keep INSERTION ORDER (vector of pairs, not a map), so a
+// parse → re-emit round trip preserves the document layout — the trajectory
+// append path rewrites the whole file through this model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rltherm::perf {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;                                      ///< Kind::String
+  std::vector<JsonValue> items;                          ///< Kind::Array
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Kind::Object
+
+  /// First member with `key`, or nullptr (also when not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors with fallbacks, for tolerant report parsing.
+  [[nodiscard]] double numberOr(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string stringOr(std::string_view key,
+                                     const std::string& fallback) const;
+  [[nodiscard]] bool boolOr(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] static JsonValue makeNumber(double v);
+  [[nodiscard]] static JsonValue makeString(std::string v);
+};
+
+struct ParseResult {
+  JsonValue value;
+  std::string error;  ///< empty on success; "offset N: message" otherwise
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+[[nodiscard]] ParseResult parseJson(std::string_view input);
+
+/// Reads and parses `path`; a missing/unreadable file is reported in
+/// `error` (prefixed with the path), not thrown.
+[[nodiscard]] ParseResult parseJsonFile(const std::string& path);
+
+/// Serializes `value` back to JSON text (doubles via "%.12g", matching
+/// obs::JsonWriter's number formatting; integral doubles print without a
+/// fraction). Used by the trajectory append path.
+void writeJson(const JsonValue& value, std::string& out);
+
+}  // namespace rltherm::perf

@@ -1,0 +1,151 @@
+// rltherm_perfgate — the perf-regression gate CLI (thin front end over
+// tools/perf/, mirroring the rltherm_lint architecture: the logic lives in a
+// library the tests drive in-process; this file only parses flags).
+//
+//   rltherm_perfgate [options] FRESH.json
+//     --baseline FILE    committed baseline (default
+//                        bench/baselines/BENCH_micro.json)
+//     --write-baseline   copy FRESH.json over the baseline (creating
+//                        directories is the caller's job) and exit 0
+//     --trajectory FILE  append a dated point to the trajectory document
+//                        (e.g. BENCH_trajectory.json)
+//     --date YYYY-MM-DD  override the trajectory date stamp (default: today)
+//     --json             machine-readable gate result on stdout (markdown
+//                        diff table goes to stderr instead)
+//     --canary FACTOR    artificially slow the fresh side by FACTOR — the
+//                        check.sh self-test that proves the gate can fail
+//     --floor PCT        minimum regression threshold (default 15)
+//     --cv-mult X        threshold = max(floor, X * 100 * baseline CV)
+//                        (default 5)
+//
+// Exit codes: 0 = pass, 1 = regression, 2 = usage / not comparable /
+// missing baseline. See docs/ARCHITECTURE.md "Performance observability".
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf/gate.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+int usage(const std::string& error) {
+  std::cerr << "rltherm_perfgate: " << error << "\n"
+            << "usage: rltherm_perfgate [--baseline FILE] [--write-baseline]\n"
+            << "         [--trajectory FILE] [--date YYYY-MM-DD] [--json]\n"
+            << "         [--canary FACTOR] [--floor PCT] [--cv-mult X] FRESH.json\n";
+  return 2;
+}
+
+std::string today() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &utc);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rltherm;
+
+  std::string baselinePath = "bench/baselines/BENCH_micro.json";
+  std::string freshPath;
+  std::string trajectoryPath;
+  std::string date;
+  bool writeBaseline = false;
+  bool jsonOutput = false;
+  perf::GateConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto nextValue = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "rltherm_perfgate: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baselinePath = nextValue("--baseline");
+    } else if (arg == "--write-baseline") {
+      writeBaseline = true;
+    } else if (arg == "--trajectory") {
+      trajectoryPath = nextValue("--trajectory");
+    } else if (arg == "--date") {
+      date = nextValue("--date");
+    } else if (arg == "--json") {
+      jsonOutput = true;
+    } else if (arg == "--canary") {
+      config.canaryFactor = std::stod(nextValue("--canary"));
+    } else if (arg == "--floor") {
+      config.floorPct = std::stod(nextValue("--floor"));
+    } else if (arg == "--cv-mult") {
+      config.cvMult = std::stod(nextValue("--cv-mult"));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage("unknown flag '" + arg + "'");
+    } else if (freshPath.empty()) {
+      freshPath = arg;
+    } else {
+      return usage("unexpected argument '" + arg + "'");
+    }
+  }
+  if (freshPath.empty()) return usage("missing FRESH.json argument");
+  if (config.canaryFactor <= 0.0) return usage("--canary must be positive");
+
+  perf::PerfReport fresh;
+  if (const std::string error = perf::loadPerfReport(freshPath, fresh);
+      !error.empty()) {
+    std::cerr << "rltherm_perfgate: " << error << "\n";
+    return 2;
+  }
+
+  if (!trajectoryPath.empty()) {
+    if (const std::string error = perf::appendTrajectory(
+            trajectoryPath, fresh, date.empty() ? today() : date);
+        !error.empty()) {
+      std::cerr << "rltherm_perfgate: " << error << "\n";
+      return 2;
+    }
+    std::cerr << "appended trajectory point to " << trajectoryPath << "\n";
+  }
+
+  if (writeBaseline) {
+    // Byte-for-byte copy: the baseline IS a bench report, losslessly.
+    std::ifstream in(freshPath, std::ios::binary);
+    std::ofstream out(baselinePath, std::ios::binary | std::ios::trunc);
+    if (!in.good() || !out.good()) {
+      std::cerr << "rltherm_perfgate: cannot copy '" << freshPath << "' to '"
+                << baselinePath << "'\n";
+      return 2;
+    }
+    out << in.rdbuf();
+    std::cerr << "wrote baseline " << baselinePath << "\n";
+    return 0;
+  }
+
+  perf::PerfReport baseline;
+  if (const std::string error = perf::loadPerfReport(baselinePath, baseline);
+      !error.empty()) {
+    std::cerr << "rltherm_perfgate: no usable baseline: " << error << "\n"
+              << "rltherm_perfgate: record one with: rltherm_perfgate "
+                 "--baseline " << baselinePath << " --write-baseline "
+              << freshPath << "\n";
+    return 2;
+  }
+
+  const perf::GateResult result = perf::comparePerf(baseline, fresh, config);
+  if (jsonOutput) {
+    perf::renderJson(result, std::cout);
+    perf::renderMarkdown(result, std::cerr);
+  } else {
+    perf::renderMarkdown(result, std::cout);
+  }
+  if (!result.diagnostic.empty()) return 2;
+  return result.pass() ? 0 : 1;
+}

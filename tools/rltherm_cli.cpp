@@ -76,6 +76,7 @@
 #include "core/runner.hpp"
 #include "core/safety_supervisor.hpp"
 #include "core/thermal_manager.hpp"
+#include "bench_util.hpp"
 #include "exec/sweep.hpp"
 #include "fault/plan.hpp"
 #include "fault_campaign_util.hpp"
@@ -172,11 +173,13 @@ void usage() {
       "  rltherm_cli run        --app FAMILY [--dataset N] --policy P [--train N]\n"
       "                         [--live] [--config FILE] [--csv FILE] [--big-little]\n"
       "                         [--events FILE] [--chrome-trace FILE] [--metrics]\n"
+      "                         [--json FILE]\n"
       "  rltherm_cli inter      --apps a,b[,c] --policy P [same options]\n"
       "  rltherm_cli concurrent --apps a,b --window SECONDS --policy P [same options]\n"
       "  rltherm_cli compare    --app FAMILY [--dataset N] --policies p1,p2,...\n"
       "  rltherm_cli sweep      --apps a,b,... --policies p1,p2,... [--jobs N]\n"
       "                         [--dataset N] [--train N] [--live] [--seed S]\n"
+      "                         [--json FILE]\n"
       "  rltherm_cli faults     [--scenarios DIR] [--apps a,b] [--jobs N]\n"
       "                         [--train N] [--seed S] [--json FILE]\n"
       "  rltherm_cli faults     --lint [FILE1,FILE2,...] [--scenarios DIR]\n"
@@ -199,6 +202,10 @@ void usage() {
       "                       run summaries)\n"
       "  --chrome-trace FILE  hot-path timings as Chrome trace_event JSON\n"
       "  --metrics            print metrics/timer summaries + overhead estimate\n"
+      "  --json FILE          (run/inter/concurrent/sweep) perf summary JSON:\n"
+      "                       fingerprint, sim_seconds_per_wall_second headline,\n"
+      "                       result rows; add --metrics for hot-scope attribution\n"
+      "                       (perfgate-comparable; see docs/ARCHITECTURE.md)\n"
       "policy checkpoints (train once, evaluate many):\n"
       "  train                train the proposed manager, write a versioned\n"
       "                       checkpoint (--out, default policy.ckpt)\n"
@@ -274,6 +281,24 @@ class ObsSetup {
     if (wantSummary_) printSummary(elapsedNs);
   }
 
+  /// Copies the collected histograms and timed-scope aggregates into a JSON
+  /// report's meta. A command writing --json calls this right before
+  /// finish(); without --metrics/--chrome-trace there is nothing attached
+  /// and meta is left untouched (the report still carries the headline).
+  void collectInto(bench::ReportMeta& meta) const {
+    if (metrics_.has_value()) {
+      metrics_->forEachHistogram(
+          [&](const std::string& name, const obs::Histogram& h) {
+            meta.histograms.emplace(name, h);
+          });
+    }
+    if (collector_.has_value()) {
+      for (const auto& [name, stat] : collector_->sortedStats()) {
+        meta.scopes[name] = stat;
+      }
+    }
+  }
+
  private:
   void printSummary(std::uint64_t elapsedNs) const {
     printBanner(std::cout, "metrics");
@@ -288,7 +313,10 @@ class ObsSetup {
       std::string summary = std::to_string(h.count()) + " obs, mean " +
                             formatFixed(h.mean(), 4) + " [" +
                             formatFixed(h.minSeen(), 4) + ", " +
-                            formatFixed(h.maxSeen(), 4) + "]";
+                            formatFixed(h.maxSeen(), 4) + "] p50 " +
+                            formatFixed(h.quantile(0.50), 4) + " p95 " +
+                            formatFixed(h.quantile(0.95), 4) + " p99 " +
+                            formatFixed(h.quantile(0.99), 4);
       table.row().cell(name).cell("histogram").cell(summary);
     });
     if (table.rowCount() > 0) table.print(std::cout);
@@ -498,7 +526,8 @@ int compareCommand(const Options& options) {
 }
 
 int runCommand(const Options& options) {
-  std::vector<std::string> known = {"policy", "dataset", "train", "live", "csv", "resume"};
+  std::vector<std::string> known = {"policy", "dataset", "train", "live", "csv",
+                                    "resume", "json"};
   if (options.command == "run") {
     known.push_back("app");
   } else {
@@ -530,6 +559,10 @@ int runCommand(const Options& options) {
   const int trainPasses = std::stoi(options.get("train", "3"));
 
   ObsSetup obsSetup(options);
+  // Wall clock around the simulating section (training + evaluation) and the
+  // simulated seconds it covered feed the --json headline.
+  const std::uint64_t simStartNs = obs::wallClockNs();
+  double simSeconds = 0.0;
   core::RunResult result;
   if (options.command == "concurrent") {
     std::vector<workload::AppSpec> apps;
@@ -539,7 +572,7 @@ int runCommand(const Options& options) {
     expects(!apps.empty(), "concurrent: --apps required");
     const double window = std::stod(options.get("window", "2000"));
     if (!resume && isLearningPolicy(options.get("policy", ""))) {
-      (void)runner.runConcurrent(apps, *bundle.policy, window);  // learn
+      simSeconds += runner.runConcurrent(apps, *bundle.policy, window).duration;  // learn
       if (bundle.manager && !options.has("live")) bundle.manager->freeze();
     }
     result = runner.runConcurrent(apps, *bundle.policy, window);
@@ -560,11 +593,13 @@ int runCommand(const Options& options) {
       for (int pass = 0; pass < trainPasses; ++pass) {
         trainApps.insert(trainApps.end(), apps.begin(), apps.end());
       }
-      (void)runner.run(workload::Scenario::of(trainApps), *bundle.policy);
+      simSeconds += runner.run(workload::Scenario::of(trainApps), *bundle.policy).duration;
       if (bundle.manager && !options.has("live")) bundle.manager->freeze();
     }
     result = runner.run(eval, *bundle.policy);
   }
+  simSeconds += result.duration;
+  const double simWallMs = static_cast<double>(obs::wallClockNs() - simStartNs) / 1e6;
 
   printResult(result);
   if (bundle.manager != nullptr) {
@@ -574,6 +609,25 @@ int runCommand(const Options& options) {
               << bundle.manager->intraDetections() << " intra detections\n";
   }
   if (options.has("csv")) writeTraceCsv(result, options.get("csv", "trace.csv"));
+  if (options.has("json")) {
+    bench::ReportMeta meta;
+    meta.wallMs = simWallMs;
+    meta.simSeconds = simSeconds;
+    obsSetup.collectInto(meta);
+    TextTable summary({"policy", "exec (s)", "avg T (C)", "peak T (C)",
+                       "TC-MTTF (y)", "aging MTTF (y)", "dyn energy (kJ)"});
+    summary.row()
+        .cell(result.policyName)
+        .cell(result.duration, 0)
+        .cell(result.reliability.averageTemp, 1)
+        .cell(result.reliability.peakTemp, 1)
+        .cell(result.reliability.cyclingMttfYears, 2)
+        .cell(result.reliability.agingMttfYears, 2)
+        .cell(result.dynamicEnergy / 1000.0, 2);
+    bench::writeJsonReport(summary, options.command,
+                           options.get("json", options.command + "_summary.json"),
+                           meta);
+  }
   obsSetup.finish();
   return 0;
 }
@@ -585,7 +639,8 @@ int runCommand(const Options& options) {
 /// per-run observability streams are merged into the ambient session in the
 /// same order.
 int sweepCommand(const Options& options) {
-  validateFlags(options, {"apps", "dataset", "policies", "jobs", "train", "live", "seed"});
+  validateFlags(options,
+                {"apps", "dataset", "policies", "jobs", "train", "live", "seed", "json"});
   ConfigFile config;
   if (options.has("config")) {
     std::ifstream in(options.get("config", ""));
@@ -641,6 +696,8 @@ int sweepCommand(const Options& options) {
 
   exec::SweepOptions sweepOptions;
   sweepOptions.jobs = static_cast<std::size_t>(std::stoul(options.get("jobs", "0")));
+  // A sweep writing a perf report wants the hot-scope attribution with it.
+  sweepOptions.collectScopes = options.has("json");
 
   ObsSetup obsSetup(options);
   const exec::SweepResult sweep = exec::SweepRunner(sweepOptions).run(specs);
@@ -665,6 +722,11 @@ int sweepCommand(const Options& options) {
             << formatFixed(sweep.wallMs, 0) << " ms wall on " << sweep.jobs
             << " jobs (" << formatFixed(sweep.speedup(), 2)
             << "x vs back-to-back)\n";
+  if (options.has("json")) {
+    bench::writeJsonReport(table, "sweep",
+                           options.get("json", "sweep_summary.json"),
+                           bench::metaOf(sweep));
+  }
   obsSetup.finish();
   return 0;
 }
