@@ -32,6 +32,7 @@
 #include "rl/double_q.hpp"
 #include "rl/qtable.hpp"
 #include "sched/scheduler.hpp"
+#include "thermal/expop_cache.hpp"
 #include "thermal/grid_model.hpp"
 #include "thermal/quadcore.hpp"
 
@@ -198,7 +199,42 @@ void BM_GridThermalStep(benchmark::State& state) {
     benchmark::DoNotOptimize(pkg.network().temperatures().data());
   }
 }
-BENCHMARK(BM_GridThermalStep)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_GridThermalStep)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_GridThermalStepDense(benchmark::State& state) {
+  // Same 66-node grid as BM_GridThermalStep/4, structured path forced OFF —
+  // the interactive twin of the rc_step_grid64_dense/fast JSON pair.
+  thermal::GridThermalConfig config;
+  config.cellsPerCoreSide = 4;
+  config.step.path = thermal::StepOptions::Path::Dense;
+  config.step.useCache = false;
+  thermal::GridPackage pkg(config);
+  pkg.prepare(0.01);
+  const std::vector<Watts> power =
+      pkg.nodePower(std::vector<Watts>{8.0, 2.0, 5.0, 1.0});
+  for (auto _ : state) {
+    pkg.network().step(power);
+    benchmark::DoNotOptimize(pkg.network().temperatures().data());
+  }
+}
+BENCHMARK(BM_GridThermalStepDense);
+
+void BM_RcPrepareGrid64(benchmark::State& state) {
+  // prepare() throughput on the 66-node grid: range(0)==0 benches the cold
+  // O(n^3) build (cache cleared every iteration), 1 the warm cache-hit path.
+  const bool warm = state.range(0) == 1;
+  thermal::GridThermalConfig config;
+  config.cellsPerCoreSide = 4;
+  thermal::GridPackage pkg(config);
+  if (warm) pkg.prepare(0.01);
+  for (auto _ : state) {
+    if (!warm) thermal::ExpOperatorCache::instance().clear();
+    pkg.prepare(0.01);
+    benchmark::DoNotOptimize(pkg.network().structuredOperator());
+  }
+  thermal::ExpOperatorCache::instance().clear();
+}
+BENCHMARK(BM_RcPrepareGrid64)->Arg(0)->Arg(1);
 
 void BM_DoubleQUpdate(benchmark::State& state) {
   rl::DoubleQLearner learner(16, 12);
@@ -219,17 +255,30 @@ BENCHMARK(BM_DoubleQUpdate);
 /// One fixed-work kernel of the JSON mode. `run` executes exactly the same
 /// work every call and returns the simulated seconds it covered (0 for
 /// kernels with no simulated-time semantics, e.g. rainflow over a trace).
+/// `ops` is the number of work items one rep performs (steps, prepares,
+/// updates, ...) so the report can state per-kernel ops/sec — prepare()
+/// throughput is reported separately from step() throughput.
 struct JsonKernel {
   std::string name;
+  double ops = 0.0;
   std::function<double()> run;
 };
+
+/// The 64-cell die (8x8 cells + spreader + sink = 66 nodes) both grid64
+/// step kernels share — big enough that Auto selects the structured path.
+thermal::GridThermalConfig grid64Config(thermal::StepOptions::Path path) {
+  thermal::GridThermalConfig config;
+  config.cellsPerCoreSide = 4;
+  config.step.path = path;
+  return config;
+}
 
 std::vector<JsonKernel> jsonKernels() {
   std::vector<JsonKernel> kernels;
 
   // The quad-core RC step: the per-10ms-tick cost the ROADMAP's structured-
   // RC-step item targets. 20k steps x 0.01 s = 200 simulated seconds.
-  kernels.push_back({"rc_step_quadcore", [] {
+  kernels.push_back({"rc_step_quadcore", 20000, [] {
     thermal::QuadCorePackage pkg = thermal::buildQuadCorePackage({});
     pkg.network.prepare(0.01);
     const std::vector<Watts> power =
@@ -240,7 +289,7 @@ std::vector<JsonKernel> jsonKernels() {
 
   // The fine-grid RC step (the many-core scale-up direction): fewer steps,
   // bigger matrix.
-  kernels.push_back({"rc_step_grid2", [] {
+  kernels.push_back({"rc_step_grid2", 5000, [] {
     thermal::GridThermalConfig config;
     config.cellsPerCoreSide = 2;
     thermal::GridPackage pkg(config);
@@ -251,8 +300,56 @@ std::vector<JsonKernel> jsonKernels() {
     return 5000 * 0.01;
   }});
 
+  // The 66-node step on the dense reference path vs the structured fused
+  // path: the pair behind the fast-path speedup gate in scripts/check.sh.
+  // Same grid, same power, same 5000 steps; only StepOptions differ.
+  kernels.push_back({"rc_step_grid64_dense", 5000, [] {
+    thermal::GridThermalConfig config = grid64Config(thermal::StepOptions::Path::Dense);
+    config.step.useCache = false;
+    thermal::GridPackage pkg(config);
+    pkg.prepare(0.01);
+    const std::vector<Watts> power =
+        pkg.nodePower(std::vector<Watts>{8.0, 2.0, 5.0, 1.0});
+    for (int i = 0; i < 5000; ++i) pkg.network().step(power);
+    return 5000 * 0.01;
+  }});
+
+  kernels.push_back({"rc_step_grid64_fast", 5000, [] {
+    thermal::GridThermalConfig config =
+        grid64Config(thermal::StepOptions::Path::Structured);
+    config.step.useCache = false;
+    thermal::GridPackage pkg(config);
+    pkg.prepare(0.01);
+    const std::vector<Watts> power =
+        pkg.nodePower(std::vector<Watts>{8.0, 2.0, 5.0, 1.0});
+    for (int i = 0; i < 5000; ++i) pkg.network().step(power);
+    return 5000 * 0.01;
+  }});
+
+  // prepare() throughput, reported separately from step(): cold = the full
+  // O(n^3) expm + LU build (cache cleared before every prepare), warm = the
+  // fingerprint lookup path an identical machine pays when the cache holds
+  // the entry. The gap between the two is the cache's amortization win.
+  kernels.push_back({"rc_prepare_grid64_cold", 10, [] {
+    thermal::GridPackage pkg(grid64Config(thermal::StepOptions::Path::Auto));
+    for (int i = 0; i < 10; ++i) {
+      thermal::ExpOperatorCache::instance().clear();
+      pkg.prepare(0.01);
+    }
+    thermal::ExpOperatorCache::instance().clear();
+    return 0.0;
+  }});
+
+  kernels.push_back({"rc_prepare_grid64_warm", 200, [] {
+    thermal::ExpOperatorCache::instance().clear();
+    thermal::GridPackage pkg(grid64Config(thermal::StepOptions::Path::Auto));
+    pkg.prepare(0.01);  // cold: populates the entry the loop below hits
+    for (int i = 0; i < 200; ++i) pkg.prepare(0.01);
+    return 0.0;
+  }});
+
   // Rainflow over a 10k-sample temperature trace, five passes.
-  kernels.push_back({"rainflow_10k", [] {
+  kernels.push_back({"rainflow_10k", 50000, [] {
     Rng rng(7);
     std::vector<Celsius> trace;
     trace.reserve(10000);
@@ -270,7 +367,7 @@ std::vector<JsonKernel> jsonKernels() {
 
   // The per-epoch aggregate body (rainflow + stress + aging over one
   // decision epoch of samples), 2000 epochs' worth.
-  kernels.push_back({"epoch_aggregate", [] {
+  kernels.push_back({"epoch_aggregate", 2000, [] {
     Rng rng(9);
     std::vector<std::vector<Celsius>> traces(4);
     for (auto& trace : traces) {
@@ -294,7 +391,7 @@ std::vector<JsonKernel> jsonKernels() {
   }});
 
   // 200k Q-table updates (the per-epoch learning write path).
-  kernels.push_back({"q_update_200k", [] {
+  kernels.push_back({"q_update_200k", 200000, [] {
     rl::QTable table(16, 12);
     Rng rng(3);
     std::size_t s = 0;
@@ -310,7 +407,7 @@ std::vector<JsonKernel> jsonKernels() {
 
   // A full machine tick (scheduler dispatch + power + RC step + sensors):
   // 10k ticks x the default 0.01 s tick = 100 simulated seconds.
-  kernels.push_back({"machine_tick", [] {
+  kernels.push_back({"machine_tick", 10000, [] {
     platform::MachineConfig config;
     platform::Machine machine(config);
     for (ThreadId id = 0; id < 6; ++id) {
@@ -325,7 +422,7 @@ std::vector<JsonKernel> jsonKernels() {
   // (sampling, epochs, Q updates, actuation) on a real workload, capped at
   // 300 simulated seconds. This is the deployment-shaped kernel behind the
   // headline sim_seconds_per_wall_second number.
-  kernels.push_back({"closed_loop_proposed", [] {
+  kernels.push_back({"closed_loop_proposed", 0, [] {
     core::RunnerConfig config;
     config.maxSimTime = 300.0;
     const core::PolicyRunner runner(config);
@@ -353,6 +450,7 @@ int runJsonMode(int argc, char** argv, const std::string& jsonPath) {
     std::string name;
     obs::RepStats stats;      // nanoseconds per rep
     double simSecondsPerRep;  // 0 = no simulated-time semantics
+    double ops;               // work items per rep; 0 = not meaningful
   };
   std::vector<Measured> measured;
   bench::ReportMeta meta;
@@ -369,7 +467,7 @@ int runJsonMode(int argc, char** argv, const std::string& jsonPath) {
       simSecondsPerRep = kernel.run();
       samples.push_back(static_cast<double>(obs::wallClockNs() - startNs));
     }
-    measured.push_back({kernel.name, obs::repStats(samples), simSecondsPerRep});
+    measured.push_back({kernel.name, obs::repStats(samples), simSecondsPerRep, kernel.ops});
     meta.simSeconds += simSecondsPerRep * static_cast<double>(reps);
   }
   meta.wallMs = static_cast<double>(obs::wallClockNs() - benchStartNs) / 1e6;
@@ -413,20 +511,46 @@ int runJsonMode(int argc, char** argv, const std::string& jsonPath) {
     json.key("sim_seconds_per_wall_second")
         .value(obs::simSecondsPerWallSecond(m.simSecondsPerRep,
                                             m.stats.median / 1e6));
+    // Work-item throughput: prepare() kernels report prepares/sec, step()
+    // kernels steps/sec — comparable across grid sizes where wall medians
+    // are not. Omitted when a kernel has no countable unit (ops == 0).
+    if (m.ops > 0.0) {
+      json.key("ops").value(m.ops);
+      json.key("ops_per_sec").value(m.stats.median > 0.0
+                                        ? m.ops / (m.stats.median / 1e9)
+                                        : 0.0);
+    }
     json.endObject();
   }
   json.endArray();
+  // Exp-operator cache totals over the whole bench process (the prepare
+  // kernels exercise it): scripts/check.sh asserts hits > 0 here with the
+  // cache enabled and hits == 0 under RLTHERM_EXPOP_CACHE=0.
+  {
+    const thermal::ExpOpCacheStats cacheStats =
+        thermal::ExpOperatorCache::instance().stats();
+    json.key("expop_cache").beginObject();
+    json.key("enabled").value(cacheStats.enabled);
+    json.key("hits").value(cacheStats.hits);
+    json.key("misses").value(cacheStats.misses);
+    json.key("inserts").value(cacheStats.inserts);
+    json.key("evictions").value(cacheStats.evictions);
+    json.key("entries").value(cacheStats.entries);
+    json.endObject();
+  }
   json.endObject();
   out << "\n";
   ensures(json.complete(), "BENCH_micro.json left unbalanced");
 
-  TextTable table({"kernel", "median (ms)", "CV", "sim s / wall s"});
+  TextTable table({"kernel", "median (ms)", "CV", "sim s / wall s", "ops/s"});
   for (const Measured& m : measured) {
     table.row()
         .cell(m.name)
         .cell(m.stats.median / 1e6, 3)
         .cell(m.stats.cv, 4)
-        .cell(obs::simSecondsPerWallSecond(m.simSecondsPerRep, m.stats.median / 1e6), 1);
+        .cell(obs::simSecondsPerWallSecond(m.simSecondsPerRep, m.stats.median / 1e6), 1)
+        .cell(m.ops > 0.0 && m.stats.median > 0.0 ? m.ops / (m.stats.median / 1e9) : 0.0,
+              0);
   }
   printBanner(std::cout, "micro kernels (median of " + std::to_string(reps) + " reps)");
   table.print(std::cout);

@@ -19,11 +19,21 @@ class InvariantError : public std::logic_error {
 };
 
 /// Check a documented precondition; throws PreconditionError on failure.
+/// The const char* overload is the hot-path form: almost every call site
+/// passes a string literal, and materializing a std::string per check put a
+/// heap allocation inside per-tick loops — the literal is only converted
+/// when the check actually fails.
+inline void expects(bool condition, const char* message) {
+  if (!condition) throw PreconditionError(message);
+}
 inline void expects(bool condition, const std::string& message) {
   if (!condition) throw PreconditionError(message);
 }
 
 /// Check an internal invariant; throws InvariantError on failure.
+inline void ensures(bool condition, const char* message) {
+  if (!condition) throw InvariantError(message);
+}
 inline void ensures(bool condition, const std::string& message) {
   if (!condition) throw InvariantError(message);
 }

@@ -94,6 +94,16 @@ std::vector<double> Matrix::operator*(std::span<const double> v) const {
   return result;
 }
 
+void Matrix::multiplyInto(std::span<const double> v, std::span<double> out) const {
+  expects(v.size() == cols_, "Matrix-vector shape mismatch");
+  expects(out.size() == rows_, "multiplyInto: output size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) sum += (*this)(i, j) * v[j];
+    out[i] = sum;
+  }
+}
+
 Matrix Matrix::transposed() const {
   Matrix result(cols_, rows_);
   for (std::size_t i = 0; i < rows_; ++i)

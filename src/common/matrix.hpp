@@ -56,6 +56,11 @@ class Matrix {
   /// Matrix-vector product; v.size() must equal cols().
   [[nodiscard]] std::vector<double> operator*(std::span<const double> v) const;
 
+  /// Allocation-free matrix-vector product into a caller-provided buffer,
+  /// with the same per-row accumulation order as operator* (so the two are
+  /// bit-identical). out.size() must equal rows(); out must not alias v.
+  void multiplyInto(std::span<const double> v, std::span<double> out) const;
+
   [[nodiscard]] Matrix transposed() const;
 
   /// Maximum absolute row sum (the induced infinity norm).

@@ -9,7 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/timeline.hpp"
-#include "reliability/rainflow.hpp"
+#include "reliability/epoch_kernel.hpp"
 
 namespace rltherm::core {
 
@@ -102,12 +102,15 @@ void ThermalManager::onSample(PolicyContext& ctx, std::span<const Celsius> senso
 void ThermalManager::onEpoch(PolicyContext& ctx) {
   RLTHERM_TIMED_SCOPE("manager.epoch.aggregate");
   // --- compute the epoch's stress and aging (chip = worst core) ---
+  // Fused single-pass aggregate per trace (bit-identical to the separate
+  // rainflow + thermalStress + agingRate calls, see epoch_kernel.hpp).
   double stress = 0.0;
   double aging = 0.0;
   for (const std::vector<Celsius>& trace : epochSamples_) {
-    const auto cycles = reliability::rainflow(trace, /*minAmplitude=*/2.0);
-    stress = std::max(stress, reliability::thermalStress(cycles, fatigueParams_));
-    aging = std::max(aging, reliability::agingRate(trace, agingParams_));
+    const reliability::EpochTraceAggregate agg = reliability::epochTraceAggregate(
+        trace, /*minAmplitude=*/2.0, fatigueParams_, agingParams_);
+    stress = std::max(stress, agg.stress);
+    aging = std::max(aging, agg.aging);
   }
   RLTHERM_ENSURE(std::isfinite(stress) && stress >= 0.0,
                  "onEpoch: epoch stress must be finite and >= 0");

@@ -112,6 +112,10 @@ SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
     });
   }
   sweep.wallMs = static_cast<double>(obs::wallClockNs() - startNs) / 1e6;
+  // Scheduling-dependent cache diagnostics (see the field's doc comment):
+  // snapshotted at the top level only, never into a run's private metric
+  // stream, so per-run artifacts stay independent of --jobs.
+  sweep.expopCache = thermal::ExpOperatorCache::instance().stats();
 
   // Index-ordered merge: counter sums commute, but doing everything in spec
   // order keeps gauges (last writer wins) and any future merge deterministic

@@ -38,6 +38,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "thermal/expop_cache.hpp"
 #include "workload/driver.hpp"
 
 namespace rltherm::exec {
@@ -112,6 +113,14 @@ struct SweepResult {
   std::map<std::string, double> gauges;
   std::map<std::string, obs::Histogram> histograms;
   std::map<std::string, obs::TraceCollector::ScopeStats> scopes;
+
+  /// Snapshot of the process-wide exp-operator cache AFTER the sweep
+  /// (thermal/expop_cache.hpp). Diagnostics only, and explicitly OUTSIDE
+  /// the bit-identity guarantee above: hit/miss totals depend on which
+  /// worker prepared a fingerprint first, so they vary with --jobs and
+  /// scheduling while every simulated value in `runs` stays bit-identical
+  /// (tested in exec/sweep_parallel_test.cpp).
+  thermal::ExpOpCacheStats expopCache;
 
   /// Wall-clock speedup versus running the same jobs back to back.
   [[nodiscard]] double speedup() const noexcept {

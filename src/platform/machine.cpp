@@ -24,12 +24,18 @@ namespace {
 
 class LumpedPlant final : public ThermalPlant {
  public:
-  explicit LumpedPlant(const thermal::QuadCoreThermalConfig& config)
-      : package_(thermal::buildQuadCorePackage(config)) {}
+  LumpedPlant(const thermal::QuadCoreThermalConfig& config,
+              const thermal::StepOptions& stepOptions)
+      : package_(thermal::buildQuadCorePackage(config)), stepOptions_(stepOptions) {}
 
-  void prepare(Seconds stepSize) override { package_.network.prepare(stepSize); }
+  void prepare(Seconds stepSize) override {
+    package_.network.prepare(stepSize, stepOptions_);
+  }
   void step(std::span<const Watts> corePower) override {
-    package_.network.step(package_.nodePower(corePower));
+    // One buffer for the whole run: the per-tick hot path performs no
+    // allocations (power fill + RC step are fused back to back).
+    package_.nodePowerInto(corePower, nodePowerBuffer_);
+    package_.network.step(nodePowerBuffer_);
   }
   void settleTo(std::span<const Watts> corePower) override {
     package_.network.setTemperatures(
@@ -44,11 +50,14 @@ class LumpedPlant final : public ThermalPlant {
 
  private:
   thermal::QuadCorePackage package_;
+  thermal::StepOptions stepOptions_;
+  std::vector<Watts> nodePowerBuffer_;
 };
 
 class GridPlant final : public ThermalPlant {
  public:
-  GridPlant(const thermal::QuadCoreThermalConfig& config, std::size_t cellsPerSide)
+  GridPlant(const thermal::QuadCoreThermalConfig& config, std::size_t cellsPerSide,
+            const thermal::StepOptions& stepOptions)
       : package_([&] {
           thermal::GridThermalConfig grid;
           // Map the lumped quad-core parameters onto the grid model. The
@@ -65,6 +74,7 @@ class GridPlant final : public ThermalPlant {
           grid.sinkCapacitance = config.sinkCapacitance;
           grid.spreaderToSink = config.spreaderToSink;
           grid.sinkToAmbient = config.sinkToAmbient;
+          grid.step = stepOptions;
           return thermal::GridPackage(grid);
         }()),
         coreCount_(config.coreCount) {
@@ -72,9 +82,10 @@ class GridPlant final : public ThermalPlant {
             "Grid thermal plant requires an even core count (2-column layout)");
   }
 
-  void prepare(Seconds stepSize) override { package_.network().prepare(stepSize); }
+  void prepare(Seconds stepSize) override { package_.prepare(stepSize); }
   void step(std::span<const Watts> corePower) override {
-    package_.network().step(package_.nodePower(corePower));
+    package_.nodePowerInto(corePower, nodePowerBuffer_);
+    package_.network().step(nodePowerBuffer_);
   }
   void settleTo(std::span<const Watts> corePower) override {
     package_.network().setTemperatures(
@@ -90,15 +101,17 @@ class GridPlant final : public ThermalPlant {
  private:
   thermal::GridPackage package_;
   std::size_t coreCount_;
+  std::vector<Watts> nodePowerBuffer_;
 };
 
 std::unique_ptr<ThermalPlant> makePlant(const MachineConfig& config) {
   thermal::QuadCoreThermalConfig t = config.thermal;
   t.coreCount = config.coreCount;
   if (config.thermalCellsPerCoreSide <= 1) {
-    return std::make_unique<LumpedPlant>(t);
+    return std::make_unique<LumpedPlant>(t, config.thermalStep);
   }
-  return std::make_unique<GridPlant>(t, config.thermalCellsPerCoreSide);
+  return std::make_unique<GridPlant>(t, config.thermalCellsPerCoreSide,
+                                     config.thermalStep);
 }
 
 }  // namespace
@@ -225,8 +238,8 @@ TickResult Machine::tick(const ActivityFn& activityOf) {
   const sched::Dispatch dispatch = scheduler_->schedule(dt);
 
   TickResult result;
-  std::vector<double> coreActivity(config_.coreCount, 0.0);
-  std::vector<Watts> corePower(config_.coreCount, 0.0);
+  corePowerScratch_.assign(config_.coreCount, 0.0);
+  std::vector<Watts>& corePower = corePowerScratch_;
   Watts totalDynamic = 0.0;
   Watts totalStatic = 0.0;
 
@@ -252,8 +265,10 @@ TickResult Machine::tick(const ActivityFn& activityOf) {
       });
     }
     lastRunning_[c] = runner;
-    coreActivity[c] = activity;
 
+    // Fused power model: dynamic + leakage for this core computed in the
+    // same pass that dispatched it (no separate power loop, no per-tick
+    // allocation — the thermal plant reads corePowerScratch_ directly).
     const power::OperatingPoint op = vfTable_.floorFor(coreFrequency_[c]);
     const CoreTypeSpec& type = coreType(c);
     const Watts dyn = dynamicModel_.power(op, activity) * type.dynamicPowerScale;

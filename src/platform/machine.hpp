@@ -70,6 +70,11 @@ struct MachineConfig {
   /// resolution the on-board sensor reads each core's HOTTEST cell, as real
   /// per-core DTS sensors report the worst local site.
   std::size_t thermalCellsPerCoreSide = 1;
+  /// RC step-path selection (dense reference vs structured fast path, exp-
+  /// operator cache) forwarded to the plant's prepare(). The Auto default
+  /// keeps small lumped plants on the dense path and moves fine grids onto
+  /// the structured kernel.
+  thermal::StepOptions thermalStep;
   thermal::SensorConfig sensor;
   power::DynamicPowerConfig dynamicPower;
   power::LeakagePowerConfig leakage;
@@ -224,6 +229,10 @@ class Machine {
   std::uint64_t lastMigrations_ = 0;
   Seconds stallRemaining_ = 0.0;
   Seconds now_ = 0.0;
+
+  /// Per-tick scratch (power map fed to the thermal plant); a member so the
+  /// fused power/leakage loop in tick() allocates nothing.
+  std::vector<Watts> corePowerScratch_;
 };
 
 }  // namespace rltherm::platform

@@ -1,0 +1,53 @@
+#include "reliability/epoch_kernel.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "reliability/rainflow.hpp"
+
+namespace rltherm::reliability {
+
+EpochTraceAggregate epochTraceAggregate(std::span<const Celsius> trace,
+                                        Celsius minAmplitude,
+                                        const FatigueParams& fatigue,
+                                        const AgingParams& aging) {
+  EpochTraceAggregate out;
+  if (trace.empty()) return out;
+
+  // One streaming pass: the Arrhenius aging sum accrues sample by sample in
+  // trace order (exactly agingRate's loop) while the alternating-extrema
+  // reduction of extractExtrema runs on the same element. The two share no
+  // accumulator, so interleaving them cannot change either result.
+  double agingSum = 1.0 / faultDensityScale(trace.front(), aging);
+  std::vector<Celsius> extrema;
+  extrema.push_back(trace.front());
+  int direction = 0;  // +1 rising, -1 falling, 0 unknown (plateau so far)
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    agingSum += 1.0 / faultDensityScale(trace[i], aging);
+    const double delta = trace[i] - extrema.back();
+    if (delta == 0.0) continue;  // collapse plateaus
+    const int newDirection = delta > 0.0 ? 1 : -1;
+    if (direction == 0 || newDirection == direction) {
+      if (direction == 0) {
+        extrema.push_back(trace[i]);
+      } else {
+        extrema.back() = trace[i];
+      }
+      direction = newDirection;
+    } else {
+      extrema.push_back(trace[i]);
+      direction = newDirection;
+    }
+  }
+  RLTHERM_ENSURE(!extrema.empty() && extrema.size() <= trace.size(),
+                 "epochTraceAggregate: cannot produce more extrema than samples");
+
+  out.aging = agingSum / static_cast<double>(trace.size());
+  RLTHERM_ENSURE(out.aging > 0.0 && !std::isnan(out.aging),
+                 "epochTraceAggregate: mean fault rate must be positive");
+  out.stress = thermalStress(rainflowFromExtrema(extrema, minAmplitude), fatigue);
+  return out;
+}
+
+}  // namespace rltherm::reliability

@@ -1,0 +1,33 @@
+// Fused per-epoch reliability aggregate.
+//
+// Every decision epoch the thermal manager reduces each core's temperature
+// trace to two scalars: the rainflow thermal stress (fatigue.hpp) and the
+// Arrhenius aging rate (aging.hpp). Computed separately, that is three
+// passes over the trace (extrema extraction inside rainflow(), the stack
+// pass, and the aging sum). epochTraceAggregate() fuses the extrema
+// extraction and the aging sum into ONE streaming pass — the per-sample
+// arithmetic and accumulation order are identical to the separate calls, so
+// the results are bit-identical (asserted by the thermal-manager and
+// reliability tests); only the traversal count changes.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "reliability/aging.hpp"
+#include "reliability/fatigue.hpp"
+
+namespace rltherm::reliability {
+
+struct EpochTraceAggregate {
+  double stress = 0.0;  ///< == thermalStress(rainflow(trace, minAmplitude), fatigue)
+  double aging = 0.0;   ///< == agingRate(trace, aging)
+};
+
+/// Single fused pass over one epoch trace. Bit-identical to calling
+/// rainflow + thermalStress + agingRate separately on the same inputs.
+[[nodiscard]] EpochTraceAggregate epochTraceAggregate(
+    std::span<const Celsius> trace, Celsius minAmplitude,
+    const FatigueParams& fatigue, const AgingParams& aging);
+
+}  // namespace rltherm::reliability

@@ -58,8 +58,12 @@ std::vector<Celsius> extractExtrema(std::span<const Celsius> series) {
 
 std::vector<ThermalCycle> rainflow(std::span<const Celsius> series, Celsius minAmplitude) {
   RLTHERM_TIMED_SCOPE("reliability.rainflow.pass");
+  return rainflowFromExtrema(extractExtrema(series), minAmplitude);
+}
+
+std::vector<ThermalCycle> rainflowFromExtrema(std::span<const Celsius> extrema,
+                                              Celsius minAmplitude) {
   std::vector<ThermalCycle> cycles;
-  const std::vector<Celsius> extrema = extractExtrema(series);
   if (extrema.size() < 2) return cycles;
 
   const auto emit = [&](Celsius a, Celsius b, double weight) {

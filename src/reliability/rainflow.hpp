@@ -34,4 +34,12 @@ struct ThermalCycle {
 [[nodiscard]] std::vector<ThermalCycle> rainflow(std::span<const Celsius> series,
                                                  Celsius minAmplitude = 0.0);
 
+/// The stack pass of rainflow() over an ALREADY-reduced extrema sequence
+/// (as produced by extractExtrema). rainflow(series) is exactly
+/// rainflowFromExtrema(extractExtrema(series)); the split exists so fused
+/// single-pass aggregators (epoch_kernel.hpp) can stream the extrema out of
+/// the same loop that computes other per-sample statistics.
+[[nodiscard]] std::vector<ThermalCycle> rainflowFromExtrema(
+    std::span<const Celsius> extrema, Celsius minAmplitude = 0.0);
+
 }  // namespace rltherm::reliability

@@ -39,6 +39,20 @@ struct GridThermalConfig {
   double sinkCapacitance = 150.0;     ///< J/K
   double spreaderToSink = 0.25;       ///< K/W
   double sinkToAmbient = 0.38;        ///< K/W
+
+  /// Lateral coupling reach: cells at axis-aligned grid distance d in
+  /// [1, lateralCouplingRange] are connected with a distance-decay
+  /// resistance  R(d) = lateralResistance · d^lateralDecayExponent.
+  /// The default (range 1) is the classic nearest-neighbour grid; larger
+  /// ranges add the rapidly weakening far-field couplings whose near-zero
+  /// exp-operator entries the structured step path (StepOptions) skips.
+  std::size_t lateralCouplingRange = 1;
+  double lateralDecayExponent = 2.0;
+
+  /// Step-path selection forwarded by prepare(); defaults to Auto, which
+  /// picks the structured fast path once the grid outgrows the dense
+  /// reference's threshold.
+  StepOptions step;
 };
 
 class GridPackage {
@@ -61,6 +75,10 @@ class GridPackage {
   [[nodiscard]] RcNetwork& network() noexcept { return network_; }
   [[nodiscard]] const RcNetwork& network() const noexcept { return network_; }
 
+  /// Prepare the network with the config's step options (convenience for
+  /// callers that would otherwise forward config().step by hand).
+  void prepare(Seconds stepSize) { network_.prepare(stepSize, config_.step); }
+
   /// Node index of the cell at (row, col) of the die grid.
   [[nodiscard]] std::size_t cellNode(std::size_t row, std::size_t col) const;
 
@@ -70,6 +88,10 @@ class GridPackage {
   /// Build the per-node power vector from per-core powers (each core's power
   /// spread uniformly over its cells).
   [[nodiscard]] std::vector<Watts> nodePower(std::span<const Watts> corePower) const;
+
+  /// Allocation-free variant: resizes `out` once, then refills it in place
+  /// (the per-tick plant path reuses one buffer for the whole run).
+  void nodePowerInto(std::span<const Watts> corePower, std::vector<Watts>& out) const;
 
   /// Mean and peak cell temperature of a core.
   [[nodiscard]] Celsius coreMeanTemperature(std::size_t core) const;

@@ -15,10 +15,17 @@ std::vector<Celsius> QuadCorePackage::coreTemperatures() const {
 }
 
 std::vector<Watts> QuadCorePackage::nodePower(std::span<const Watts> corePower) const {
-  expects(corePower.size() == coreNodes.size(), "nodePower: per-core power size mismatch");
-  std::vector<Watts> power(network.nodeCount(), 0.0);
-  for (std::size_t i = 0; i < coreNodes.size(); ++i) power[coreNodes[i]] = corePower[i];
+  std::vector<Watts> power;
+  nodePowerInto(corePower, power);
+  ensures(power.size() == network.nodeCount(), "nodePower: one entry per node");
   return power;
+}
+
+void QuadCorePackage::nodePowerInto(std::span<const Watts> corePower,
+                                    std::vector<Watts>& out) const {
+  expects(corePower.size() == coreNodes.size(), "nodePower: per-core power size mismatch");
+  out.assign(network.nodeCount(), 0.0);
+  for (std::size_t i = 0; i < coreNodes.size(); ++i) out[coreNodes[i]] = corePower[i];
 }
 
 QuadCorePackage buildQuadCorePackage(const QuadCoreThermalConfig& config) {

@@ -49,6 +49,10 @@ struct QuadCorePackage {
   /// Build the full-length per-node power vector from per-core powers
   /// (spreader/sink nodes get zero power).
   [[nodiscard]] std::vector<Watts> nodePower(std::span<const Watts> corePower) const;
+
+  /// Allocation-free variant: resizes `out` once, then refills it in place
+  /// (the per-tick plant path reuses one buffer for the whole run).
+  void nodePowerInto(std::span<const Watts> corePower, std::vector<Watts>& out) const;
 };
 
 /// Builds the package network. coreCount must be >= 1; cores are laid out in

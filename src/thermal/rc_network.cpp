@@ -2,15 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <queue>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "obs/timeline.hpp"
+#include "thermal/expop_cache.hpp"
+#include "thermal/step_operator.hpp"
 
 namespace rltherm::thermal {
 
 namespace {
+
+// FNV-1a(64) over a canonical little-endian byte encoding, the same hash
+// and convention the checkpoint store uses for policy fingerprints
+// (src/store/policy_checkpoint.cpp): every field that changes what the
+// prepared operators ARE, in a fixed order.
+class FingerprintHasher {
+ public:
+  void bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void f64(double v) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void u64(std::uint64_t v) noexcept {
+    unsigned char raw[8];
+    for (int i = 0; i < 8; ++i) raw[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(raw, sizeof(raw));
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
 
 /// Checked-build verification that G is a valid conductance matrix: symmetric
 /// and weakly diagonally dominant with a positive diagonal, which (by
@@ -114,6 +147,9 @@ RcNetwork RcNetwork::Builder::build() const {
   }
   net.temps_.assign(n, ambient_);
   net.scratch_.resize(n);
+  net.homogeneous_.resize(n);
+  net.forced_.resize(n);
+  net.lastInput_.resize(n);
   verifyConductanceMatrix(net.conductance_);
   return net;
 }
@@ -137,41 +173,119 @@ void RcNetwork::setTemperatures(std::span<const Celsius> temps) {
   std::copy(temps.begin(), temps.end(), temps_.begin());
 }
 
-void RcNetwork::prepare(Seconds stepSize) {
+void RcNetwork::prepare(Seconds stepSize) { prepare(stepSize, StepOptions{}); }
+
+void RcNetwork::prepare(Seconds stepSize, const StepOptions& options) {
+  RLTHERM_TIMED_SCOPE("thermal.rc.prepare");
   expects(stepSize > 0.0, "Step size must be > 0");
+  expects(options.dropTolerance >= 0.0 && std::isfinite(options.dropTolerance),
+          "prepare: dropTolerance must be finite and >= 0");
   const std::size_t n = nodes_.size();
+  expects(n > 0, "prepare: empty network");
+  // The cached forced product belongs to the operator being replaced.
+  forcedValid_ = false;
+
+  const bool structured =
+      options.path == StepOptions::Path::Structured ||
+      (options.path == StepOptions::Path::Auto && n >= options.structuredThreshold);
+  // The dense path ignores dropTolerance, so two prepares differing only in
+  // tolerance must share a fingerprint — canonicalize it to 0 there.
+  const double dropTolerance = structured ? options.dropTolerance : 0.0;
+
+  FingerprintHasher hasher;
+  hasher.bytes("rltherm-expop-v1", 16);
+  hasher.u64(n);
+  hasher.f64(stepSize);
+  for (const double g : conductance_.data()) hasher.f64(g);
+  for (const double c : invCap_) hasher.f64(c);
+  hasher.u64(structured ? 1 : 0);
+  hasher.f64(dropTolerance);
+  fingerprint_ = hasher.value();
+
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  if (options.useCache && cache.enabled()) {
+    if (std::shared_ptr<const PreparedStep> hit = cache.lookup(fingerprint_)) {
+      RLTHERM_ENSURE(hit->expOp.rows() == n && hit->stepSize == stepSize,
+                     "prepare: fingerprint collision in the operator cache");
+      prepared_ = std::move(hit);
+      preparedStep_ = stepSize;
+      return;
+    }
+  }
+
+  auto step = std::make_shared<PreparedStep>();
+  step->stepSize = stepSize;
+  step->fingerprint = fingerprint_;
 
   // A = -C^{-1} G.
   Matrix a(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) a(i, j) = -invCap_[i] * conductance_(i, j);
   }
-  expOp_ = expm(a * stepSize);
+  step->expOp = expm(a * stepSize);
 
   // Phi = A^{-1}(E - I), then fold in C^{-1} so step() applies Phi directly
   // to the raw input u = P + G_amb * T_amb.
-  Matrix eMinusI = expOp_ - Matrix::identity(n);
+  Matrix eMinusI = step->expOp - Matrix::identity(n);
   Matrix phi = LuFactorization(a).solve(eMinusI);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) phi(i, j) *= invCap_[j];
   }
-  phiOp_ = phi;
+  step->phiOp = std::move(phi);
+
+  if (structured) {
+    step->structured = StepOperator(step->expOp, step->phiOp, dropTolerance);
+    step->structuredSelected = true;
+  }
+
+  prepared_ = options.useCache && cache.enabled() ? cache.store(std::move(step))
+                                                  : std::move(step);
   preparedStep_ = stepSize;
+}
+
+bool RcNetwork::structuredPathActive() const noexcept {
+  return prepared_ != nullptr && prepared_->structuredSelected;
+}
+
+const StepOperator* RcNetwork::structuredOperator() const noexcept {
+  return structuredPathActive() ? &prepared_->structured : nullptr;
 }
 
 void RcNetwork::step(std::span<const Watts> power) {
   RLTHERM_TIMED_SCOPE("thermal.rc.step");
-  expects(preparedStep_.has_value(), "RcNetwork::step called before prepare()");
+  expects(preparedStep_.has_value() && prepared_ != nullptr,
+          "RcNetwork::step called before prepare()");
   expects(power.size() == nodes_.size(), "step: power vector size mismatch");
   const std::size_t n = nodes_.size();
   for (std::size_t i = 0; i < n; ++i) {
     expects(power[i] >= 0.0, "step: negative power");
     scratch_[i] = power[i] + ambientG_[i] * ambient_;
   }
-  const std::vector<double> homogeneous = expOp_ * std::span<const double>(temps_);
-  const std::vector<double> forced = phiOp_ * std::span<const double>(scratch_);
+  if (prepared_->structuredSelected) {
+    prepared_->structured.applyHomogeneous(temps_, homogeneous_);
+    // Plateau cache on the forced half: governors hold a power level for
+    // many ticks, and Φ·u is a pure function of u — when the input bytes
+    // are unchanged, recomputing would reproduce forced_ bit-for-bit, so
+    // reuse is exact and skips half the per-tick work.
+    const bool inputUnchanged =
+        forcedValid_ &&
+        std::memcmp(scratch_.data(), lastInput_.data(), n * sizeof(double)) == 0;
+    if (!inputUnchanged) {
+      prepared_->structured.applyForced(scratch_, forced_);
+      std::copy(scratch_.begin(), scratch_.end(), lastInput_.begin());
+      forcedValid_ = true;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      temps_[i] = homogeneous_[i] + forced_[i];
+      RLTHERM_ENSURE(isPhysicalTemperature(temps_[i]),
+                     "RcNetwork::step produced a non-physical temperature");
+    }
+    return;
+  }
+  prepared_->expOp.multiplyInto(temps_, homogeneous_);
+  prepared_->phiOp.multiplyInto(scratch_, forced_);
   for (std::size_t i = 0; i < n; ++i) {
-    temps_[i] = homogeneous[i] + forced[i];
+    temps_[i] = homogeneous_[i] + forced_[i];
     RLTHERM_ENSURE(isPhysicalTemperature(temps_[i]),
                    "RcNetwork::step produced a non-physical temperature");
   }

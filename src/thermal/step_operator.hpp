@@ -1,0 +1,113 @@
+// Structure-exploiting application of a prepared RC step.
+//
+// The exact discrete step is T' = E·T + Φ·u with dense E = e^{Ah} and
+// Φ = A⁻¹(E−I)C⁻¹ (see rc_network.hpp). This class stores the two operators
+// as separately applicable halves, each compressed into contiguous RUNS of
+// surviving entries, so the caller can exploit the structure of the INPUTS
+// as well as of the operators:
+//
+//  - applyHomogeneous (E·T) runs every tick — temperatures always move.
+//  - applyForced (Φ·u) only needs to run when u changed. Power traces are
+//    plateau-shaped (a governor holds a DVFS level for many ticks), so the
+//    caller caches the product and skips this half entirely inside a
+//    plateau (see RcNetwork::step) — that alone halves the steady-state
+//    per-tick cost relative to the dense two-matvec reference.
+//
+// Kernel exactness contract, per half:
+//
+//  - dropTolerance == 0: every entry is kept and the kernel reproduces the
+//    dense reference BIT-FOR-BIT — each row is one full-width run
+//    accumulated left-to-right into a single accumulator exactly like
+//    Matrix::multiplyInto, and the caller adds the halves in the dense
+//    path's `homogeneous[i] + forced[i]` order.
+//  - dropTolerance > 0: entries with |a| <= dropTolerance are skipped (the
+//    near-zero far-field couplings of a distance-decay grid), and the
+//    surviving runs are walked with four independent accumulators so the
+//    loop is bound by multiply throughput instead of the FP-add latency
+//    chain of a single accumulator. This path is approximate: the error it
+//    can introduce per step is bounded by the dropped row mass (tracked in
+//    droppedMassMax()) times the magnitude of the state, amplified over a
+//    horizon by the network's slowest mode — the property suite in
+//    tests/thermal/ pins the bound empirically against the dense reference.
+//
+// Each run reads from exactly one input vector and the kernel needs no
+// gather or index arrays — a per-entry column-index (CSR) layout measured
+// ~2.4x slower than runs on these operator densities. Splitting the halves
+// (rather than fusing [E|Φ] rows) also keeps the every-tick E half
+// contiguous: at 66 nodes it is ~34 KB, small enough to stay cache-hot
+// across ticks while the Φ half sits cold through a plateau.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace rltherm::thermal {
+
+class StepOperator {
+ public:
+  /// An empty operator (size() == 0); the apply methods are not callable.
+  StepOperator() = default;
+
+  /// Compress the dense step operators, dropping entries with
+  /// |a| <= dropTolerance. Both matrices must be n x n; tolerance must be
+  /// >= 0, where 0 keeps every entry and claims bitwise exactness.
+  StepOperator(const Matrix& expOp, const Matrix& phiOp, double dropTolerance);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// True when this operator reproduces the dense reference bit-for-bit
+  /// (dropTolerance == 0, nothing dropped).
+  [[nodiscard]] bool exact() const noexcept { return dropTolerance_ == 0.0; }
+  [[nodiscard]] double dropTolerance() const noexcept { return dropTolerance_; }
+
+  /// Surviving entries out of 2n² entries across both halves.
+  [[nodiscard]] std::size_t storedEntries() const noexcept {
+    return homogeneous_.values.size() + forced_.values.size();
+  }
+  [[nodiscard]] double density() const noexcept;
+
+  /// Max over rows of the summed |value| of dropped entries (both halves) —
+  /// the per-step absolute error bound multiplier of the approximate kernel.
+  [[nodiscard]] double droppedMassMax() const noexcept { return droppedMassMax_; }
+
+  /// out = E·temps. Spans must have size n; out must not alias temps.
+  void applyHomogeneous(std::span<const double> temps,
+                        std::span<double> out) const;
+
+  /// out = Φ·input. Spans must have size n; out must not alias input.
+  /// Callers should skip this when input is byte-identical to the previous
+  /// tick's — the product is deterministic, so reuse is bit-exact.
+  void applyForced(std::span<const double> input, std::span<double> out) const;
+
+ private:
+  /// A contiguous span of kept row entries: columns [col, col + len) of the
+  /// half's n-wide row, values packed in order in the half's values.
+  struct Run {
+    std::uint32_t col = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// One compressed operator (E or Φ): per-row runs over packed values.
+  struct Half {
+    std::vector<double> values;
+    std::vector<Run> runs;
+    std::vector<std::uint32_t> rowRunBegin;  // n_ + 1 offsets into runs
+  };
+
+  void compressInto(Half& half, const Matrix& op,
+                    std::vector<double>& droppedPerRow);
+  void applyHalf(const Half& half, std::span<const double> src,
+                 std::span<double> out) const;
+
+  std::size_t n_ = 0;
+  double dropTolerance_ = 0.0;
+  double droppedMassMax_ = 0.0;
+  Half homogeneous_;  // E
+  Half forced_;       // Φ
+};
+
+}  // namespace rltherm::thermal

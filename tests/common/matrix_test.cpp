@@ -208,5 +208,33 @@ TEST(ExpmTest, NonSquareThrows) {
   EXPECT_THROW((void)expm(Matrix(2, 3)), PreconditionError);
 }
 
+TEST(MatrixTest, MultiplyIntoBitMatchesOperatorStar) {
+  // multiplyInto is documented bit-identical to operator* (same accumulation
+  // order) — the structured thermal path's exactness proof leans on this.
+  Rng rng(2024);
+  for (const std::size_t n : {1u, 3u, 17u, 40u}) {
+    const Matrix a = randomDiagonallyDominant(n, rng);
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform(-10.0, 10.0);
+    const std::vector<double> reference = a * v;
+    std::vector<double> out(n, -1.0);
+    a.multiplyInto(v, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(reference[i], out[i]) << "row " << i << " of n=" << n;
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyIntoRejectsMismatchedSpans) {
+  const Matrix a(2, 3);
+  std::vector<double> v(3, 1.0);
+  std::vector<double> bad(1, 0.0);
+  std::vector<double> good(2, 0.0);
+  EXPECT_THROW(a.multiplyInto(std::vector<double>(2, 1.0), good), PreconditionError);
+  EXPECT_THROW(a.multiplyInto(v, bad), PreconditionError);
+  a.multiplyInto(v, good);  // matching shapes pass
+  EXPECT_DOUBLE_EQ(good[0], 0.0);
+}
+
 }  // namespace
 }  // namespace rltherm

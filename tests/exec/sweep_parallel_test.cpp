@@ -128,6 +128,46 @@ TEST(SweepParallelTest, AggregateIsBitIdenticalAcrossJobCounts) {
   expectReportsIdentical(serial, eight);
 }
 
+/// Specs on a grid-thermal machine big enough (66 nodes) that Auto engages
+/// the structured fast path, with the process-wide exp-operator cache live:
+/// identical machines across specs make workers race to prepare the same
+/// fingerprint, the exact sharing pattern the cache's determinism argument
+/// (thermal/expop_cache.hpp) has to survive.
+std::vector<RunSpec> gridSpecs(std::uint64_t seed) {
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    RunSpec spec;
+    spec.label = "grid-" + std::to_string(i);
+    spec.scenario = workload::Scenario::of({tinyApp(10)});
+    spec.runner = fastRunner();
+    spec.runner.maxSimTime = 60.0;
+    spec.runner.machine.thermalCellsPerCoreSide = 4;
+    spec.seed = seed;
+    spec.policy = [](std::uint64_t) {
+      return std::make_unique<core::StaticGovernorPolicy>(
+          platform::GovernorSetting{platform::GovernorKind::Ondemand, 0.0});
+    };
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(SweepParallelTest, StructuredFastPathWithCacheStaysBitIdentical) {
+  thermal::ExpOperatorCache& cache = thermal::ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+  const SweepResult serial = SweepRunner({.jobs = 1}).run(gridSpecs(42));
+  // Four identical machines prepared back to back: the serial sweep must
+  // have hit the cache after the first cold prepare.
+  EXPECT_GE(serial.expopCache.hits, 3u);
+  const SweepResult two = SweepRunner({.jobs = 2}).run(gridSpecs(42));
+  const SweepResult eight = SweepRunner({.jobs = 8}).run(gridSpecs(42));
+  // Every simulated artefact bit-identical at any lane count — the cache
+  // diagnostics themselves are documented as outside this guarantee.
+  expectReportsIdentical(serial, two);
+  expectReportsIdentical(serial, eight);
+}
+
 TEST(SweepParallelTest, ZeroSeedPreservesConfiguredMachineSeeds) {
   // seed == 0 must leave the spec's runner config untouched, so a sweep
   // reproduces the serial benches' golden numbers exactly.

@@ -187,6 +187,47 @@ TEST(HistogramTest, AbsorbRejectsMismatchedSpecs) {
   EXPECT_THROW(ha.absorb(hb), PreconditionError);
 }
 
+TEST(HistogramTest, SingleBucketHistogramQuantilesSpanObservedRange) {
+  // The degenerate spec — ONE bucket covering the whole range — must still
+  // produce ordered quantiles inside [minSeen, maxSeen] (the kernel-timer
+  // histograms start this coarse before anyone tunes their ranges).
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("thermal.rc.step", 0.0, 100.0, 1);
+  h.observe(10.0);
+  h.observe(20.0);
+  h.observe(30.0);
+  EXPECT_EQ(h.bucketCount(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+  EXPECT_GE(h.quantile(0.0), h.minSeen());
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(1.0));
+
+  // A single observation pins every quantile to that exact value.
+  Histogram& one = registry.histogram("thermal.rc.prepare", 0.0, 100.0, 1);
+  one.observe(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+}
+
+TEST(HistogramTest, EmptyAfterAbsorbStaysWellDefined) {
+  // empty.absorb(empty) must leave a histogram that still reports the
+  // defined empty-state answers AND still seeds min/max correctly on its
+  // first real observation (no stale zero leaking in as a minimum).
+  MetricsRegistry a;
+  MetricsRegistry b;
+  Histogram& left = a.histogram("a.b.c", 0.0, 10.0, 4);
+  Histogram& right = b.histogram("a.b.c", 0.0, 10.0, 4);
+  left.absorb(right);
+  EXPECT_EQ(left.count(), 0u);
+  EXPECT_DOUBLE_EQ(left.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(left.mean(), 0.0);
+  left.observe(7.0);
+  EXPECT_DOUBLE_EQ(left.minSeen(), 7.0);
+  EXPECT_DOUBLE_EQ(left.maxSeen(), 7.0);
+  EXPECT_DOUBLE_EQ(left.quantile(0.5), 7.0);
+}
+
 TEST(MetricsRegistryTest, VisitationIsNameOrdered) {
   MetricsRegistry registry;
   registry.counter("c.two").add(2);

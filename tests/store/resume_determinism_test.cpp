@@ -227,6 +227,47 @@ TEST(ResumeDeterminismTest, SweepPolicyZooIsBitIdenticalAtAnyJobsCount) {
   std::filesystem::remove(path);
 }
 
+/// Same interrupted-equals-uninterrupted claim, but on a grid-thermal
+/// machine big enough (66 nodes) that prepare() selects the structured fast
+/// path and every tick of both phases runs through the fused operator, with
+/// the exp-operator cache live. A checkpoint taken under the fast path must
+/// resume bit-exactly: the cached/fused operator is part of the machine, not
+/// of the policy state, so it must not leak into (or diverge after) resume.
+TEST(ResumeDeterminismTest, FastPathGridMachineResumesBitExactly) {
+  thermal::ExpOperatorCache& cache = thermal::ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  core::RunnerConfig gridRunner = fastRunner();
+  gridRunner.maxSimTime = 200.0;
+  gridRunner.machine.thermalCellsPerCoreSide = 4;
+  const core::PolicyRunner runner(gridRunner);
+  const workload::Scenario pass1 = workload::Scenario::of({tinyApp(30)});
+  const workload::Scenario pass2 = workload::Scenario::of({tinyApp(40)});
+
+  core::ThermalManager continuous(fastManager(), core::ActionSpace::standard(4));
+  (void)runner.run(pass1, continuous);
+  const core::RunResult expected = runner.run(pass2, continuous);
+
+  const std::string path = testing::TempDir() + "resume_fastpath.ckpt";
+  core::ThermalManager first(fastManager(), core::ActionSpace::standard(4));
+  (void)runner.run(pass1, first);
+  first.saveCheckpoint(path);
+
+  core::ThermalManager resumed(fastManager(), core::ActionSpace::standard(4));
+  resumed.loadCheckpoint(path);
+  const core::RunResult actual = runner.run(pass2, resumed);
+
+  expectSameRun(expected, actual);
+  expectSameManagerState(continuous, resumed);
+  // Every run built an identical machine, so all prepares share ONE
+  // fingerprint: exactly one cold miss, cache hits ever after.
+  const thermal::ExpOpCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.hits, 3u);
+  std::filesystem::remove(path);
+}
+
 TEST(ResumeDeterminismTest, FrozenEvalDoesNotMutateTheCheckpointState) {
   const core::PolicyRunner runner(fastRunner());
   core::ThermalManager trained(fastManager(), core::ActionSpace::standard(4));

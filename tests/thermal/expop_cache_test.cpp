@@ -1,0 +1,204 @@
+// ExpOperatorCache behaviour: hit/miss accounting, fingerprint sensitivity,
+// sharing, and — the property that matters for correctness — a cache hit
+// producing the SAME simulated trajectory, bit for bit, as a cold prepare.
+//
+// The cache is process-global, so every test clears it up front; counters
+// asserted here are deltas from that clear.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "thermal/expop_cache.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace rltherm::thermal {
+namespace {
+
+constexpr Seconds kTick = 0.01;
+
+GridThermalConfig cachedGridConfig() {
+  GridThermalConfig config;
+  config.cellsPerCoreSide = 4;  // 66 nodes: Auto selects the structured path
+  config.step.useCache = true;
+  return config;
+}
+
+TEST(ExpOpCache, ColdPrepareMissesThenIdenticalPrepareHits) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  GridPackage first(cachedGridConfig());
+  first.prepare(kTick);
+  ExpOpCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  GridPackage second(cachedGridConfig());
+  second.prepare(kTick);
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Shared entry, not a copy: both networks hold the same fused operator.
+  EXPECT_EQ(first.network().structuredOperator(), second.network().structuredOperator());
+  EXPECT_EQ(first.network().operatorFingerprint(), second.network().operatorFingerprint());
+}
+
+TEST(ExpOpCache, FingerprintSeparatesStepSizeAndNetworkAndOptions) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  GridPackage base(cachedGridConfig());
+  base.prepare(kTick);
+  const std::uint64_t baseFp = base.network().operatorFingerprint();
+
+  // Different step size.
+  GridPackage slower(cachedGridConfig());
+  slower.prepare(kTick * 2);
+  EXPECT_NE(slower.network().operatorFingerprint(), baseFp);
+
+  // Different conductances (one resistance nudged).
+  GridThermalConfig tweaked = cachedGridConfig();
+  tweaked.junctionToSpreader *= 1.01;
+  GridPackage different(tweaked);
+  different.prepare(kTick);
+  EXPECT_NE(different.network().operatorFingerprint(), baseFp);
+
+  // Different drop tolerance on the structured path.
+  GridThermalConfig looser = cachedGridConfig();
+  looser.step.dropTolerance = 1e-9;
+  GridPackage pruned(looser);
+  pruned.prepare(kTick);
+  EXPECT_NE(pruned.network().operatorFingerprint(), baseFp);
+
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().entries, 4u);
+}
+
+TEST(ExpOpCache, DensePathCanonicalizesToleranceIntoOneFingerprint) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  // The dense path ignores dropTolerance, so two dense prepares differing
+  // only in tolerance must share one cache entry.
+  GridThermalConfig a = cachedGridConfig();
+  a.step.path = StepOptions::Path::Dense;
+  a.step.dropTolerance = 1e-12;
+  GridThermalConfig b = a;
+  b.step.dropTolerance = 1e-6;
+
+  GridPackage first(a);
+  first.prepare(kTick);
+  GridPackage second(b);
+  second.prepare(kTick);
+  EXPECT_EQ(first.network().operatorFingerprint(), second.network().operatorFingerprint());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ExpOpCache, DisabledCacheNeverReturnsEntriesAndStopsCounting) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(false);
+
+  GridPackage first(cachedGridConfig());
+  first.prepare(kTick);
+  GridPackage second(cachedGridConfig());
+  second.prepare(kTick);
+  const ExpOpCacheStats stats = cache.stats();
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  // Each prepare built a private operator: still correct, just unshared.
+  EXPECT_NE(first.network().structuredOperator(), second.network().structuredOperator());
+
+  cache.setEnabled(true);
+}
+
+TEST(ExpOpCache, PerPrepareOptOutBypassesAnEnabledCache) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  GridThermalConfig config = cachedGridConfig();
+  config.step.useCache = false;
+  GridPackage package(config);
+  package.prepare(kTick);
+  const ExpOpCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u)
+      << "useCache=false must not touch the global cache at all";
+}
+
+TEST(ExpOpCache, WarmHitTrajectoryIsBitIdenticalToColdPrepare) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  GridPackage cold(cachedGridConfig());
+  cold.prepare(kTick);  // miss: computes and publishes the entry
+  GridPackage warm(cachedGridConfig());
+  warm.prepare(kTick);  // hit: adopts the shared entry
+  ASSERT_EQ(cache.stats().hits, 1u);
+
+  const std::vector<Watts> corePower = {3.0, 0.5, 2.0, 1.0};
+  std::vector<Watts> nodePower;
+  for (std::size_t t = 0; t < 500; ++t) {
+    cold.nodePowerInto(corePower, nodePower);
+    cold.network().step(nodePower);
+    warm.network().step(nodePower);
+    const std::span<const Celsius> a = cold.network().temperatures();
+    const std::span<const Celsius> b = warm.network().temperatures();
+    ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(Celsius)))
+        << "cache hit diverged from cold prepare at tick " << t;
+  }
+}
+
+TEST(ExpOpCache, ClearEmptiesEntriesAndZeroesCounters) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  GridPackage package(cachedGridConfig());
+  package.prepare(kTick);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.clear();
+  const ExpOpCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts + stats.evictions, 0u);
+}
+
+TEST(ExpOpCache, PublishWritesAmbientMetrics) {
+  ExpOperatorCache& cache = ExpOperatorCache::instance();
+  cache.clear();
+  cache.setEnabled(true);
+
+  GridPackage first(cachedGridConfig());
+  first.prepare(kTick);
+  GridPackage second(cachedGridConfig());
+  second.prepare(kTick);
+
+  obs::MetricsRegistry registry;
+  obs::Session session;
+  session.metrics = &registry;
+  {
+    const obs::ScopedSession guard(session);
+    publishExpOpCacheMetrics();
+  }
+  EXPECT_EQ(registry.counter("thermal.expop.cache.hit").value(), 1u);
+  EXPECT_EQ(registry.counter("thermal.expop.cache.miss").value(), 1u);
+  EXPECT_EQ(registry.gauge("thermal.expop.cache.entries").value(), 1.0);
+}
+
+}  // namespace
+}  // namespace rltherm::thermal

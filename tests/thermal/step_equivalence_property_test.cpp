@@ -1,0 +1,313 @@
+// Property-test harness for the structured RC fast path (step_operator.hpp).
+//
+// The contract under test, from StepOptions:
+//  - dropTolerance == 0 (exact mode): the structured step is BIT-IDENTICAL
+//    to the dense reference path, tick for tick;
+//  - the default tolerance (1e-12): drift versus dense stays under 1e-6 °C
+//    over 10k-tick horizons on seeded random heterogeneous grids;
+//  - the bound is falsifiable: a deliberately wrong tolerance that truncates
+//    genuine couplings (the canary) must BREAK the 1e-6 bound, proving the
+//    harness would catch a mis-banded operator rather than vacuously pass.
+//
+// Grids are random W x H cell meshes (4 .. 128 cells) with heterogeneous
+// capacitances and conductances built straight through RcNetwork::Builder,
+// driven by power traces with plateaus and steps — the worst case for
+// operator error accumulation because plateau segments let a biased operator
+// integrate its bias instead of averaging it out. RK4 serves as an
+// independent oracle on one grid: both paths must track physics, not just
+// each other.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "thermal/expop_cache.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/step_operator.hpp"
+
+namespace rltherm::thermal {
+namespace {
+
+constexpr Seconds kTick = 0.01;
+
+/// Random W x H cell grid + spreader + sink, every capacitance and
+/// resistance drawn independently (heterogeneous by construction).
+RcNetwork buildRandomGrid(Rng& rng, std::size_t rows, std::size_t cols) {
+  RcNetwork::Builder builder;
+  std::vector<std::size_t> cells(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      NodeSpec spec;
+      spec.name = "cell-" + std::to_string(r) + "-" + std::to_string(c);
+      spec.kind = NodeKind::Core;
+      spec.capacitance = rng.uniform(0.1, 0.4);
+      cells[r * cols + c] = builder.addNode(spec);
+    }
+  }
+  NodeSpec spreader;
+  spreader.name = "spreader";
+  spreader.kind = NodeKind::Spreader;
+  spreader.capacitance = rng.uniform(15.0, 35.0);
+  const std::size_t spreaderNode = builder.addNode(spreader);
+  NodeSpec sink;
+  sink.name = "sink";
+  sink.kind = NodeKind::Sink;
+  sink.capacitance = rng.uniform(100.0, 200.0);
+  sink.resistanceToAmbient = rng.uniform(0.3, 0.5);
+  const std::size_t sinkNode = builder.addNode(sink);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t node = cells[r * cols + c];
+      if (c + 1 < cols) builder.connect(node, cells[r * cols + c + 1], rng.uniform(2.0, 6.0));
+      if (r + 1 < rows) builder.connect(node, cells[(r + 1) * cols + c], rng.uniform(2.0, 6.0));
+      builder.connect(node, spreaderNode, rng.uniform(4.0, 10.0));
+    }
+  }
+  builder.connect(spreaderNode, sinkNode, rng.uniform(0.2, 0.3));
+  builder.ambient(25.0);
+  return builder.build();
+}
+
+/// Piecewise-constant per-cell power: plateaus of 50..400 ticks, then a step
+/// to freshly drawn levels. Spreader/sink (the last two nodes) stay at 0 W.
+class PlateauTrace {
+ public:
+  PlateauTrace(Rng& rng, std::size_t nodeCount)
+      : rng_(rng), power_(nodeCount, 0.0) {
+    redraw();
+  }
+
+  const std::vector<Watts>& at(std::size_t tick) {
+    if (tick >= nextChange_) {
+      redraw();
+      nextChange_ = tick + 50 + rng_.uniformInt(350);
+    }
+    return power_;
+  }
+
+ private:
+  void redraw() {
+    for (std::size_t i = 0; i + 2 < power_.size(); ++i) power_[i] = rng_.uniform(0.0, 2.0);
+  }
+  Rng& rng_;
+  std::vector<Watts> power_;
+  std::size_t nextChange_ = 0;
+};
+
+double maxAbsDiff(std::span<const Celsius> a, std::span<const Celsius> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::abs(a[i] - b[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+/// Runs dense and structured copies of the same network over the same trace
+/// and returns the worst per-node divergence seen at any tick.
+double worstDivergence(const RcNetwork& prototype, const StepOptions& structuredOptions,
+                       std::size_t ticks, std::uint64_t traceSeed) {
+  RcNetwork dense = prototype;
+  RcNetwork structured = prototype;
+  StepOptions denseOptions;
+  denseOptions.path = StepOptions::Path::Dense;
+  denseOptions.useCache = false;
+  dense.prepare(kTick, denseOptions);
+  structured.prepare(kTick, structuredOptions);
+  EXPECT_FALSE(dense.structuredPathActive());
+  EXPECT_TRUE(structured.structuredPathActive());
+
+  dense.setUniformTemperature(40.0);
+  structured.setUniformTemperature(40.0);
+  Rng traceRng(traceSeed);
+  PlateauTrace trace(traceRng, prototype.nodeCount());
+  double worst = 0.0;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const std::vector<Watts>& power = trace.at(t);
+    dense.step(power);
+    structured.step(power);
+    worst = std::max(worst, maxAbsDiff(dense.temperatures(), structured.temperatures()));
+  }
+  return worst;
+}
+
+StepOptions structuredNoCache(double dropTolerance) {
+  StepOptions options;
+  options.path = StepOptions::Path::Structured;
+  options.dropTolerance = dropTolerance;
+  options.useCache = false;
+  return options;
+}
+
+TEST(StepEquivalenceProperty, DefaultToleranceHoldsTightBoundOver10kTicks) {
+  const struct {
+    std::size_t rows, cols;
+  } sizes[] = {{2, 2}, {4, 4}, {6, 8}, {8, 16}};  // 4 .. 128 cells
+  std::uint64_t seed = 0xC0FFEE;
+  for (const auto& size : sizes) {
+    Rng rng(seed++);
+    const RcNetwork net = buildRandomGrid(rng, size.rows, size.cols);
+    const double worst =
+        worstDivergence(net, structuredNoCache(StepOptions{}.dropTolerance), 10000, seed * 31);
+    EXPECT_LT(worst, 1e-6) << size.rows << "x" << size.cols
+                           << " grid drifted past the documented bound";
+  }
+}
+
+TEST(StepEquivalenceProperty, ExactModeIsBitIdenticalToDense) {
+  for (const std::uint64_t seed : {11ULL, 12ULL}) {
+    Rng rng(seed);
+    const RcNetwork prototype = buildRandomGrid(rng, 6, 8);
+    RcNetwork dense = prototype;
+    RcNetwork structured = prototype;
+    StepOptions denseOptions;
+    denseOptions.path = StepOptions::Path::Dense;
+    denseOptions.useCache = false;
+    dense.prepare(kTick, denseOptions);
+    structured.prepare(kTick, structuredNoCache(0.0));
+    ASSERT_TRUE(structured.structuredPathActive());
+    ASSERT_NE(structured.structuredOperator(), nullptr);
+    EXPECT_TRUE(structured.structuredOperator()->exact());
+    EXPECT_EQ(structured.structuredOperator()->droppedMassMax(), 0.0);
+
+    dense.setUniformTemperature(40.0);
+    structured.setUniformTemperature(40.0);
+    Rng traceRng(seed * 977);
+    PlateauTrace trace(traceRng, prototype.nodeCount());
+    for (std::size_t t = 0; t < 10000; ++t) {
+      const std::vector<Watts>& power = trace.at(t);
+      dense.step(power);
+      structured.step(power);
+      const std::span<const Celsius> a = dense.temperatures();
+      const std::span<const Celsius> b = structured.temperatures();
+      ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(Celsius)))
+          << "bitwise divergence at tick " << t;
+    }
+  }
+}
+
+// The falsifiability canary: a tolerance large enough to truncate genuine
+// grid couplings (not just numerical dust) must visibly break the 1e-6
+// bound. If this test ever starts passing the bound, the harness has gone
+// vacuous — e.g. the structured path silently fell back to dense.
+TEST(StepEquivalenceProperty, WrongToleranceCanaryBreaksTheBound) {
+  Rng rng(0xBADBA4D);
+  const RcNetwork net = buildRandomGrid(rng, 6, 8);
+  RcNetwork probe = net;
+  const StepOptions canary = structuredNoCache(1e-4);
+  probe.prepare(kTick, canary);
+  ASSERT_NE(probe.structuredOperator(), nullptr);
+  EXPECT_FALSE(probe.structuredOperator()->exact());
+  EXPECT_GT(probe.structuredOperator()->droppedMassMax(), 0.0)
+      << "canary tolerance dropped nothing — it no longer tests anything";
+  const double worst = worstDivergence(net, canary, 10000, 0x5EED);
+  EXPECT_GT(worst, 1e-6) << "a coupling-truncating operator stayed within the "
+                            "tight bound; the equivalence harness is vacuous";
+}
+
+// Independent physics oracle: classic RK4 at the same step size must agree
+// with BOTH paths. Guards against the degenerate failure where dense and
+// structured match each other bit for bit because both apply the same wrong
+// operator.
+TEST(StepEquivalenceProperty, Rk4OracleAgreesWithBothPaths) {
+  Rng rng(0x04AC1E);
+  const RcNetwork prototype = buildRandomGrid(rng, 4, 4);
+  RcNetwork dense = prototype;
+  RcNetwork structured = prototype;
+  RcNetwork rk4 = prototype;
+  StepOptions denseOptions;
+  denseOptions.path = StepOptions::Path::Dense;
+  denseOptions.useCache = false;
+  dense.prepare(kTick, denseOptions);
+  structured.prepare(kTick, structuredNoCache(StepOptions{}.dropTolerance));
+  for (RcNetwork* n : {&dense, &structured, &rk4}) n->setUniformTemperature(40.0);
+
+  Rng traceRng(0x7EA7);
+  PlateauTrace trace(traceRng, prototype.nodeCount());
+  double worstDense = 0.0;
+  double worstStructured = 0.0;
+  for (std::size_t t = 0; t < 2000; ++t) {
+    const std::vector<Watts>& power = trace.at(t);
+    dense.step(power);
+    structured.step(power);
+    rk4.stepRk4(power, kTick);
+    worstDense = std::max(worstDense, maxAbsDiff(dense.temperatures(), rk4.temperatures()));
+    worstStructured =
+        std::max(worstStructured, maxAbsDiff(structured.temperatures(), rk4.temperatures()));
+  }
+  EXPECT_LT(worstDense, 1e-3);
+  EXPECT_LT(worstStructured, 1e-3);
+}
+
+TEST(StepEquivalenceProperty, AutoSelectionRespectsThreshold) {
+  Rng rng(0xA070);
+  const RcNetwork small = buildRandomGrid(rng, 2, 2);  // 6 nodes
+  const RcNetwork large = buildRandomGrid(rng, 6, 8);  // 50 nodes
+
+  RcNetwork net = small;
+  StepOptions options;
+  options.useCache = false;
+  net.prepare(kTick, options);
+  EXPECT_FALSE(net.structuredPathActive()) << "6 nodes < threshold must stay dense";
+
+  options.structuredThreshold = 4;
+  net.prepare(kTick, options);
+  EXPECT_TRUE(net.structuredPathActive()) << "lowered threshold must engage the fast path";
+
+  net = large;
+  options = StepOptions{};
+  options.useCache = false;
+  net.prepare(kTick, options);
+  EXPECT_TRUE(net.structuredPathActive()) << "50 nodes >= threshold must go structured";
+
+  options.path = StepOptions::Path::Dense;
+  net.prepare(kTick, options);
+  EXPECT_FALSE(net.structuredPathActive()) << "explicit Dense must override Auto";
+}
+
+// The distance-decay grid (GridThermalConfig::lateralCouplingRange > 1) is
+// the structured path's motivating topology: far-field couplings weaken as
+// d^-decay, and a modest tolerance prunes their near-zero exp-operator
+// entries while the divergence stays far below any temperature a policy
+// could observe.
+TEST(StepEquivalenceProperty, DistanceDecayGridPrunesFarFieldEntries) {
+  GridThermalConfig config;
+  config.cellsPerCoreSide = 4;       // 8x8 = 64 cells + spreader + sink
+  config.lateralCouplingRange = 3;
+  config.step.path = StepOptions::Path::Structured;
+  config.step.dropTolerance = 1e-6;  // prunes the far field, keeps physics
+  config.step.useCache = false;
+  GridPackage fast(config);
+  fast.prepare(kTick);
+  const StepOperator* op = fast.network().structuredOperator();
+  ASSERT_NE(op, nullptr);
+  EXPECT_LT(op->density(), 0.95) << "no pruning happened on the decay grid";
+  EXPECT_GT(op->storedEntries(), 0u);
+
+  GridThermalConfig denseConfig = config;
+  denseConfig.step = StepOptions{};
+  denseConfig.step.path = StepOptions::Path::Dense;
+  denseConfig.step.useCache = false;
+  GridPackage dense(denseConfig);
+  dense.prepare(kTick);
+
+  std::vector<Watts> corePower = {3.0, 0.5, 2.0, 1.0};
+  std::vector<Watts> nodePower;
+  double worst = 0.0;
+  for (std::size_t t = 0; t < 2000; ++t) {
+    if (t == 1000) corePower = {0.5, 3.0, 1.0, 2.0};
+    fast.nodePowerInto(corePower, nodePower);
+    fast.network().step(nodePower);
+    dense.network().step(nodePower);
+    worst = std::max(worst,
+                     maxAbsDiff(fast.network().temperatures(), dense.network().temperatures()));
+  }
+  EXPECT_LT(worst, 0.05) << "pruned far field moved temperatures by a policy-visible amount";
+}
+
+}  // namespace
+}  // namespace rltherm::thermal
