@@ -9,16 +9,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/11] configure (preset: asan-ubsan) =="
+echo "== [1/12] configure (preset: asan-ubsan) =="
 cmake --preset asan-ubsan
 
-echo "== [2/11] build =="
+echo "== [2/12] build =="
 cmake --build --preset asan-ubsan -j "${JOBS}"
 
-echo "== [3/11] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+echo "== [3/12] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
 ctest --preset asan-ubsan -j "${JOBS}"
 
-echo "== [4/11] fault suite gate (ctest -L faults) + scenario lint =="
+echo "== [4/12] fault suite gate (ctest -L faults) + scenario lint =="
 # The full run above includes these, but gate on the label explicitly so a
 # test-registration regression (lost LABELS faults) fails loudly instead of
 # silently shrinking coverage. -L with no matching tests exits zero, hence
@@ -31,7 +31,7 @@ fi
 ctest --preset asan-ubsan -L faults -j "${JOBS}"
 ./build-asan-ubsan/tools/rltherm_cli faults --lint --scenarios scenarios
 
-echo "== [5/11] store suite gate (ctest -L store) =="
+echo "== [5/12] store suite gate (ctest -L store) =="
 # Same vacuity guard as the fault gate: the corruption property tests MUST
 # execute under the sanitizers, so a lost 'store' label fails the script.
 STORE_COUNT="$(ctest --preset asan-ubsan -L store -N | sed -n 's/^Total Tests: //p')"
@@ -41,7 +41,7 @@ if [ "${STORE_COUNT:-0}" -eq 0 ]; then
 fi
 ctest --preset asan-ubsan -L store -j "${JOBS}"
 
-echo "== [6/11] thermal equivalence gate (ctest -L thermal) =="
+echo "== [6/12] thermal equivalence gate (ctest -L thermal) =="
 # The structured-fast-path property suite (dense-vs-structured equivalence,
 # exactness, the wrong-tolerance canary, cache semantics) MUST execute under
 # the sanitizers; a lost 'thermal' label fails the script like the fault and
@@ -53,14 +53,64 @@ if [ "${THERMAL_COUNT:-0}" -eq 0 ]; then
 fi
 ctest --preset asan-ubsan -L thermal -j "${JOBS}"
 
-echo "== [7/11] concurrency tests under TSan (ctest -L concurrency) =="
+echo "== [7/12] resilience gate (ctest -L resil) + acceptance campaign =="
+# Same vacuity guard as the other label gates: every taint/merge path and
+# checkpoint decode in the resilience suite MUST execute under the
+# sanitizers, so a lost 'resil' label fails the script.
+RESIL_COUNT="$(ctest --preset asan-ubsan -L resil -N | sed -n 's/^Total Tests: //p')"
+if [ "${RESIL_COUNT:-0}" -eq 0 ]; then
+  echo "no tests carry the 'resil' label; the resilience gate is vacuous"
+  exit 1
+fi
+ctest --preset asan-ubsan -L resil -j "${JOBS}"
+
+# The acceptance criteria, re-asserted on the bench's own JSON so the
+# report the repo publishes and the gate the CI enforces can never
+# disagree: learned replication must beat the supervisor-only arm on
+# delivered work AND cycling MTTF at <= 15% energy overhead. The sanitizer
+# preset builds no benches (RLTHERM_BUILD_BENCH=OFF), so like the perf gate
+# this runs the plain optimized bench — the ctest suite above already ran
+# the identical campaign lanes under ASan/UBSan.
+cmake -S . -B build >/dev/null
+cmake --build build -j "${JOBS}" --target bench_resilience
+RESIL_TMP="$(mktemp /tmp/rltherm_resilience.XXXXXX.json)"
+trap 'rm -f "${RESIL_TMP}"' EXIT
+./build/bench/bench_resilience --jobs 2 --scenarios . \
+  --json "${RESIL_TMP}" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${RESIL_TMP}" <<'PY'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+for key in ("delivered_supervisor", "delivered_replication", "mttf_supervisor",
+            "mttf_replication", "energy_ratio"):
+    if key not in doc:
+        sys.exit(f"{path}: missing acceptance key '{key}'")
+if not doc["delivered_replication"] > doc["delivered_supervisor"]:
+    sys.exit(f"{path}: replication delivered {doc['delivered_replication']} "
+             f"<= supervisor {doc['delivered_supervisor']}")
+if not doc["mttf_replication"] > doc["mttf_supervisor"]:
+    sys.exit(f"{path}: replication cycling MTTF {doc['mttf_replication']} "
+             f"<= supervisor {doc['mttf_supervisor']}")
+if not doc["energy_ratio"] <= 1.15:
+    sys.exit(f"{path}: energy overhead {doc['energy_ratio']:.4f} exceeds 1.15")
+print(f"resilience acceptance: delivered {doc['delivered_supervisor']:.0f} -> "
+      f"{doc['delivered_replication']:.0f}, cycling MTTF "
+      f"{doc['mttf_supervisor']:.4f} -> {doc['mttf_replication']:.4f} y, "
+      f"energy ratio {doc['energy_ratio']:.4f} <= 1.15")
+PY
+else
+  echo "python3 not found on PATH; the ctest acceptance suite above already gated the campaign."
+fi
+
+echo "== [8/12] concurrency tests under TSan (ctest -L concurrency) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target rltherm_concurrency_tests
 ctest --preset tsan -L concurrency -j "${JOBS}"
 
-echo "== [8/11] events-JSONL smoke (rltherm_cli --events) =="
+echo "== [9/12] events-JSONL smoke (rltherm_cli --events) =="
 EVENTS_TMP="$(mktemp /tmp/rltherm_events.XXXXXX.jsonl)"
-trap 'rm -f "${EVENTS_TMP}"' EXIT
+trap 'rm -f "${EVENTS_TMP}" "${RESIL_TMP}"' EXIT
 ./build-asan-ubsan/tools/rltherm_cli run --app mpeg_dec --policy linux-ondemand \
   --events "${EVENTS_TMP}" >/dev/null
 if command -v python3 >/dev/null 2>&1; then
@@ -84,9 +134,9 @@ else
   echo "python3 not found on PATH; checked the event log is non-empty only."
 fi
 
-echo "== [9/11] checkpoint train/inspect smoke (rltherm_cli train + inspect --json) =="
+echo "== [10/12] checkpoint train/inspect smoke (rltherm_cli train + inspect --json) =="
 CKPT_TMP="$(mktemp -d /tmp/rltherm_ckpt.XXXXXX)"
-trap 'rm -f "${EVENTS_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
+trap 'rm -f "${EVENTS_TMP}" "${RESIL_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
 printf '[runner]\nmax_sim_time = 400\nanalysis_warmup = 10\nanalysis_cooldown = 5\n\n[manager]\nsampling_interval = 0.5\ndecision_epoch = 2.0\n' \
   > "${CKPT_TMP}/tiny.ini"
 ./build-asan-ubsan/tools/rltherm_cli train --config "${CKPT_TMP}/tiny.ini" \
@@ -111,7 +161,7 @@ else
   echo "python3 not found on PATH; checked inspect runs only."
 fi
 
-echo "== [10/11] static analysis =="
+echo "== [11/12] static analysis =="
 # Gate on the committed baseline: pre-existing findings are inventoried in
 # tools/lint_baseline.json, anything NEW fails. --json so the finding list
 # is machine-readable in CI logs; stale-baseline notes land on stderr.
@@ -122,7 +172,7 @@ echo "== [10/11] static analysis =="
 # lint that exits zero on a fresh std::rand() in src/ has failed open (bad
 # build, empty scan set, over-wide baseline) — that must fail the script.
 CANARY="src/common/lint_canary_delete_me.cpp"
-trap 'rm -f "${EVENTS_TMP}" "${CANARY}"; rm -rf "${CKPT_TMP}"' EXIT
+trap 'rm -f "${EVENTS_TMP}" "${CANARY}" "${RESIL_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
 printf 'int canary() { return std::rand(); } // 273.15\n' > "${CANARY}"
 if ./build-asan-ubsan/tools/rltherm_lint \
     --baseline tools/lint_baseline.json . >/dev/null 2>&1; then
@@ -142,7 +192,7 @@ else
   echo "clang-tidy not found on PATH; skipping (rltherm_lint still ran)."
 fi
 
-echo "== [11/11] perf gate (bench_micro_kernels --json vs committed baseline) =="
+echo "== [12/12] perf gate (bench_micro_kernels --json vs committed baseline) =="
 # Timing happens on the PLAIN optimized build — sanitizer trees distort
 # every number (the gate's fingerprint check would refuse them anyway).
 cmake -S . -B build >/dev/null
@@ -157,7 +207,7 @@ if [ "${PERF_COUNT:-0}" -eq 0 ]; then
 fi
 
 PERF_TMP="$(mktemp /tmp/rltherm_bench_micro.XXXXXX.json)"
-trap 'rm -f "${EVENTS_TMP}" "${CANARY}" "${PERF_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
+trap 'rm -f "${EVENTS_TMP}" "${CANARY}" "${RESIL_TMP}" "${PERF_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
 ./build/bench/bench_micro_kernels --json "${PERF_TMP}" --reps 7 >/dev/null
 # CI neighbors share the machine: a generous floor (30%) keeps the gate
 # about real regressions; the committed baseline still records per-kernel
@@ -221,7 +271,7 @@ PY
   }
   check_fast_path "${PERF_TMP}" cached
   PERF_NOCACHE_TMP="$(mktemp /tmp/rltherm_bench_nocache.XXXXXX.json)"
-  trap 'rm -f "${EVENTS_TMP}" "${CANARY}" "${PERF_TMP}" "${PERF_NOCACHE_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
+  trap 'rm -f "${EVENTS_TMP}" "${CANARY}" "${RESIL_TMP}" "${PERF_TMP}" "${PERF_NOCACHE_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
   RLTHERM_EXPOP_CACHE=0 ./build/bench/bench_micro_kernels --json "${PERF_NOCACHE_TMP}" \
     --reps 5 >/dev/null
   check_fast_path "${PERF_NOCACHE_TMP}" nocache

@@ -8,13 +8,21 @@
 namespace rltherm::core {
 
 std::string Action::toString() const {
-  if (perCore.empty()) return pattern.name + "/" + governor.toString();
-  std::string s = pattern.name + "/percore[";
-  for (std::size_t c = 0; c < perCore.size(); ++c) {
-    if (c > 0) s += ",";
-    s += perCore[c].toString();
+  std::string s;
+  if (perCore.empty()) {
+    s = pattern.name + "/" + governor.toString();
+  } else {
+    s = pattern.name + "/percore[";
+    for (std::size_t c = 0; c < perCore.size(); ++c) {
+      if (c > 0) s += ",";
+      s += perCore[c].toString();
+    }
+    s += "]";
   }
-  return s + "]";
+  // The replication component is part of the action's identity, so the
+  // checkpoint catalogue-drift diagnostic distinguishes rep actions.
+  if (replicationDegree > 0) s += "/rep:" + std::to_string(replicationDegree);
+  return s;
 }
 
 ActionSpace::ActionSpace(std::vector<workload::AffinityPattern> patterns,
@@ -100,6 +108,24 @@ ActionSpace ActionSpace::extended(std::size_t coreCount) {
   return space;
 }
 
+ActionSpace ActionSpace::resilient(std::size_t coreCount) {
+  ActionSpace space = standard(coreCount);
+  const auto catalogue = workload::standardPatterns(coreCount);
+  // rep:1 lets the agent retire replication once the storm passes; rep:2/3
+  // buy redundancy. The free pattern leaves the replicated driver's own
+  // replica-rotated placement (plus the avoid-mask steer) in charge.
+  for (int degree = 1; degree <= 3; ++degree) {
+    space.actions_.push_back(Action{
+        .pattern = catalogue[0],
+        .governor = {platform::GovernorKind::Ondemand, 0.0},
+        .perCore = {},
+        .replicationDegree = degree,
+    });
+  }
+  space.spec_ = "resilient:" + std::to_string(coreCount);
+  return space;
+}
+
 ActionSpace ActionSpace::fromSpec(const std::string& spec) {
   const auto parseCount = [&spec](const std::string& text, const char* what) {
     std::size_t consumed = 0;
@@ -121,6 +147,7 @@ ActionSpace ActionSpace::fromSpec(const std::string& spec) {
   const std::string rest = colon == std::string::npos ? "" : spec.substr(colon + 1);
   if (kind == "standard") return standard(parseCount(rest, "core count"));
   if (kind == "extended") return extended(parseCount(rest, "core count"));
+  if (kind == "resilient") return resilient(parseCount(rest, "core count"));
   if (kind == "sized") {
     const std::size_t sep = rest.find(':');
     if (sep == std::string::npos) {
@@ -137,12 +164,13 @@ ActionSpace ActionSpace::fromSpec(const std::string& spec) {
         "reconstruct it programmatically and use ThermalManager::loadCheckpoint");
   }
   throw PreconditionError("ActionSpace::fromSpec: unknown spec '" + spec +
-                          "' (expected standard:<cores>, extended:<cores> or "
-                          "sized:<cores>:<actions>)");
+                          "' (expected standard:<cores>, extended:<cores>, "
+                          "resilient:<cores> or sized:<cores>:<actions>)");
 }
 
 void ActionSpace::apply(std::size_t i, platform::Machine& machine,
-                        workload::WorkloadControl& workload) const {
+                        workload::WorkloadControl& workload,
+                        const sched::AffinityMask* avoid) const {
   const Action& a = actions_.at(i);
   if (a.perCore.empty()) {
     machine.setGovernor(a.governor);
@@ -154,6 +182,12 @@ void ActionSpace::apply(std::size_t i, platform::Machine& machine,
     }
   }
   workload.applyAffinityPattern(a.pattern.masks);
+  if (a.replicationDegree > 0) {
+    workload.applyReplication(workload::ReplicationRequest{
+        .degree = a.replicationDegree,
+        .avoid = avoid != nullptr ? *avoid : sched::AffinityMask{},
+    });
+  }
 }
 
 }  // namespace rltherm::core

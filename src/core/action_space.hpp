@@ -25,6 +25,11 @@ struct Action {
   workload::AffinityPattern pattern;
   platform::GovernorSetting governor;
   std::vector<platform::GovernorSetting> perCore;
+  /// Resilience extension: when > 0 the action additionally issues a
+  /// workload::ReplicationRequest for this degree, with the avoid mask taken
+  /// from the live HealthSnapshot at apply time (placement away from suspect
+  /// and offline cores). 0 = the action leaves replication state alone.
+  int replicationDegree = 0;
 
   [[nodiscard]] std::string toString() const;
 };
@@ -50,6 +55,14 @@ class ActionSpace {
   /// (per-core DVFS). 16 actions on a 4-core machine.
   [[nodiscard]] static ActionSpace extended(std::size_t coreCount);
 
+  /// The standard space plus replication actions rep:1..rep:3 (set the
+  /// replicated-driver degree, steering copies away from the supervisor's
+  /// suspect/offline cores). 15 actions on a 4-core machine. This factory
+  /// exercises the checkpoint action-catalogue extensibility: a checkpoint
+  /// saved from a standard space loads against standard only, and the
+  /// catalogue-drift diagnostic names the mismatch against resilient.
+  [[nodiscard]] static ActionSpace resilient(std::size_t coreCount);
+
   [[nodiscard]] std::size_t size() const noexcept { return actions_.size(); }
   [[nodiscard]] const Action& action(std::size_t i) const { return actions_.at(i); }
 
@@ -64,9 +77,12 @@ class ActionSpace {
   [[nodiscard]] static ActionSpace fromSpec(const std::string& spec);
 
   /// Apply action i: set the governor on the machine and the affinity
-  /// pattern on the workload's managed threads.
+  /// pattern on the workload's managed threads. When `avoid` is non-null
+  /// and the action carries a replication degree, a ReplicationRequest with
+  /// that avoid mask is issued as well (null behaves as an empty mask).
   void apply(std::size_t i, platform::Machine& machine,
-             workload::WorkloadControl& workload) const;
+             workload::WorkloadControl& workload,
+             const sched::AffinityMask* avoid = nullptr) const;
 
  private:
   std::vector<Action> actions_;

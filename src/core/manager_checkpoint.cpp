@@ -48,6 +48,9 @@ store::PolicyMeta metaOf(const ThermalManagerConfig& config,
   meta.intraThresholdStress = config.intraThresholdStress;
   meta.interThresholdStress = config.interThresholdStress;
   meta.adaptationEnabled = config.adaptationEnabled;
+  meta.healthStates = static_cast<std::uint64_t>(config.healthStates);
+  meta.rewardDeliveredWorkWeight = config.reward.deliveredWorkWeight;
+  meta.eventTriggeredEpochs = config.eventTriggeredEpochs;
   meta.samplingInterval = config.samplingInterval;
   meta.decisionEpoch = config.decisionEpoch;
   meta.adaptiveSampling = config.adaptiveSampling;
@@ -98,6 +101,9 @@ ThermalManagerConfig configOf(const store::PolicyMeta& meta) {
   config.intraThresholdStress = meta.intraThresholdStress;
   config.interThresholdStress = meta.interThresholdStress;
   config.adaptationEnabled = meta.adaptationEnabled;
+  config.healthStates = static_cast<std::size_t>(meta.healthStates);
+  config.reward.deliveredWorkWeight = meta.rewardDeliveredWorkWeight;
+  config.eventTriggeredEpochs = meta.eventTriggeredEpochs;
   config.decisionOverhead = meta.decisionOverhead;
   config.seed = meta.seed;
   return config;
@@ -196,6 +202,9 @@ store::PolicyCheckpoint ThermalManager::captureCheckpoint() const {
     data.interDetected = record.interDetected;
     checkpoint.epochLog.push_back(data);
   }
+
+  checkpoint.smdpLastEpochTime = lastEpochTime_;
+  checkpoint.smdpEventPending = eventPending_;
   return checkpoint;
 }
 
@@ -285,6 +294,9 @@ void ThermalManager::restoreFromCheckpoint(const store::PolicyCheckpoint& checkp
     record.interDetected = data.interDetected;
     epochLog_.push_back(record);
   }
+
+  lastEpochTime_ = checkpoint.smdpLastEpochTime;
+  eventPending_ = checkpoint.smdpEventPending;
 }
 
 void ThermalManager::saveCheckpoint(const std::string& path) const {

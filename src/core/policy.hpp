@@ -8,8 +8,11 @@
 // (Linux ondemand vs Ge & Qiu vs Proposed) are apples-to-apples.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "platform/machine.hpp"
@@ -17,11 +20,64 @@
 
 namespace rltherm::core {
 
+/// Immutable per-core health view, published by the SafetySupervisor to the
+/// policy it wraps (PolicyContext::health). `level` is the supervisor's
+/// sensor-FSM verdict for the core's channel; `online` is the hardware
+/// hotplug state. Policies that ignore it behave exactly as before — the
+/// pointer is null when no supervisor is interposed.
+struct HealthSnapshot {
+  struct CoreHealth {
+    std::uint8_t level = 0;  ///< 0 = healthy, 1 = suspect, 2 = quarantined
+    bool online = true;
+  };
+  std::vector<CoreHealth> cores;
+
+  [[nodiscard]] std::size_t count(std::uint8_t level) const noexcept {
+    std::size_t n = 0;
+    for (const CoreHealth& core : cores) {
+      if (core.level == level) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] std::size_t offlineCount() const noexcept {
+    std::size_t n = 0;
+    for (const CoreHealth& core : cores) {
+      if (!core.online) ++n;
+    }
+    return n;
+  }
+  /// Cores a resilience-aware placement should steer away from: offline
+  /// cores plus cores whose sensor channel is suspect or quarantined.
+  [[nodiscard]] sched::AffinityMask avoidMask() const {
+    std::vector<CoreId> avoid;
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      if (!cores[c].online || cores[c].level > 0) {
+        avoid.push_back(static_cast<CoreId>(c));
+      }
+    }
+    if (avoid.empty()) return sched::AffinityMask{};
+    return sched::AffinityMask::of(avoid);
+  }
+  /// Coarse health-axis coordinate for the Q-state: 0 = fully healthy,
+  /// 1 = sensor degradation only (suspect/quarantined channels),
+  /// 2 = at least one core offline. Clamp to the configured bin count.
+  [[nodiscard]] std::size_t degradedLevel() const noexcept {
+    if (offlineCount() > 0) return 2;
+    for (const CoreHealth& core : cores) {
+      if (core.level > 0) return 1;
+    }
+    return 0;
+  }
+};
+
 struct PolicyContext {
   platform::Machine& machine;
   /// The workload under management (sequential WorkloadDriver or concurrent
   /// MultiAppDriver); supplies the performance signal and enforces affinity.
   workload::WorkloadControl& workload;
+  /// Per-core health published by a wrapping SafetySupervisor; null when the
+  /// policy runs bare.
+  const HealthSnapshot* health = nullptr;
 };
 
 class ThermalPolicy {

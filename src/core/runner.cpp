@@ -5,11 +5,14 @@
 #include <optional>
 #include <utility>
 
+#include <type_traits>
+
 #include "common/error.hpp"
 #include "core/manager_checkpoint.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
+#include "resil/replicated_driver.hpp"
 #include "workload/multi_app.hpp"
 
 namespace rltherm::core {
@@ -80,24 +83,31 @@ void finalizeResult(const RunnerConfig& config, const platform::Machine& machine
   }
 }
 
-}  // namespace
-
-PolicyRunner::PolicyRunner(RunnerConfig config) : config_(std::move(config)) {
-  expects(config_.traceInterval > 0.0, "traceInterval must be > 0");
-  expects(config_.maxSimTime > 0.0, "maxSimTime must be > 0");
-}
-
-RunResult PolicyRunner::run(const workload::Scenario& scenario,
-                            ThermalPolicy& policy) const {
-  platform::Machine machine(config_.machine);
-  workload::WorkloadDriver driver(machine, scenario);
+/// Shared sequential-scenario loop, parameterized on the driver type
+/// (workload::WorkloadDriver or resil::ReplicatedDriver — both expose the
+/// same tick()/completions()/appJustSwitched() protocol). Keeping ONE loop
+/// guarantees the replicated path inherits every runner invariant:
+/// always-read sensors, fault gating, checkpoint hooks, trace cadence.
+template <typename DriverT>
+RunResult runSequential(const RunnerConfig& config, const workload::Scenario& scenario,
+                        ThermalPolicy& policy) {
+  platform::Machine machine(config.machine);
+  constexpr bool kReplicated = std::is_same_v<DriverT, resil::ReplicatedDriver>;
+  DriverT driver = [&]() -> DriverT {
+    if constexpr (kReplicated) {
+      config.replication->validate();
+      return DriverT(machine, scenario, *config.replication);
+    } else {
+      return DriverT(machine, scenario);
+    }
+  }();
   // Fault wiring (inactive and allocation-free for an empty plan). The
   // injector is declared after the machine so it detaches before the
   // machine is destroyed.
   std::optional<fault::FaultInjector> injector;
   std::optional<fault::GatedWorkloadControl> gatedControl;
-  if (!config_.faults.empty()) {
-    injector.emplace(config_.faults);
+  if (!config.faults.empty()) {
+    injector.emplace(config.faults);
     injector->attach(machine);
     gatedControl.emplace(driver, *injector);
   }
@@ -109,20 +119,20 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
   RunResult result;
   result.policyName = policy.name();
   result.scenarioName = scenario.name;
-  result.traceInterval = config_.traceInterval;
+  result.traceInterval = config.traceInterval;
   result.coreTraces.assign(machine.coreCount(), {});
   emitRunStart(result);
 
-  if (!config_.resumeCheckpoint.empty()) {
-    resumePolicyFromCheckpoint(policy, config_.resumeCheckpoint);
+  if (!config.resumeCheckpoint.empty()) {
+    resumePolicyFromCheckpoint(policy, config.resumeCheckpoint);
   }
   policy.onStart(ctx);
 
   Seconds nextSample = policy.samplingInterval() > 0.0 ? policy.samplingInterval() : -1.0;
-  Seconds nextTrace = config_.traceInterval;
+  Seconds nextTrace = config.traceInterval;
 
   bool running = true;
-  while (running && machine.now() < config_.maxSimTime) {
+  while (running && machine.now() < config.maxSimTime) {
     running = driver.tick();
     if (injector.has_value()) injector->advanceTo(machine.now());
 
@@ -152,7 +162,7 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
         }
       }
       machine.perfCounters().recordMonitoringOverhead(
-          config_.monitorCacheMissesPerSample, config_.monitorPageFaultsPerSample);
+          config.monitorCacheMissesPerSample, config.monitorPageFaultsPerSample);
       // Re-read the interval: adaptive-sampling policies change it online.
       nextSample += std::max(policy.samplingInterval(), machine.tickLength());
     }
@@ -161,7 +171,7 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
       for (std::size_t c = 0; c < truth.size(); ++c) {
         result.coreTraces[c].push_back(truth[c]);
       }
-      nextTrace += config_.traceInterval;
+      nextTrace += config.traceInterval;
     }
   }
 
@@ -169,11 +179,31 @@ RunResult PolicyRunner::run(const workload::Scenario& scenario,
   result.duration = machine.now();
   result.completions = driver.completions();
   if (injector.has_value()) result.faultStats = injector->stats();
-  finalizeResult(config_, machine, result);
-  if (!config_.saveCheckpointAtEnd.empty()) {
-    savePolicyCheckpointOf(policy, config_.saveCheckpointAtEnd);
+  if constexpr (kReplicated) {
+    result.deliveredIterations = driver.deliveredIterations();
+    result.taintedIterations = driver.taintedIterations();
+    result.finalDeliveredRatio = driver.deliveredWorkRatio();
+  }
+  finalizeResult(config, machine, result);
+  if (!config.saveCheckpointAtEnd.empty()) {
+    savePolicyCheckpointOf(policy, config.saveCheckpointAtEnd);
   }
   return result;
+}
+
+}  // namespace
+
+PolicyRunner::PolicyRunner(RunnerConfig config) : config_(std::move(config)) {
+  expects(config_.traceInterval > 0.0, "traceInterval must be > 0");
+  expects(config_.maxSimTime > 0.0, "maxSimTime must be > 0");
+}
+
+RunResult PolicyRunner::run(const workload::Scenario& scenario,
+                            ThermalPolicy& policy) const {
+  if (config_.replication.has_value()) {
+    return runSequential<resil::ReplicatedDriver>(config_, scenario, policy);
+  }
+  return runSequential<workload::WorkloadDriver>(config_, scenario, policy);
 }
 
 RunResult PolicyRunner::runConcurrent(const std::vector<workload::AppSpec>& apps,

@@ -9,6 +9,8 @@
 // which coarser-sampled MTTF estimates are over-estimates.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "fault/plan.hpp"
 #include "platform/machine.hpp"
 #include "reliability/analyzer.hpp"
+#include "resil/replication.hpp"
 #include "workload/driver.hpp"
 
 namespace rltherm::core {
@@ -55,6 +58,14 @@ struct RunnerConfig {
   /// ThermalManager::saveCheckpoint).
   std::string resumeCheckpoint;
   std::string saveCheckpointAtEnd;
+
+  /// Resilience mode: when set, run() drives the scenario through a
+  /// resil::ReplicatedDriver (replicated thread groups + delivered-work
+  /// accounting) instead of the plain WorkloadDriver. The plan fixes the
+  /// merge policy and degree bounds; the live degree is an action
+  /// (workload::ReplicationRequest) chosen by the policy. Empty (the
+  /// default) leaves every existing run bit-identical.
+  std::optional<resil::ReplicationPlan> replication;
 };
 
 struct RunResult {
@@ -79,6 +90,14 @@ struct RunResult {
   /// Injection counters for the run (all zero when RunnerConfig::faults is
   /// empty).
   fault::FaultStats faultStats;
+
+  /// Delivered-work accounting (resilience mode only; zero / 1.0 when
+  /// RunnerConfig::replication is empty). `deliveredIterations` counts
+  /// merged group output that survived core failures; `taintedIterations`
+  /// counts replica iterations lost to a retired core.
+  std::int64_t deliveredIterations = 0;
+  std::int64_t taintedIterations = 0;
+  double finalDeliveredRatio = 1.0;
 };
 
 class PolicyRunner {

@@ -74,6 +74,16 @@ void SafetySupervisor::onStart(PolicyContext& ctx) {
   retryCountdown_ = 0;
   emergency_ = false;
   coolSamples_ = 0;
+  snapshot_.cores.assign(ctx.machine.coreCount(),
+                         HealthSnapshot::CoreHealth{.level = 0, .online = true});
+  coreWasOnline_.assign(ctx.machine.coreCount(), 1);
+  coreEverOffline_.assign(ctx.machine.coreCount(), 0);
+  for (std::size_t c = 0; c < ctx.machine.coreCount(); ++c) {
+    const bool online = ctx.machine.coreOnline(c);
+    snapshot_.cores[c].online = online;
+    coreWasOnline_[c] = online ? 1 : 0;
+    coreEverOffline_[c] = online ? 0 : 1;
+  }
   inner_->onStart(ctx);
 }
 
@@ -89,6 +99,60 @@ void SafetySupervisor::freezeInner() noexcept {
 
 void SafetySupervisor::unfreezeInner() noexcept {
   if (auto* manager = dynamic_cast<ThermalManager*>(inner_.get())) manager->unfreeze();
+}
+
+void SafetySupervisor::notifyInnerDetection() noexcept {
+  if (auto* manager = dynamic_cast<ThermalManager*>(inner_.get())) {
+    manager->notifyDetection();
+  }
+}
+
+bool SafetySupervisor::refreshHealthSnapshot(PolicyContext& ctx, Seconds now) {
+  const std::size_t cores = ctx.machine.coreCount();
+  if (snapshot_.cores.size() < cores) {
+    snapshot_.cores.resize(cores, HealthSnapshot::CoreHealth{.level = 0, .online = true});
+  }
+  if (coreWasOnline_.size() < cores) coreWasOnline_.resize(cores, 1);
+  if (coreEverOffline_.size() < cores) coreEverOffline_.resize(cores, 0);
+
+  bool retired = false;
+  for (std::size_t c = 0; c < cores; ++c) {
+    std::uint8_t level = 0;
+    if (c < channels_.size()) {
+      switch (channels_[c].health) {
+        case SensorHealth::Healthy: level = 0; break;
+        case SensorHealth::Suspect: level = 1; break;
+        case SensorHealth::Quarantined: level = 2; break;
+      }
+    }
+    const bool online = ctx.machine.coreOnline(c);
+    if (!online) coreEverOffline_[c] = 1;
+    // Flapping demotion: a core that has ever dropped offline is marginal
+    // hardware — never report it healthier than Suspect again, even while
+    // it is back online, so avoid-mask placement keeps clear of it.
+    if (coreEverOffline_[c] != 0) level = std::max<std::uint8_t>(level, 1);
+    snapshot_.cores[c] = HealthSnapshot::CoreHealth{.level = level, .online = online};
+    if (coreWasOnline_[c] != 0 && !online) {
+      // A core the supervisor believed alive went offline: permanent (or
+      // intermittent) core loss observed. This is the degraded-mode signal
+      // replication placement keys off.
+      retired = true;
+      ++stats_.coresRetired;
+      bumpCounter("safety.core.retired");
+      if (obs::events() != nullptr) {
+        obs::emit(obs::Event{
+            .name = "safety.core.retired",
+            .simTime = now,
+            .fields = {
+                obs::field("core", static_cast<std::int64_t>(c)),
+                obs::field("online_remaining",
+                           static_cast<std::int64_t>(ctx.machine.onlineCoreCount())),
+            }});
+      }
+    }
+    coreWasOnline_[c] = online ? 1 : 0;
+  }
+  return retired;
 }
 
 SensorHealth SafetySupervisor::health(std::size_t channel) const {
@@ -403,7 +467,18 @@ void SafetySupervisor::onSample(PolicyContext& ctx, std::span<const Celsius> sen
     channels_.resize(sensorTemps.size(), Channel{});
   }
   std::vector<Celsius> sanitized(sensorTemps.begin(), sensorTemps.end());
+  const std::uint64_t quarantinesBefore = stats_.quarantines;
   const Celsius maxTemp = sanitize(now, dt, sanitized);
+
+  // Rebuild the degraded-mode health view every sample (even in emergency:
+  // core retirements must not go unobserved while the fallback is pinned).
+  const bool coreRetired = refreshHealthSnapshot(ctx, now);
+  const bool newQuarantine = stats_.quarantines != quarantinesBefore;
+  if (coreRetired || newQuarantine) {
+    // Event-triggered SMDP epoch: a detection lets the inner manager decide
+    // NOW instead of waiting out the rest of its fixed decision epoch.
+    notifyInnerDetection();
+  }
 
   if (emergency_) {
     maintainEmergency(ctx, now, maxTemp);
@@ -419,7 +494,9 @@ void SafetySupervisor::onSample(PolicyContext& ctx, std::span<const Celsius> sen
   }
 
   if (inner_->samplingInterval() > 0.0) {
-    inner_->onSample(ctx, sanitized);
+    PolicyContext innerCtx = ctx;
+    innerCtx.health = &snapshot_;
+    inner_->onSample(innerCtx, sanitized);
   }
   superviseActuation(ctx);
 }

@@ -126,6 +126,7 @@ struct SafetyStats {
   std::uint64_t actuationRetries = 0;
   std::uint64_t actuationGiveUps = 0;
   std::uint64_t emergencies = 0;
+  std::uint64_t coresRetired = 0;  ///< online -> offline transitions observed
 };
 
 class SafetySupervisor final : public ThermalPolicy {
@@ -160,6 +161,13 @@ class SafetySupervisor final : public ThermalPolicy {
   /// Simulated time spent in emergency fallback so far.
   [[nodiscard]] Seconds emergencyDuration() const noexcept { return emergencyTotal_; }
   [[nodiscard]] const SafetySupervisorConfig& config() const noexcept { return config_; }
+  /// Immutable per-core health view as of the most recent sample: sensor FSM
+  /// level (0 healthy / 1 suspect / 2 quarantined) plus hotplug liveness.
+  /// This is the same object handed to the inner policy via
+  /// PolicyContext::health each sample.
+  [[nodiscard]] const HealthSnapshot& healthSnapshot() const noexcept {
+    return snapshot_;
+  }
 
  private:
   struct Channel {
@@ -179,6 +187,13 @@ class SafetySupervisor final : public ThermalPolicy {
   void quarantine(std::size_t channel, Seconds now, const char* reason);
   void restore(std::size_t channel, Seconds now);
   [[nodiscard]] bool allQuarantined() const;
+  /// Rebuild snapshot_ from the channel FSMs and the machine's hotplug
+  /// state; emits safety.core.retired on online -> offline transitions and
+  /// returns true when one occurred this sample.
+  [[nodiscard]] bool refreshHealthSnapshot(PolicyContext& ctx, Seconds now);
+  /// Event-triggered SMDP hook: tell an inner ThermalManager a detection
+  /// fired so it may close its epoch immediately (no-op on other policies).
+  void notifyInnerDetection() noexcept;
 
   std::unique_ptr<ThermalPolicy> inner_;
   SafetySupervisorConfig config_;
@@ -201,6 +216,15 @@ class SafetySupervisor final : public ThermalPolicy {
   Seconds emergencyTotal_ = 0.0;
   std::size_t repinBackoff_ = 1;    ///< next gap between fallback re-issues
   std::size_t repinCountdown_ = 0;  ///< samples until the next re-issue
+
+  // Degraded-mode health view (resilience extension). A core that has ever
+  // been observed offline is flapping-demoted: it reports at least Suspect
+  // for the rest of the run even while back online, so replication placement
+  // keeps steering work away from marginal hardware instead of re-trusting
+  // it the moment it blinks back.
+  HealthSnapshot snapshot_;
+  std::vector<char> coreWasOnline_;
+  std::vector<char> coreEverOffline_;
 
   SafetyStats stats_;
 };

@@ -19,7 +19,8 @@ ThermalManager::ThermalManager(ThermalManagerConfig config, ActionSpace actions)
       stateSpace_(rl::RangeDiscretizer(std::log10(config.stressRangeLo),
                                        std::log10(config.stressRangeHi),
                                        config.stressBins),
-                  rl::RangeDiscretizer(0.0, config.agingRangeHi, config.agingBins)),
+                  rl::RangeDiscretizer(0.0, config.agingRangeHi, config.agingBins),
+                  config.healthStates),
       qTable_(stateSpace_.stateCount(), actions_.size(), config.optimisticInit,
               /*firstVisitJump=*/true),
       schedule_([&] {
@@ -57,6 +58,12 @@ ThermalManager::ThermalManager(ThermalManagerConfig config, ActionSpace actions)
 
 void ThermalManager::onStart(PolicyContext& ctx) {
   epochSamples_.assign(ctx.machine.coreCount(), {});
+  // SMDP epoch state restarts with the run clock (each run's machine starts
+  // at t = 0), exactly like the partial-epoch sample buffers above.
+  lastEpochTime_ = 0.0;
+  eventPending_ = false;
+  healthBin_ = 0;
+  avoidMask_ = sched::AffinityMask{};
   // Start from the Linux default so exploration begins from the baseline
   // configuration (Fig. 4: early exploration tracks ondemand).
   ctx.machine.setGovernor({platform::GovernorKind::Ondemand, 0.0});
@@ -83,7 +90,17 @@ void ThermalManager::onSample(PolicyContext& ctx, std::span<const Celsius> senso
     }
     epochSamples_[c].push_back(reading);
   }
-  if (epochSamples_.front().size() >= samplesPerEpoch_) {
+  // Mirror the supervisor's health view (coarse bin + avoid mask) so the
+  // epoch's state identification and any replication action see the
+  // platform state as of the most recent sample.
+  if (ctx.health != nullptr && config_.healthStates > 1) {
+    healthBin_ = std::min(ctx.health->degradedLevel(), config_.healthStates - 1);
+    avoidMask_ = ctx.health->avoidMask();
+  }
+  // Epoch trigger: the fixed sample budget, or — with event-triggered SMDP
+  // epochs — a supervisor detection closing the epoch at this sample.
+  const bool eventFires = eventPending_ && !epochSamples_.front().empty();
+  if (epochSamples_.front().size() >= samplesPerEpoch_ || eventFires) {
     // Decision latency: the wall-clock cost of one full epoch (aggregate +
     // detect + learn + act) — the overhead an online deployment of the
     // manager adds every decisionEpoch. Timed only when a metrics registry
@@ -101,6 +118,32 @@ void ThermalManager::onSample(PolicyContext& ctx, std::span<const Celsius> senso
 
 void ThermalManager::onEpoch(PolicyContext& ctx) {
   RLTHERM_TIMED_SCOPE("manager.epoch.aggregate");
+  // SMDP bookkeeping: with event-triggered epochs, the discount reflects
+  // the ACTUAL sojourn time tau since the previous decision (a full epoch
+  // discounts exactly gamma; a detection-shortened epoch discounts less).
+  // With the feature off, gammaEff IS config_.gamma — bit-identical.
+  const bool eventTriggered = eventPending_;
+  eventPending_ = false;
+  double gammaEff = config_.gamma;
+  if (config_.eventTriggeredEpochs) {
+    const Seconds tau =
+        std::max(ctx.machine.now() - lastEpochTime_, ctx.machine.tickLength());
+    gammaEff = std::pow(config_.gamma, tau / config_.decisionEpoch);
+    if (eventTriggered) {
+      if (obs::MetricsRegistry* metrics = obs::metrics()) {
+        metrics->counter("manager.epoch.event").add();
+      }
+      if (obs::events() != nullptr) {
+        obs::emit(obs::Event{.name = "manager.epoch.event",
+                             .simTime = ctx.machine.now(),
+                             .fields = {
+                                 obs::field("sojourn_s", tau),
+                                 obs::field("gamma_eff", gammaEff),
+                             }});
+      }
+    }
+  }
+  lastEpochTime_ = ctx.machine.now();
   // --- compute the epoch's stress and aging (chip = worst core) ---
   // Fused single-pass aggregate per trace (bit-identical to the separate
   // rainflow + thermalStress + agingRate calls, see epoch_kernel.hpp).
@@ -128,9 +171,9 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
   if (frozen_) {
     // Exploitation-only evaluation mode: greedy action, no learning. The
     // control-plane cost of enforcing the decision is still paid.
-    const std::size_t state = stateSpace_.stateOf(stressCoord, aging);
+    const std::size_t state = stateSpace_.stateOf(stressCoord, aging, healthBin_);
     const std::size_t action = qTable_.bestAction(state);
-    actions_.apply(action, ctx.machine, ctx.workload);
+    actions_.apply(action, ctx.machine, ctx.workload, &avoidMask_);
     ctx.machine.injectStall(config_.decisionOverhead);
     logEpoch(EpochRecord{
                  .time = ctx.machine.now(),
@@ -198,7 +241,7 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
   prevAgingMa_ = maA;
 
   // --- state identification, reward, Q update (Eqs. 7 and 8) ---
-  const std::size_t state = stateSpace_.stateOf(stressCoord, aging);
+  const std::size_t state = stateSpace_.stateOf(stressCoord, aging, healthBin_);
   rl::RewardBreakdown breakdown;
   if (prevState_) {
     const rl::RewardInputs inputs{
@@ -207,17 +250,18 @@ void ThermalManager::onEpoch(PolicyContext& ctx) {
         .performance = measurePerformanceRatio(ctx),
         .constraint = 1.0,
         .stressDominant = stressHistory_.mean() >= agingHistory_.mean(),
+        .deliveredRatio = ctx.workload.deliveredWorkRatio(),
     };
     breakdown = rl::computeRewardDetailed(inputs, stateSpace_, rewardParams_);
     qTable_.update(*prevState_, prevAction_, breakdown.total, state,
-                   schedule_.alpha(), config_.gamma);
+                   schedule_.alpha(), gammaEff);
   }
   const double reward = breakdown.total;
 
   // --- action selection and decode ---
   const double epsilon = schedule_.epsilon();
   const std::size_t action = rl::selectEpsilonGreedy(qTable_, state, epsilon, rng_);
-  actions_.apply(action, ctx.machine, ctx.workload);
+  actions_.apply(action, ctx.machine, ctx.workload, &avoidMask_);
   ctx.machine.injectStall(config_.decisionOverhead);
 
   // --- bookkeeping: schedule, Q_exp snapshot, instrumentation ---

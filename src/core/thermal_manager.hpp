@@ -83,6 +83,20 @@ struct ThermalManagerConfig {
   double stressRangeHi = 1.0e-3;
   double agingRangeHi = 2.0;
 
+  /// Resilience extension: number of discrete platform-health states on the
+  /// third Q-state axis (fed from the SafetySupervisor's HealthSnapshot:
+  /// healthy / sensor-degraded / core-lost). 1 — the default — keeps the
+  /// original two-axis layout bit-identical; 3 is the full health axis.
+  std::size_t healthStates = 1;
+
+  /// Event-triggered SMDP decision epochs (resilience extension): when the
+  /// wrapping supervisor reports a detection (notifyDetection), the manager
+  /// closes the current epoch at the next sample instead of waiting for the
+  /// full decisionEpoch, and the Q update discounts by the ACTUAL sojourn
+  /// time tau: gamma_eff = gamma^(tau / decisionEpoch). Off by default —
+  /// fixed-length epochs with the plain gamma, bit-identical to before.
+  bool eventTriggeredEpochs = false;
+
   double gamma = 0.75;             ///< discount rate of Eq. 7
   rl::LearningRateConfig learningRate;
   /// When true, the learning-rate decay is scaled so the exploration phase
@@ -162,6 +176,15 @@ class ThermalManager final : public ThermalPolicy {
 
   void onStart(PolicyContext& ctx) override;
   void onSample(PolicyContext& ctx, std::span<const Celsius> sensorTemps) override;
+
+  /// Supervisor detection hook (SMDP event trigger): with
+  /// eventTriggeredEpochs enabled, the next sample closes the decision
+  /// epoch early and the Q update discounts by the actual sojourn time.
+  /// A no-op when the feature is off.
+  void notifyDetection() noexcept {
+    if (config_.eventTriggeredEpochs) eventPending_ = true;
+  }
+  [[nodiscard]] bool eventEpochPending() const noexcept { return eventPending_; }
 
   /// Pin the agent in its exploitation phase: greedy action selection with
   /// no Q updates, no learning-rate decay and no variation detection. Used
@@ -254,6 +277,15 @@ class ThermalManager final : public ThermalPolicy {
   std::size_t stableEpochs_ = 0;  ///< consecutive epochs with an unchanged action
 
   std::optional<std::vector<double>> qExp_;  ///< snapshot at end of exploration
+
+  /// Resilience extension state. healthBin_/avoidMask_ mirror the latest
+  /// HealthSnapshot seen on the context (0 / empty when running bare);
+  /// lastEpochTime_/eventPending_ are the SMDP epoch state (checkpointed in
+  /// section 9, reset at run start like the sample buffers).
+  std::size_t healthBin_ = 0;
+  sched::AffinityMask avoidMask_{};
+  Seconds lastEpochTime_ = 0.0;
+  bool eventPending_ = false;
 
   std::vector<EpochRecord> epochLog_;
   std::size_t interDetections_ = 0;

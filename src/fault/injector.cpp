@@ -40,6 +40,18 @@ void bumpCounter(const char* name) {
   if (obs::MetricsRegistry* metrics = obs::metrics()) metrics->counter(name).add();
 }
 
+void emitCoreEvent(const char* name, Seconds now, const FaultEvent& event) {
+  if (obs::events() == nullptr) return;
+  obs::emit(obs::Event{
+      .name = name,
+      .simTime = now,
+      .fields = {
+          obs::field("kind", toString(event.kind)),
+          obs::field("core", static_cast<std::int64_t>(event.core)),
+          obs::field("until", event.until),
+      }});
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
@@ -55,6 +67,7 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
 FaultInjector::~FaultInjector() { detach(); }
 
 void FaultInjector::attach(platform::Machine& machine) {
+  std::size_t deadCores = 0;
   for (const FaultEvent& event : plan_.events) {
     if (isSensorFault(event.kind)) {
       expects(event.channel < machine.coreCount(),
@@ -62,7 +75,20 @@ void FaultInjector::attach(platform::Machine& machine) {
                   std::to_string(event.channel) + " but the machine has " +
                   std::to_string(machine.coreCount()) + " cores");
     }
+    if (isCoreFault(event.kind)) {
+      expects(event.core < machine.coreCount(),
+              "FaultInjector: plan '" + plan_.name + "' retires core " +
+                  std::to_string(event.core) + " but the machine has " +
+                  std::to_string(machine.coreCount()) + " cores");
+      if (event.kind == FaultKind::CoreDead) ++deadCores;
+    }
   }
+  // plan validation already rejects two core.dead events on one core, so
+  // deadCores counts distinct retired cores.
+  expects(deadCores < machine.coreCount(),
+          "FaultInjector: plan '" + plan_.name + "' permanently retires all " +
+              std::to_string(machine.coreCount()) +
+              " cores — at least one core must survive");
   machine_ = &machine;
   machine.setGovernorInterposer([this](const platform::GovernorSetting& setting) {
     if (applying_) return true;
@@ -133,8 +159,32 @@ void FaultInjector::advanceTo(Seconds now) {
 
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& event = plan_.events[i];
-    if (!isSensorFault(event.kind)) continue;
     WindowState& window = windows_[i];
+    if (isCoreFault(event.kind)) {
+      // Core retirement is a pure function of simulated time (see
+      // FaultEvent::coreOffline), applied exactly when the desired state
+      // flips — bit-identical replay at any `--jobs`.
+      const bool wantOffline = event.coreOffline(now);
+      if (wantOffline == window.coreIsOffline) continue;
+      RLTHERM_EXPECT(machine_ != nullptr, "FaultInjector: advanceTo before attach");
+      machine_->setCoreOnline(event.core, !wantOffline);
+      window.coreIsOffline = wantOffline;
+      if (event.kind == FaultKind::CoreDead) {
+        ++stats_.coresRetired;
+        emitCoreEvent("fault.core.dead", now, event);
+        bumpCounter("fault.core.dead");
+      } else if (wantOffline) {
+        ++stats_.coreOfflines;
+        emitCoreEvent("fault.core.offline", now, event);
+        bumpCounter("fault.core.offline");
+      } else {
+        ++stats_.coreOnlines;
+        emitCoreEvent("fault.core.online", now, event);
+        bumpCounter("fault.core.online");
+      }
+      continue;
+    }
+    if (!isSensorFault(event.kind)) continue;
     if (!window.applied && event.active(now)) {
       applySensorEvent(event);
       window.applied = true;

@@ -54,6 +54,9 @@ struct FaultStats {
   std::uint64_t dvfsDeferred = 0;
   std::uint64_t dvfsPartial = 0;
   std::uint64_t affinityDropped = 0;
+  std::uint64_t coresRetired = 0;    ///< permanent core.dead retirements
+  std::uint64_t coreOfflines = 0;    ///< intermittent offline edges
+  std::uint64_t coreOnlines = 0;     ///< intermittent recovery edges
 };
 
 class FaultInjector {
@@ -105,10 +108,12 @@ class FaultInjector {
   FaultStats stats_;
 
   /// Per-event lifecycle for sensor windows (indices parallel plan_.events;
-  /// unused for non-sensor kinds).
+  /// unused for non-sensor kinds). Core events reuse the slot to track the
+  /// applied offline state across intermittent on/off edges.
   struct WindowState {
     bool applied = false;
     bool cleared = false;
+    bool coreIsOffline = false;
   };
   std::vector<WindowState> windows_;
 
@@ -151,6 +156,14 @@ class GatedWorkloadControl final : public workload::WorkloadControl {
   }
   [[nodiscard]] bool appJustSwitched() const override {
     return inner_.appJustSwitched();
+  }
+  /// Replication re-placement is a migration-class actuation, so an
+  /// affinity.fail window swallows it like any other affinity request.
+  void applyReplication(const workload::ReplicationRequest& request) override {
+    if (injector_.affinityAllowed()) inner_.applyReplication(request);
+  }
+  [[nodiscard]] double deliveredWorkRatio() const override {
+    return inner_.deliveredWorkRatio();
   }
 
  private:

@@ -33,6 +33,8 @@ constexpr KindName kKindNames[] = {
     {"dvfs.delay", FaultKind::DvfsDelay},
     {"dvfs.partial", FaultKind::DvfsPartial},
     {"affinity.fail", FaultKind::AffinityFail},
+    {"core.dead", FaultKind::CoreDead},
+    {"core.intermittent", FaultKind::CoreIntermittent},
 };
 
 std::string validKindList() {
@@ -126,7 +128,8 @@ void rejectUnknownKeys(const std::string& source, const RawTable& table,
 
 FaultEvent buildEvent(const std::string& source, const RawTable& table,
                       std::size_t tableLine, std::size_t cores) {
-  rejectUnknownKeys(source, table, {"t", "until", "kind", "channel", "param", "delay"},
+  rejectUnknownKeys(source, table,
+                    {"t", "until", "kind", "channel", "core", "param", "delay"},
                     "[event]");
   FaultEvent event;
   event.line = tableLine;
@@ -153,6 +156,11 @@ FaultEvent buildEvent(const std::string& source, const RawTable& table,
   }
 
   if (const auto untilIt = table.find("until"); untilIt != table.end()) {
+    if (event.kind == FaultKind::CoreDead) {
+      fail(source, untilIt->second.line,
+           "'until' is not valid for core.dead — a dead core never comes back "
+           "(use core.intermittent for a core that recovers)");
+    }
     event.until = parseNumber(source, untilIt->second, "until");
     if (event.until <= event.start) {
       fail(source, untilIt->second.line,
@@ -178,25 +186,48 @@ FaultEvent buildEvent(const std::string& source, const RawTable& table,
          "'channel' is only valid for sensor.* events, not '" + kindName + "'");
   }
 
+  const auto coreIt = table.find("core");
+  if (isCoreFault(event.kind)) {
+    if (coreIt == table.end()) {
+      fail(source, tableLine, "'" + kindName + "' requires a 'core' (core index)");
+    }
+    event.core = parseIndex(source, coreIt->second, "core");
+    if (event.core >= cores) {
+      fail(source, coreIt->second.line,
+           "core " + std::to_string(event.core) + " is out of range for " +
+               std::to_string(cores) + " cores (declare 'cores' in [scenario] if "
+               "the plan targets a larger machine)");
+    }
+  } else if (coreIt != table.end()) {
+    fail(source, coreIt->second.line,
+         "'core' is only valid for core.* events, not '" + kindName + "'");
+  }
+
   const auto paramIt = table.find("param");
   const bool needsParam = event.kind == FaultKind::SensorOffset ||
-                          event.kind == FaultKind::SensorNoiseBurst;
+                          event.kind == FaultKind::SensorNoiseBurst ||
+                          event.kind == FaultKind::CoreIntermittent;
   if (needsParam) {
     if (paramIt == table.end()) {
       fail(source, tableLine,
            "'" + kindName + "' requires 'param' (" +
-               (event.kind == FaultKind::SensorOffset ? "offset in degrees C"
-                                                      : "extra noise sigma in degrees C") +
+               (event.kind == FaultKind::SensorOffset     ? "offset in degrees C"
+                : event.kind == FaultKind::SensorNoiseBurst
+                    ? "extra noise sigma in degrees C"
+                    : "on/off period in seconds") +
                ")");
     }
     event.parameter = parseNumber(source, paramIt->second, "param");
     if (event.kind == FaultKind::SensorNoiseBurst && event.parameter <= 0.0) {
       fail(source, paramIt->second.line, "'param' (noise sigma) must be > 0");
     }
+    if (event.kind == FaultKind::CoreIntermittent && event.parameter <= 0.0) {
+      fail(source, paramIt->second.line, "'param' (on/off period) must be > 0 seconds");
+    }
   } else if (paramIt != table.end()) {
     fail(source, paramIt->second.line,
-         "'param' is only valid for sensor.offset / sensor.noise_burst, not '" +
-             kindName + "'");
+         "'param' is only valid for sensor.offset / sensor.noise_burst / "
+         "core.intermittent, not '" + kindName + "'");
   }
 
   const auto delayIt = table.find("delay");
@@ -225,6 +256,7 @@ std::string overlapGroup(const FaultEvent& event) {
   if (isSensorFault(event.kind)) return "sensor channel " + std::to_string(event.channel);
   if (isSampleFault(event.kind)) return "sample delivery";
   if (isDvfsFault(event.kind)) return "dvfs actuation";
+  if (isCoreFault(event.kind)) return "core " + std::to_string(event.core);
   return "affinity actuation";
 }
 
@@ -256,6 +288,10 @@ bool isSampleFault(FaultKind kind) noexcept {
 bool isDvfsFault(FaultKind kind) noexcept {
   return kind == FaultKind::DvfsIgnore || kind == FaultKind::DvfsDelay ||
          kind == FaultKind::DvfsPartial;
+}
+
+bool isCoreFault(FaultKind kind) noexcept {
+  return kind == FaultKind::CoreDead || kind == FaultKind::CoreIntermittent;
 }
 
 FaultPlan FaultPlan::parse(const std::string& text, const std::string& sourceName) {
@@ -394,6 +430,21 @@ void FaultPlan::validate() {
       expects(event.delay > 0.0, "FaultPlan: event at " + describeAt(event) +
                                      " needs a positive delay");
     }
+    if (isCoreFault(event.kind)) {
+      expects(event.core < cores,
+              "FaultPlan: event at " + describeAt(event) + " targets core " +
+                  std::to_string(event.core) + " on a " + std::to_string(cores) +
+                  "-core plan");
+    }
+    if (event.kind == FaultKind::CoreDead) {
+      expects(event.until == kFaultForever,
+              "FaultPlan: event at " + describeAt(event) +
+                  " gives core.dead an 'until' — permanent faults have no end");
+    }
+    if (event.kind == FaultKind::CoreIntermittent) {
+      expects(event.parameter > 0.0, "FaultPlan: event at " + describeAt(event) +
+                                         " needs a positive on/off period");
+    }
   }
   // Overlap detection within each conflict group (O(n^2) over a handful of
   // events; scenario files are tiny by construction).
@@ -404,11 +455,19 @@ void FaultPlan::validate() {
       const std::string group = overlapGroup(a);
       if (group != overlapGroup(b)) continue;
       const bool overlaps = a.start < b.until && b.start < a.until;
-      if (overlaps) {
-        throw PreconditionError("FaultPlan: overlapping " + group + " events (" +
-                                describeAt(a) + " and " + describeAt(b) +
-                                ") — windows on one target must not intersect");
+      if (!overlaps) continue;
+      // A permanent retirement swallowing a later event on the same core is
+      // the classic scenario-authoring mistake; name it explicitly.
+      if (a.kind == FaultKind::CoreDead || b.kind == FaultKind::CoreDead) {
+        throw PreconditionError(
+            "FaultPlan: overlapping " + group + " events (" + describeAt(a) +
+            " and " + describeAt(b) +
+            ") — core.dead is permanent, so no later fault on that core can "
+            "ever take effect");
       }
+      throw PreconditionError("FaultPlan: overlapping " + group + " events (" +
+                              describeAt(a) + " and " + describeAt(b) +
+                              ") — windows on one target must not intersect");
     }
   }
 }

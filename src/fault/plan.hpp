@@ -30,6 +30,7 @@
 // what it says is worse than no scenario at all.
 #pragma once
 
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <string>
@@ -52,6 +53,12 @@ namespace rltherm::fault {
 ///   dvfs.partial        governor requests reach only the first half of the
 ///                       cores (a partially completed transition)
 ///   affinity.fail       affinity (thread migration) requests are dropped
+///   core.dead           the core is retired permanently at `t` (no `until`:
+///                       silicon does not resurrect) — it stops executing
+///                       threads and is power-gated
+///   core.intermittent   the core drops offline for the first half of every
+///                       `param`-second period inside [t, until) — a marginal
+///                       core that flickers in and out of service
 enum class FaultKind {
   SensorStuck,
   SensorDead,
@@ -63,6 +70,8 @@ enum class FaultKind {
   DvfsDelay,
   DvfsPartial,
   AffinityFail,
+  CoreDead,
+  CoreIntermittent,
 };
 
 /// Scenario-file spelling of a kind ("sensor.stuck", "dvfs.delay", ...).
@@ -73,6 +82,8 @@ enum class FaultKind {
 [[nodiscard]] bool isSampleFault(FaultKind kind) noexcept;
 /// True for the dvfs.* kinds.
 [[nodiscard]] bool isDvfsFault(FaultKind kind) noexcept;
+/// True for the core.* kinds (permanent/intermittent core retirement).
+[[nodiscard]] bool isCoreFault(FaultKind kind) noexcept;
 
 /// Sentinel "until": the fault persists to the end of the run.
 inline constexpr Seconds kFaultForever = std::numeric_limits<Seconds>::infinity();
@@ -83,13 +94,28 @@ struct FaultEvent {
   Seconds start = 0.0;
   Seconds until = kFaultForever;
   std::size_t channel = 0;   ///< sensor.* only: which per-core sensor
-  double parameter = 0.0;    ///< offset degC (sensor.offset) / sigma degC (noise_burst)
+  std::size_t core = 0;      ///< core.* only: which core is retired
+  double parameter = 0.0;    ///< offset degC (sensor.offset) / sigma degC
+                             ///< (noise_burst) / period s (core.intermittent)
   Seconds delay = 0.0;       ///< staleness (sample.late) / deferral (dvfs.delay)
   std::size_t line = 0;      ///< scenario-file line for diagnostics (0 = built in code)
 
   /// Whether `now` falls inside this event's window.
   [[nodiscard]] bool active(Seconds now) const noexcept {
     return now + 1e-9 >= start && now < until;
+  }
+
+  /// For core.* events: whether the targeted core is OFFLINE at `now`.
+  /// core.dead is offline for the whole window; core.intermittent is offline
+  /// during the first half of each `parameter`-second period. A pure function
+  /// of simulated time, so replays are bit-identical at any `--jobs`.
+  [[nodiscard]] bool coreOffline(Seconds now) const noexcept {
+    if (!active(now)) return false;
+    if (kind == FaultKind::CoreDead) return true;
+    if (kind != FaultKind::CoreIntermittent || parameter <= 0.0) return false;
+    const Seconds phase = now - start;
+    const Seconds into = phase - parameter * std::floor(phase / parameter);
+    return into < 0.5 * parameter;
   }
 };
 

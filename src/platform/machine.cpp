@@ -269,14 +269,18 @@ TickResult Machine::tick(const ActivityFn& activityOf) {
     // Fused power model: dynamic + leakage for this core computed in the
     // same pass that dispatched it (no separate power loop, no per-tick
     // allocation — the thermal plant reads corePowerScratch_ directly).
-    const power::OperatingPoint op = vfTable_.floorFor(coreFrequency_[c]);
-    const CoreTypeSpec& type = coreType(c);
-    const Watts dyn = dynamicModel_.power(op, activity) * type.dynamicPowerScale;
-    const Watts leak =
-        leakageModel_.power(op.voltage, plant_->meanTemperature(c)) * type.leakageScale;
-    corePower[c] = dyn + leak;
-    totalDynamic += dyn;
-    totalStatic += leak;
+    // An offline (retired) core is power-gated: no dynamic switching and no
+    // leakage, so its node cools toward ambient.
+    if (scheduler_->coreOnline(static_cast<CoreId>(c))) {
+      const power::OperatingPoint op = vfTable_.floorFor(coreFrequency_[c]);
+      const CoreTypeSpec& type = coreType(c);
+      const Watts dyn = dynamicModel_.power(op, activity) * type.dynamicPowerScale;
+      const Watts leak =
+          leakageModel_.power(op.voltage, plant_->meanTemperature(c)) * type.leakageScale;
+      corePower[c] = dyn + leak;
+      totalDynamic += dyn;
+      totalStatic += leak;
+    }
 
     windowBusyActivity_[c] += runner ? activity : 0.0;
     ++windowTicks_[c];
@@ -354,6 +358,16 @@ void Machine::setCoreGovernor(std::size_t core, const GovernorSetting& setting) 
 bool Machine::throttled(std::size_t core) const {
   expects(core < config_.coreCount, "throttled: core index out of range");
   return throttleActive_[core];
+}
+
+void Machine::setCoreOnline(std::size_t core, bool online) {
+  expects(core < config_.coreCount, "setCoreOnline: core index out of range");
+  scheduler_->setCoreOnline(static_cast<CoreId>(core), online);
+}
+
+bool Machine::coreOnline(std::size_t core) const {
+  expects(core < config_.coreCount, "coreOnline: core index out of range");
+  return scheduler_->coreOnline(static_cast<CoreId>(core));
 }
 
 void Machine::injectStall(Seconds duration) {

@@ -169,6 +169,20 @@ class Machine {
   /// Total number of throttle engagements since construction.
   [[nodiscard]] std::uint64_t throttleEvents() const noexcept { return throttleEvents_; }
 
+  /// Hot-(un)plug a core (permanent or intermittent hardware failure). An
+  /// offline core runs no threads (the scheduler evicts and re-places them,
+  /// breaking affinity masks that allow no live core) and is power-gated:
+  /// it contributes neither dynamic nor leakage power, so it cools toward
+  /// ambient. Sensors still read every channel — a dead core's DTS keeps
+  /// reporting — which keeps the sensor RNG stream, and therefore replay
+  /// determinism, independent of fault timing.
+  void setCoreOnline(std::size_t core, bool online);
+  [[nodiscard]] bool coreOnline(std::size_t core) const;
+  /// Number of cores currently online.
+  [[nodiscard]] std::size_t onlineCoreCount() const noexcept {
+    return scheduler_->onlineCount();
+  }
+
   /// --- observation surface ---
   /// Sample the on-board sensors (noisy, quantized core temperatures; at
   /// grid resolution these read each core's hottest cell).

@@ -1,0 +1,136 @@
+// ReplicatedDriver: the sequential scenario driver with learned task
+// replication (the RL-TIME-style resilience extension).
+//
+// Each application of the scenario runs as a GROUP of `degree` redundant
+// RunningApp replicas executing the same spec concurrently. Replicas are
+// independent failure domains: when a core is retired mid-run (fault
+// core.dead / core.intermittent), only the replicas whose IN-FLIGHT
+// iteration touched that core lose work — that iteration is tainted and
+// never credited. The group's delivered work is the merge of the replicas'
+// credited iterations under the plan's MergePolicy (first-finisher takes
+// the best replica, majority-vote the ceil(d/2)-rank), so a group survives
+// a core failure whenever enough replicas were placed away from the dead
+// core. That placement is exactly what the policy learns through
+// applyReplication (degree + avoid mask).
+//
+// Accounting invariants:
+//  - with no core failures every completed iteration is credited, so
+//    deliveredWorkRatio() is 1.0 at ANY degree — replication has no
+//    inherent accounting penalty, only its real energy/throughput cost,
+//  - the driver holds no randomness: taint is a pure function of which
+//    cores the scheduler dispatched each replica to and of the fault
+//    plan's core windows, so runs replay bit-identically at any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "platform/machine.hpp"
+#include "resil/replication.hpp"
+#include "workload/control.hpp"
+#include "workload/driver.hpp"
+#include "workload/running_app.hpp"
+
+namespace rltherm::resil {
+
+class ReplicatedDriver final : public workload::WorkloadControl {
+ public:
+  /// The machine must outlive the driver. The first group's replicas are
+  /// registered immediately at the plan's initial degree.
+  ReplicatedDriver(platform::Machine& machine, workload::Scenario scenario,
+                   ReplicationPlan plan);
+
+  /// Advance one machine tick. Returns false once every group completed
+  /// (the machine still ticks idle if called again).
+  bool tick();
+
+  [[nodiscard]] bool done() const noexcept {
+    return !groupLive_ && nextApp_ >= scenario_.apps.size();
+  }
+
+  [[nodiscard]] bool appJustSwitched() const override { return switchedFlag_; }
+
+  /// Merged group throughput (iterations/second) over a sliding window.
+  [[nodiscard]] double currentThroughput() const;
+  [[nodiscard]] double performanceConstraint() const;
+  [[nodiscard]] double performanceRatio() const override;
+
+  /// One completion per group; `iterations` is the MERGED delivered count.
+  [[nodiscard]] const std::vector<workload::AppCompletion>& completions() const noexcept {
+    return completions_;
+  }
+
+  /// Applies the pattern to every replica, rotating the slot index by the
+  /// replica number so redundant copies land on different cores, then
+  /// steering each mask away from the current avoid set.
+  void applyAffinityPattern(std::span<const sched::AffinityMask> pattern) override;
+
+  /// Degree changes take effect at the next group start; the avoid mask
+  /// re-steers the RUNNING replicas' placement immediately.
+  void applyReplication(const workload::ReplicationRequest& request) override;
+
+  /// Credited / (credited + tainted) replica iterations over a sliding
+  /// window; 1.0 while cold or fault-free.
+  [[nodiscard]] double deliveredWorkRatio() const override;
+
+  /// Merged delivered iterations across completed groups plus the live
+  /// group's current merge estimate.
+  [[nodiscard]] std::int64_t deliveredIterations() const;
+  /// Replica iterations lost to core failures (tainted, never credited).
+  [[nodiscard]] std::int64_t taintedIterations() const noexcept { return taintedTotal_; }
+  [[nodiscard]] int currentDegree() const noexcept { return degree_; }
+  [[nodiscard]] const ReplicationPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const workload::Scenario& scenario() const noexcept { return scenario_; }
+
+ private:
+  struct Replica {
+    std::unique_ptr<workload::RunningApp> app;  ///< null once torn down
+    int lastIterations = 0;       ///< iteration count at the previous tick
+    std::uint64_t coresTouched = 0;  ///< core bitmask of the in-flight iteration
+    bool taintPending = false;    ///< in-flight iteration touched a dead core
+    std::int64_t credited = 0;    ///< untainted completed iterations
+    bool finished = false;
+  };
+
+  void startNextGroup();
+  void finishGroup();
+  void detectCoreFailures();
+  void accountReplica(std::size_t index);
+  void recordSamples();
+  [[nodiscard]] std::int64_t mergedLive(bool useCredited) const;
+  [[nodiscard]] sched::AffinityMask steerAway(const sched::AffinityMask& mask) const;
+  void applyMasksToReplica(std::size_t index);
+
+  platform::Machine& machine_;
+  workload::Scenario scenario_;
+  ReplicationPlan plan_;
+  std::size_t nextApp_ = 0;
+  bool groupLive_ = false;
+  std::vector<Replica> replicas_;
+  Seconds groupStart_ = 0.0;
+  std::vector<workload::AppCompletion> completions_;
+  bool switchedFlag_ = false;
+
+  int degree_ = 1;         ///< degree of the LIVE group
+  int pendingDegree_ = 1;  ///< degree requested for the next group
+  sched::AffinityMask avoid_{};
+  std::vector<sched::AffinityMask> currentPattern_;  ///< empty = free placement
+
+  /// Online state snapshot used to detect retirements between our ticks.
+  std::vector<char> coreWasOnline_;
+
+  std::int64_t deliveredCompleted_ = 0;  ///< merged, over completed groups
+  std::int64_t creditedTotal_ = 0;       ///< per-replica, all groups
+  std::int64_t taintedTotal_ = 0;
+
+  /// (time, merged iterations) samples for windowed throughput.
+  std::deque<std::pair<Seconds, std::int64_t>> throughputSamples_;
+  /// (time, creditedTotal, taintedTotal) samples for deliveredWorkRatio.
+  std::deque<std::tuple<Seconds, std::int64_t, std::int64_t>> deliverySamples_;
+  Seconds window_ = 20.0;
+};
+
+}  // namespace rltherm::resil

@@ -1,0 +1,57 @@
+// Replication plan: the static configuration of the learned-replication
+// resilience layer.
+//
+// The plan describes HOW replicated thread groups merge their output and the
+// bounds within which the policy may move the replication degree; the live
+// degree itself is an ACTION (workload::ReplicationRequest), chosen online by
+// the RL agent or a supervisor. Keeping the plan separate from the request
+// mirrors the rest of the runner configuration: everything in this struct is
+// fingerprinted into checkpoints, everything in the request is learned.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rltherm::resil {
+
+/// How a replicated group's redundant copies are merged into delivered work.
+enum class MergePolicy {
+  /// The group completes when the FIRST replica finishes; delivered work is
+  /// the best replica's credited (untainted) iterations. Cheapest latency,
+  /// tolerates any number of straggler/tainted replicas.
+  FirstFinisher,
+  /// The group completes when a MAJORITY of replicas (ceil(d/2)) finished;
+  /// delivered work is the majority-rank credited count, i.e. at least
+  /// ceil(d/2) replicas independently produced that much untainted output.
+  MajorityVote,
+};
+
+[[nodiscard]] constexpr const char* toString(MergePolicy policy) noexcept {
+  return policy == MergePolicy::FirstFinisher ? "first_finisher" : "majority_vote";
+}
+
+struct ReplicationPlan {
+  MergePolicy merge = MergePolicy::FirstFinisher;
+  int initialDegree = 1;  ///< replicas per group before any policy decision
+  int maxDegree = 3;      ///< hard ceiling the policy may request (1..3)
+
+  /// Throws PreconditionError on an inconsistent plan.
+  void validate() const {
+    expects(maxDegree >= 1 && maxDegree <= 3,
+            "ReplicationPlan: maxDegree must be in [1, 3], got " +
+                std::to_string(maxDegree));
+    expects(initialDegree >= 1 && initialDegree <= maxDegree,
+            "ReplicationPlan: initialDegree must be in [1, maxDegree], got " +
+                std::to_string(initialDegree));
+  }
+
+  /// Replicas that must finish before a group completes under this plan's
+  /// merge policy, for a group of `degree` replicas.
+  [[nodiscard]] int quorum(int degree) const noexcept {
+    if (merge == MergePolicy::FirstFinisher) return 1;
+    return degree / 2 + 1;  // ceil(d/2) for d >= 1
+  }
+};
+
+}  // namespace rltherm::resil

@@ -32,15 +32,26 @@ double RangeDiscretizer::normalize(double value) const noexcept {
   return std::clamp((value - lo_) / (hi_ - lo_), 0.0, 1.0);
 }
 
-StateSpace::StateSpace(RangeDiscretizer stress, RangeDiscretizer aging)
-    : stress_(stress), aging_(aging) {}
+StateSpace::StateSpace(RangeDiscretizer stress, RangeDiscretizer aging,
+                       std::size_t healthStates)
+    : stress_(stress), aging_(aging), healthStates_(healthStates) {
+  expects(healthStates >= 1, "StateSpace requires at least one health state");
+}
 
-std::size_t StateSpace::stateOf(double stressValue, double agingValue) const noexcept {
-  return stress_.bin(stressValue) * aging_.binCount() + aging_.bin(agingValue);
+std::size_t StateSpace::stateOf(double stressValue, double agingValue,
+                                std::size_t healthBin) const noexcept {
+  // Health is the fastest-varying axis: at healthStates_ == 1 (healthBin is
+  // forced to 0) the index reduces to the original two-axis layout exactly.
+  if (healthBin >= healthStates_) healthBin = healthStates_ - 1;
+  const std::size_t flat =
+      stress_.bin(stressValue) * aging_.binCount() + aging_.bin(agingValue);
+  const std::size_t state = flat * healthStates_ + healthBin;
+  RLTHERM_ENSURE(state < stateCount(), "stateOf: index must stay in the table");
+  return state;
 }
 
 std::size_t StateSpace::stateCount() const noexcept {
-  return stress_.binCount() * aging_.binCount();
+  return stress_.binCount() * aging_.binCount() * healthStates_;
 }
 
 bool StateSpace::isUnsafe(double stressValue, double agingValue) const noexcept {
@@ -49,9 +60,11 @@ bool StateSpace::isUnsafe(double stressValue, double agingValue) const noexcept 
 
 StateSpace::Bins StateSpace::binsOf(std::size_t state) const {
   expects(state < stateCount(), "binsOf: state out of range");
+  const std::size_t flat = state / healthStates_;
   return Bins{
-      .stressBin = state / aging_.binCount(),
-      .agingBin = state % aging_.binCount(),
+      .stressBin = flat / aging_.binCount(),
+      .agingBin = flat % aging_.binCount(),
+      .healthBin = state % healthStates_,
   };
 }
 

@@ -37,28 +37,40 @@ class RangeDiscretizer {
   std::size_t bins_;
 };
 
-/// Composite (stress, aging) -> flat state index mapping.
+/// Composite (stress, aging[, health]) -> flat state index mapping.
+///
+/// The optional third axis is the resilience extension's discrete platform
+/// HEALTH coordinate (healthy / sensor-degraded / core-lost, fed from the
+/// SafetySupervisor). With `healthStates == 1` — the default — the layout is
+/// bit-identical to the original two-axis space: state indices, counts and
+/// binsOf round-trips are unchanged, so existing Q-tables and checkpoints
+/// keep their meaning.
 class StateSpace {
  public:
-  StateSpace(RangeDiscretizer stress, RangeDiscretizer aging);
+  StateSpace(RangeDiscretizer stress, RangeDiscretizer aging,
+             std::size_t healthStates = 1);
 
-  [[nodiscard]] std::size_t stateOf(double stress, double aging) const noexcept;
+  [[nodiscard]] std::size_t stateOf(double stress, double aging,
+                                    std::size_t healthBin = 0) const noexcept;
   [[nodiscard]] std::size_t stateCount() const noexcept;
   [[nodiscard]] bool isUnsafe(double stress, double aging) const noexcept;
 
   [[nodiscard]] const RangeDiscretizer& stress() const noexcept { return stress_; }
   [[nodiscard]] const RangeDiscretizer& aging() const noexcept { return aging_; }
+  [[nodiscard]] std::size_t healthStates() const noexcept { return healthStates_; }
 
-  /// Recover the (stressBin, agingBin) pair from a flat index.
+  /// Recover the (stressBin, agingBin, healthBin) triple from a flat index.
   struct Bins {
     std::size_t stressBin;
     std::size_t agingBin;
+    std::size_t healthBin = 0;
   };
   [[nodiscard]] Bins binsOf(std::size_t state) const;
 
  private:
   RangeDiscretizer stress_;
   RangeDiscretizer aging_;
+  std::size_t healthStates_;
 };
 
 }  // namespace rltherm::rl

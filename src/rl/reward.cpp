@@ -22,14 +22,26 @@ RewardBreakdown computeRewardDetailed(const RewardInputs& in, const StateSpace& 
   const RangeDiscretizer& stressD = space.stress();
   const RangeDiscretizer& agingD = space.aging();
 
+  // Delivered-work penalty (resilience extension). The branch is skipped
+  // outright at the default weight of 0, so the original Eq. 8 arithmetic —
+  // and therefore every pre-existing trained agent — is bit-identical.
+  double deliveredPenalty = 0.0;
+  if (params.deliveredWorkWeight != 0.0) {
+    RLTHERM_EXPECT(std::isfinite(in.deliveredRatio),
+                   "computeReward: deliveredRatio must be finite");
+    deliveredPenalty =
+        params.deliveredWorkWeight * std::min(0.0, in.deliveredRatio - 1.0);
+  }
+
   // Unsafe branch: R = -s_hat * a_hat (interval representatives), scaled.
   if (space.isUnsafe(in.stress, in.aging)) {
     const double sHat = stressD.normalizedMidpoint(stressD.bin(in.stress));
     const double aHat = agingD.normalizedMidpoint(agingD.bin(in.aging));
     const double penalty = -params.unsafePenaltyScale * sHat * aHat;
     RLTHERM_ENSURE(std::isfinite(penalty), "computeReward: non-finite unsafe penalty");
-    return RewardBreakdown{.total = penalty, .safety = 0.0,
-                           .performancePenalty = 0.0, .unsafe = true};
+    return RewardBreakdown{.total = penalty + deliveredPenalty, .safety = 0.0,
+                           .performancePenalty = 0.0,
+                           .deliveredPenalty = deliveredPenalty, .unsafe = true};
   }
 
   const double sNorm = stressD.normalize(in.stress);
@@ -53,10 +65,11 @@ RewardBreakdown computeRewardDetailed(const RewardInputs& in, const StateSpace& 
   // Pure performance penalty (0 when the constraint is met).
   const double shortfall = std::min(0.0, in.performance - in.constraint);
   const double penalty = params.performanceWeight * shortfall;
-  const double reward = f + penalty;
+  const double reward = f + penalty + deliveredPenalty;
   RLTHERM_ENSURE(std::isfinite(reward), "computeReward: non-finite reward");
   return RewardBreakdown{.total = reward, .safety = f,
-                         .performancePenalty = penalty, .unsafe = false};
+                         .performancePenalty = penalty,
+                         .deliveredPenalty = deliveredPenalty, .unsafe = false};
 }
 
 }  // namespace rltherm::rl

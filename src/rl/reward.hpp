@@ -54,6 +54,13 @@ struct RewardParams {
   /// Weight of the performance-shortfall penalty.
   double performanceWeight = 1.0;
 
+  /// Weight of the delivered-work-under-faults penalty (the resilience
+  /// extension): weight * min(0, deliveredRatio - 1), i.e. zero when every
+  /// attempted iteration survived and negative in proportion to the work
+  /// lost to core failures. At the default weight of 0 the term is skipped
+  /// entirely and the reward is bit-identical to the original Eq. 8.
+  double deliveredWorkWeight = 0.0;
+
   /// When true K1/K2 are the Gaussian bells; when false they are constant 1
   /// (the flat-weight ablation of DESIGN.md section 5.3).
   bool gaussianWeights = true;
@@ -65,6 +72,9 @@ struct RewardInputs {
   double performance = 0.0;  ///< measured P (e.g. frames per second)
   double constraint = 0.0;   ///< required Pc
   bool stressDominant = true;///< picks the (a, b) importance pair
+  /// Fraction of attempted work delivered despite faults (1.0 = no loss);
+  /// see WorkloadControl::deliveredWorkRatio.
+  double deliveredRatio = 1.0;
 };
 
 /// Eq. 8 split into its terms, so instrumentation (the obs decision-event
@@ -75,6 +85,10 @@ struct RewardBreakdown {
   double total = 0.0;
   double safety = 0.0;              ///< recentered f(a_hat, s_hat) term
   double performancePenalty = 0.0;  ///< weighted min(0, P - Pc), always <= 0
+  /// Weighted min(0, deliveredRatio - 1), always <= 0. Applied on BOTH
+  /// branches (losing work to a dead core is orthogonal to thermal state);
+  /// identically 0 when deliveredWorkWeight is 0.
+  double deliveredPenalty = 0.0;
   bool unsafe = false;              ///< the unsafe branch fired
 };
 

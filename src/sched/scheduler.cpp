@@ -27,7 +27,14 @@ void Scheduler::addThread(ThreadId id, AffinityMask affinity) {
   t.id = id;
   t.affinity = affinity;
   t.state = ThreadState::Runnable;
-  t.core = leastLoadedAllowed(affinity);
+  if (anyOnlineAllowed(affinity)) {
+    t.core = leastLoadedAllowed(affinity);
+  } else {
+    // Every allowed core is offline: place on the least-loaded live core and
+    // keep the requested mask (honoured again if the cores come back).
+    t.core = leastLoadedAllowed(AffinityMask::all(config_.coreCount));
+    ++affinityBreaks_;
+  }
   // Start at the max vruntime of its queue so it does not starve incumbents.
   double maxV = 0.0;
   for (const auto& [otherId, other] : threads_) {
@@ -51,7 +58,15 @@ void Scheduler::setAffinity(ThreadId id, AffinityMask affinity) {
             "Affinity mask references a core beyond coreCount");
   }
   t.affinity = affinity;
-  if (!affinity.allows(t.core)) migrate(t, leastLoadedAllowed(affinity));
+  if (!affinity.allows(t.core)) {
+    if (anyOnlineAllowed(affinity)) {
+      migrate(t, leastLoadedAllowed(affinity));
+    } else {
+      // The new mask names only offline cores; leave the thread running where
+      // it is (an affinity violation Linux also tolerates across hotplug).
+      ++affinityBreaks_;
+    }
+  }
 }
 
 void Scheduler::setWeight(ThreadId id, double weight) {
@@ -72,6 +87,60 @@ void Scheduler::wake(ThreadId id) {
 }
 
 void Scheduler::finish(ThreadId id) { mutableThread(id).state = ThreadState::Finished; }
+
+bool Scheduler::coreOnline(CoreId core) const {
+  expects(static_cast<std::size_t>(core) < config_.coreCount,
+          "Scheduler::coreOnline: core beyond coreCount");
+  return online_.empty() || online_[static_cast<std::size_t>(core)] != 0;
+}
+
+std::size_t Scheduler::onlineCount() const noexcept {
+  if (online_.empty()) return config_.coreCount;
+  std::size_t count = 0;
+  for (const char flag : online_) count += flag != 0 ? 1 : 0;
+  return count;
+}
+
+void Scheduler::setCoreOnline(CoreId core, bool online) {
+  expects(static_cast<std::size_t>(core) < config_.coreCount,
+          "Scheduler::setCoreOnline: core beyond coreCount");
+  if (coreOnline(core) == online) return;
+  if (online_.empty()) online_.assign(config_.coreCount, 1);
+  if (!online) {
+    expects(onlineCount() > 1,
+            "Scheduler::setCoreOnline: cannot take the last online core offline");
+  }
+  online_[static_cast<std::size_t>(core)] = online ? 1 : 0;
+  if (online) return;  // the balancer pulls work onto a revived core
+
+  // Evict every non-finished thread stranded on the dead core. Iterate ids in
+  // sorted order so eviction placement is independent of hash-map layout.
+  std::vector<ThreadId> stranded;
+  for (const auto& [id, t] : threads_) {
+    if (t.core == core && t.state != ThreadState::Finished) stranded.push_back(id);
+  }
+  std::sort(stranded.begin(), stranded.end());
+  for (const ThreadId id : stranded) {
+    ThreadInfo& t = threads_.at(id);
+    bool hasOnlineChoice = false;
+    for (const CoreId c : t.affinity.cores()) {
+      if (static_cast<std::size_t>(c) < config_.coreCount && coreOnline(c)) {
+        hasOnlineChoice = true;
+        break;
+      }
+    }
+    if (!hasOnlineChoice) {
+      // Affinity mask allows no live core: break it to all online cores.
+      std::vector<CoreId> live;
+      for (std::size_t c = 0; c < config_.coreCount; ++c) {
+        if (coreOnline(static_cast<CoreId>(c))) live.push_back(static_cast<CoreId>(c));
+      }
+      t.affinity = AffinityMask::of(live);
+      ++affinityBreaks_;
+    }
+    migrate(t, leastLoadedAllowed(t.affinity));
+  }
+}
 
 Dispatch Scheduler::schedule(Seconds dt) {
   expects(dt > 0.0, "Scheduler::schedule: dt must be > 0");
@@ -149,6 +218,7 @@ void Scheduler::balanceNow() {
     double maxLoad = 0.0;
     double minLoad = std::numeric_limits<double>::max();
     for (std::size_t c = 0; c < config_.coreCount; ++c) {
+      if (!coreOnline(static_cast<CoreId>(c))) continue;
       const double load = runnableLoad(static_cast<CoreId>(c));
       if (load > maxLoad) {
         maxLoad = load;
@@ -192,11 +262,19 @@ double Scheduler::runnableLoad(CoreId core) const {
   return load;
 }
 
+bool Scheduler::anyOnlineAllowed(const AffinityMask& mask) const {
+  for (const CoreId c : mask.cores()) {
+    if (static_cast<std::size_t>(c) < config_.coreCount && coreOnline(c)) return true;
+  }
+  return false;
+}
+
 CoreId Scheduler::leastLoadedAllowed(const AffinityMask& mask) const {
   CoreId best = kInvalidCore;
   double bestLoad = std::numeric_limits<double>::max();
   for (const CoreId c : mask.cores()) {
     if (static_cast<std::size_t>(c) >= config_.coreCount) continue;
+    if (!coreOnline(c)) continue;
     const double load = runnableLoad(c);
     if (load < bestLoad) {
       bestLoad = load;

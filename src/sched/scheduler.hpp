@@ -66,6 +66,18 @@ class Scheduler {
   void wake(ThreadId id);
   void finish(ThreadId id);
 
+  /// Hot-(un)plugs a core. Taking a core offline immediately evicts its
+  /// threads to the least-loaded allowed online core; a thread whose mask
+  /// allows no online core has its affinity broken to all online cores first
+  /// (the Linux hotplug behaviour: cpuset violations are resolved by reset,
+  /// not by starving the thread). The last online core cannot be removed.
+  void setCoreOnline(CoreId core, bool online);
+  [[nodiscard]] bool coreOnline(CoreId core) const;
+  /// Number of cores currently online.
+  [[nodiscard]] std::size_t onlineCount() const noexcept;
+  /// Times a hotplug had to break a thread's affinity mask to place it.
+  [[nodiscard]] std::uint64_t affinityBreaks() const noexcept { return affinityBreaks_; }
+
   /// Advances scheduling state by one tick: picks, per core, the runnable
   /// thread with the smallest vruntime; charges vruntime and cpu time; runs
   /// the load balancer when its interval elapses. Returns what ran where.
@@ -87,13 +99,18 @@ class Scheduler {
  private:
   ThreadInfo& mutableThread(ThreadId id);
   [[nodiscard]] double runnableLoad(CoreId core) const;
+  [[nodiscard]] bool anyOnlineAllowed(const AffinityMask& mask) const;
   [[nodiscard]] CoreId leastLoadedAllowed(const AffinityMask& mask) const;
   void migrate(ThreadInfo& t, CoreId target);
 
   SchedulerConfig config_;
   std::unordered_map<ThreadId, ThreadInfo> threads_;
+  /// Online flags, one per core; empty means "all online" (the common case
+  /// never allocates, keeping the hotplug-free path identical to before).
+  std::vector<char> online_;
   Seconds sinceBalance_ = 0.0;
   std::uint64_t totalMigrations_ = 0;
+  std::uint64_t affinityBreaks_ = 0;
 };
 
 }  // namespace rltherm::sched

@@ -4,7 +4,7 @@
 //
 //   offset  size  field
 //   0       8     magic "RLTHCKPT"
-//   8       4     format version (u32, currently 1)
+//   8       4     format version (u32, currently 2)
 //   12      8     config fingerprint (u64, duplicated in the META section)
 //   20      4     section count (u32)
 //   24      ...   sections, each:
@@ -31,7 +31,15 @@
 namespace rltherm::store {
 
 inline constexpr char kMagic[8] = {'R', 'L', 'T', 'H', 'C', 'K', 'P', 'T'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version history:
+///   1  original layout (sections meta..epochlog)
+///   2  resilience extension: META gains the health-axis bin count and the
+///      delivered-work reward weight (both fingerprinted) plus the
+///      event-triggered-epoch flag; new smdp section (id 9) carries the
+///      variable-length-epoch clock. Version-1 files fail the load with the
+///      version diagnostic below — the META layout changed shape, so there
+///      is no silent upgrade path.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Whole-file read cap: a corrupted length field must fail cleanly, not OOM.
 inline constexpr std::size_t kMaxCheckpointBytes = std::size_t{256} * 1024 * 1024;

@@ -58,6 +58,10 @@ void writeFingerprintFields(ByteWriter& out, const PolicyMeta& meta) {
   out.f64(meta.intraThresholdStress);
   out.f64(meta.interThresholdStress);
   out.boolean(meta.adaptationEnabled);
+  // format v2: the health axis multiplies the state space and the
+  // delivered-work weight reshapes the reward — both change Q meaning.
+  out.u64(meta.healthStates);
+  out.f64(meta.rewardDeliveredWorkWeight);
 }
 
 std::vector<std::uint8_t> encodeMeta(const PolicyMeta& meta) {
@@ -74,6 +78,7 @@ std::vector<std::uint8_t> encodeMeta(const PolicyMeta& meta) {
   out.f64(meta.plausibleFloor);
   out.f64(meta.decisionOverhead);
   out.u64(meta.seed);
+  out.boolean(meta.eventTriggeredEpochs);
   return out.take();
 }
 
@@ -121,6 +126,9 @@ PolicyMeta decodeMeta(ByteReader& in) {
   meta.intraThresholdStress = in.f64("intraThresholdStress");
   meta.interThresholdStress = in.f64("interThresholdStress");
   meta.adaptationEnabled = in.boolean("adaptationEnabled");
+  meta.healthStates = in.u64("health states");
+  if (meta.healthStates == 0) in.fail("health states must be >= 1");
+  meta.rewardDeliveredWorkWeight = in.f64("reward deliveredWorkWeight");
   meta.samplingInterval = in.f64("samplingInterval");
   meta.decisionEpoch = in.f64("decisionEpoch");
   meta.adaptiveSampling = in.boolean("adaptiveSampling");
@@ -131,6 +139,7 @@ PolicyMeta decodeMeta(ByteReader& in) {
   meta.plausibleFloor = in.f64("plausibleFloor");
   meta.decisionOverhead = in.f64("decisionOverhead");
   meta.seed = in.u64("seed");
+  meta.eventTriggeredEpochs = in.boolean("eventTriggeredEpochs");
   in.expectEnd("the meta section");
   return meta;
 }
@@ -211,6 +220,7 @@ const char* sectionName(std::uint32_t id) noexcept {
     case kSectionSampling: return "sampling";
     case kSectionDetect: return "detect";
     case kSectionEpochLog: return "epochlog";
+    case kSectionSmdp: return "smdp";
     default: return "?";
   }
 }
@@ -305,6 +315,13 @@ CheckpointImage encodePolicyCheckpoint(const PolicyCheckpoint& checkpoint) {
     image.sections.push_back({kSectionEpochLog, out.take()});
   }
 
+  {
+    ByteWriter out;
+    out.f64(checkpoint.smdpLastEpochTime);
+    out.boolean(checkpoint.smdpEventPending);
+    image.sections.push_back({kSectionSmdp, out.take()});
+  }
+
   return image;
 }
 
@@ -334,7 +351,7 @@ PolicyCheckpoint decodePolicyCheckpoint(const CheckpointImage& image,
   };
 
   for (const CheckpointSection& section : image.sections) {
-    if (section.id < kSectionMeta || section.id > kSectionEpochLog) {
+    if (section.id < kSectionMeta || section.id > kSectionSmdp) {
       failParse(source, 0,
                 "unknown checkpoint section id " + std::to_string(section.id) +
                     " — file corrupt or written by a newer build");
@@ -355,7 +372,8 @@ PolicyCheckpoint decodePolicyCheckpoint(const CheckpointImage& image,
                   std::to_string(expectedFingerprint) + ") — file corrupt");
   }
 
-  const std::uint64_t states = checkpoint.meta.stressBins * checkpoint.meta.agingBins;
+  const std::uint64_t states = checkpoint.meta.stressBins * checkpoint.meta.agingBins *
+                               checkpoint.meta.healthStates;
   const std::uint64_t actions =
       static_cast<std::uint64_t>(checkpoint.meta.actionNames.size());
   const std::uint64_t entries = states * actions;
@@ -487,6 +505,13 @@ PolicyCheckpoint decodePolicyCheckpoint(const CheckpointImage& image,
       checkpoint.epochLog.push_back(record);
     }
     in.expectEnd("the epochlog section");
+  }
+
+  {
+    ByteReader in = sectionReader(kSectionSmdp);
+    checkpoint.smdpLastEpochTime = in.f64("smdp last epoch time");
+    checkpoint.smdpEventPending = in.boolean("smdp event pending");
+    in.expectEnd("the smdp section");
   }
 
   return checkpoint;

@@ -16,6 +16,10 @@
 //                 detection counters
 //   8   epochlog  per-epoch instrumentation records (the obs event epoch
 //                 numbering continues from its length, so it is state)
+//   9   smdp      event-triggered (SMDP) epoch clock: time of the previous
+//                 decision + whether a detection-triggered epoch is pending,
+//                 so a resume mid-epoch replays the same variable-length
+//                 discounting bit-exactly
 //
 // Fingerprint rule: the header/META fingerprint is FNV-1a(64) over a
 // canonical little-endian encoding of every field that changes what the
@@ -49,6 +53,7 @@ inline constexpr std::uint32_t kSectionRng = 5;
 inline constexpr std::uint32_t kSectionSampling = 6;
 inline constexpr std::uint32_t kSectionDetect = 7;
 inline constexpr std::uint32_t kSectionEpochLog = 8;
+inline constexpr std::uint32_t kSectionSmdp = 9;
 
 /// Stable display name for a section id ("?" when unknown).
 [[nodiscard]] const char* sectionName(std::uint32_t id) noexcept;
@@ -90,6 +95,11 @@ struct PolicyMeta {
   double intraThresholdStress = 0.35;
   double interThresholdStress = 0.55;
   bool adaptationEnabled = true;
+  // resilience (format v2) — both change what a Q entry means, so both are
+  // fingerprinted: healthStates multiplies the state space and
+  // deliveredWorkWeight reshapes the reward surface.
+  std::uint64_t healthStates = 1;
+  double rewardDeliveredWorkWeight = 0.0;
   // timing / misc — NOT fingerprinted (see the fingerprint rule above)
   double samplingInterval = 3.0;
   double decisionEpoch = 30.0;
@@ -101,6 +111,9 @@ struct PolicyMeta {
   double plausibleFloor = 15.0;
   double decisionOverhead = 0.25;
   std::uint64_t seed = 42;
+  /// SMDP mode flag (format v2). Timing-semantics only — the discount per
+  /// unit time is unchanged — so NOT fingerprinted, like decisionEpoch.
+  bool eventTriggeredEpochs = false;
 };
 
 /// FNV-1a(64) over the canonical encoding of the fingerprinted subset.
@@ -176,6 +189,9 @@ struct PolicyCheckpoint {
   std::uint64_t intraDetections = 0;
   // epochlog
   std::vector<EpochRecordData> epochLog;
+  // smdp (format v2)
+  double smdpLastEpochTime = 0.0;
+  bool smdpEventPending = false;
 };
 
 /// Encodes all sections; the image fingerprint is fingerprintOf(meta).

@@ -14,6 +14,17 @@
 
 namespace rltherm::workload {
 
+/// A replication decision from the policy side: run `degree` redundant
+/// copies of each managed thread group, steering the copies' placement away
+/// from the cores in `avoid` (typically the supervisor's suspect/quarantined
+/// set). Drivers that do not support replication ignore the request — the
+/// default applyReplication is a no-op — so every policy works unchanged
+/// against every driver.
+struct ReplicationRequest {
+  int degree = 1;                ///< redundant copies per thread group (1..3)
+  sched::AffinityMask avoid{};   ///< cores replicas should steer away from
+};
+
 class WorkloadControl {
  public:
   virtual ~WorkloadControl() = default;
@@ -31,6 +42,16 @@ class WorkloadControl {
   /// True exactly on the tick an application switch occurred (used only by
   /// baselines that receive an explicit switch signal).
   [[nodiscard]] virtual bool appJustSwitched() const = 0;
+
+  /// Apply a replication decision. Only replication-capable drivers
+  /// (resil::ReplicatedDriver) honour it; the default ignores the request.
+  virtual void applyReplication(const ReplicationRequest& request) { (void)request; }
+
+  /// Fraction of recently attempted work that was actually DELIVERED —
+  /// i.e. survived any core failure that tainted an in-flight iteration.
+  /// 1.0 on drivers without delivered-work accounting (every completed
+  /// iteration counts), so reward terms keyed on this are inert by default.
+  [[nodiscard]] virtual double deliveredWorkRatio() const { return 1.0; }
 };
 
 }  // namespace rltherm::workload

@@ -19,4 +19,5 @@ long wallNow() {
 void dump(const Telemetry& t) {
   std::ofstream out("telemetry.json");
   out << "core.sample.emit" << t.hist.size();
+  out << "resil.replica.spawn" << t.hist.size();
 }

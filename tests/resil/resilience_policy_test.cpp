@@ -1,0 +1,321 @@
+// The learning side of the resilience loop: the HealthSnapshot the
+// SafetySupervisor publishes (including core-retirement detection and the
+// flapping demotion), the health axis in the Q-state space, the
+// delivered-work reward term, and the event-triggered SMDP decision epochs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/runner.hpp"
+#include "core/safety_supervisor.hpp"
+#include "core/thermal_manager.hpp"
+#include "fault/plan.hpp"
+#include "platform/machine.hpp"
+#include "rl/discretizer.hpp"
+#include "rl/reward.hpp"
+#include "workload/app_spec.hpp"
+#include "workload/control.hpp"
+
+namespace rltherm::core {
+namespace {
+
+TEST(HealthSnapshotTest, DegradedLevelRanksCoreLossAboveSensorTrouble) {
+  HealthSnapshot snapshot;
+  snapshot.cores.assign(4, HealthSnapshot::CoreHealth{});
+  EXPECT_EQ(snapshot.degradedLevel(), 0u);
+  snapshot.cores[1].level = 1;
+  EXPECT_EQ(snapshot.degradedLevel(), 1u);
+  snapshot.cores[2].level = 2;
+  EXPECT_EQ(snapshot.degradedLevel(), 1u);  // still only sensor degradation
+  snapshot.cores[3].online = false;
+  EXPECT_EQ(snapshot.degradedLevel(), 2u);  // core loss dominates
+  EXPECT_EQ(snapshot.offlineCount(), 1u);
+}
+
+TEST(HealthSnapshotTest, AvoidMaskCoversOfflineAndSuspectCores) {
+  HealthSnapshot snapshot;
+  snapshot.cores.assign(4, HealthSnapshot::CoreHealth{});
+  EXPECT_TRUE(snapshot.avoidMask().empty());
+  snapshot.cores[0].level = 1;
+  snapshot.cores[3].online = false;
+  const sched::AffinityMask avoid = snapshot.avoidMask();
+  EXPECT_TRUE(avoid.allows(CoreId{0}));
+  EXPECT_FALSE(avoid.allows(CoreId{1}));
+  EXPECT_FALSE(avoid.allows(CoreId{2}));
+  EXPECT_TRUE(avoid.allows(CoreId{3}));
+}
+
+TEST(StateSpaceHealthAxisTest, SingleHealthStateIsTheLegacyLayout) {
+  const rl::RangeDiscretizer stress(0.0, 1.0, 4);
+  const rl::RangeDiscretizer aging(0.0, 1.0, 4);
+  const rl::StateSpace legacy(stress, aging);
+  const rl::StateSpace explicit1(stress, aging, 1);
+  EXPECT_EQ(legacy.stateCount(), 16u);
+  EXPECT_EQ(explicit1.stateCount(), 16u);
+  for (double s : {0.1, 0.5, 0.9}) {
+    for (double a : {0.1, 0.5, 0.9}) {
+      EXPECT_EQ(legacy.stateOf(s, a), explicit1.stateOf(s, a, 0));
+    }
+  }
+}
+
+TEST(StateSpaceHealthAxisTest, ThreeHealthStatesRoundTrip) {
+  const rl::StateSpace space(rl::RangeDiscretizer(0.0, 1.0, 4),
+                             rl::RangeDiscretizer(0.0, 1.0, 3), 3);
+  EXPECT_EQ(space.stateCount(), 36u);
+  for (std::size_t state = 0; state < space.stateCount(); ++state) {
+    const rl::StateSpace::Bins bins = space.binsOf(state);
+    EXPECT_LT(bins.healthBin, 3u);
+    // Health is the fastest-varying axis.
+    EXPECT_EQ(bins.healthBin, state % 3);
+    const std::size_t rebuilt =
+        (bins.stressBin * 3 + bins.agingBin) * 3 + bins.healthBin;
+    EXPECT_EQ(rebuilt, state);
+  }
+  // Same thermal coordinates, different health -> different states.
+  EXPECT_NE(space.stateOf(0.5, 0.5, 0), space.stateOf(0.5, 0.5, 2));
+  // Out-of-range health bins clamp instead of overflowing the table.
+  EXPECT_EQ(space.stateOf(0.5, 0.5, 7), space.stateOf(0.5, 0.5, 2));
+}
+
+TEST(DeliveredWorkRewardTest, ZeroWeightIsBitIdenticalToTheLegacyReward) {
+  const rl::StateSpace space(rl::RangeDiscretizer(0.0, 1.0, 4),
+                             rl::RangeDiscretizer(0.0, 1.0, 4));
+  rl::RewardParams params;  // deliveredWorkWeight defaults to 0
+  rl::RewardInputs lossy;
+  lossy.stress = 0.4;
+  lossy.aging = 0.3;
+  lossy.performance = 1.0;
+  lossy.constraint = 0.5;
+  lossy.deliveredRatio = 0.25;  // three quarters of the work lost...
+  rl::RewardInputs clean = lossy;
+  clean.deliveredRatio = 1.0;
+  // ...but with the term disabled the totals are bit-identical.
+  EXPECT_EQ(rl::computeReward(lossy, space, params),
+            rl::computeReward(clean, space, params));
+  EXPECT_EQ(rl::computeRewardDetailed(lossy, space, params).deliveredPenalty, 0.0);
+}
+
+TEST(DeliveredWorkRewardTest, LostWorkIsPenalizedProportionally) {
+  const rl::StateSpace space(rl::RangeDiscretizer(0.0, 1.0, 4),
+                             rl::RangeDiscretizer(0.0, 1.0, 4));
+  rl::RewardParams params;
+  params.deliveredWorkWeight = 2.0;
+  rl::RewardInputs in;
+  in.stress = 0.4;
+  in.aging = 0.3;
+  in.performance = 1.0;
+  in.constraint = 0.5;
+
+  in.deliveredRatio = 1.0;
+  const rl::RewardBreakdown clean = rl::computeRewardDetailed(in, space, params);
+  EXPECT_EQ(clean.deliveredPenalty, 0.0);
+
+  in.deliveredRatio = 0.75;
+  const rl::RewardBreakdown lossy = rl::computeRewardDetailed(in, space, params);
+  EXPECT_DOUBLE_EQ(lossy.deliveredPenalty, 2.0 * (0.75 - 1.0));
+  EXPECT_DOUBLE_EQ(lossy.total, clean.total + lossy.deliveredPenalty);
+
+  // Over-delivery (ratio > 1 cannot happen, but the term is one-sided by
+  // construction) is never rewarded.
+  in.deliveredRatio = 1.5;
+  EXPECT_EQ(rl::computeRewardDetailed(in, space, params).deliveredPenalty, 0.0);
+}
+
+/// Minimal workload stub for driving the supervisor directly.
+class NullControl final : public workload::WorkloadControl {
+ public:
+  [[nodiscard]] double performanceRatio() const override { return 1.0; }
+  void applyAffinityPattern(std::span<const sched::AffinityMask> /*pattern*/) override {}
+  [[nodiscard]] bool appJustSwitched() const override { return false; }
+};
+
+platform::Machine quietMachine() {
+  platform::MachineConfig config;
+  config.sensor.noiseSigma = 0.0;
+  config.sensor.quantizationStep = 0.0;
+  return platform::Machine(config);
+}
+
+TEST(SupervisorHealthSnapshotTest, RetirementIsCountedAndFlappingCoresStaySuspect) {
+  platform::Machine machine = quietMachine();
+  NullControl control;
+  PolicyContext ctx{machine, control};
+  SafetySupervisor supervisor(
+      std::make_unique<StaticGovernorPolicy>(
+          platform::GovernorSetting{platform::GovernorKind::Ondemand, 0.0}),
+      SafetySupervisorConfig{});
+  supervisor.onStart(ctx);
+
+  const std::vector<Celsius> temps = {50.0, 50.0, 50.0, 50.0};
+  supervisor.onSample(ctx, temps);
+  EXPECT_EQ(supervisor.stats().coresRetired, 0u);
+  EXPECT_EQ(supervisor.healthSnapshot().degradedLevel(), 0u);
+
+  machine.setCoreOnline(2, false);
+  supervisor.onSample(ctx, temps);
+  EXPECT_EQ(supervisor.stats().coresRetired, 1u);
+  EXPECT_FALSE(supervisor.healthSnapshot().cores[2].online);
+  EXPECT_EQ(supervisor.healthSnapshot().degradedLevel(), 2u);
+  EXPECT_FALSE(supervisor.healthSnapshot().avoidMask().allows(CoreId{1}));
+  EXPECT_TRUE(supervisor.healthSnapshot().avoidMask().allows(CoreId{2}));
+
+  // Staying offline is one retirement, not one per sample.
+  supervisor.onSample(ctx, temps);
+  EXPECT_EQ(supervisor.stats().coresRetired, 1u);
+
+  // The core comes back: flapping demotion keeps it at least Suspect, so the
+  // avoid mask still steers away from it even though it is online again.
+  machine.setCoreOnline(2, true);
+  supervisor.onSample(ctx, temps);
+  EXPECT_TRUE(supervisor.healthSnapshot().cores[2].online);
+  EXPECT_GE(supervisor.healthSnapshot().cores[2].level, 1);
+  EXPECT_EQ(supervisor.healthSnapshot().degradedLevel(), 1u);
+  EXPECT_TRUE(supervisor.healthSnapshot().avoidMask().allows(CoreId{2}));
+
+  // A second offline edge on the same core counts again.
+  machine.setCoreOnline(2, false);
+  supervisor.onSample(ctx, temps);
+  EXPECT_EQ(supervisor.stats().coresRetired, 2u);
+}
+
+TEST(SupervisorHealthSnapshotTest, SensorTroubleMapsToTheChannelsCore) {
+  platform::Machine machine = quietMachine();
+  NullControl control;
+  PolicyContext ctx{machine, control};
+  SafetySupervisor supervisor(
+      std::make_unique<StaticGovernorPolicy>(
+          platform::GovernorSetting{platform::GovernorKind::Ondemand, 0.0}),
+      SafetySupervisorConfig{});
+  supervisor.onStart(ctx);
+
+  const std::vector<double> deadChannel3 = {50.0, 50.0, 50.0, 0.0};
+  supervisor.onSample(ctx, deadChannel3);  // channel 3 reads dead
+  EXPECT_EQ(supervisor.health(3), SensorHealth::Suspect);
+  EXPECT_EQ(supervisor.healthSnapshot().cores[3].level, 1);
+  EXPECT_EQ(supervisor.healthSnapshot().degradedLevel(), 1u);
+  supervisor.onSample(ctx, deadChannel3);  // quarantineAfter = 2
+  EXPECT_EQ(supervisor.healthSnapshot().cores[3].level, 2);
+  // Sensor-only degradation: every core is still online.
+  EXPECT_EQ(supervisor.healthSnapshot().offlineCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop tests: manager + supervisor + runner over a core-death plan.
+
+workload::AppSpec steadyApp(int iterations) {
+  workload::AppSpec spec;
+  spec.name = "steady";
+  spec.family = "steady";
+  spec.threadCount = 4;
+  spec.iterations = iterations;
+  spec.burstWorkMean = 0.3;
+  spec.burstWorkJitter = 0.1;
+  spec.burstActivity = 0.8;
+  spec.serialWork = 0.05;
+  spec.serialActivity = 0.2;
+  spec.performanceConstraint = 0.1;
+  return spec;
+}
+
+fault::FaultPlan coreDeathAt(Seconds when, std::size_t core) {
+  fault::FaultPlan plan;
+  plan.name = "core-death";
+  plan.events = {{.kind = fault::FaultKind::CoreDead, .start = when, .core = core}};
+  plan.validate();
+  return plan;
+}
+
+core::RunnerConfig faultRunner(Seconds deathAt) {
+  core::RunnerConfig config;
+  config.analysisWarmup = 0.0;
+  config.analysisCooldown = 0.0;
+  config.maxSimTime = 900.0;
+  // Clean sensors: the health axis must move on the core death alone, not on
+  // noise-induced suspect channels.
+  config.machine.sensor.noiseSigma = 0.0;
+  config.machine.sensor.quantizationStep = 0.0;
+  config.faults = coreDeathAt(deathAt, 2);
+  return config;
+}
+
+ThermalManagerConfig resilientManagerConfig() {
+  ThermalManagerConfig config;
+  config.samplingInterval = 1.0;
+  config.decisionEpoch = 10.0;
+  config.healthStates = 3;
+  config.reward.deliveredWorkWeight = 1.0;
+  return config;
+}
+
+TEST(ResilientManagerTest, HealthAxisTracksTheSupervisorsVerdict) {
+  auto managerOwned = std::make_unique<ThermalManager>(resilientManagerConfig(),
+                                                       ActionSpace::resilient(4));
+  ThermalManager* manager = managerOwned.get();
+  SafetySupervisor supervisor(std::move(managerOwned), SafetySupervisorConfig{});
+  const PolicyRunner runner(faultRunner(100.0));
+  const RunResult result = runner.run(workload::Scenario::of({steadyApp(400)}), supervisor);
+  EXPECT_FALSE(result.timedOut);
+  EXPECT_EQ(supervisor.stats().coresRetired, 1u);
+
+  // Health is the fastest axis (state % healthStates): every epoch decided
+  // before the death sits in health bin 0, every epoch after it in bin 2.
+  ASSERT_GT(manager->epochCount(), 0u);
+  bool sawDegraded = false;
+  for (const EpochRecord& record : manager->epochLog()) {
+    const std::size_t healthBin = record.state % 3;
+    if (record.time < 100.0) {
+      EXPECT_EQ(healthBin, 0u) << "epoch at t=" << record.time;
+    } else if (record.time > 105.0) {
+      EXPECT_EQ(healthBin, 2u) << "epoch at t=" << record.time;
+      sawDegraded = true;
+    }
+  }
+  EXPECT_TRUE(sawDegraded);
+}
+
+TEST(ResilientManagerTest, DetectionClosesTheEpochEarlyOnlyWhenEnabled) {
+  const auto epochGapsAfter = [](bool eventTriggered, Seconds deathAt) {
+    ThermalManagerConfig config = resilientManagerConfig();
+    config.eventTriggeredEpochs = eventTriggered;
+    auto managerOwned =
+        std::make_unique<ThermalManager>(config, ActionSpace::resilient(4));
+    ThermalManager* manager = managerOwned.get();
+    SafetySupervisor supervisor(std::move(managerOwned), SafetySupervisorConfig{});
+    const PolicyRunner runner(faultRunner(deathAt));
+    (void)runner.run(workload::Scenario::of({steadyApp(400)}), supervisor);
+    // Gap between the last pre-death epoch and the first post-death one.
+    Seconds before = 0.0;
+    for (const EpochRecord& record : manager->epochLog()) {
+      if (record.time >= deathAt) return record.time - before;
+      before = record.time;
+    }
+    return Seconds{-1.0};
+  };
+
+  // The death lands mid-epoch (105 with a 10 s epoch grid): the
+  // event-triggered manager decides at the next SAMPLE after the detection,
+  // while the fixed-epoch manager waits out the full decision epoch.
+  const Seconds triggered = epochGapsAfter(true, 105.0);
+  const Seconds fixed = epochGapsAfter(false, 105.0);
+  ASSERT_GT(triggered, 0.0);
+  ASSERT_GT(fixed, 0.0);
+  EXPECT_LT(triggered, 10.0);
+  EXPECT_GE(fixed, 10.0 - 1e-9);
+}
+
+TEST(ResilientManagerTest, NotifyDetectionIsInertWithoutTheFlag) {
+  ThermalManagerConfig config = resilientManagerConfig();
+  config.eventTriggeredEpochs = false;
+  ThermalManager manager(config, ActionSpace::resilient(4));
+  manager.notifyDetection();  // must not arm an event epoch
+  const PolicyRunner runner(faultRunner(80.0));
+  const RunResult result = runner.run(workload::Scenario::of({steadyApp(200)}), manager);
+  EXPECT_FALSE(result.timedOut);
+}
+
+}  // namespace
+}  // namespace rltherm::core

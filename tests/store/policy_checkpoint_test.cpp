@@ -222,7 +222,7 @@ TEST(PolicyCheckpointTest, MissingSectionIsDiagnosedByName) {
 TEST(PolicyCheckpointTest, UnknownSectionIdIsRejected) {
   CheckpointImage image = encodePolicyCheckpoint(sampleCheckpoint());
   CheckpointSection extra;
-  extra.id = 9;
+  extra.id = 10;  // one past kSectionSmdp, the highest id format v2 knows
   extra.payload = {1, 2, 3};
   image.sections.push_back(extra);
   EXPECT_THROW((void)decodePolicyCheckpoint(image, "p.ckpt"), PreconditionError);
