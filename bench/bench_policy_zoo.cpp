@@ -12,13 +12,39 @@
 //                     family trains once but is evaluated on 3 datasets, so
 //                     2 of every 3 evaluations would otherwise retrain
 //
-// Both phases run through exec::SweepRunner, so the whole bench is
+// Phase 3 re-runs the same 15 evaluations through the fleet service's
+// in-memory warm-start cache (serve/warm_cache.hpp): the checkpoint bytes
+// are cloned straight from memory instead of resuming from disk, and the
+// results are asserted bitwise-identical to the disk path. The report shows
+// both wall times (eval_disk_wall_ms vs eval_cache_wall_ms).
+//
+// All phases run through exec::SweepRunner, so the whole bench is
 // bit-identical for every --jobs value (checkpoint paths are unique per
 // writing spec, and the evaluation specs only READ them).
 #include <cstdio>
 #include <map>
 
 #include "bench_util.hpp"
+#include "core/manager_checkpoint.hpp"
+#include "serve/warm_cache.hpp"
+#include "store/policy_checkpoint.hpp"
+
+namespace {
+
+// The zoo keys its cache by (config fingerprint, family): unlike the fleet
+// service — whose per-fingerprint training workload is canonical — the zoo
+// deliberately trains the SAME config on five different families, so the
+// family must disambiguate entries that share a fingerprint.
+std::uint64_t zooCacheKey(std::uint64_t fingerprint, const std::string& family) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : family) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash ^ fingerprint;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rltherm;
@@ -73,6 +99,61 @@ int main(int argc, char** argv) {
   }
   const exec::SweepResult evaluation = exec::SweepRunner(options).run(evalSpecs);
 
+  // Phase 3: the same 15 evaluations through the in-memory warm-start cache.
+  // Each family's checkpoint is serialized into the cache once; every eval
+  // spec's factory clones a fresh manager from the cached bytes — no disk
+  // read, no resumeFrom hook.
+  serve::WarmStartCache cache(families.size());
+  std::map<std::string, std::uint64_t> cacheKeyOf;
+  for (const std::string& family : families) {
+    const store::PolicyCheckpoint checkpoint =
+        store::loadPolicyCheckpoint(checkpointPath(family));
+    const std::uint64_t key =
+        zooCacheKey(store::fingerprintOf(checkpoint.meta), family);
+    cache.insert(key, store::serializePolicyCheckpoint(checkpoint));
+    cacheKeyOf[family] = key;
+  }
+
+  std::vector<exec::RunSpec> cacheSpecs;
+  for (const std::string& family : families) {
+    for (int dataset = 1; dataset <= datasetsPerFamily; ++dataset) {
+      const workload::AppSpec app = workload::makeApp(family, dataset);
+      exec::RunSpec spec = proposedSpec(app.name, workload::Scenario::of({app}),
+                                        workload::Scenario{}, /*freeze=*/true,
+                                        core::ThermalManagerConfig{},
+                                        defaultRunnerConfig(),
+                                        core::ActionSpace::standard(4));
+      const std::uint64_t key = cacheKeyOf[family];
+      spec.policy = [&cache, key, family](std::uint64_t) {
+        const auto bytes = cache.find(key);
+        expects(bytes.has_value(), "policy zoo: cache entry missing for " + family);
+        return core::managerFromCheckpoint(
+            store::loadPolicyCheckpointFromBuffer(*bytes,
+                                                  "zoo cache entry " + family),
+            "zoo cache entry " + family);
+      };
+      cacheSpecs.push_back(std::move(spec));
+    }
+  }
+  const exec::SweepResult cacheEvaluation =
+      exec::SweepRunner(options).run(cacheSpecs);
+
+  // The cache path must reproduce the disk path bit for bit — the buffer IS
+  // the file's bytes and the clone restores the identical learning state.
+  for (std::size_t i = 0; i < evaluation.runs.size(); ++i) {
+    const core::RunResult& disk = evaluation.runs[i].result;
+    const core::RunResult& mem = cacheEvaluation.runs[i].result;
+    expects(disk.duration == mem.duration &&
+                disk.reliability.averageTemp == mem.reliability.averageTemp &&
+                disk.reliability.peakTemp == mem.reliability.peakTemp &&
+                disk.reliability.cyclingMttfYears ==
+                    mem.reliability.cyclingMttfYears &&
+                disk.reliability.agingMttfYears == mem.reliability.agingMttfYears,
+            "policy zoo: cache-path result diverged from disk path for " +
+                evaluation.runs[i].label);
+  }
+  const serve::WarmStartCache::Stats cacheStats = cache.stats();
+
   TextTable table({"App", "Trained on", "Exec (s)", "Avg T (C)", "Peak T (C)",
                    "TC-MTTF (y)", "Aging MTTF (y)", "Train (ms)"});
   double retrainMsSaved = 0.0;
@@ -105,12 +186,19 @@ int main(int argc, char** argv) {
             << formatFixed(evaluation.wallMs, 0) << " ms wall on "
             << evaluation.jobs << " jobs (" << formatFixed(evaluation.speedup(), 2)
             << "x vs back-to-back)\n";
+  std::cout << "warm-start cache path: " << cacheEvaluation.runs.size()
+            << " runs in " << formatFixed(cacheEvaluation.wallMs, 0)
+            << " ms wall (" << cacheStats.hits
+            << " cache hits, results bitwise-identical to the disk path)\n";
 
   const std::string jsonPath = jsonOutputPath(argc, argv, "BENCH_policy_zoo.json");
   if (!jsonPath.empty()) {
     writeJsonReport(table, "policy_zoo", jsonPath, metaOf(evaluation),
                     {{"train_wall_ms", trainWallMs},
-                     {"retrain_ms_saved", retrainMsSaved}});
+                     {"retrain_ms_saved", retrainMsSaved},
+                     {"eval_disk_wall_ms", evaluation.wallMs},
+                     {"eval_cache_wall_ms", cacheEvaluation.wallMs},
+                     {"cache_hits", static_cast<double>(cacheStats.hits)}});
   }
 
   for (const std::string& family : families) {

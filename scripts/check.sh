@@ -9,16 +9,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/12] configure (preset: asan-ubsan) =="
+echo "== [1/13] configure (preset: asan-ubsan) =="
 cmake --preset asan-ubsan
 
-echo "== [2/12] build =="
+echo "== [2/13] build =="
 cmake --build --preset asan-ubsan -j "${JOBS}"
 
-echo "== [3/12] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
+echo "== [3/13] ctest (ASan+UBSan, RLTHERM_CHECKED=ON) =="
 ctest --preset asan-ubsan -j "${JOBS}"
 
-echo "== [4/12] fault suite gate (ctest -L faults) + scenario lint =="
+echo "== [4/13] fault suite gate (ctest -L faults) + scenario lint =="
 # The full run above includes these, but gate on the label explicitly so a
 # test-registration regression (lost LABELS faults) fails loudly instead of
 # silently shrinking coverage. -L with no matching tests exits zero, hence
@@ -31,7 +31,7 @@ fi
 ctest --preset asan-ubsan -L faults -j "${JOBS}"
 ./build-asan-ubsan/tools/rltherm_cli faults --lint --scenarios scenarios
 
-echo "== [5/12] store suite gate (ctest -L store) =="
+echo "== [5/13] store suite gate (ctest -L store) =="
 # Same vacuity guard as the fault gate: the corruption property tests MUST
 # execute under the sanitizers, so a lost 'store' label fails the script.
 STORE_COUNT="$(ctest --preset asan-ubsan -L store -N | sed -n 's/^Total Tests: //p')"
@@ -41,7 +41,7 @@ if [ "${STORE_COUNT:-0}" -eq 0 ]; then
 fi
 ctest --preset asan-ubsan -L store -j "${JOBS}"
 
-echo "== [6/12] thermal equivalence gate (ctest -L thermal) =="
+echo "== [6/13] thermal equivalence gate (ctest -L thermal) =="
 # The structured-fast-path property suite (dense-vs-structured equivalence,
 # exactness, the wrong-tolerance canary, cache semantics) MUST execute under
 # the sanitizers; a lost 'thermal' label fails the script like the fault and
@@ -53,7 +53,7 @@ if [ "${THERMAL_COUNT:-0}" -eq 0 ]; then
 fi
 ctest --preset asan-ubsan -L thermal -j "${JOBS}"
 
-echo "== [7/12] resilience gate (ctest -L resil) + acceptance campaign =="
+echo "== [7/13] resilience gate (ctest -L resil) + acceptance campaign =="
 # Same vacuity guard as the other label gates: every taint/merge path and
 # checkpoint decode in the resilience suite MUST execute under the
 # sanitizers, so a lost 'resil' label fails the script.
@@ -103,12 +103,12 @@ else
   echo "python3 not found on PATH; the ctest acceptance suite above already gated the campaign."
 fi
 
-echo "== [8/12] concurrency tests under TSan (ctest -L concurrency) =="
+echo "== [8/13] concurrency tests under TSan (ctest -L concurrency) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target rltherm_concurrency_tests
 ctest --preset tsan -L concurrency -j "${JOBS}"
 
-echo "== [9/12] events-JSONL smoke (rltherm_cli --events) =="
+echo "== [9/13] events-JSONL smoke (rltherm_cli --events) =="
 EVENTS_TMP="$(mktemp /tmp/rltherm_events.XXXXXX.jsonl)"
 trap 'rm -f "${EVENTS_TMP}" "${RESIL_TMP}"' EXIT
 ./build-asan-ubsan/tools/rltherm_cli run --app mpeg_dec --policy linux-ondemand \
@@ -134,7 +134,7 @@ else
   echo "python3 not found on PATH; checked the event log is non-empty only."
 fi
 
-echo "== [10/12] checkpoint train/inspect smoke (rltherm_cli train + inspect --json) =="
+echo "== [10/13] checkpoint train/inspect smoke (rltherm_cli train + inspect --json) =="
 CKPT_TMP="$(mktemp -d /tmp/rltherm_ckpt.XXXXXX)"
 trap 'rm -f "${EVENTS_TMP}" "${RESIL_TMP}"; rm -rf "${CKPT_TMP}"' EXIT
 printf '[runner]\nmax_sim_time = 400\nanalysis_warmup = 10\nanalysis_cooldown = 5\n\n[manager]\nsampling_interval = 0.5\ndecision_epoch = 2.0\n' \
@@ -161,7 +161,7 @@ else
   echo "python3 not found on PATH; checked inspect runs only."
 fi
 
-echo "== [11/12] static analysis =="
+echo "== [11/13] static analysis =="
 # Gate on the committed baseline: pre-existing findings are inventoried in
 # tools/lint_baseline.json, anything NEW fails. --json so the finding list
 # is machine-readable in CI logs; stale-baseline notes land on stderr.
@@ -192,7 +192,7 @@ else
   echo "clang-tidy not found on PATH; skipping (rltherm_lint still ran)."
 fi
 
-echo "== [12/12] perf gate (bench_micro_kernels --json vs committed baseline) =="
+echo "== [12/13] perf gate (bench_micro_kernels --json vs committed baseline) =="
 # Timing happens on the PLAIN optimized build — sanitizer trees distort
 # every number (the gate's fingerprint check would refuse them anyway).
 cmake -S . -B build >/dev/null
@@ -277,6 +277,82 @@ PY
   check_fast_path "${PERF_NOCACHE_TMP}" nocache
 else
   echo "python3 not found on PATH; skipping the fast-path speedup assertions."
+fi
+
+echo "== [13/13] fleet-service gate (ctest -L serve) + serve protocol smoke =="
+# Same vacuity guard as the other label gates: the protocol golden tests and
+# the alone-vs-interleaved bit-identity suite MUST execute under the
+# sanitizers, so a lost 'serve' label fails the script.
+SERVE_COUNT="$(ctest --preset asan-ubsan -L serve -N | sed -n 's/^Total Tests: //p')"
+if [ "${SERVE_COUNT:-0}" -eq 0 ]; then
+  echo "no tests carry the 'serve' label; the fleet-service gate is vacuous"
+  exit 1
+fi
+ctest --preset asan-ubsan -L serve -j "${JOBS}"
+
+# End-to-end smoke over the real binary and the real line protocol: admit 50
+# tenants across TWO config families via stdin, step, query every tenant, and
+# assert (a) the warm-start cache served >= 48 of the 50 admissions and (b)
+# every tenant's trace hash is IDENTICAL at --jobs 1 and --jobs 4 — the
+# service's determinism guarantee, demonstrated on the shipped CLI.
+SERVE_TMP="$(mktemp -d /tmp/rltherm_serve.XXXXXX)"
+trap 'rm -f "${EVENTS_TMP:-}" "${CANARY:-}" "${RESIL_TMP:-}" "${PERF_TMP:-}" "${PERF_NOCACHE_TMP:-}"; rm -rf "${CKPT_TMP:-}" "${SERVE_TMP:-}"' EXIT
+SERVE_CMDS="${SERVE_TMP}/commands.jsonl"
+: > "${SERVE_CMDS}"
+for i in $(seq 0 49); do
+  if [ $((i % 2)) -eq 0 ]; then GAMMA="0.75"; else GAMMA="0.9"; fi
+  if [ $((i % 3)) -eq 0 ]; then FAMILY="mpeg_dec"; else FAMILY="tachyon"; fi
+  echo "{\"cmd\":\"admit\",\"tenant\":\"t${i}\",\"family\":\"${FAMILY}\",\"seed\":$((100 + i)),\"gamma\":${GAMMA}}" >> "${SERVE_CMDS}"
+done
+echo '{"cmd":"step","passes":3}' >> "${SERVE_CMDS}"
+for i in $(seq 0 49); do
+  echo "{\"cmd\":\"query\",\"tenant\":\"t${i}\"}" >> "${SERVE_CMDS}"
+done
+echo '{"cmd":"stats"}' >> "${SERVE_CMDS}"
+echo '{"cmd":"shutdown"}' >> "${SERVE_CMDS}"
+
+./build-asan-ubsan/tools/rltherm_cli serve --train-time 120 --jobs 1 \
+  < "${SERVE_CMDS}" > "${SERVE_TMP}/jobs1.jsonl"
+./build-asan-ubsan/tools/rltherm_cli serve --train-time 120 --jobs 4 \
+  < "${SERVE_CMDS}" > "${SERVE_TMP}/jobs4.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${SERVE_TMP}/jobs1.jsonl" "${SERVE_TMP}/jobs4.jsonl" <<'PY'
+import json, sys
+
+def load(path):
+    hashes, stats = {}, None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            doc = json.loads(line)
+            if not doc.get("ok"):
+                sys.exit(f"{path}:{lineno}: response not ok: {line.strip()}")
+            if doc.get("cmd") == "query":
+                hashes[doc["tenant"]] = doc["trace_hash"]
+            elif doc.get("cmd") == "stats":
+                stats = doc
+    if stats is None:
+        sys.exit(f"{path}: no stats response")
+    return hashes, stats
+
+h1, s1 = load(sys.argv[1])
+h4, s4 = load(sys.argv[2])
+if len(h1) != 50 or len(h4) != 50:
+    sys.exit(f"expected 50 query responses, got {len(h1)} and {len(h4)}")
+for stats, path in ((s1, sys.argv[1]), (s4, sys.argv[2])):
+    if stats["admitted"] != 50:
+        sys.exit(f"{path}: admitted {stats['admitted']} != 50")
+    if stats["cache_hits"] < 48:
+        sys.exit(f"{path}: warm-start cache hits {stats['cache_hits']} < 48")
+mismatched = [t for t in h1 if h1[t] != h4[t]]
+if mismatched:
+    sys.exit(f"trace hashes differ between --jobs 1 and --jobs 4: {mismatched}")
+print(f"serve smoke: 50 tenants, cache hits {s1['cache_hits']}/50, "
+      f"trainings {s1['trainings']}, per-tenant traces identical at --jobs 1 and 4")
+PY
+else
+  cmp "${SERVE_TMP}/jobs1.jsonl" "${SERVE_TMP}/jobs4.jsonl" || {
+    echo "serve smoke: --jobs 1 and --jobs 4 outputs differ"; exit 1; }
+  echo "python3 not found on PATH; compared the raw outputs byte-for-byte only."
 fi
 
 echo "check.sh: all gates passed."

@@ -317,16 +317,16 @@ void ThermalManager::loadCheckpoint(const std::string& path) {
                       epochLog_.empty() ? 0.0 : epochLog_.back().time);
 }
 
-std::unique_ptr<ThermalManager> loadManagerFromCheckpoint(const std::string& path) {
-  const store::PolicyCheckpoint checkpoint = store::loadPolicyCheckpoint(path);
+std::unique_ptr<ThermalManager> managerFromCheckpoint(
+    const store::PolicyCheckpoint& checkpoint, const std::string& source) {
   ActionSpace actions = ActionSpace::fromSpec(checkpoint.meta.actionSpec);
   expects(actions.size() == checkpoint.meta.actionNames.size(),
-          "checkpoint '" + path + "': rebuilt action space has " +
+          "checkpoint '" + source + "': rebuilt action space has " +
               std::to_string(actions.size()) + " actions, the checkpoint stores " +
               std::to_string(checkpoint.meta.actionNames.size()));
   for (std::size_t i = 0; i < actions.size(); ++i) {
     expects(actions.action(i).toString() == checkpoint.meta.actionNames[i],
-            "checkpoint '" + path + "': action " + std::to_string(i) +
+            "checkpoint '" + source + "': action " + std::to_string(i) +
                 " is now '" + actions.action(i).toString() + "' but was saved as '" +
                 checkpoint.meta.actionNames[i] +
                 "' — the action catalogue drifted between builds");
@@ -334,6 +334,12 @@ std::unique_ptr<ThermalManager> loadManagerFromCheckpoint(const std::string& pat
   auto manager = std::make_unique<ThermalManager>(configOf(checkpoint.meta),
                                                   std::move(actions));
   manager->restoreFromCheckpoint(checkpoint);
+  return manager;
+}
+
+std::unique_ptr<ThermalManager> loadManagerFromCheckpoint(const std::string& path) {
+  const store::PolicyCheckpoint checkpoint = store::loadPolicyCheckpoint(path);
+  auto manager = managerFromCheckpoint(checkpoint, path);
   emitCheckpointEvent("store.checkpoint.load", path,
                       store::fingerprintOf(checkpoint.meta),
                       manager->epochCount(), manager->qTable().coverage(),

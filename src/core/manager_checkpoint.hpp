@@ -21,6 +21,14 @@ class ThermalPolicy;
 [[nodiscard]] std::unique_ptr<ThermalManager> loadManagerFromCheckpoint(
     const std::string& path);
 
+/// In-memory counterpart: rebuilds a manager from an already-decoded
+/// checkpoint (same action-catalogue verification), with no file involved.
+/// `source` names the artifact in diagnostics. This is the clone step of the
+/// fleet service's warm-start path: decode a cached buffer once per tenant
+/// and restore into a fresh manager.
+[[nodiscard]] std::unique_ptr<ThermalManager> managerFromCheckpoint(
+    const store::PolicyCheckpoint& checkpoint, const std::string& source);
+
 /// The ThermalManager inside `policy`, unwrapping one SafetySupervisor
 /// layer; nullptr when the policy is not checkpointable (a baseline).
 [[nodiscard]] ThermalManager* checkpointTarget(ThermalPolicy& policy) noexcept;

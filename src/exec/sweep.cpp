@@ -96,15 +96,19 @@ void executeSpec(const RunSpec& spec, std::size_t index, bool collectScopes,
 }  // namespace
 
 SweepResult SweepRunner::run(const std::vector<RunSpec>& specs) const {
-  SweepResult sweep;
   std::size_t jobs = options_.jobs == 0 ? hardwareConcurrency() : options_.jobs;
   jobs = std::max<std::size_t>(1, std::min(jobs, std::max<std::size_t>(specs.size(), 1)));
-  sweep.jobs = jobs;
+  ThreadPool pool(jobs);
+  return run(specs, pool);
+}
+
+SweepResult SweepRunner::run(const std::vector<RunSpec>& specs, ThreadPool& pool) const {
+  SweepResult sweep;
+  sweep.jobs = pool.threadCount();
 
   const std::uint64_t startNs = obs::wallClockNs();
   sweep.runs.resize(specs.size());
   {
-    ThreadPool pool(jobs);
     std::vector<RunReport>& reports = sweep.runs;
     const bool collectScopes = options_.collectScopes;
     pool.parallelFor(specs.size(), [&specs, &reports, collectScopes](std::size_t index) {

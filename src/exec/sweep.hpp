@@ -138,6 +138,8 @@ struct SweepOptions {
   bool collectScopes = false;
 };
 
+class ThreadPool;
+
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {});
@@ -145,6 +147,14 @@ class SweepRunner {
   /// Runs every spec, in parallel across min(jobs, specs) lanes; blocks
   /// until all are done. Throws the lowest-index job's exception, if any.
   [[nodiscard]] SweepResult run(const std::vector<RunSpec>& specs) const;
+
+  /// Same, but over a caller-owned pool: a long-lived service (src/serve/)
+  /// constructs ONE ThreadPool at startup and reuses it across batches
+  /// instead of paying thread spawn/join per invocation. The result is
+  /// bit-identical to the owning overload at the same lane count — the pool
+  /// only schedules; every run's state is private to its index.
+  [[nodiscard]] SweepResult run(const std::vector<RunSpec>& specs,
+                                ThreadPool& pool) const;
 
   [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
 

@@ -22,10 +22,21 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Idle-drain assertion: parallelFor blocks until every index completed,
+    // so reaching the destructor with workers still draining a job means a
+    // dispatch path skipped the join. Queued work must never outlive the
+    // pool — terminate loudly instead of destroying state under running
+    // workers.
+    if (pending_ != 0) std::terminate();
     stop_ = true;
   }
   workCv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::idle() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_ == 0 && (body_ == nullptr || cursor_.load(std::memory_order_relaxed) >= count_);
 }
 
 void ThreadPool::workerLoop() {

@@ -47,6 +47,14 @@ class ThreadPool {
   /// Total execution lanes (spawned workers + the calling thread).
   [[nodiscard]] std::size_t threadCount() const noexcept { return workers_.size() + 1; }
 
+  /// True when no parallelFor is in flight and no queued work remains —
+  /// always the case between parallelFor calls, since parallelFor blocks
+  /// until every index has executed. Long-lived owners (the fleet service
+  /// keeps ONE pool for its whole lifetime instead of constructing one per
+  /// batch) assert this at shutdown so a future non-blocking dispatch path
+  /// cannot silently leak queued work.
+  [[nodiscard]] bool idle() noexcept;
+
   /// Runs body(i) for every i in [0, count), distributing `chunk`-sized
   /// index ranges across the pool. Blocks until all indices completed.
   void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body,

@@ -1,0 +1,64 @@
+#include "serve/warm_cache.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rltherm::serve {
+
+WarmStartCache::WarmStartCache(std::size_t capacity) : capacity_(capacity) {
+  expects(capacity > 0, "WarmStartCache: capacity must be > 0");
+}
+
+std::optional<std::vector<std::uint8_t>> WarmStartCache::find(
+    std::uint64_t fingerprint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recently-used
+  return it->second->bytes;
+}
+
+void WarmStartCache::insert(std::uint64_t fingerprint, std::vector<std::uint8_t> bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    it->second->bytes = std::move(bytes);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{fingerprint, std::move(bytes)});
+  index_[fingerprint] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+bool WarmStartCache::evict(std::uint64_t fingerprint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++evictions_;
+  return true;
+}
+
+WarmStartCache::Stats WarmStartCache::stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace rltherm::serve

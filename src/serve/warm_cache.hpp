@@ -1,0 +1,74 @@
+// Warm-start policy cache: encoded checkpoints keyed by config fingerprint.
+//
+// The fleet service trains ONE policy per configuration family (the store's
+// config fingerprint — see the fingerprint rule in store/policy_checkpoint
+// .hpp) and serves every later tenant of that family a clone of the frozen
+// checkpoint straight from memory: no retraining, no disk round trip. The
+// cache stores the ENCODED buffer (store::serializePolicyCheckpoint), which
+// is bit-identical to the on-disk artifact, so a cached clone and a file
+// round trip are interchangeable and the corruption-checking decode path is
+// exercised on every clone.
+//
+// Capacity is a hard cap with least-recently-used eviction — a fleet that
+// cycles through more configuration families than the cap re-trains the
+// evicted family on its next admission (visible in the hit/miss counters)
+// instead of growing without bound.
+//
+// Thread safety: a single mutex around every operation. The fleet service
+// touches the cache only from its admission (service) thread, but the
+// policy-zoo bench shares one cache across sweep worker threads, so lookups
+// copy the buffer out under the lock rather than handing out references.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace rltherm::serve {
+
+class WarmStartCache {
+ public:
+  /// @param capacity maximum retained entries; must be > 0.
+  explicit WarmStartCache(std::size_t capacity = 8);
+
+  /// Copy-out lookup. A hit bumps the entry to most-recently-used and the
+  /// hit counter; a miss bumps the miss counter.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> find(
+      std::uint64_t fingerprint);
+
+  /// Inserts (or replaces) the entry as most-recently-used, evicting
+  /// least-recently-used entries beyond capacity.
+  void insert(std::uint64_t fingerprint, std::vector<std::uint8_t> bytes);
+
+  /// Explicit eviction; returns false when the fingerprint is not cached.
+  bool evict(std::uint64_t fingerprint);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< capacity + explicit evictions
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+  [[nodiscard]] Stats stats();
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rltherm::serve

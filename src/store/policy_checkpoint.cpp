@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/error.hpp"
 #include "common/strict_file.hpp"
 
 namespace rltherm::store {
@@ -523,6 +524,18 @@ void savePolicyCheckpoint(const std::string& path, const PolicyCheckpoint& check
 
 PolicyCheckpoint loadPolicyCheckpoint(const std::string& path) {
   return decodePolicyCheckpoint(readCheckpointFile(path), path);
+}
+
+std::vector<std::uint8_t> serializePolicyCheckpoint(const PolicyCheckpoint& checkpoint) {
+  return encodeImage(encodePolicyCheckpoint(checkpoint));
+}
+
+PolicyCheckpoint loadPolicyCheckpointFromBuffer(const std::vector<std::uint8_t>& bytes,
+                                                const std::string& source) {
+  expects(bytes.size() <= kMaxCheckpointBytes,
+          "checkpoint buffer '" + source + "' exceeds the " +
+              std::to_string(kMaxCheckpointBytes) + "-byte cap");
+  return decodePolicyCheckpoint(decodeImage(bytes, source), source);
 }
 
 }  // namespace rltherm::store

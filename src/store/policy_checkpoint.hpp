@@ -209,4 +209,19 @@ void savePolicyCheckpoint(const std::string& path, const PolicyCheckpoint& check
 /// bounded read + decode.
 [[nodiscard]] PolicyCheckpoint loadPolicyCheckpoint(const std::string& path);
 
+/// In-memory serialization: EXACTLY the bytes savePolicyCheckpoint puts on
+/// disk (writeCheckpointFile writes encodeImage output verbatim), so a
+/// buffer-cloned policy and a file round trip are interchangeable bit for
+/// bit. This is the warm-start path of the fleet service (src/serve/): one
+/// trained checkpoint is kept in memory and cloned into later tenants with
+/// no disk round trip.
+[[nodiscard]] std::vector<std::uint8_t> serializePolicyCheckpoint(
+    const PolicyCheckpoint& checkpoint);
+
+/// Buffer counterpart of loadPolicyCheckpoint, with the same strictness
+/// (bounded size, full container validation, fingerprint cross-check).
+/// `source` names the buffer in diagnostics.
+[[nodiscard]] PolicyCheckpoint loadPolicyCheckpointFromBuffer(
+    const std::vector<std::uint8_t>& bytes, const std::string& source);
+
 }  // namespace rltherm::store

@@ -92,6 +92,35 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
   EXPECT_EQ(sum.load(), 50u * 55u);
 }
 
+TEST(ThreadPoolTest, IdleBetweenAndAfterParallelForCalls) {
+  // parallelFor blocks until every index executed, so a pool is idle at every
+  // point its owner can observe it — freshly built, between loops, and after
+  // a loop that threw. Long-lived owners (the fleet service) assert this at
+  // shutdown; the destructor terminates on queued work by contract.
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.idle());
+  std::atomic<int> executed{0};
+  for (int round = 0; round < 3; ++round) {
+    pool.parallelFor(64, [&](std::size_t) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_TRUE(pool.idle());
+  }
+  EXPECT_EQ(executed.load(), 3 * 64);
+  EXPECT_THROW(
+      pool.parallelFor(8,
+                       [](std::size_t i) {
+                         if (i == 2) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_TRUE(pool.idle());
+
+  ThreadPool serial(1);
+  EXPECT_TRUE(serial.idle());
+  serial.parallelFor(4, [](std::size_t) {});
+  EXPECT_TRUE(serial.idle());
+}
+
 TEST(ThreadPoolTest, ChunkLargerThanCountStillCoversEverything) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(5);

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -133,6 +136,50 @@ TEST(PolicyCheckpointTest, FingerprintIsStableAcrossEncodeCycles) {
   const PolicyCheckpoint back =
       decodePolicyCheckpoint(encodePolicyCheckpoint(ckpt), "mem");
   EXPECT_EQ(fingerprintOf(back.meta), first);
+}
+
+// The warm-start contract of the fleet service (src/serve/): the in-memory
+// buffer IS the file — byte for byte — so a policy cloned from the cache and
+// one resumed from disk are interchangeable.
+TEST(PolicyCheckpointTest, SerializedBufferIsExactlyTheFileBytes) {
+  const PolicyCheckpoint ckpt = sampleCheckpoint();
+  const std::vector<std::uint8_t> buffer = serializePolicyCheckpoint(ckpt);
+
+  const std::string path = testing::TempDir() + "buffer_vs_file.ckpt";
+  savePolicyCheckpoint(path, ckpt);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const std::string fileBytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(buffer.size(), fileBytes.size());
+  EXPECT_TRUE(std::equal(
+      buffer.begin(), buffer.end(), fileBytes.begin(),
+      [](std::uint8_t b, char c) { return b == static_cast<std::uint8_t>(c); }));
+}
+
+TEST(PolicyCheckpointTest, BufferRoundTripIsBitExact) {
+  const PolicyCheckpoint ckpt = sampleCheckpoint();
+  const std::vector<std::uint8_t> buffer = serializePolicyCheckpoint(ckpt);
+  const PolicyCheckpoint back = loadPolicyCheckpointFromBuffer(buffer, "mem");
+  // Re-serializing the decoded checkpoint reproduces the identical bytes —
+  // the strongest round-trip statement available.
+  EXPECT_EQ(serializePolicyCheckpoint(back), buffer);
+}
+
+TEST(PolicyCheckpointTest, BufferLoaderDiagnosesCorruptionWithTheSourceName) {
+  const PolicyCheckpoint ckpt = sampleCheckpoint();
+  std::vector<std::uint8_t> buffer = serializePolicyCheckpoint(ckpt);
+  buffer.resize(buffer.size() / 2);  // truncated container
+  try {
+    (void)loadPolicyCheckpointFromBuffer(buffer, "cache entry deadbeef");
+    FAIL() << "truncated buffer must not decode";
+  } catch (const std::exception& error) {
+    EXPECT_NE(std::string(error.what()).find("cache entry deadbeef"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(PolicyCheckpointTest, SemanticFieldsChangeTheFingerprint) {

@@ -18,6 +18,9 @@
 //                          [--out policy.ckpt]
 //   rltherm_cli eval       --policy policy.ckpt --app tachyon [--dataset N]
 //   rltherm_cli inspect    FILE [--json]
+//   rltherm_cli serve      [--socket PATH] [--jobs N] [--slice S]
+//                          [--train-time S] [--cache-cap N] [--queue-depth N]
+//                          [--max-tenants N]
 //
 // Policies: linux-ondemand | linux-powersave | linux-performance |
 //           userspace-<GHz> (e.g. userspace-2.4) | ge | ge-modified | proposed
@@ -53,6 +56,10 @@
 //
 // Unknown flags are rejected with a nonzero exit; every command validates
 // its flag set, and commands that take no positional arguments reject them.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -84,6 +91,8 @@
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/timeline.hpp"
+#include "serve/fleet.hpp"
+#include "serve/protocol.hpp"
 #include "store/checkpoint.hpp"
 #include "store/policy_checkpoint.hpp"
 #include "trace/export.hpp"
@@ -187,6 +196,9 @@ void usage() {
       "                         [--out policy.ckpt]\n"
       "  rltherm_cli eval       --policy policy.ckpt --app FAMILY [--dataset N]\n"
       "  rltherm_cli inspect    FILE [--json]\n"
+      "  rltherm_cli serve      [--socket PATH] [--jobs N] [--slice S]\n"
+      "                         [--train-time S] [--cache-cap N]\n"
+      "                         [--queue-depth N] [--max-tenants N]\n"
       "policies: linux-ondemand linux-powersave linux-performance\n"
       "          userspace-<GHz> ge ge-modified proposed\n"
       "robustness:\n"
@@ -214,6 +226,13 @@ void usage() {
       "  inspect FILE         summarize a checkpoint (--json for machines)\n"
       "  --resume FILE        (run/inter/concurrent) load the checkpoint before\n"
       "                       the run and skip the training pass\n"
+      "fleet service (multi-tenant manager-as-a-server):\n"
+      "  serve                host many independent tenants behind a newline-\n"
+      "                       delimited JSON line protocol (admit/step/query/\n"
+      "                       evict/stats/shutdown) on stdin/stdout, or on an\n"
+      "                       AF_UNIX socket with --socket PATH; warm-start\n"
+      "                       cache trains one policy per config family\n"
+      "                       (see docs/ARCHITECTURE.md 'serve (fleet service)')\n"
       "sweep runs the (app x policy) grid on a thread pool (--jobs, default: all\n"
       "hardware threads; --jobs 1 is the serial path). Output is bit-identical\n"
       "for every --jobs value; see docs/ARCHITECTURE.md 'Parallel execution'.\n";
@@ -1049,6 +1068,99 @@ int inspectCommand(const Options& options) {
   return 0;
 }
 
+/// Writes the whole buffer, retrying partial writes; false when the peer is
+/// gone (the serve loop then drops the connection and accepts the next one).
+bool sendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Single-connection AF_UNIX accept loop: clients connect one at a time and
+/// speak the newline-delimited protocol; the session (and the fleet behind
+/// it) persists across connections until a shutdown command arrives.
+int serveSocket(serve::FleetService& service, const std::string& path) {
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  expects(listener >= 0, "serve: cannot create an AF_UNIX socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  expects(path.size() < sizeof(addr.sun_path), "serve: socket path too long");
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  expects(::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+          "serve: cannot bind '" + path + "'");
+  expects(::listen(listener, 1) == 0, "serve: cannot listen on '" + path + "'");
+  std::cout << "serving on " << path << "\n" << std::flush;
+
+  serve::ServeSession session(service, path);
+  while (!session.shutdownRequested()) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;
+    std::string buffer;
+    char chunk[4096];
+    bool peerAlive = true;
+    while (peerAlive && !session.shutdownRequested()) {
+      const ssize_t n = ::read(conn, chunk, sizeof chunk);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t newline = 0;
+      while ((newline = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        const std::string response = session.handleLine(line);
+        if (!response.empty() && !sendAll(conn, response + "\n")) {
+          peerAlive = false;
+          break;
+        }
+        if (session.shutdownRequested()) break;
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+/// `serve`: host a tenant fleet behind the line protocol — stdin/stdout by
+/// default, or an AF_UNIX socket with --socket. See serve/protocol.hpp for
+/// the grammar and docs/ARCHITECTURE.md "serve (fleet service)".
+int serveCommand(const Options& options) {
+  validateFlags(options,
+                {"socket", "slice", "train-time", "jobs", "cache-cap",
+                 "queue-depth", "max-tenants", "events", "chrome-trace", "metrics"},
+                /*withCommon=*/false);
+  serve::FleetServiceConfig config;
+  config.jobs = static_cast<std::size_t>(std::stoul(options.get("jobs", "0")));
+  config.sliceSeconds = std::stod(options.get("slice", "40"));
+  config.trainSimTime = std::stod(options.get("train-time", "2000"));
+  config.cacheCapacity = static_cast<std::size_t>(std::stoul(options.get("cache-cap", "8")));
+  config.admitQueueDepth =
+      static_cast<std::size_t>(std::stoul(options.get("queue-depth", "64")));
+  config.maxTenants = static_cast<std::size_t>(std::stoul(options.get("max-tenants", "4096")));
+
+  ObsSetup obsSetup(options);
+  serve::FleetService service(config);
+  int exitCode = 0;
+  if (options.has("socket")) {
+    exitCode = serveSocket(service, options.get("socket", "rltherm.sock"));
+  } else {
+    serve::ServeSession session(service, "stdin");
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      const std::string response = session.handleLine(line);
+      if (!response.empty()) std::cout << response << "\n" << std::flush;
+      if (session.shutdownRequested()) break;
+    }
+  }
+  obsSetup.finish();
+  return exitCode;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1064,6 +1176,7 @@ int main(int argc, char** argv) {
     if (options.command == "train") return trainCommand(options);
     if (options.command == "eval") return evalCommand(options);
     if (options.command == "inspect") return inspectCommand(options);
+    if (options.command == "serve") return serveCommand(options);
     if (options.command == "run" || options.command == "inter" ||
         options.command == "concurrent") {
       return runCommand(options);
